@@ -1,0 +1,49 @@
+//! Local search engine costs: index construction, threshold search,
+//! top-k search, exact usefulness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seu_bench::fixture;
+use seu_engine::{InvertedIndex, SearchEngine};
+use std::hint::black_box;
+
+fn bench_index_build(c: &mut Criterion) {
+    let f = fixture(761, 1, 10, 17);
+    c.bench_function("inverted_index_build_761_docs", |b| {
+        b.iter(|| InvertedIndex::build(black_box(&f.collection)).total_postings())
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let f = fixture(761, 1, 400, 17);
+    let engine = SearchEngine::new(f.collection.clone());
+    c.bench_function("threshold_search_400_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &f.queries {
+                acc += engine.search_threshold(q, black_box(0.1)).len();
+            }
+            acc
+        })
+    });
+    c.bench_function("top_10_search_400_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &f.queries {
+                acc += engine.search_top_k(q, black_box(10)).len();
+            }
+            acc
+        })
+    });
+    c.bench_function("true_usefulness_400_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in &f.queries {
+                acc += engine.true_usefulness(q, black_box(0.2)).no_doc;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_index_build, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Per-estimate cost of each usefulness estimation method, and the
+//! threshold-sweep fast path.
+//!
+//! The broker runs one estimate per (query, engine) pair, so per-call cost
+//! is the number that decides how many engines a broker can front.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seu_bench::fixture;
+use seu_core::{
+    BasicEstimator, DisjointEstimator, HighCorrelationEstimator, PrevMethodEstimator,
+    SubrangeEstimator, UsefulnessEstimator,
+};
+use std::hint::black_box;
+
+fn bench_single_estimates(c: &mut Criterion) {
+    let f = fixture(761, 1, 400, 11);
+    let high = HighCorrelationEstimator::new();
+    let dis = DisjointEstimator::new();
+    let basic = BasicEstimator::new();
+    let prev = PrevMethodEstimator::new();
+    let sub = SubrangeEstimator::paper_six_subrange();
+    let methods: Vec<(&str, &(dyn UsefulnessEstimator + Sync))> = vec![
+        ("high-correlation", &high),
+        ("disjoint", &dis),
+        ("basic", &basic),
+        ("prev", &prev),
+        ("subrange", &sub),
+    ];
+    let mut group = c.benchmark_group("estimate_single_threshold");
+    for (name, m) in &methods {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in &f.queries {
+                    acc += m.estimate(&f.repr, q, black_box(0.2)).no_doc;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let f = fixture(761, 1, 400, 11);
+    let sub = SubrangeEstimator::paper_six_subrange();
+    let thresholds = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let mut group = c.benchmark_group("subrange_sweep_6_thresholds");
+    group.bench_function("estimate_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &f.queries {
+                for u in sub.estimate_sweep(&f.repr, q, &thresholds) {
+                    acc += u.no_doc;
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("six_estimate_calls", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &f.queries {
+                for &t in &thresholds {
+                    acc += sub.estimate(&f.repr, q, t).no_doc;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_length_scaling(c: &mut Criterion) {
+    let f = fixture(761, 1, 2000, 13);
+    let sub = SubrangeEstimator::paper_six_subrange();
+    let mut group = c.benchmark_group("subrange_by_query_length");
+    for len in 1..=6usize {
+        let qs: Vec<_> = f.queries.iter().filter(|q| q.len() == len).collect();
+        if qs.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(len), &qs, |b, qs| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in qs {
+                    acc += sub.estimate(&f.repr, q, black_box(0.2)).no_doc;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_estimates,
+    bench_sweep,
+    bench_query_length_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Representative lifecycle costs: building from a collection, one-byte
+//! quantization, binary (de)serialization — everything a broker and its
+//! engines do at registration / update time (§3.2 of the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seu_bench::fixture;
+use seu_repr::{QuantizedRepresentative, Representative};
+use std::hint::black_box;
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let f = fixture(1466, 2, 10, 23);
+
+    c.bench_function("representative_build_1466_docs", |b| {
+        b.iter(|| Representative::build(black_box(&f.collection)).distinct_terms())
+    });
+
+    c.bench_function("representative_quantize", |b| {
+        b.iter(|| QuantizedRepresentative::from_representative(black_box(&f.repr)).size_bytes())
+    });
+
+    let quant = QuantizedRepresentative::from_representative(&f.repr);
+    c.bench_function("representative_dequantize", |b| {
+        b.iter(|| black_box(&quant).decode().distinct_terms())
+    });
+
+    c.bench_function("representative_serialize", |b| {
+        b.iter(|| black_box(&f.repr).to_bytes().len())
+    });
+
+    let bytes = f.repr.to_bytes();
+    c.bench_function("representative_deserialize", |b| {
+        b.iter(|| {
+            Representative::from_bytes(black_box(&bytes[..]))
+                .expect("valid")
+                .distinct_terms()
+        })
+    });
+}
+
+criterion_group!(benches, bench_lifecycle);
+criterion_main!(benches);

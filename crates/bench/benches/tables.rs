@@ -1,0 +1,62 @@
+//! One bench per paper-table group: end-to-end cost of regenerating each
+//! experiment on a reduced (600-query) workload.
+//!
+//! These are macro-benchmarks — they time the full pipeline the `repro`
+//! binary runs (ground truth + three estimators + aggregation), so they
+//! answer "what does it cost to evaluate a selection method over a real
+//! workload", per table of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seu_corpus::{paper_datasets, PaperDatasets};
+use seu_eval::experiments::{
+    run_guarantee, run_main_tables, run_quantized_tables, run_scalability, run_triplet_tables,
+};
+use seu_eval::runner::EvalConfig;
+
+fn reduced_datasets() -> PaperDatasets {
+    let mut ds = paper_datasets(42);
+    ds.queries.truncate(600);
+    ds
+}
+
+fn config() -> EvalConfig {
+    EvalConfig {
+        thresholds: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        threads: 0,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let ds = reduced_datasets();
+    let cfg = config();
+
+    let mut group = c.benchmark_group("paper_tables");
+    group.sample_size(10);
+    group.bench_function("tables_1_6_main", |b| {
+        b.iter(|| run_main_tables(&ds, &cfg).results.len())
+    });
+    group.bench_function("tables_7_9_quantized", |b| {
+        b.iter(|| run_quantized_tables(&ds, &cfg).results.len())
+    });
+    group.bench_function("tables_10_12_triplet", |b| {
+        b.iter(|| run_triplet_tables(&ds, &cfg).results.len())
+    });
+    group.bench_function("guarantee_check", |b| {
+        b.iter(|| run_guarantee(&ds, &cfg.thresholds).text.len())
+    });
+    group.finish();
+}
+
+fn bench_scalability_table(c: &mut Criterion) {
+    let ds = reduced_datasets();
+    let mut group = c.benchmark_group("paper_tables_heavy");
+    group.sample_size(10);
+    // Dominated by generating the three TREC-scale stand-in collections.
+    group.bench_function("scalability_table", |b| {
+        b.iter(|| run_scalability(&ds, 42).text.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_scalability_table);
+criterion_main!(benches);

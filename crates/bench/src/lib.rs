@@ -1,0 +1,71 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Benchmarks need deterministic, representative inputs that are cheap to
+//! rebuild; the helpers here create scaled-down versions of the paper's
+//! workload so every bench target is self-contained.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use seu_corpus::{CollectionSpec, QueryLogSpec, SyntheticCorpus};
+use seu_engine::{Collection, Query};
+use seu_eval::runner::query_from_tokens;
+use seu_repr::Representative;
+
+/// A small deterministic benchmark fixture: one topical collection, its
+/// representative, and a query workload.
+pub struct Fixture {
+    /// The collection (database of one local search engine).
+    pub collection: Collection,
+    /// Its full-precision representative.
+    pub repr: Representative,
+    /// Token-list queries.
+    pub raw_queries: Vec<Vec<String>>,
+    /// The same queries as per-collection vectors (empty ones dropped).
+    pub queries: Vec<Query>,
+}
+
+/// Builds a fixture with `n_docs` documents over `n_topics` topics and
+/// `n_queries` queries. Deterministic in `seed`.
+pub fn fixture(n_docs: usize, n_topics: usize, n_queries: usize, seed: u64) -> Fixture {
+    let corpus = SyntheticCorpus::standard();
+    let collection = corpus.generate_collection(&CollectionSpec {
+        name: "bench".into(),
+        n_docs,
+        topics: (0..n_topics.max(1)).collect(),
+        seed,
+    });
+    let raw_queries = corpus.generate_query_log(&QueryLogSpec {
+        n_queries,
+        single_term_fraction: 0.3,
+        max_terms: 6,
+        on_topic_prob: 0.65,
+        seed: seed ^ 0xBEEF,
+    });
+    let repr = Representative::build(&collection);
+    let queries = raw_queries
+        .iter()
+        .map(|toks| query_from_tokens(&collection, toks))
+        .filter(|q| !q.is_empty())
+        .collect();
+    Fixture {
+        collection,
+        repr,
+        raw_queries,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_usable() {
+        let f = fixture(50, 2, 100, 7);
+        assert_eq!(f.collection.len(), 50);
+        assert_eq!(f.raw_queries.len(), 100);
+        assert!(!f.queries.is_empty());
+        assert!(f.repr.distinct_terms() > 0);
+    }
+}

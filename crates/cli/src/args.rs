@@ -1,0 +1,259 @@
+//! Hand-rolled argument parsing (no external CLI crates).
+
+use std::path::PathBuf;
+
+/// A fully parsed `seu` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `seu index <dir|mbox> -o engine.bin [--stem]`
+    Index {
+        /// Directory of documents or an mbox file.
+        input: PathBuf,
+        /// Output engine file.
+        output: PathBuf,
+        /// Apply the Porter stemmer during analysis.
+        stem: bool,
+    },
+    /// `seu repr <engine.bin> -o repr.bin [--quantize]`
+    Repr {
+        /// Persisted engine file.
+        engine: PathBuf,
+        /// Output representative file.
+        output: PathBuf,
+        /// Round-trip every number through the one-byte codec first.
+        quantize: bool,
+    },
+    /// `seu estimate <repr.bin> -q "..." [-t 0.2]`
+    Estimate {
+        /// Representative file.
+        repr: PathBuf,
+        /// Query text.
+        query: String,
+        /// Similarity threshold.
+        threshold: f64,
+    },
+    /// `seu search <engine.bin> -q "..." [-t T] [-k K]`
+    Search {
+        /// Persisted engine file.
+        engine: PathBuf,
+        /// Query text.
+        query: String,
+        /// Similarity threshold (used when `top_k` is `None`).
+        threshold: f64,
+        /// Top-k mode instead of threshold mode.
+        top_k: Option<usize>,
+    },
+    /// `seu broker <engine.bin>... -q "..." [-t T]`
+    Broker {
+        /// Persisted engine files.
+        engines: Vec<PathBuf>,
+        /// Query text.
+        query: String,
+        /// Similarity threshold.
+        threshold: f64,
+    },
+}
+
+/// The usage string printed on parse failure.
+pub const USAGE: &str = "\
+usage:
+  seu index <dir|mbox-file> -o <engine.bin> [--stem]
+  seu repr <engine.bin> -o <repr.bin> [--quantize]
+  seu estimate <repr.bin> -q <query> [-t <threshold>]
+  seu search <engine.bin> -q <query> [-t <threshold>] [-k <top-k>]
+  seu broker <engine.bin>... -q <query> [-t <threshold>]";
+
+struct Cursor {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn next(&mut self) -> Option<&str> {
+        let a = self.args.get(self.pos)?;
+        self.pos += 1;
+        Some(a)
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<String, String> {
+        self.next()
+            .map(str::to_string)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    }
+}
+
+/// Parses a `seu` command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut cur = Cursor {
+        args: args.to_vec(),
+        pos: 0,
+    };
+    let sub = cur
+        .next()
+        .ok_or_else(|| "missing command".to_string())?
+        .to_string();
+
+    // Shared option state.
+    let mut positionals: Vec<PathBuf> = Vec::new();
+    let mut output: Option<PathBuf> = None;
+    let mut query: Option<String> = None;
+    let mut threshold = 0.2f64;
+    let mut top_k: Option<usize> = None;
+    let mut stem = false;
+    let mut quantize = false;
+
+    while let Some(arg) = cur.next().map(str::to_string) {
+        match arg.as_str() {
+            "-o" | "--output" => output = Some(PathBuf::from(cur.value_for("-o")?)),
+            "-q" | "--query" => query = Some(cur.value_for("-q")?),
+            "-t" | "--threshold" => {
+                threshold = cur
+                    .value_for("-t")?
+                    .parse()
+                    .map_err(|_| "-t needs a number".to_string())?;
+            }
+            "-k" | "--top-k" => {
+                top_k = Some(
+                    cur.value_for("-k")?
+                        .parse()
+                        .map_err(|_| "-k needs an integer".to_string())?,
+                );
+            }
+            "--stem" => stem = true,
+            "--quantize" => quantize = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => positionals.push(PathBuf::from(other)),
+        }
+    }
+
+    let one_positional = |what: &str| -> Result<PathBuf, String> {
+        match positionals.len() {
+            1 => Ok(positionals[0].clone()),
+            0 => Err(format!("missing {what}")),
+            _ => Err(format!("expected exactly one {what}")),
+        }
+    };
+    let need_query = || {
+        query
+            .clone()
+            .ok_or_else(|| "missing -q <query>".to_string())
+    };
+
+    match sub.as_str() {
+        "index" => Ok(Command::Index {
+            input: one_positional("input path")?,
+            output: output.ok_or("missing -o <engine.bin>")?,
+            stem,
+        }),
+        "repr" => Ok(Command::Repr {
+            engine: one_positional("engine file")?,
+            output: output.ok_or("missing -o <repr.bin>")?,
+            quantize,
+        }),
+        "estimate" => Ok(Command::Estimate {
+            repr: one_positional("representative file")?,
+            query: need_query()?,
+            threshold,
+        }),
+        "search" => Ok(Command::Search {
+            engine: one_positional("engine file")?,
+            query: need_query()?,
+            threshold,
+            top_k,
+        }),
+        "broker" => {
+            if positionals.is_empty() {
+                return Err("broker needs at least one engine file".into());
+            }
+            Ok(Command::Broker {
+                engines: positionals,
+                query: need_query()?,
+                threshold,
+            })
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn index_parses() {
+        assert_eq!(
+            p(&["index", "docs/", "-o", "e.bin", "--stem"]).unwrap(),
+            Command::Index {
+                input: "docs/".into(),
+                output: "e.bin".into(),
+                stem: true,
+            }
+        );
+        assert!(p(&["index", "docs/"]).unwrap_err().contains("-o"));
+    }
+
+    #[test]
+    fn repr_parses() {
+        assert_eq!(
+            p(&["repr", "e.bin", "-o", "r.bin"]).unwrap(),
+            Command::Repr {
+                engine: "e.bin".into(),
+                output: "r.bin".into(),
+                quantize: false,
+            }
+        );
+        assert!(matches!(
+            p(&["repr", "e.bin", "-o", "r.bin", "--quantize"]).unwrap(),
+            Command::Repr { quantize: true, .. }
+        ));
+    }
+
+    #[test]
+    fn estimate_and_search_parse() {
+        assert_eq!(
+            p(&["estimate", "r.bin", "-q", "mushroom soup", "-t", "0.3"]).unwrap(),
+            Command::Estimate {
+                repr: "r.bin".into(),
+                query: "mushroom soup".into(),
+                threshold: 0.3,
+            }
+        );
+        assert_eq!(
+            p(&["search", "e.bin", "-q", "soup", "-k", "5"]).unwrap(),
+            Command::Search {
+                engine: "e.bin".into(),
+                query: "soup".into(),
+                threshold: 0.2,
+                top_k: Some(5),
+            }
+        );
+    }
+
+    #[test]
+    fn broker_takes_many_engines() {
+        match p(&["broker", "a.bin", "b.bin", "c.bin", "-q", "x"]).unwrap() {
+            Command::Broker { engines, .. } => assert_eq!(engines.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["broker", "-q", "x"]).unwrap_err().contains("engine"));
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(p(&[]).unwrap_err().contains("missing command"));
+        assert!(p(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(p(&["search", "e.bin"]).unwrap_err().contains("-q"));
+        assert!(p(&["search", "e.bin", "-q", "x", "-t", "abc"])
+            .unwrap_err()
+            .contains("number"));
+        assert!(p(&["search", "e.bin", "-q", "x", "--bogus"])
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+}

@@ -1,0 +1,22 @@
+//! The `seu` command-line tool — see the crate docs for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        eprintln!("{}", seu_cli::args::USAGE);
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let command = match seu_cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", seu_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = seu_cli::run(&command, &mut lock) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,265 @@
+//! The command implementations.
+
+use seu_core::{SubrangeEstimator, UsefulnessEstimator};
+use seu_corpus::loader;
+use seu_engine::{Collection, SearchEngine, WeightingScheme};
+use seu_metasearch::{Broker, SelectionPolicy};
+use seu_repr::{FrozenSummary, PortableRepresentative, QuantizedRepresentative};
+use seu_text::{Analyzer, AnalyzerConfig};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+fn io_err(context: &str, e: impl std::fmt::Display) -> String {
+    format!("{context}: {e}")
+}
+
+fn load_engine(path: &Path) -> Result<SearchEngine, String> {
+    let bytes = fs::read(path).map_err(|e| io_err(&format!("reading {}", path.display()), e))?;
+    let collection = Collection::from_bytes(&bytes[..])
+        .ok_or_else(|| format!("{} is not a valid engine file", path.display()))?;
+    Ok(SearchEngine::new(collection))
+}
+
+/// `seu index`: analyze a directory (one file per document) or an mbox
+/// file into a persisted engine.
+pub fn index(input: &Path, output: &Path, stem: bool, out: &mut dyn Write) -> Result<(), String> {
+    let analyzer = Analyzer::new(AnalyzerConfig {
+        remove_stopwords: true,
+        stem,
+    });
+    let collection = if input.is_dir() {
+        loader::load_directory(input, analyzer, WeightingScheme::CosineTf)
+            .map_err(|e| io_err(&format!("loading {}", input.display()), e))?
+    } else {
+        let text = fs::read_to_string(input)
+            .map_err(|e| io_err(&format!("reading {}", input.display()), e))?;
+        let name = input
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "mbox".into());
+        loader::load_mbox(&name, &text, analyzer, WeightingScheme::CosineTf)
+    };
+    let bytes = collection.to_bytes();
+    fs::write(output, &bytes).map_err(|e| io_err(&format!("writing {}", output.display()), e))?;
+    writeln!(
+        out,
+        "indexed {} documents, {} distinct terms -> {} ({} bytes)",
+        collection.len(),
+        collection.vocab().len(),
+        output.display(),
+        bytes.len()
+    )
+    .map_err(|e| io_err("writing output", e))
+}
+
+/// `seu repr`: build (optionally quantize) and persist a *portable*
+/// (string-keyed) representative — self-contained, so `seu estimate`
+/// needs nothing else.
+pub fn repr(
+    engine: &Path,
+    output: &Path,
+    quantize: bool,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let engine = load_engine(engine)?;
+    let summary = PortableRepresentative::build(engine.collection()).freeze();
+    let summary = if quantize {
+        // Quantize the stats through the one-byte codec, keeping the
+        // string-keyed vocabulary.
+        let q = QuantizedRepresentative::from_representative(&summary.repr).decode();
+        FrozenSummary {
+            repr: q,
+            vocab: summary.vocab,
+        }
+    } else {
+        summary
+    };
+    let bytes = summary.to_bytes();
+    fs::write(output, &bytes).map_err(|e| io_err(&format!("writing {}", output.display()), e))?;
+    writeln!(
+        out,
+        "representative: {} terms over {} documents -> {} ({} bytes{})",
+        summary.repr.distinct_terms(),
+        summary.repr.n_docs(),
+        output.display(),
+        bytes.len(),
+        if quantize { ", one-byte quantized" } else { "" }
+    )
+    .map_err(|e| io_err("writing output", e))
+}
+
+/// `seu estimate`: usefulness from a portable representative file alone
+/// — no documents, no engine, just the broker-side metadata.
+pub fn estimate(
+    repr_path: &Path,
+    query_text: &str,
+    threshold: f64,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let bytes =
+        fs::read(repr_path).map_err(|e| io_err(&format!("reading {}", repr_path.display()), e))?;
+    let summary = FrozenSummary::from_bytes(&bytes[..])
+        .ok_or_else(|| format!("{} is not a valid representative file", repr_path.display()))?;
+    let tokens = Analyzer::paper_default().analyze(query_text);
+    let query = summary.query_from_tokens(&tokens);
+    let est = SubrangeEstimator::paper_six_subrange();
+    let u = est.estimate(&summary.repr, &query, threshold);
+    writeln!(
+        out,
+        "estimated NoDoc {:.2} (rounded {}), AvgSim {:.3} at threshold {threshold}",
+        u.no_doc,
+        u.no_doc_rounded(),
+        u.avg_sim
+    )
+    .map_err(|e| io_err("writing output", e))
+}
+
+/// `seu search`: query one persisted engine.
+pub fn search(
+    engine: &Path,
+    query_text: &str,
+    threshold: f64,
+    top_k: Option<usize>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let engine = load_engine(engine)?;
+    let query = engine.collection().query_from_text(query_text);
+    let hits = match top_k {
+        Some(k) => engine.search_top_k_maxscore(&query, k),
+        None => engine.search_threshold(&query, threshold),
+    };
+    writeln!(out, "{} hits", hits.len()).map_err(|e| io_err("writing output", e))?;
+    for h in hits {
+        writeln!(
+            out,
+            "{:<30} {:.4}",
+            engine.collection().doc(h.doc).name,
+            h.sim
+        )
+        .map_err(|e| io_err("writing output", e))?;
+    }
+    Ok(())
+}
+
+/// `seu broker`: register several engines, select by estimated
+/// usefulness, search the selected ones, merge.
+pub fn broker(
+    engines: &[PathBuf],
+    query_text: &str,
+    threshold: f64,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    for path in engines {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        broker.register(&name, load_engine(path)?);
+    }
+    for e in broker.estimate_all(query_text, threshold) {
+        writeln!(
+            out,
+            "{:<20} est NoDoc {:.2}  AvgSim {:.3}",
+            e.engine, e.usefulness.no_doc, e.usefulness.avg_sim
+        )
+        .map_err(|e| io_err("writing output", e))?;
+    }
+    let selected = broker.select(query_text, threshold, SelectionPolicy::EstimatedUseful);
+    writeln!(out, "selected: {selected:?}").map_err(|e| io_err("writing output", e))?;
+    for h in broker.search(query_text, threshold, SelectionPolicy::EstimatedUseful) {
+        writeln!(out, "{:<20} {:<30} {:.4}", h.engine, h.doc, h.sim)
+            .map_err(|e| io_err("writing output", e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seu-cli-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_to_string(f: impl FnOnce(&mut dyn Write) -> Result<(), String>) -> String {
+        let mut buf = Vec::new();
+        f(&mut buf).expect("command succeeds");
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_index_repr_search_broker() {
+        let dir = tmpdir("pipe");
+        let docs = dir.join("docs");
+        fs::create_dir_all(&docs).unwrap();
+        fs::write(docs.join("a.txt"), "mushroom soup with cream").unwrap();
+        fs::write(docs.join("b.txt"), "sourdough bread baking").unwrap();
+        let engine_file = dir.join("cooking.bin");
+
+        let msg = run_to_string(|out| index(&docs, &engine_file, false, out));
+        assert!(msg.contains("indexed 2 documents"), "{msg}");
+
+        let repr_file = dir.join("cooking.repr");
+        let msg = run_to_string(|out| repr(&engine_file, &repr_file, true, out));
+        assert!(msg.contains("quantized"), "{msg}");
+
+        let msg = run_to_string(|out| search(&engine_file, "soup", 0.1, None, out));
+        assert!(msg.contains("a.txt"), "{msg}");
+        assert!(!msg.contains("b.txt"), "{msg}");
+
+        let msg = run_to_string(|out| search(&engine_file, "soup bread", 0.0, Some(1), out));
+        assert!(msg.starts_with("1 hits"), "{msg}");
+
+        // Broker over one engine.
+        let msg = run_to_string(|out| {
+            broker(
+                std::slice::from_ref(&engine_file),
+                "mushroom soup",
+                0.2,
+                out,
+            )
+        });
+        assert!(msg.contains("selected: [\"cooking\"]"), "{msg}");
+
+        // Estimate works from the portable representative alone.
+        let msg = run_to_string(|out| estimate(&repr_file, "soup", 0.1, out));
+        assert!(msg.contains("estimated NoDoc"), "{msg}");
+        assert!(msg.contains("rounded 1"), "{msg}");
+        // Unknown query terms estimate zero.
+        let msg = run_to_string(|out| estimate(&repr_file, "zebra", 0.1, out));
+        assert!(msg.contains("rounded 0"), "{msg}");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_mbox_file() {
+        let dir = tmpdir("mbox");
+        let mbox = dir.join("group.mbox");
+        fs::write(
+            &mbox,
+            "From a\nSubject: soup\n\nporcini question\n\nFrom b\n\nbread answer\n",
+        )
+        .unwrap();
+        let engine_file = dir.join("group.bin");
+        let msg = run_to_string(|out| index(&mbox, &engine_file, false, out));
+        assert!(msg.contains("indexed 2 documents"), "{msg}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_error_cleanly() {
+        let dir = tmpdir("bad");
+        let bad = dir.join("bad.bin");
+        fs::write(&bad, b"garbage").unwrap();
+        assert!(load_engine(&bad).unwrap_err().contains("not a valid"));
+        assert!(search(&bad, "x", 0.1, None, &mut Vec::new()).is_err());
+        assert!(estimate(&bad, "x", 0.1, &mut Vec::new()).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

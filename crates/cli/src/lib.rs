@@ -1,0 +1,56 @@
+//! Implementation of the `seu` command-line tool.
+//!
+//! The binary (`src/bin/seu.rs`) is a thin wrapper; everything testable
+//! lives here: argument parsing, command dispatch, and the commands
+//! themselves, which write their human-readable output to any
+//! `io::Write` so tests can capture it.
+//!
+//! ```text
+//! seu index <dir|mbox-file> -o engine.bin       build + persist an engine
+//! seu repr engine.bin -o repr.bin [--quantize]  build + ship a representative
+//! seu estimate repr.bin -q "query" [-t 0.2]     usefulness from metadata only
+//! seu search engine.bin -q "query" [-t T|-k K]  search one engine
+//! seu broker e1.bin e2.bin … -q "query" [-t T]  select + search + merge
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command};
+
+use std::io;
+
+/// Runs a parsed command, writing human-readable output to `out`.
+pub fn run(command: &Command, out: &mut dyn io::Write) -> Result<(), String> {
+    match command {
+        Command::Index {
+            input,
+            output,
+            stem,
+        } => commands::index(input, output, *stem, out),
+        Command::Repr {
+            engine,
+            output,
+            quantize,
+        } => commands::repr(engine, output, *quantize, out),
+        Command::Estimate {
+            repr,
+            query,
+            threshold,
+        } => commands::estimate(repr, query, *threshold, out),
+        Command::Search {
+            engine,
+            query,
+            threshold,
+            top_k,
+        } => commands::search(engine, query, *threshold, *top_k, out),
+        Command::Broker {
+            engines,
+            query,
+            threshold,
+        } => commands::broker(engines, query, *threshold, out),
+    }
+}

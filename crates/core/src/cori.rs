@@ -1,0 +1,244 @@
+//! A CORI-style collection ranker (Callan, Lu & Croft, SIGIR 1995 —
+//! reference \[3\] of the paper).
+//!
+//! CORI is the classic *rank-only* database selection method the paper
+//! argues against: it scores collections by a tf·idf-like belief and is
+//! blind to the similarity threshold / number of documents the user
+//! wants ("a search engine will always be ranked the same regardless of
+//! how many documents are desired"). It is implemented here as the
+//! natural baseline for the many-database engine-ranking experiment
+//! (E11) — the paper's stated future work.
+//!
+//! Per candidate collection `C_i` and query term `t`:
+//!
+//! ```text
+//! T = df / (df + 50 + 150 * cw_i / avg_cw)
+//! I = log((|DB| + 0.5) / cf) / log(|DB| + 1)
+//! belief(t | C_i) = b + (1 - b) * T * I          (b = 0.4)
+//! score(q, C_i)   = mean over query terms of belief(t | C_i)
+//! ```
+//!
+//! `df` — document frequency of `t` in `C_i`; `cw_i` — word count of
+//! `C_i`; `avg_cw` — mean word count over candidates; `|DB|` — number of
+//! candidates; `cf` — number of candidates containing `t`. The
+//! statistics span the whole candidate set, so CORI scores all databases
+//! at once from their collections' vocabularies and representatives.
+
+use seu_engine::Collection;
+use seu_repr::Representative;
+
+/// Default belief baseline `b` of the CORI formula.
+pub const DEFAULT_BASELINE: f64 = 0.4;
+
+/// One candidate database from CORI's point of view.
+#[derive(Debug, Clone, Copy)]
+pub struct CoriCandidate<'a> {
+    /// The collection (for vocabulary lookups and its word count).
+    pub collection: &'a Collection,
+    /// Its representative (for document frequencies).
+    pub repr: &'a Representative,
+}
+
+/// CORI-style collection ranker.
+#[derive(Debug, Clone, Copy)]
+pub struct CoriRanker {
+    /// Belief baseline `b`.
+    pub baseline: f64,
+}
+
+impl Default for CoriRanker {
+    fn default() -> Self {
+        CoriRanker {
+            baseline: DEFAULT_BASELINE,
+        }
+    }
+}
+
+impl CoriRanker {
+    /// Creates the ranker with the standard baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores every candidate for a query given as analyzed tokens.
+    /// Returns one belief score per candidate (higher = rank earlier);
+    /// candidates knowing none of the terms score 0.
+    pub fn score_all<S: AsRef<str>>(
+        &self,
+        candidates: &[CoriCandidate<'_>],
+        query_tokens: &[S],
+    ) -> Vec<f64> {
+        let n_db = candidates.len();
+        if n_db == 0 || query_tokens.is_empty() {
+            return vec![0.0; n_db];
+        }
+        let avg_cw = candidates
+            .iter()
+            .map(|c| c.collection.total_tokens())
+            .sum::<u64>() as f64
+            / n_db as f64;
+
+        // cf per query token: candidates whose vocabulary contains it.
+        let cf: Vec<f64> = query_tokens
+            .iter()
+            .map(|tok| {
+                candidates
+                    .iter()
+                    .filter(|c| {
+                        c.collection
+                            .vocab()
+                            .get(tok.as_ref())
+                            .map(|id| c.repr.get(id).is_some())
+                            .unwrap_or(false)
+                    })
+                    .count() as f64
+            })
+            .collect();
+
+        candidates
+            .iter()
+            .map(|c| {
+                let cw_ratio = c.collection.total_tokens() as f64 / avg_cw.max(1.0);
+                let mut belief_sum = 0.0;
+                let mut known = 0usize;
+                for (tok, &cf_t) in query_tokens.iter().zip(&cf) {
+                    let df = c
+                        .collection
+                        .vocab()
+                        .get(tok.as_ref())
+                        .and_then(|id| c.repr.get(id))
+                        .map(|s| s.p * c.repr.n_docs() as f64)
+                        .unwrap_or(0.0);
+                    if df <= 0.0 {
+                        continue;
+                    }
+                    known += 1;
+                    let t_score = df / (df + 50.0 + 150.0 * cw_ratio);
+                    let i_score =
+                        ((n_db as f64 + 0.5) / cf_t.max(1.0)).ln() / (n_db as f64 + 1.0).ln();
+                    belief_sum += self.baseline + (1.0 - self.baseline) * t_score * i_score;
+                }
+                if known == 0 {
+                    0.0
+                } else {
+                    // Average over all query terms: missing terms count as
+                    // zero belief, so partial matches rank below full ones.
+                    belief_sum / query_tokens.len() as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_engine::{CollectionBuilder, WeightingScheme};
+    use seu_text::Analyzer;
+
+    fn collection(docs: &[&str]) -> Collection {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        for (i, d) in docs.iter().enumerate() {
+            b.add_document(&format!("d{i}"), d);
+        }
+        b.build()
+    }
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn topical_database_wins() {
+        let db_a = collection(&[
+            "databases indexes queries",
+            "databases transactions",
+            "databases storage engines",
+        ]);
+        let db_b = collection(&["soup recipes", "bread baking", "databases of recipes"]);
+        let ra = Representative::build(&db_a);
+        let rb = Representative::build(&db_b);
+        let cands = [
+            CoriCandidate {
+                collection: &db_a,
+                repr: &ra,
+            },
+            CoriCandidate {
+                collection: &db_b,
+                repr: &rb,
+            },
+        ];
+        let scores = CoriRanker::new().score_all(&cands, &toks(&["databases"]));
+        assert!(scores[0] > scores[1], "{scores:?}");
+        let scores2 = CoriRanker::new().score_all(&cands, &toks(&["recipes"]));
+        assert!(scores2[1] > scores2[0], "{scores2:?}");
+    }
+
+    #[test]
+    fn unknown_terms_score_zero() {
+        let db = collection(&["alpha beta"]);
+        let r = Representative::build(&db);
+        let cands = [CoriCandidate {
+            collection: &db,
+            repr: &r,
+        }];
+        let scores = CoriRanker::new().score_all(&cands, &toks(&["zebra"]));
+        assert_eq!(scores, vec![0.0]);
+    }
+
+    #[test]
+    fn partial_match_ranks_below_full_match() {
+        let full = collection(&["alpha beta", "alpha beta gamma"]);
+        let partial = collection(&["alpha delta", "alpha epsilon"]);
+        let rf = Representative::build(&full);
+        let rp = Representative::build(&partial);
+        let cands = [
+            CoriCandidate {
+                collection: &full,
+                repr: &rf,
+            },
+            CoriCandidate {
+                collection: &partial,
+                repr: &rp,
+            },
+        ];
+        let scores = CoriRanker::new().score_all(&cands, &toks(&["alpha", "beta"]));
+        assert!(scores[0] > scores[1], "{scores:?}");
+    }
+
+    #[test]
+    fn rare_terms_discriminate_more() {
+        // A term in one database only (low cf) carries a higher I score
+        // than a term in both.
+        let a = collection(&["common rare", "common"]);
+        let b = collection(&["common", "common other"]);
+        let ra = Representative::build(&a);
+        let rb = Representative::build(&b);
+        let cands = [
+            CoriCandidate {
+                collection: &a,
+                repr: &ra,
+            },
+            CoriCandidate {
+                collection: &b,
+                repr: &rb,
+            },
+        ];
+        let rare = CoriRanker::new().score_all(&cands, &toks(&["rare"]));
+        let common = CoriRanker::new().score_all(&cands, &toks(&["common"]));
+        assert!(rare[0] > common[0], "rare={rare:?} common={common:?}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(CoriRanker::new().score_all(&[], &toks(&["x"])).is_empty());
+        let db = collection(&["alpha"]);
+        let r = Representative::build(&db);
+        let cands = [CoriCandidate {
+            collection: &db,
+            repr: &r,
+        }];
+        let scores = CoriRanker::new().score_all::<String>(&cands, &[]);
+        assert_eq!(scores, vec![0.0]);
+    }
+}

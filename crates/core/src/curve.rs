@@ -1,0 +1,168 @@
+//! The full usefulness *curve* of a database for a query.
+//!
+//! One expansion of the generating function answers every threshold at
+//! once: the curve is the descending-exponent suffix scan of the expanded
+//! polynomial. This is what makes the paper's measure "use the number of
+//! documents desired by the user" (its contrast with rank-only methods):
+//! the curve inverts directly from a desired document count to the
+//! similarity threshold that yields it, with no separate conversion
+//! method.
+
+use seu_poly::SparsePoly;
+
+/// Estimated `NoDoc` / `AvgSim` as a function of the threshold, derived
+/// from one expanded generating function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsefulnessCurve {
+    /// `(similarity, cumulative expected docs at or above it, cumulative
+    /// expected similarity sum)`, sorted by descending similarity.
+    points: Vec<(f64, f64, f64)>,
+}
+
+impl UsefulnessCurve {
+    /// Builds the curve from an expanded generating function and the
+    /// database size `n`.
+    pub fn from_expansion(expansion: &SparsePoly, n_docs: u64) -> Self {
+        let n = n_docs as f64;
+        let mut points = Vec::with_capacity(expansion.len());
+        let mut cum_docs = 0.0;
+        let mut cum_sim = 0.0;
+        for &(exp, coeff) in expansion.terms().iter().rev() {
+            if exp <= 0.0 {
+                break; // zero-similarity mass never clears any threshold
+            }
+            cum_docs += n * coeff;
+            cum_sim += n * coeff * exp;
+            points.push((exp, cum_docs, cum_sim));
+        }
+        UsefulnessCurve { points }
+    }
+
+    /// Estimated `NoDoc` strictly above threshold `t`.
+    pub fn no_doc_above(&self, t: f64) -> f64 {
+        // Points are sorted by descending similarity; find the last point
+        // with similarity > t.
+        match self.points.partition_point(|&(s, _, _)| s > t) {
+            0 => 0.0,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// Estimated `AvgSim` strictly above threshold `t` (0 when nothing
+    /// clears it).
+    pub fn avg_sim_above(&self, t: f64) -> f64 {
+        match self.points.partition_point(|&(s, _, _)| s > t) {
+            0 => 0.0,
+            i => {
+                let (_, docs, sim) = self.points[i - 1];
+                if docs > 0.0 {
+                    sim / docs
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Inverts the curve: the highest similarity level `s` such that the
+    /// estimated number of documents with similarity >= `s` reaches `k`.
+    /// Any threshold strictly below the returned level yields an
+    /// estimated NoDoc of at least `k`; `None` if the database is not
+    /// expected to hold `k` documents at any positive similarity.
+    pub fn similarity_for_count(&self, k: f64) -> Option<f64> {
+        if k <= 0.0 {
+            return self.points.first().map(|&(s, _, _)| s);
+        }
+        self.points
+            .iter()
+            .find(|&&(_, docs, _)| docs >= k)
+            .map(|&(s, _, _)| s)
+    }
+
+    /// Total expected documents with positive similarity.
+    pub fn total_docs(&self) -> f64 {
+        self.points.last().map(|&(_, d, _)| d).unwrap_or(0.0)
+    }
+
+    /// The distinct similarity levels of the curve (descending).
+    pub fn levels(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(s, _, _)| s)
+    }
+
+    /// Whether the curve is empty (no mass at positive similarity).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 3.2 expansion over 5 documents.
+    fn example_curve() -> UsefulnessCurve {
+        let g = SparsePoly::product(&[
+            SparsePoly::basic_factor(0.6, 2.0),
+            SparsePoly::basic_factor(0.2, 1.0),
+            SparsePoly::basic_factor(0.4, 2.0),
+        ]);
+        UsefulnessCurve::from_expansion(&g, 5)
+    }
+
+    #[test]
+    fn matches_direct_tail_computation() {
+        let c = example_curve();
+        // est_NoDoc(3) = 1.2, est_AvgSim(3) = 4.2 (Example 3.2).
+        assert!((c.no_doc_above(3.0) - 1.2).abs() < 1e-9);
+        assert!((c.avg_sim_above(3.0) - 4.2).abs() < 1e-9);
+        // Zero-similarity mass (coefficient 0.192 at X^0) never counts.
+        assert!((c.total_docs() - 5.0 * (1.0 - 0.192)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inversion_finds_levels() {
+        let c = example_curve();
+        // 1.2 expected docs at similarity >= 4, 0.24 at >= 5.
+        let s = c.similarity_for_count(1.0).unwrap();
+        assert!((s - 4.0).abs() < 1e-9);
+        // Asking for more than the database holds.
+        assert!(c.similarity_for_count(10.0).is_none());
+        // k = 0 returns the top level.
+        assert!((c.similarity_for_count(0.0).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inversion_is_consistent_with_no_doc() {
+        let c = example_curve();
+        for k in [0.5, 1.0, 2.0, 3.0] {
+            if let Some(s) = c.similarity_for_count(k) {
+                // Just below the level, the estimate reaches k.
+                assert!(c.no_doc_above(s - 1e-9) >= k - 1e-9, "k={k}");
+                // At or above it, it does not (strictly-above semantics).
+                assert!(c.no_doc_above(s) < k + 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_curve() {
+        let c = UsefulnessCurve::from_expansion(&SparsePoly::one(), 10);
+        assert!(c.is_empty());
+        assert_eq!(c.no_doc_above(0.0), 0.0);
+        assert_eq!(c.total_docs(), 0.0);
+        assert!(c.similarity_for_count(1.0).is_none());
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = example_curve();
+        let mut prev_docs = 0.0;
+        let mut prev_s = f64::INFINITY;
+        for (s, d, _) in c.points.iter().copied() {
+            assert!(s < prev_s);
+            assert!(d >= prev_docs);
+            prev_s = s;
+            prev_docs = d;
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The single-term identification guarantee (Section 3.1).
+//!
+//! With the singleton max-weight top subrange, the subrange estimator
+//! assigns a database positive estimated NoDoc for a single-term query at
+//! threshold `T` **iff** the database's maximum normalized weight for the
+//! term exceeds `T` — exactly the databases that truly contain documents
+//! above the threshold. This module provides the selection computation and
+//! a checker used by property tests and the `guarantee` experiment.
+
+use crate::subrange::SubrangeEstimator;
+use crate::UsefulnessEstimator;
+use seu_engine::Query;
+use seu_repr::{MaxWeightMode, Representative};
+use seu_text::TermId;
+
+/// The databases (by index into `reprs`) that the subrange method selects
+/// for a single-term query on `term` at threshold `threshold`.
+///
+/// A database is selected when its estimated NoDoc is positive (before
+/// rounding — the guarantee's statement is about the estimator assigning
+/// any mass above `T`).
+pub fn selected_databases(
+    estimator: &SubrangeEstimator,
+    reprs: &[&Representative],
+    term: TermId,
+    threshold: f64,
+) -> Vec<usize> {
+    let query = Query::new([(term, 1.0)]);
+    reprs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| estimator.estimate(r, &query, threshold).no_doc > 0.0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The databases that *truly* should be selected: those whose maximum
+/// normalized weight for the term exceeds the threshold (for a single-term
+/// query the top similarity in a database is exactly that maximum weight).
+pub fn ideal_databases(reprs: &[&Representative], term: TermId, threshold: f64) -> Vec<usize> {
+    reprs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.get(term).map(|s| s.max > threshold).unwrap_or(false))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Checks the guarantee: with stored max weights, the selected set equals
+/// the ideal set. Returns the two sets for reporting.
+pub fn check_guarantee(
+    estimator: &SubrangeEstimator,
+    reprs: &[&Representative],
+    term: TermId,
+    threshold: f64,
+) -> (Vec<usize>, Vec<usize>, bool) {
+    assert!(
+        matches!(estimator.max_mode(), MaxWeightMode::Stored),
+        "the guarantee only holds with stored max weights"
+    );
+    assert!(
+        estimator.scheme().max_subrange,
+        "the guarantee needs the singleton max subrange"
+    );
+    assert!(
+        estimator.scheme().clamp_to_max,
+        "the reverse direction of the guarantee needs medians clamped to the max weight"
+    );
+    let selected = selected_databases(estimator, reprs, term, threshold);
+    let ideal = ideal_databases(reprs, term, threshold);
+    let ok = selected == ideal;
+    (selected, ideal, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_repr::TermStats;
+
+    fn db(n: u64, p: f64, mean: f64, sd: f64, max: f64) -> Representative {
+        Representative::from_parts(
+            n,
+            vec![TermStats {
+                p,
+                mean,
+                std_dev: sd,
+                max,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn guarantee_holds_across_thresholds() {
+        let dbs = [
+            db(100, 0.3, 0.40, 0.10, 0.92),
+            db(250, 0.2, 0.35, 0.12, 0.81),
+            db(50, 0.6, 0.50, 0.05, 0.64),
+            db(500, 0.1, 0.20, 0.08, 0.45),
+        ];
+        let refs: Vec<&Representative> = dbs.iter().collect();
+        let est = SubrangeEstimator::paper_six_subrange();
+        // Sweep thresholds that interleave the max weights.
+        for t in [0.3, 0.5, 0.55, 0.7, 0.85, 0.95] {
+            let (selected, ideal, ok) = check_guarantee(&est, &refs, TermId(0), t);
+            assert!(ok, "t={t}: selected {selected:?} != ideal {ideal:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_between_top_two_selects_only_leader() {
+        let dbs = [db(100, 0.3, 0.4, 0.1, 0.9), db(100, 0.3, 0.4, 0.1, 0.7)];
+        let refs: Vec<&Representative> = dbs.iter().collect();
+        let est = SubrangeEstimator::paper_six_subrange();
+        let sel = selected_databases(&est, &refs, TermId(0), 0.8);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn triplet_mode_can_break_the_guarantee() {
+        // A heavy-tailed weight distribution whose true max far exceeds
+        // the normal 99.9-percentile estimate.
+        let dbs = [db(1000, 0.05, 0.2, 0.02, 0.95)];
+        let refs: Vec<&Representative> = dbs.iter().collect();
+        let est = SubrangeEstimator::paper_triplet();
+        // Ideal selects db 0 (max 0.95 > 0.5) but the triplet estimate of
+        // the max is ~0.26 < 0.5 -> not selected.
+        let sel = selected_databases(&est, &refs, TermId(0), 0.5);
+        let ideal = ideal_databases(&refs, TermId(0), 0.5);
+        assert_eq!(ideal, vec![0]);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stored max")]
+    fn checker_rejects_triplet_mode() {
+        let dbs = [db(10, 0.5, 0.3, 0.1, 0.8)];
+        let refs: Vec<&Representative> = dbs.iter().collect();
+        check_guarantee(&SubrangeEstimator::paper_triplet(), &refs, TermId(0), 0.5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Usefulness estimators — the paper's contribution and every baseline it
+//! is compared against.
+//!
+//! Given only a database [`Representative`]
+//! (never the documents), each estimator predicts the usefulness pair for
+//! a query `q` and threshold `T`:
+//!
+//! * `NoDoc(T, q, D)` — how many documents of `D` have `sim(q, d) > T`;
+//! * `AvgSim(T, q, D)` — the average similarity of those documents.
+//!
+//! Implementations:
+//!
+//! * [`SubrangeEstimator`] — the paper's subrange-based statistical method
+//!   (Section 3.1): per-term subrange spike factors multiplied into a
+//!   probability generating function, with the singleton max-weight top
+//!   subrange that makes single-term selection exact.
+//! * [`BasicEstimator`] — the Proposition 1 method: one `(p, w)` spike per
+//!   term (uniform-weight assumption).
+//! * [`PrevMethodEstimator`] — a reconstruction of the authors' earlier
+//!   VLDB'98 method: the basic factor with `(p, w)` dynamically adjusted
+//!   by the threshold using the weight standard deviation.
+//! * [`HighCorrelationEstimator`] / [`DisjointEstimator`] — the gGlOSS
+//!   estimators under the high-correlation and disjoint assumptions.
+//!
+//! All estimators share the [`UsefulnessEstimator`] trait so the
+//! evaluation harness and the metasearch broker are generic over them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod basic;
+pub mod binary;
+pub mod cori;
+pub mod curve;
+pub mod dependence;
+pub mod empirical;
+pub mod gloss;
+pub mod guarantee;
+pub mod prev;
+pub mod subrange;
+
+pub use basic::BasicEstimator;
+pub use binary::BinaryIndependentEstimator;
+pub use cori::{CoriCandidate, CoriRanker};
+pub use curve::UsefulnessCurve;
+pub use dependence::DependenceAdjustedEstimator;
+pub use empirical::EmpiricalSubrangeEstimator;
+pub use gloss::{DisjointEstimator, HighCorrelationEstimator};
+pub use prev::PrevMethodEstimator;
+pub use subrange::{Expansion, SubrangeEstimator};
+
+use serde::{Deserialize, Serialize};
+use seu_engine::Query;
+use seu_repr::Representative;
+
+/// An estimated usefulness pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Usefulness {
+    /// Estimated `NoDoc(T, q, D)` (expected number of documents above the
+    /// threshold; fractional before rounding).
+    pub no_doc: f64,
+    /// Estimated `AvgSim(T, q, D)`; 0 when `no_doc` is 0.
+    pub avg_sim: f64,
+}
+
+impl Usefulness {
+    /// The paper rounds estimated NoDoc to integers before computing
+    /// match/mismatch; negative estimates clamp to 0.
+    pub fn no_doc_rounded(&self) -> u64 {
+        self.no_doc.max(0.0).round() as u64
+    }
+
+    /// Whether the estimate identifies the database as useful (rounded
+    /// NoDoc at least 1).
+    pub fn identifies_useful(&self) -> bool {
+        self.no_doc_rounded() >= 1
+    }
+}
+
+/// A method that estimates usefulness from a representative alone.
+pub trait UsefulnessEstimator {
+    /// Estimates `(NoDoc, AvgSim)` for `query` against the database
+    /// summarized by `repr`, at similarity threshold `threshold`.
+    fn estimate(&self, repr: &Representative, query: &Query, threshold: f64) -> Usefulness;
+
+    /// Estimates at several thresholds at once. The default delegates to
+    /// [`UsefulnessEstimator::estimate`]; methods whose expensive work
+    /// (e.g. the generating-function expansion) is threshold-independent
+    /// override this to do it once — the evaluation harness sweeps six
+    /// thresholds over thousands of queries.
+    fn estimate_sweep(
+        &self,
+        repr: &Representative,
+        query: &Query,
+        thresholds: &[f64],
+    ) -> Vec<Usefulness> {
+        thresholds
+            .iter()
+            .map(|&t| self.estimate(repr, query, t))
+            .collect()
+    }
+
+    /// Short stable name for tables and logs.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_convention() {
+        let u = Usefulness {
+            no_doc: 1.2,
+            avg_sim: 0.5,
+        };
+        assert_eq!(u.no_doc_rounded(), 1);
+        assert!(u.identifies_useful());
+        let v = Usefulness {
+            no_doc: 0.49,
+            avg_sim: 0.5,
+        };
+        assert_eq!(v.no_doc_rounded(), 0);
+        assert!(!v.identifies_useful());
+        let w = Usefulness {
+            no_doc: 0.5,
+            avg_sim: 0.5,
+        };
+        assert_eq!(w.no_doc_rounded(), 1);
+        let neg = Usefulness {
+            no_doc: -0.2,
+            avg_sim: 0.0,
+        };
+        assert_eq!(neg.no_doc_rounded(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Reconstruction of the authors' previous method (Meng et al., VLDB
+//! 1998 — reference \[15\] of the paper).
+//!
+//! The ICDE'99 paper describes it as "similar to the basic method … except
+//! that it also utilizes the standard deviation of the weights of each
+//! term … to *dynamically adjust the average weight and probability of
+//! each query term according to the threshold* used for the query". The
+//! exact formulas are in the earlier paper, which this reproduction does
+//! not include; the reconstruction below is faithful to that description
+//! and reduces exactly to the basic method at `T = 0`:
+//!
+//! 1. the threshold is apportioned to the query terms in proportion to
+//!    their expected similarity contribution: term `i`'s share is
+//!    `c_i = T * (u_i w_i) / Σ_j u_j w_j`, i.e. a weight cutoff
+//!    `wc_i = c_i / u_i = T * w_i / Σ_j u_j w_j`;
+//! 2. modelling the term's weight among containing documents as
+//!    `N(w_i, sigma_i^2)`, the adjusted probability is
+//!    `p_i' = p_i * P(W > wc_i)` and the adjusted weight is the
+//!    conditional mean `w_i' = E[W | W > wc_i]`;
+//! 3. the basic factor `p' X^{u w'} + (1 - p')` is used in the generating
+//!    function.
+//!
+//! Larger thresholds therefore shift each term's single spike toward its
+//! upper weight tail — the published behaviour — while still ignoring the
+//! maximum normalized weight, which is why the subrange method beats it
+//! (Tables 1–6) and why it beats the high-correlation baseline.
+
+use crate::{Usefulness, UsefulnessEstimator};
+use seu_engine::Query;
+use seu_poly::SparsePoly;
+use seu_repr::Representative;
+use seu_stats::{truncated_mean, upper_tail};
+
+/// The VLDB'98-style dynamically-adjusted estimator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrevMethodEstimator;
+
+impl PrevMethodEstimator {
+    /// Creates the estimator.
+    pub fn new() -> Self {
+        PrevMethodEstimator
+    }
+}
+
+impl UsefulnessEstimator for PrevMethodEstimator {
+    fn estimate(&self, repr: &Representative, query: &Query, threshold: f64) -> Usefulness {
+        // Expected similarity contribution per known term.
+        let known: Vec<(f64, &seu_repr::TermStats)> = query
+            .terms()
+            .iter()
+            .filter_map(|&(term, u)| repr.get(term).map(|s| (u, s)))
+            .collect();
+        if known.is_empty() {
+            return Usefulness::default();
+        }
+        let total_contrib: f64 = known.iter().map(|&(u, s)| u * s.mean).sum();
+
+        let factors: Vec<SparsePoly> = known
+            .iter()
+            .map(|&(u, s)| {
+                let wc = if total_contrib > 0.0 && threshold > 0.0 {
+                    threshold * s.mean / total_contrib
+                } else {
+                    0.0
+                };
+                let (p_adj, w_adj) = if wc <= 0.0 || s.std_dev <= 0.0 {
+                    // No adjustment possible or needed: the basic factor.
+                    // With sigma = 0 all weights equal the mean; the term
+                    // clears its cutoff iff mean > wc.
+                    if s.std_dev <= 0.0 && s.mean <= wc {
+                        (0.0, s.mean)
+                    } else {
+                        (s.p, s.mean)
+                    }
+                } else {
+                    let z = (wc - s.mean) / s.std_dev;
+                    (s.p * upper_tail(z), truncated_mean(s.mean, s.std_dev, wc))
+                };
+                SparsePoly::basic_factor(p_adj.clamp(0.0, 1.0), u * w_adj)
+            })
+            .collect();
+        let g = SparsePoly::product(&factors);
+        let tail = g.tail_above(threshold);
+        Usefulness {
+            no_doc: repr.n_docs() as f64 * tail.mass,
+            avg_sim: tail.avg_exponent(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "prev"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::BasicEstimator;
+    use seu_repr::TermStats;
+    use seu_text::TermId;
+
+    fn repr() -> Representative {
+        Representative::from_parts(
+            100,
+            vec![
+                TermStats {
+                    p: 0.4,
+                    mean: 0.3,
+                    std_dev: 0.15,
+                    max: 0.8,
+                },
+                TermStats {
+                    p: 0.2,
+                    mean: 0.5,
+                    std_dev: 0.2,
+                    max: 0.9,
+                },
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn reduces_to_basic_at_zero_threshold() {
+        let q = Query::new([(TermId(0), 0.7), (TermId(1), 0.7)]);
+        let a = PrevMethodEstimator::new().estimate(&repr(), &q, 0.0);
+        let b = BasicEstimator::new().estimate(&repr(), &q, 0.0);
+        assert!((a.no_doc - b.no_doc).abs() < 1e-9);
+        assert!((a.avg_sim - b.avg_sim).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjustment_shifts_weight_upward() {
+        // At a high threshold the single-term spike should sit above the
+        // mean (conditional mean of the upper tail).
+        let q = Query::new([(TermId(0), 1.0)]);
+        let r = repr();
+        let hi = PrevMethodEstimator::new().estimate(&r, &q, 0.35);
+        // Basic method at T = 0.35: spike at mean 0.3 < 0.35 -> zero.
+        let basic = BasicEstimator::new().estimate(&r, &q, 0.35);
+        assert_eq!(basic.no_doc, 0.0);
+        // Adjusted method keeps tail mass above the threshold.
+        assert!(hi.no_doc > 0.0, "hi={hi:?}");
+        assert!(hi.avg_sim > 0.35);
+    }
+
+    #[test]
+    fn adjusted_probability_never_exceeds_p() {
+        let q = Query::new([(TermId(0), 1.0)]);
+        let r = repr();
+        for t in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8] {
+            let u = PrevMethodEstimator::new().estimate(&r, &q, t);
+            // p = 0.4, n = 100 -> at most 40 expected documents.
+            assert!(u.no_doc <= 40.0 + 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn sigma_zero_behaves_deterministically() {
+        let r = Representative::from_parts(
+            10,
+            vec![TermStats {
+                p: 0.5,
+                mean: 0.4,
+                std_dev: 0.0,
+                max: 0.4,
+            }],
+            0,
+        );
+        let q = Query::new([(TermId(0), 1.0)]);
+        let below = PrevMethodEstimator::new().estimate(&r, &q, 0.3);
+        assert!((below.no_doc - 5.0).abs() < 1e-9);
+        let above = PrevMethodEstimator::new().estimate(&r, &q, 0.45);
+        assert_eq!(above.no_doc, 0.0);
+    }
+
+    #[test]
+    fn empty_query() {
+        let u = PrevMethodEstimator::new().estimate(&repr(), &Query::new([]), 0.2);
+        assert_eq!(u.no_doc, 0.0);
+    }
+}

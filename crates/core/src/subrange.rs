@@ -1,0 +1,422 @@
+//! The subrange-based estimator — the paper's primary contribution.
+//!
+//! For each query term, the term's `(p, w, sigma, mw)` statistics are
+//! decomposed by a [`SubrangeScheme`] into probability spikes at subrange
+//! median weights (Expression (8)); the spikes become a factor polynomial
+//! whose exponents are the weights scaled by the query term weight `u`.
+//! The expanded product of the factors is the generating function; its
+//! tail above the threshold yields `est_NoDoc` and `est_AvgSim`.
+//!
+//! With the paper's six-subrange scheme the highest subrange holds only
+//! the maximum normalized weight with probability `1/n`, which guarantees
+//! correct engine identification for single-term queries (see the
+//! [`crate::guarantee`] module).
+
+use crate::{Usefulness, UsefulnessEstimator};
+use serde::{Deserialize, Serialize};
+use seu_engine::Query;
+use seu_poly::TailStats;
+use seu_poly::{GridPoly, SparsePoly};
+use seu_repr::{MaxWeightMode, Representative, SubrangeScheme};
+
+/// How the generating function is expanded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Expansion {
+    /// Exact sparse expansion with epsilon exponent merging. Exponential
+    /// in query length in the worst case, but exact; fine for the short
+    /// (<= 6 term) queries of the Internet workloads the paper targets.
+    #[default]
+    Exact,
+    /// Dense grid convolution with the given number of cells over
+    /// `[0, max exponent]` — `O(r * k * cells)` for any query length,
+    /// with tail mass rounded conservatively down.
+    Grid {
+        /// Number of grid cells.
+        cells: usize,
+    },
+}
+
+/// The subrange-based usefulness estimator.
+///
+/// # Examples
+///
+/// ```
+/// use seu_core::{SubrangeEstimator, UsefulnessEstimator};
+/// use seu_engine::Query;
+/// use seu_repr::{Representative, TermStats};
+/// use seu_text::TermId;
+///
+/// // A 100-document database where one term appears in 30 % of
+/// // documents with mean normalized weight 0.3 (sd 0.1, max 0.9).
+/// let repr = Representative::from_parts(
+///     100,
+///     vec![TermStats { p: 0.3, mean: 0.3, std_dev: 0.1, max: 0.9 }],
+///     0,
+/// );
+/// let est = SubrangeEstimator::paper_six_subrange();
+/// let query = Query::new([(TermId(0), 1.0)]);
+///
+/// // Plenty of documents above a low threshold...
+/// assert!(est.estimate(&repr, &query, 0.1).no_doc > 10.0);
+/// // ...only the max-weight document above a high one (the singleton
+/// // top subrange at probability 1/n)...
+/// let high = est.estimate(&repr, &query, 0.8);
+/// assert!((high.no_doc - 1.0).abs() < 1e-9);
+/// // ...and nothing above the maximum normalized weight.
+/// assert_eq!(est.estimate(&repr, &query, 0.95).no_doc, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubrangeEstimator {
+    scheme: SubrangeScheme,
+    max_mode: MaxWeightMode,
+    expansion: Expansion,
+}
+
+impl SubrangeEstimator {
+    /// Full configuration.
+    pub fn new(scheme: SubrangeScheme, max_mode: MaxWeightMode, expansion: Expansion) -> Self {
+        SubrangeEstimator {
+            scheme,
+            max_mode,
+            expansion,
+        }
+    }
+
+    /// The paper's experimental configuration: six subranges with the
+    /// stored maximum normalized weight as singleton top subrange, exact
+    /// expansion (Tables 1–6).
+    pub fn paper_six_subrange() -> Self {
+        Self::new(
+            SubrangeScheme::paper_six(),
+            MaxWeightMode::Stored,
+            Expansion::Exact,
+        )
+    }
+
+    /// The Tables 10–12 configuration: max weight not stored but estimated
+    /// as the 99.9 percentile from `(w, sigma)` (triplet representative).
+    pub fn paper_triplet() -> Self {
+        Self::new(
+            SubrangeScheme::paper_six(),
+            MaxWeightMode::estimated_999(),
+            Expansion::Exact,
+        )
+    }
+
+    /// The subrange scheme in use.
+    pub fn scheme(&self) -> &SubrangeScheme {
+        &self.scheme
+    }
+
+    /// The max-weight mode in use.
+    pub fn max_mode(&self) -> MaxWeightMode {
+        self.max_mode
+    }
+
+    /// Per-term spike factors `(probability, exponent)` for a query —
+    /// exposed for the guarantee analysis and for tests.
+    pub fn factors(&self, repr: &Representative, query: &Query) -> Vec<Vec<(f64, f64)>> {
+        query
+            .terms()
+            .iter()
+            .filter_map(|&(term, u)| {
+                repr.get(term).map(|s| {
+                    self.scheme
+                        .decompose(s, repr.n_docs(), self.max_mode)
+                        .into_iter()
+                        .map(|(p, w)| (p, u * w))
+                        .collect()
+                })
+            })
+            .collect()
+    }
+
+    /// The spike factor `(probability, exponent)` list for the `idx`-th
+    /// query term alone (empty if the term is unknown to the
+    /// representative). Used by the dependence-adjusted estimator to
+    /// build joint pair factors from the same subrange decomposition.
+    pub fn factors_for_term(
+        &self,
+        repr: &Representative,
+        query: &Query,
+        idx: usize,
+    ) -> Vec<(f64, f64)> {
+        let (term, u) = query.terms()[idx];
+        repr.get(term)
+            .map(|s| {
+                self.scheme
+                    .decompose(s, repr.n_docs(), self.max_mode)
+                    .into_iter()
+                    .map(|(p, w)| (p, u * w))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Computes the full [`UsefulnessCurve`](crate::curve::UsefulnessCurve)
+    /// for a query with one exact expansion — every threshold and the
+    /// count→threshold inversion come for free afterwards (the paper's
+    /// point that its measure adapts to "the number of documents desired
+    /// by the user").
+    pub fn curve(&self, repr: &Representative, query: &Query) -> crate::curve::UsefulnessCurve {
+        let factors = self.factors(repr, query);
+        let polys: Vec<SparsePoly> = factors
+            .iter()
+            .map(|spikes| SparsePoly::spike_factor(spikes.iter().map(|&(p, e)| (p, e))))
+            .collect();
+        let g = if polys.is_empty() {
+            SparsePoly::one()
+        } else {
+            SparsePoly::product(&polys)
+        };
+        crate::curve::UsefulnessCurve::from_expansion(&g, repr.n_docs())
+    }
+
+    fn tail(&self, factors: &[Vec<(f64, f64)>], threshold: f64) -> TailStats {
+        match self.expansion {
+            Expansion::Exact => {
+                let polys: Vec<SparsePoly> = factors
+                    .iter()
+                    .map(|spikes| SparsePoly::spike_factor(spikes.iter().map(|&(p, e)| (p, e))))
+                    .collect();
+                SparsePoly::product(&polys).tail_above(threshold)
+            }
+            Expansion::Grid { cells } => {
+                let max_exp: f64 = factors
+                    .iter()
+                    .map(|spikes| spikes.iter().map(|&(_, e)| e).fold(0.0f64, f64::max))
+                    .sum();
+                if max_exp <= 0.0 {
+                    return TailStats::default();
+                }
+                let mut g = GridPoly::identity(max_exp, cells);
+                for spikes in factors {
+                    g.convolve_spikes(spikes);
+                }
+                g.tail_above(threshold)
+            }
+        }
+    }
+}
+
+impl UsefulnessEstimator for SubrangeEstimator {
+    fn estimate(&self, repr: &Representative, query: &Query, threshold: f64) -> Usefulness {
+        let factors = self.factors(repr, query);
+        if factors.is_empty() {
+            return Usefulness::default();
+        }
+        let tail = self.tail(&factors, threshold);
+        Usefulness {
+            no_doc: repr.n_docs() as f64 * tail.mass,
+            avg_sim: tail.avg_exponent(),
+        }
+    }
+
+    fn estimate_sweep(
+        &self,
+        repr: &Representative,
+        query: &Query,
+        thresholds: &[f64],
+    ) -> Vec<Usefulness> {
+        let factors = self.factors(repr, query);
+        if factors.is_empty() {
+            return vec![Usefulness::default(); thresholds.len()];
+        }
+        // The expansion does not depend on the threshold: do it once.
+        match self.expansion {
+            Expansion::Exact => {
+                let polys: Vec<SparsePoly> = factors
+                    .iter()
+                    .map(|spikes| SparsePoly::spike_factor(spikes.iter().map(|&(p, e)| (p, e))))
+                    .collect();
+                let g = SparsePoly::product(&polys);
+                thresholds
+                    .iter()
+                    .map(|&t| {
+                        let tail = g.tail_above(t);
+                        Usefulness {
+                            no_doc: repr.n_docs() as f64 * tail.mass,
+                            avg_sim: tail.avg_exponent(),
+                        }
+                    })
+                    .collect()
+            }
+            Expansion::Grid { .. } => thresholds
+                .iter()
+                .map(|&t| {
+                    let tail = self.tail(&factors, t);
+                    Usefulness {
+                        no_doc: repr.n_docs() as f64 * tail.mass,
+                        avg_sim: tail.avg_exponent(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.max_mode {
+            MaxWeightMode::Stored => "subrange",
+            MaxWeightMode::Estimated { .. } => "subrange-triplet",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_repr::TermStats;
+    use seu_text::TermId;
+
+    fn repr_one_term(n: u64, p: f64, mean: f64, sd: f64, max: f64) -> Representative {
+        Representative::from_parts(
+            n,
+            vec![TermStats {
+                p,
+                mean,
+                std_dev: sd,
+                max,
+            }],
+            0,
+        )
+    }
+
+    fn single_query() -> Query {
+        Query::new([(TermId(0), 1.0)])
+    }
+
+    #[test]
+    fn single_term_max_weight_selection() {
+        // Section 3.1's argument: threshold between a database's max
+        // weight and everything else selects exactly that database.
+        let est = SubrangeEstimator::paper_six_subrange();
+        let d1 = repr_one_term(100, 0.3, 0.4, 0.1, 0.9);
+        let d2 = repr_one_term(100, 0.3, 0.4, 0.1, 0.7);
+        let t = 0.8; // mw1 > t > mw2
+        let u1 = est.estimate(&d1, &single_query(), t);
+        let u2 = est.estimate(&d2, &single_query(), t);
+        // D1's top subrange clears the threshold: at least p_top * n = 1.
+        assert!(u1.no_doc >= 1.0 - 1e-9, "u1={:?}", u1);
+        assert_eq!(u2.no_doc_rounded(), 0, "u2={:?}", u2);
+    }
+
+    #[test]
+    fn mass_conservation_no_doc_at_most_n() {
+        let est = SubrangeEstimator::paper_six_subrange();
+        let r = repr_one_term(50, 0.8, 0.3, 0.2, 0.95);
+        for t in [0.0, 0.1, 0.3, 0.5, 0.9] {
+            let u = est.estimate(&r, &single_query(), t);
+            assert!(u.no_doc <= 50.0 + 1e-9, "t={t}");
+            assert!(u.no_doc >= 0.0);
+        }
+    }
+
+    #[test]
+    fn no_doc_monotone_decreasing_in_threshold() {
+        let est = SubrangeEstimator::paper_six_subrange();
+        let r = repr_one_term(50, 0.8, 0.3, 0.2, 0.95);
+        let mut prev = f64::INFINITY;
+        for i in 0..20 {
+            let t = i as f64 * 0.05;
+            let u = est.estimate(&r, &single_query(), t);
+            assert!(u.no_doc <= prev + 1e-12, "t={t}");
+            prev = u.no_doc;
+        }
+    }
+
+    #[test]
+    fn avg_sim_above_threshold_when_nonzero() {
+        let est = SubrangeEstimator::paper_six_subrange();
+        let r = repr_one_term(50, 0.8, 0.3, 0.2, 0.95);
+        for t in [0.0, 0.2, 0.4, 0.6, 0.8] {
+            let u = est.estimate(&r, &single_query(), t);
+            if u.no_doc > 0.0 {
+                assert!(u.avg_sim > t, "t={t} avg={}", u.avg_sim);
+                assert!(u.avg_sim <= 0.95 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_expansion_close_to_exact() {
+        let exact = SubrangeEstimator::paper_six_subrange();
+        let grid = SubrangeEstimator::new(
+            SubrangeScheme::paper_six(),
+            MaxWeightMode::Stored,
+            Expansion::Grid { cells: 4096 },
+        );
+        let stats: Vec<TermStats> = (0..4)
+            .map(|i| TermStats {
+                p: 0.2 + 0.1 * i as f64,
+                mean: 0.15 + 0.05 * i as f64,
+                std_dev: 0.05,
+                max: 0.5 + 0.1 * i as f64,
+            })
+            .collect();
+        let r = Representative::from_parts(200, stats, 0);
+        let q = Query::new((0..4).map(|i| (TermId(i), 0.5)));
+        for t in [0.1, 0.2, 0.3] {
+            let a = exact.estimate(&r, &q, t);
+            let b = grid.estimate(&r, &q, t);
+            // Grid rounds down, so b <= a; the gap shrinks with cells.
+            assert!(b.no_doc <= a.no_doc + 1e-9, "t={t}");
+            assert!((a.no_doc - b.no_doc) < 0.05 * a.no_doc.max(1.0), "t={t}");
+        }
+    }
+
+    #[test]
+    fn triplet_mode_ignores_stored_max() {
+        let est = SubrangeEstimator::paper_triplet();
+        // Stored max is huge but (mean, sigma) are small: the triplet
+        // estimate should not see the stored max.
+        let r = repr_one_term(100, 0.3, 0.2, 0.01, 0.99);
+        let u = est.estimate(&r, &single_query(), 0.5);
+        assert_eq!(u.no_doc_rounded(), 0);
+        // The stored-max estimator does see it.
+        let est2 = SubrangeEstimator::paper_six_subrange();
+        let u2 = est2.estimate(&r, &single_query(), 0.5);
+        assert!(u2.no_doc > 0.9);
+    }
+
+    #[test]
+    fn empty_query_or_unknown_terms() {
+        let est = SubrangeEstimator::paper_six_subrange();
+        let r = repr_one_term(100, 0.3, 0.2, 0.01, 0.9);
+        assert_eq!(est.estimate(&r, &Query::new([]), 0.1).no_doc, 0.0);
+        let q = Query::new([(TermId(7), 1.0)]);
+        assert_eq!(est.estimate(&r, &q, 0.1).no_doc, 0.0);
+    }
+
+    #[test]
+    fn curve_agrees_with_estimate() {
+        let est = SubrangeEstimator::paper_six_subrange();
+        let r = repr_one_term(100, 0.4, 0.3, 0.1, 0.85);
+        let q = single_query();
+        let curve = est.curve(&r, &q);
+        for t in [0.0, 0.1, 0.25, 0.4, 0.6, 0.8, 0.9] {
+            let u = est.estimate(&r, &q, t);
+            assert!(
+                (curve.no_doc_above(t) - u.no_doc).abs() < 1e-9,
+                "t={t}: {} vs {}",
+                curve.no_doc_above(t),
+                u.no_doc
+            );
+            assert!((curve.avg_sim_above(t) - u.avg_sim).abs() < 1e-9, "t={t}");
+        }
+        // Inversion round-trips: the level for k docs yields >= k just
+        // below it.
+        let k = 5.0;
+        if let Some(s) = curve.similarity_for_count(k) {
+            assert!(est.estimate(&r, &q, s - 1e-9).no_doc >= k - 1e-9);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SubrangeEstimator::paper_six_subrange().name(), "subrange");
+        assert_eq!(
+            SubrangeEstimator::paper_triplet().name(),
+            "subrange-triplet"
+        );
+    }
+}

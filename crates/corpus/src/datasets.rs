@@ -1,0 +1,171 @@
+//! The standard experimental datasets — synthetic stand-ins for the
+//! paper's D1/D2/D3 and its TREC size-table collections.
+//!
+//! * **D1′** — 761 documents from one topic (the paper's D1 is the largest
+//!   single newsgroup snapshot);
+//! * **D2′** — 1 466 documents merging two topics (D2 merges the two
+//!   largest snapshots);
+//! * **D3′** — 1 014 documents merging 26 topics (D3 merges the 26
+//!   smallest snapshots), the most inhomogeneous;
+//! * a 6 234-query SIFT-style log shared by all experiments.
+
+use crate::generator::{CollectionSpec, SyntheticCorpus};
+use crate::queries::QueryLogSpec;
+use seu_engine::Collection;
+
+/// The standard bundle every table reproduction runs on.
+#[derive(Debug)]
+pub struct PaperDatasets {
+    /// D1′: 761 docs, one topic.
+    pub d1: Collection,
+    /// D2′: 1 466 docs, two topics.
+    pub d2: Collection,
+    /// D3′: 1 014 docs, 26 topics.
+    pub d3: Collection,
+    /// 6 234 token-list queries.
+    pub queries: Vec<Vec<String>>,
+}
+
+/// Generates the standard bundle from the 53-topic universe. Deterministic
+/// in `seed`.
+pub fn paper_datasets(seed: u64) -> PaperDatasets {
+    let corpus = SyntheticCorpus::standard();
+    let d1 = corpus.generate_collection(&CollectionSpec {
+        name: "D1".into(),
+        n_docs: 761,
+        topics: vec![0],
+        seed: seed ^ 0xD1,
+    });
+    let d2 = corpus.generate_collection(&CollectionSpec {
+        name: "D2".into(),
+        n_docs: 1466,
+        topics: vec![1, 2],
+        seed: seed ^ 0xD2,
+    });
+    let d3 = corpus.generate_collection(&CollectionSpec {
+        name: "D3".into(),
+        n_docs: 1014,
+        topics: (27..53).collect(),
+        seed: seed ^ 0xD3,
+    });
+    let queries = corpus.generate_query_log(&QueryLogSpec::paper_default(seed ^ 0x5157));
+    PaperDatasets {
+        d1,
+        d2,
+        d3,
+        queries,
+    }
+}
+
+/// Larger collections for the §3.2 scalability table, standing in for the
+/// paper's WSJ / FR / DOE TREC collections (scaled down in document count
+/// to stay laptop-friendly; the *ratio* representative/collection is what
+/// the experiment is about, and that ratio depends on tokens-per-distinct-
+/// term, so these use longer, more numerous documents than the newsgroup
+/// snapshots).
+pub fn scalability_collections(seed: u64) -> Vec<(&'static str, Collection)> {
+    use crate::generator::{Universe, UniverseConfig};
+    let corpus = SyntheticCorpus::new(Universe::new(UniverseConfig {
+        // Long articles (exp(5.8) ≈ 330 tokens) push the token-to-term
+        // ratio toward TREC territory.
+        doc_len_ln_mean: 5.8,
+        doc_len_ln_sigma: 0.6,
+        ..UniverseConfig::default()
+    }));
+    let mk = |name: &'static str, n_docs: usize, topics: Vec<usize>, s: u64| {
+        (
+            name,
+            corpus.generate_collection(&CollectionSpec {
+                name: name.into(),
+                n_docs,
+                topics,
+                seed: s,
+            }),
+        )
+    };
+    vec![
+        mk("WSJ'", 16000, (0..20).collect(), seed ^ 0xA1),
+        mk("FR'", 13000, (10..30).collect(), seed ^ 0xA2),
+        mk("DOE'", 14000, (0..28).collect(), seed ^ 0xA3),
+    ]
+}
+
+/// The full 53-database universe: one collection per topic, as the
+/// paper's news host actually was. This is the workload for the
+/// many-database ranking experiment (E11) — the paper's stated future
+/// work ("extensive experiments involving much larger and much more
+/// databases"). Database sizes vary (Zipf-ish) like real newsgroups.
+pub fn many_databases(seed: u64, docs_base: usize) -> Vec<(String, Collection)> {
+    let corpus = SyntheticCorpus::standard();
+    let n_topics = corpus.universe().config().n_topics;
+    (0..n_topics)
+        .map(|topic| {
+            // Group sizes decay with topic index: the paper's host had a
+            // 761-message largest group and many small ones.
+            let n_docs = (docs_base as f64 / (1.0 + topic as f64 * 0.25))
+                .round()
+                .max(12.0) as usize;
+            let spec = CollectionSpec {
+                name: format!("ng{topic:02}"),
+                n_docs,
+                topics: vec![topic],
+                seed: seed ^ (0x1000 + topic as u64),
+            };
+            (format!("ng{topic:02}"), corpus.generate_collection(&spec))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_the_paper() {
+        let d = paper_datasets(42);
+        assert_eq!(d.d1.len(), 761);
+        assert_eq!(d.d2.len(), 1466);
+        assert_eq!(d.d3.len(), 1014);
+        assert_eq!(d.queries.len(), 6234);
+    }
+
+    #[test]
+    fn inhomogeneity_ladder() {
+        // The paper's construction: D1 draws from 1 topic, D2 from 2, D3
+        // from 26. Count the distinct topic namespaces actually present.
+        let d = paper_datasets(42);
+        let topics_present = |c: &Collection| {
+            let mut topics: Vec<&str> = c
+                .vocab()
+                .iter()
+                .filter(|(_, s)| s.starts_with("tp"))
+                .map(|(_, s)| &s[..s.find('x').unwrap()])
+                .collect();
+            topics.sort();
+            topics.dedup();
+            topics.len()
+        };
+        assert_eq!(topics_present(&d.d1), 1);
+        assert_eq!(topics_present(&d.d2), 2);
+        assert_eq!(topics_present(&d.d3), 26);
+        // More topics at comparable size -> strictly larger vocabulary.
+        assert!(d.d3.vocab().len() > d.d1.vocab().len());
+    }
+
+    #[test]
+    fn many_databases_cover_all_topics_with_varying_sizes() {
+        let dbs = many_databases(9, 150);
+        assert_eq!(dbs.len(), 53);
+        assert_eq!(dbs[0].0, "ng00");
+        assert!(dbs[0].1.len() > dbs[52].1.len());
+        assert!(dbs[52].1.len() >= 12);
+    }
+
+    #[test]
+    fn single_term_fraction_is_about_30_percent() {
+        let d = paper_datasets(42);
+        let single = d.queries.iter().filter(|q| q.len() == 1).count();
+        let frac = single as f64 / d.queries.len() as f64;
+        assert!((frac - 0.3).abs() < 0.03, "frac={frac}");
+    }
+}

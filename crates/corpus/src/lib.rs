@@ -1,0 +1,37 @@
+//! Synthetic workloads standing in for the paper's unavailable data.
+//!
+//! The ICDE 1999 experiments use 53 newsgroup snapshot databases collected
+//! at Stanford for gGlOSS and 6 234 real user queries from the SIFT
+//! Netnews server. Neither is redistributable today, so this crate builds
+//! the closest synthetic equivalent (see DESIGN.md §4):
+//!
+//! * [`Universe`] — a world of topics, each with its own Zipfian
+//!   vocabulary over topic-specific terms plus a shared background
+//!   vocabulary (the "newsgroups");
+//! * [`CollectionSpec`] / [`SyntheticCorpus::generate_collection`] —
+//!   newsgroup-snapshot databases: documents with log-normal lengths whose
+//!   tokens mix topical and background terms. Merging more topics into one
+//!   collection reproduces the paper's D1 < D2 < D3 inhomogeneity ladder;
+//! * [`QueryLogSpec`] / [`SyntheticCorpus::generate_query_log`] —
+//!   SIFT-style short queries: ≈ 30 % single-term, none longer than 6
+//!   terms, topic-focused with background admixture;
+//! * [`datasets`] — the standard D1′/D2′/D3′ + query-log bundle used by
+//!   every table reproduction, and larger collections for the §3.2
+//!   scalability table;
+//! * [`loader`] — plain-text loading for users with real corpora on disk.
+//!
+//! Everything is seeded and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod generator;
+pub mod loader;
+pub mod queries;
+pub mod zipf;
+
+pub use datasets::{many_databases, paper_datasets, scalability_collections, PaperDatasets};
+pub use generator::{CollectionSpec, SyntheticCorpus, Universe, UniverseConfig};
+pub use queries::QueryLogSpec;
+pub use zipf::ZipfSampler;

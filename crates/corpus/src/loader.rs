@@ -1,0 +1,207 @@
+//! Loading real corpora from disk.
+//!
+//! For users who have an actual document collection (e.g. a newsgroup
+//! archive), two plain-text layouts are supported:
+//!
+//! * a directory with one document per file;
+//! * a single file with documents separated by blank lines (one "message"
+//!   per paragraph block).
+
+use seu_engine::{Collection, CollectionBuilder, WeightingScheme};
+use seu_text::Analyzer;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Loads every regular file under `dir` (non-recursive) as one document.
+/// Files are ordered by name for determinism.
+pub fn load_directory(
+    dir: &Path,
+    analyzer: Analyzer,
+    scheme: WeightingScheme,
+) -> io::Result<Collection> {
+    let mut paths: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    let mut builder = CollectionBuilder::new(analyzer, scheme);
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        builder.add_document(&name, &text);
+    }
+    Ok(builder.build())
+}
+
+/// Splits an mbox-style news spool (messages delimited by `From ` lines)
+/// into documents, skipping RFC-822 headers except `Subject:` (whose text
+/// is content). This is the layout of the newsgroup snapshots the
+/// paper's D1–D3 were built from.
+pub fn load_mbox(
+    name_prefix: &str,
+    text: &str,
+    analyzer: Analyzer,
+    scheme: WeightingScheme,
+) -> Collection {
+    let mut builder = CollectionBuilder::new(analyzer, scheme);
+    let mut current = String::new();
+    let mut in_headers = false;
+    let mut index = 0usize;
+    let flush = |body: &mut String, index: &mut usize, builder: &mut CollectionBuilder| {
+        if !body.trim().is_empty() {
+            builder.add_document(&format!("{name_prefix}-{index:05}"), body);
+            *index += 1;
+        }
+        body.clear();
+    };
+    for line in text.lines() {
+        if line.starts_with("From ") {
+            flush(&mut current, &mut index, &mut builder);
+            in_headers = true;
+            continue;
+        }
+        if in_headers {
+            if line.is_empty() {
+                in_headers = false;
+            } else if let Some(subject) = line.strip_prefix("Subject:") {
+                current.push_str(subject);
+                current.push('\n');
+            }
+            continue;
+        }
+        current.push_str(line);
+        current.push('\n');
+    }
+    flush(&mut current, &mut index, &mut builder);
+    builder.build()
+}
+
+/// Splits `text` into documents on blank lines and builds a collection.
+pub fn load_blank_line_separated(
+    name_prefix: &str,
+    text: &str,
+    analyzer: Analyzer,
+    scheme: WeightingScheme,
+) -> Collection {
+    let mut builder = CollectionBuilder::new(analyzer, scheme);
+    for (i, block) in text
+        .split("\n\n")
+        .map(str::trim)
+        .filter(|b| !b.is_empty())
+        .enumerate()
+    {
+        builder.add_document(&format!("{name_prefix}-{i}"), block);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_line_splitting() {
+        let text = "first doc about cats\n\nsecond doc about dogs\n\n\n\nthird";
+        let c = load_blank_line_separated(
+            "m",
+            text,
+            Analyzer::paper_default(),
+            WeightingScheme::CosineTf,
+        );
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.docs()[0].name, "m-0");
+        assert!(c.vocab().get("cats").is_some());
+        assert!(c.vocab().get("dogs").is_some());
+    }
+
+    #[test]
+    fn empty_text_is_empty_collection() {
+        let c = load_blank_line_separated(
+            "m",
+            "\n\n  \n\n",
+            Analyzer::paper_default(),
+            WeightingScheme::CosineTf,
+        );
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn mbox_splits_messages_and_strips_headers() {
+        let spool = "From alice Tue Jan 5 10:00:00 1999\n\
+                     Path: news.example.com\n\
+                     Subject: mushroom soup question\n\
+                     Message-ID: <1@example>\n\
+                     \n\
+                     how long should porcini simmer\n\
+                     \n\
+                     From bob Tue Jan 5 11:00:00 1999\n\
+                     Subject: re soup\n\
+                     \n\
+                     twenty minutes works fine\n";
+        let c = load_mbox(
+            "ng",
+            spool,
+            Analyzer::paper_default(),
+            WeightingScheme::CosineTf,
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.docs()[0].name, "ng-00000");
+        // Subject text is indexed; header fields are not.
+        assert!(c.vocab().get("mushroom").is_some());
+        assert!(c.vocab().get("porcini").is_some());
+        assert!(c.vocab().get("example").is_none(), "header leaked");
+        assert!(c.vocab().get("path").is_none());
+    }
+
+    #[test]
+    fn mbox_without_leading_from_is_one_message() {
+        let c = load_mbox(
+            "m",
+            "just a bare body with words\n",
+            Analyzer::paper_default(),
+            WeightingScheme::CosineTf,
+        );
+        assert_eq!(c.len(), 1);
+        assert!(c.vocab().get("bare").is_some());
+    }
+
+    #[test]
+    fn mbox_empty_input() {
+        let c = load_mbox(
+            "m",
+            "",
+            Analyzer::paper_default(),
+            WeightingScheme::CosineTf,
+        );
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn directory_loading() {
+        let dir = std::env::temp_dir().join(format!("seu-loader-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("a.txt"), "alpha beta").unwrap();
+        fs::write(dir.join("b.txt"), "gamma delta").unwrap();
+        let c = load_directory(&dir, Analyzer::paper_default(), WeightingScheme::CosineTf)
+            .expect("loads");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.docs()[0].name, "a.txt");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        let res = load_directory(
+            Path::new("/definitely/not/here"),
+            Analyzer::paper_default(),
+            WeightingScheme::CosineTf,
+        );
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Zipf-distributed rank sampling over a finite vocabulary.
+//!
+//! Term frequencies in text famously follow a Zipf law: the `r`-th most
+//! frequent term has probability proportional to `1 / r^s`. Built on the
+//! alias method, each draw is O(1) after O(N) preprocessing.
+
+use rand::Rng;
+use seu_stats::AliasTable;
+
+/// A sampler of ranks `0..n` with `P(rank = r) ∝ 1 / (r + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    table: AliasTable,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(s >= 0.0 && s.is_finite(), "invalid exponent {s}");
+        let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-s)).collect();
+        ZipfSampler {
+            table: AliasTable::new(&weights),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the support is empty (never true for a constructed sampler).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Draws one rank in `0..n` (0 = most probable).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn harmonic_frequencies() {
+        // With s = 1 over 10 ranks, P(0)/P(1) = 2.
+        let z = ZipfSampler::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut counts = [0usize; 10];
+        let n = 400_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio={ratio}");
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.07);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(7, 1.3);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_support_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

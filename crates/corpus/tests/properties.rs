@@ -1,0 +1,91 @@
+//! Property-based tests for the synthetic workload generator.
+
+use proptest::prelude::*;
+use seu_corpus::{CollectionSpec, QueryLogSpec, SyntheticCorpus, Universe, UniverseConfig};
+
+fn small_corpus() -> SyntheticCorpus {
+    SyntheticCorpus::new(Universe::new(UniverseConfig {
+        n_topics: 5,
+        topic_vocab: 150,
+        background_vocab: 200,
+        ..UniverseConfig::default()
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Collections honor their spec exactly and produce sane statistics.
+    #[test]
+    fn collection_matches_spec(n_docs in 1usize..40, topic in 0usize..5, seed in 0u64..500) {
+        let corpus = small_corpus();
+        let c = corpus.generate_collection(&CollectionSpec {
+            name: "p".into(),
+            n_docs,
+            topics: vec![topic],
+            seed,
+        });
+        prop_assert_eq!(c.len(), n_docs);
+        prop_assert!(c.total_tokens() >= 20 * n_docs as u64);
+        prop_assert!(c.total_tokens() <= 800 * n_docs as u64);
+        // Every topical term belongs to the spec'd topic.
+        let prefix = format!("tp{topic}x");
+        for (_, term) in c.vocab().iter() {
+            prop_assert!(
+                term.starts_with(&prefix) || term.starts_with("bg"),
+                "{term}"
+            );
+        }
+        // Cosine invariant.
+        for doc in c.docs() {
+            let sq: f64 = doc.terms.iter().map(|&(_, w)| w * w).sum();
+            prop_assert!(doc.terms.is_empty() || (sq - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Query logs honor their spec: count, length bounds, dedup, topics.
+    #[test]
+    fn query_log_matches_spec(
+        n_queries in 1usize..200,
+        stf in 0.0f64..1.0,
+        max_terms in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let corpus = small_corpus();
+        let log = corpus.generate_query_log(&QueryLogSpec {
+            n_queries,
+            single_term_fraction: stf,
+            max_terms,
+            on_topic_prob: 0.6,
+            seed,
+        });
+        prop_assert_eq!(log.len(), n_queries);
+        for q in &log {
+            prop_assert!(!q.is_empty());
+            prop_assert!(q.len() <= max_terms.max(2));
+            let mut sorted = q.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), q.len(), "duplicates in query");
+        }
+    }
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn generation_deterministic(seed in 0u64..500) {
+        let corpus = small_corpus();
+        let spec = CollectionSpec {
+            name: "d".into(),
+            n_docs: 10,
+            topics: vec![1, 3],
+            seed,
+        };
+        let a = corpus.generate_collection(&spec);
+        let b = corpus.generate_collection(&spec);
+        prop_assert_eq!(a.vocab().len(), b.vocab().len());
+        prop_assert_eq!(a.total_tokens(), b.total_tokens());
+        for (da, db) in a.docs().iter().zip(b.docs()) {
+            prop_assert_eq!(da.terms.len(), db.terms.len());
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! `repro` — regenerates every table of the paper from the synthetic
+//! workload.
+//!
+//! ```text
+//! cargo run -p seu-eval --release --bin repro -- [COMMAND] [--seed N]
+//!
+//! COMMANDS
+//!   tables-1-6          match/mismatch + d-N/d-S for D1–D3 (default set)
+//!   tables-7-9          one-byte quantized representatives
+//!   tables-10-12        estimated (triplet) max weights
+//!   scalability         §3.2 representative-size table
+//!   guarantee           §3.1 single-term identification check
+//!   ablation-subranges  subrange-count / max-subrange ablation
+//!   ablation-disjoint   gGlOSS disjoint baseline
+//!   ablation-grid       grid-convolution resolution ablation
+//!   ranking             E11: 53-database ranking (subrange vs CORI vs ...)
+//!   long-queries        E12: 12-term queries, exact vs grid expansion
+//!   hierarchy           E13: flat vs two-level broker over 53 databases
+//!   selection           E14: precision/recall of usefulness-based selection
+//!   gloss-bounds        E15: the gGlOSS similarity-sum bounds claim, measured
+//!   dependence          E16: pairwise term-dependence adjustment on D1
+//!   binary              E17: binary-vector information loss (ref [18])
+//!   policies            E18: selection-policy cost/recall sweep
+//!   weighting           E19: robustness under log-tf / pivoted weighting
+//!   exact-percentiles   E20: normal-approximated vs exact subrange medians
+//!   diagnostics         workload sanity numbers
+//!   all                 everything above
+//! ```
+
+use seu_eval::experiments::*;
+use seu_eval::runner::EvalConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = "all".to_string();
+    let mut seed = 42u64;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(
+                    args.get(i)
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage("--csv needs a directory")),
+                );
+            }
+            "--help" | "-h" => usage(""),
+            cmd if !cmd.starts_with('-') => command = cmd.to_string(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            usage(&format!("cannot create {}: {e}", dir.display()));
+        }
+    }
+    // Writes one CSV per (experiment, database) when --csv is given.
+    let dump_csv = |tag: &str, out: &ExperimentOutput| {
+        let Some(dir) = &csv_dir else { return };
+        for (db, methods) in &out.results {
+            let safe_db: String = db
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let path = dir.join(format!("{tag}_{safe_db}.csv"));
+            let mut body = String::from(seu_eval::MethodResult::CSV_HEADER);
+            body.push('\n');
+            for m in methods {
+                body.push_str(&m.to_csv());
+            }
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    };
+
+    eprintln!("generating synthetic datasets (seed {seed})...");
+    let ds = seu_corpus::paper_datasets(seed);
+    let config = EvalConfig::default();
+
+    let run = |name: &str| command == name || command == "all";
+    let mut ran = false;
+    if run("diagnostics") {
+        print!("{}", run_workload_diagnostics(&ds).text);
+        println!();
+        ran = true;
+    }
+    if run("tables-1-6") {
+        let out = run_main_tables(&ds, &config);
+        print!("{}", out.text);
+        dump_csv("tables_1_6", &out);
+        ran = true;
+    }
+    if run("tables-7-9") {
+        let out = run_quantized_tables(&ds, &config);
+        print!("{}", out.text);
+        dump_csv("tables_7_9", &out);
+        ran = true;
+    }
+    if run("tables-10-12") {
+        let out = run_triplet_tables(&ds, &config);
+        print!("{}", out.text);
+        dump_csv("tables_10_12", &out);
+        ran = true;
+    }
+    if run("scalability") {
+        print!("{}", run_scalability(&ds, seed).text);
+        println!();
+        ran = true;
+    }
+    if run("guarantee") {
+        print!("{}", run_guarantee(&ds, &config.thresholds).text);
+        println!();
+        ran = true;
+    }
+    if run("ablation-subranges") {
+        print!("{}", run_ablation_subranges(&ds, &config).text);
+        ran = true;
+    }
+    if run("ablation-disjoint") {
+        print!("{}", run_ablation_disjoint(&ds, &config).text);
+        ran = true;
+    }
+    if run("ablation-grid") {
+        print!("{}", run_ablation_grid(&ds, &config).text);
+        ran = true;
+    }
+    if run("ranking") {
+        let queries: Vec<Vec<String>> = ds.queries.iter().take(1500).cloned().collect();
+        print!("{}", run_many_database_ranking(seed, &queries, 0.15).text);
+        println!();
+        ran = true;
+    }
+    if run("long-queries") {
+        print!("{}", run_long_queries(&ds, seed, &config).text);
+        ran = true;
+    }
+    if run("hierarchy") {
+        let queries: Vec<Vec<String>> = ds.queries.iter().take(800).cloned().collect();
+        print!("{}", run_hierarchy(seed, &queries, 0.15).text);
+        println!();
+        ran = true;
+    }
+    if run("selection") {
+        print!("{}", run_selection_quality(&ds, &config.thresholds).text);
+        println!();
+        ran = true;
+    }
+    if run("gloss-bounds") {
+        print!("{}", run_gloss_bounds(&ds, &config.thresholds).text);
+        println!();
+        ran = true;
+    }
+    if run("dependence") {
+        print!("{}", run_dependence(&ds, &config).text);
+        println!();
+        ran = true;
+    }
+    if run("binary") {
+        print!("{}", run_binary_baseline(&ds, &config).text);
+        println!();
+        ran = true;
+    }
+    if run("policies") {
+        print!("{}", run_policy_sweep(&ds, 0.2, 1500).text);
+        println!();
+        ran = true;
+    }
+    if run("weighting") {
+        print!("{}", run_weighting_robustness(&ds, &config).text);
+        ran = true;
+    }
+    if run("exact-percentiles") {
+        print!("{}", run_exact_percentiles(&ds, &config).text);
+        println!();
+        ran = true;
+    }
+    if !ran {
+        usage(&format!("unknown command {command}"));
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--csv DIR] [tables-1-6|tables-7-9|tables-10-12|scalability|guarantee|\
+         ablation-subranges|ablation-disjoint|ablation-grid|ranking|long-queries|\
+         hierarchy|selection|gloss-bounds|dependence|binary|policies|weighting|\
+         exact-percentiles|diagnostics|all] [--seed N]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,305 @@
+//! Many-database engine ranking (experiment E11 — the paper's stated
+//! future work, "extensive experiments involving much larger and much
+//! more databases").
+//!
+//! Fifty-three single-topic databases (the paper's news host, at full
+//! width) are ranked per query by each selection method; quality is the
+//! standard distributed-IR recall metric
+//!
+//! ```text
+//! R_n = E_q [ |top-n ranked ∩ truly useful| / min(n, #truly useful) ]
+//! ```
+//!
+//! over the queries with at least one truly useful database, where
+//! "truly useful" means true NoDoc >= 1 at the experiment threshold.
+
+use crate::runner::query_from_tokens;
+use seu_core::cori::{CoriCandidate, CoriRanker};
+use seu_core::{HighCorrelationEstimator, SubrangeEstimator, UsefulnessEstimator};
+use seu_engine::{Collection, SearchEngine};
+use seu_repr::Representative;
+
+/// One ranking method's `R_n` scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankingResult {
+    /// Method name.
+    pub method: String,
+    /// `(n, R_n)` pairs in the order requested.
+    pub r_at: Vec<(usize, f64)>,
+}
+
+/// Everything E11 needs, prebuilt once.
+pub struct RankingFixture {
+    names: Vec<String>,
+    collections: Vec<Collection>,
+    engines: Vec<SearchEngine>,
+    reprs: Vec<Representative>,
+}
+
+impl RankingFixture {
+    /// Builds engines and representatives for a database set.
+    pub fn new(databases: Vec<(String, Collection)>) -> Self {
+        let mut names = Vec::with_capacity(databases.len());
+        let mut collections = Vec::with_capacity(databases.len());
+        for (name, coll) in databases {
+            names.push(name);
+            collections.push(coll);
+        }
+        let engines = collections
+            .iter()
+            .map(|c| SearchEngine::new(c.clone()))
+            .collect();
+        let reprs = collections.iter().map(Representative::build).collect();
+        RankingFixture {
+            names,
+            collections,
+            engines,
+            reprs,
+        }
+    }
+
+    /// Database names, in ranking-index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of databases.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the fixture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Ranks database indices by descending score (ties by index).
+fn rank_by(scores: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// `|top-n ∩ useful| / min(n, |useful|)`.
+fn recall_at(ranked: &[usize], useful: &[bool], n: usize) -> f64 {
+    let total_useful = useful.iter().filter(|&&u| u).count();
+    if total_useful == 0 {
+        return 0.0;
+    }
+    let found = ranked.iter().take(n).filter(|&&i| useful[i]).count();
+    found as f64 / total_useful.min(n) as f64
+}
+
+/// Runs the ranking comparison over a query workload.
+///
+/// Methods compared:
+/// * `subrange` — rank by the subrange method's estimated NoDoc at
+///   `threshold` (ties broken by estimated AvgSim);
+/// * `high-correlation` — rank by the gGlOSS high-correlation NoDoc;
+/// * `cori` — CORI document-frequency belief (threshold-blind);
+/// * `by-size` — static ranking by collection size (the naive baseline).
+pub fn rank_databases(
+    fixture: &RankingFixture,
+    queries: &[Vec<String>],
+    threshold: f64,
+    cutoffs: &[usize],
+) -> Vec<RankingResult> {
+    let sub = SubrangeEstimator::paper_six_subrange();
+    let high = HighCorrelationEstimator::new();
+    let cori = CoriRanker::new();
+
+    let mut sums: Vec<Vec<f64>> = vec![vec![0.0; cutoffs.len()]; 4];
+    let mut counted = 0u64;
+
+    let cori_candidates: Vec<CoriCandidate<'_>> = fixture
+        .collections
+        .iter()
+        .zip(&fixture.reprs)
+        .map(|(collection, repr)| CoriCandidate { collection, repr })
+        .collect();
+    let size_scores: Vec<f64> = fixture.collections.iter().map(|c| c.len() as f64).collect();
+
+    for tokens in queries {
+        // Per-database query views, truth, and scores.
+        let mut useful = vec![false; fixture.len()];
+        let mut any_useful = false;
+        let mut sub_scores = vec![0.0; fixture.len()];
+        let mut high_scores = vec![0.0; fixture.len()];
+        for i in 0..fixture.len() {
+            let q = query_from_tokens(&fixture.collections[i], tokens);
+            if q.is_empty() {
+                continue;
+            }
+            if fixture.engines[i].true_usefulness(&q, threshold).no_doc >= 1 {
+                useful[i] = true;
+                any_useful = true;
+            }
+            let u = sub.estimate(&fixture.reprs[i], &q, threshold);
+            // NoDoc first, AvgSim as tiebreak (both components of the
+            // paper's usefulness pair).
+            sub_scores[i] = u.no_doc + 1e-6 * u.avg_sim;
+            high_scores[i] = high.estimate(&fixture.reprs[i], &q, threshold).no_doc;
+        }
+        if !any_useful {
+            continue;
+        }
+        counted += 1;
+        let cori_scores = cori.score_all(&cori_candidates, tokens);
+        for (mi, scores) in [
+            (0, &sub_scores),
+            (1, &high_scores),
+            (2, &cori_scores),
+            (3, &size_scores),
+        ] {
+            let ranked = rank_by(scores);
+            for (ci, &n) in cutoffs.iter().enumerate() {
+                sums[mi][ci] += recall_at(&ranked, &useful, n);
+            }
+        }
+    }
+
+    let names = ["subrange", "high-correlation", "cori", "by-size"];
+    names
+        .iter()
+        .enumerate()
+        .map(|(mi, name)| RankingResult {
+            method: name.to_string(),
+            r_at: cutoffs
+                .iter()
+                .enumerate()
+                .map(|(ci, &n)| {
+                    (
+                        n,
+                        if counted == 0 {
+                            0.0
+                        } else {
+                            sums[mi][ci] / counted as f64
+                        },
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the E11 table.
+pub fn render_ranking(title: &str, results: &[RankingResult]) -> String {
+    let mut out = format!("{title}\n");
+    if let Some(first) = results.first() {
+        out.push_str(&format!("{:<18}", "method"));
+        for &(n, _) in &first.r_at {
+            out.push_str(&format!(" {:>7}", format!("R_{n}")));
+        }
+        out.push('\n');
+    }
+    for r in results {
+        out.push_str(&format!("{:<18}", r.method));
+        for &(_, v) in &r.r_at {
+            out.push_str(&format!(" {v:>7.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_engine::{CollectionBuilder, WeightingScheme};
+    use seu_text::Analyzer;
+
+    fn mini_fixture() -> RankingFixture {
+        let mk = |docs: &[&str]| {
+            let mut b =
+                CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+            for (i, d) in docs.iter().enumerate() {
+                b.add_document(&format!("d{i}"), d);
+            }
+            b.build()
+        };
+        RankingFixture::new(vec![
+            (
+                "dbs".into(),
+                mk(&[
+                    "databases indexes",
+                    "databases queries",
+                    "databases storage",
+                ]),
+            ),
+            ("food".into(), mk(&["soup recipes", "bread baking"])),
+            ("space".into(), mk(&["orbital mechanics", "launch windows"])),
+        ])
+    }
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn recall_at_counts_correctly() {
+        let useful = vec![true, false, true];
+        assert_eq!(recall_at(&[0, 1, 2], &useful, 1), 1.0);
+        assert_eq!(recall_at(&[1, 0, 2], &useful, 1), 0.0);
+        assert_eq!(recall_at(&[0, 2, 1], &useful, 2), 1.0);
+        assert_eq!(recall_at(&[0, 1, 2], &useful, 2), 0.5);
+        // No useful databases -> 0 by convention (query is skipped anyway).
+        assert_eq!(recall_at(&[0, 1, 2], &[false; 3], 2), 0.0);
+    }
+
+    #[test]
+    fn rank_by_is_descending_stable() {
+        assert_eq!(rank_by(&[0.1, 0.9, 0.5]), vec![1, 2, 0]);
+        assert_eq!(rank_by(&[0.5, 0.5, 0.9]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn topical_queries_rank_their_database_first() {
+        let fixture = mini_fixture();
+        let queries = vec![toks(&["databases"]), toks(&["soup"]), toks(&["orbital"])];
+        let results = rank_databases(&fixture, &queries, 0.1, &[1, 3]);
+        // Every method except by-size should get R_1 = 1 on this easy set.
+        for r in &results {
+            if r.method == "by-size" {
+                continue;
+            }
+            assert!(
+                (r.r_at[0].1 - 1.0).abs() < 1e-9,
+                "{}: {:?}",
+                r.method,
+                r.r_at
+            );
+        }
+        // by-size cannot adapt to the query.
+        let by_size = results.iter().find(|r| r.method == "by-size").unwrap();
+        assert!(by_size.r_at[0].1 < 1.0);
+        // At n = 3 every method trivially reaches 1 (all dbs inspected).
+        for r in &results {
+            assert!((r.r_at[1].1 - 1.0).abs() < 1e-9, "{}", r.method);
+        }
+    }
+
+    #[test]
+    fn queries_with_no_useful_database_are_skipped() {
+        let fixture = mini_fixture();
+        let queries = vec![toks(&["zebra"])];
+        let results = rank_databases(&fixture, &queries, 0.1, &[1]);
+        for r in &results {
+            assert_eq!(r.r_at[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn render_contains_methods_and_cutoffs() {
+        let fixture = mini_fixture();
+        let results = rank_databases(&fixture, &[toks(&["databases"])], 0.1, &[1, 5]);
+        let s = render_ranking("E11", &results);
+        assert!(s.contains("R_1") && s.contains("R_5"));
+        assert!(s.contains("subrange") && s.contains("cori"));
+    }
+}

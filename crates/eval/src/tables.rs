@@ -1,0 +1,138 @@
+//! Plain-text rendering of the paper's tables.
+
+use crate::metrics::MethodResult;
+
+fn fmt_t(t: f64) -> String {
+    format!("{t:.1}")
+}
+
+/// Renders a Tables 1/3/5-style "match/mismatch" comparison: one row per
+/// threshold, one `match/mismatch` column per method.
+pub fn render_match_table(title: &str, results: &[MethodResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:>4} {:>6}", "T", "U"));
+    for m in results {
+        out.push_str(&format!(" {:>22}", m.method));
+    }
+    out.push('\n');
+    let n_rows = results.first().map(|m| m.rows.len()).unwrap_or(0);
+    for i in 0..n_rows {
+        let base = &results[0].rows[i];
+        out.push_str(&format!("{:>4} {:>6}", fmt_t(base.threshold), base.u));
+        for m in results {
+            let r = &m.rows[i];
+            out.push_str(&format!(
+                " {:>22}",
+                format!("{}/{}", r.matches, r.mismatches)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Tables 2/4/6-style "d-N d-S" comparison.
+pub fn render_dn_ds_table(title: &str, results: &[MethodResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:>4} {:>6}", "T", "U"));
+    for m in results {
+        out.push_str(&format!(
+            " {:>12} {:>8}",
+            format!("{} d-N", m.method),
+            "d-S"
+        ));
+    }
+    out.push('\n');
+    let n_rows = results.first().map(|m| m.rows.len()).unwrap_or(0);
+    for i in 0..n_rows {
+        let base = &results[0].rows[i];
+        out.push_str(&format!("{:>4} {:>6}", fmt_t(base.threshold), base.u));
+        for m in results {
+            let r = &m.rows[i];
+            out.push_str(&format!(" {:>12.2} {:>8.3}", r.d_n(), r.d_s()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Tables 7–12-style compact single-method table:
+/// `T  m/mis  d-N  d-S`.
+pub fn render_side_by_side(title: &str, result: &MethodResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:>4} {:>12} {:>8} {:>8}\n",
+        "T", "m/mis", "d-N", "d-S"
+    ));
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:>4} {:>12} {:>8.2} {:>8.3}\n",
+            fmt_t(r.threshold),
+            format!("{}/{}", r.matches, r.mismatches),
+            r.d_n(),
+            r.d_s()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ThresholdRow;
+
+    fn sample() -> Vec<MethodResult> {
+        let row = |t, u, m, mis, dn, ds| ThresholdRow {
+            threshold: t,
+            u,
+            matches: m,
+            mismatches: mis,
+            sum_dn: dn * u as f64,
+            sum_ds: ds * u as f64,
+        };
+        vec![
+            MethodResult {
+                method: "subrange".into(),
+                rows: vec![row(0.1, 1475, 1423, 13, 7.05, 0.017)],
+            },
+            MethodResult {
+                method: "high-correlation".into(),
+                rows: vec![row(0.1, 1475, 296, 35, 16.87, 0.121)],
+            },
+        ]
+    }
+
+    #[test]
+    fn match_table_contains_fields() {
+        let s = render_match_table("Table 1", &sample());
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("1423/13"));
+        assert!(s.contains("296/35"));
+        assert!(s.contains("1475"));
+    }
+
+    #[test]
+    fn dn_ds_table_formats_numbers() {
+        let s = render_dn_ds_table("Table 2", &sample());
+        assert!(s.contains("7.05"));
+        assert!(s.contains("0.017"));
+        assert!(s.contains("16.87"));
+    }
+
+    #[test]
+    fn side_by_side_single_method() {
+        let s = render_side_by_side("Table 7", &sample()[0]);
+        assert!(s.contains("1423/13"));
+        assert!(s.contains("0.1"));
+    }
+
+    #[test]
+    fn empty_results_render_headers_only() {
+        let s = render_match_table("empty", &[]);
+        assert!(s.contains("empty"));
+        assert!(s.contains('U'));
+    }
+}

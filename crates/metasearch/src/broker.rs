@@ -1,0 +1,382 @@
+//! The broker itself.
+
+use crate::merge::merge_results;
+use crate::selection::SelectionPolicy;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use seu_core::{Usefulness, UsefulnessEstimator};
+use seu_engine::SearchEngine;
+use seu_repr::Representative;
+use std::sync::Arc;
+
+/// One engine's estimate for a query, as reported by the broker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineEstimate {
+    /// Engine name (registration key).
+    pub engine: String,
+    /// Estimated usefulness.
+    pub usefulness: Usefulness,
+}
+
+/// One merged result row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedHit {
+    /// Engine that returned the document.
+    pub engine: String,
+    /// Document name within that engine.
+    pub doc: String,
+    /// Global (cosine) similarity.
+    pub sim: f64,
+}
+
+struct RegisteredEngine {
+    name: String,
+    engine: Arc<SearchEngine>,
+    repr: Representative,
+}
+
+/// A metasearch broker generic over the usefulness estimator.
+///
+/// # Examples
+///
+/// ```
+/// use seu_metasearch::{Broker, SelectionPolicy};
+/// use seu_core::SubrangeEstimator;
+/// use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
+/// use seu_text::Analyzer;
+///
+/// let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+/// b.add_document("d0", "mushroom soup with cream");
+/// let cooking = SearchEngine::new(b.build());
+///
+/// let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+/// broker.register("cooking", cooking);
+///
+/// let selected = broker.select("mushroom soup", 0.2, SelectionPolicy::EstimatedUseful);
+/// assert_eq!(selected, vec!["cooking".to_string()]);
+/// let hits = broker.search("mushroom soup", 0.2, SelectionPolicy::EstimatedUseful);
+/// assert_eq!(hits[0].doc, "d0");
+/// ```
+pub struct Broker<E> {
+    estimator: E,
+    engines: RwLock<Vec<RegisteredEngine>>,
+}
+
+impl<E: UsefulnessEstimator + Sync> Broker<E> {
+    /// Creates an empty broker.
+    pub fn new(estimator: E) -> Self {
+        Broker {
+            estimator,
+            engines: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers an engine; its representative is built from its
+    /// collection on the spot (in a deployment the engine would ship the
+    /// serialized representative instead — see
+    /// [`Broker::register_with_representative`]).
+    pub fn register(&self, name: &str, engine: SearchEngine) {
+        let repr = Representative::build(engine.collection());
+        self.register_with_representative(name, engine, repr);
+    }
+
+    /// Registers an engine together with a representative it supplied
+    /// (e.g. deserialized from [`Representative::to_bytes`], or a
+    /// quantized one).
+    pub fn register_with_representative(
+        &self,
+        name: &str,
+        engine: SearchEngine,
+        repr: Representative,
+    ) {
+        self.engines.write().push(RegisteredEngine {
+            name: name.to_string(),
+            engine: Arc::new(engine),
+            repr,
+        });
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.engines.read().len()
+    }
+
+    /// Whether no engine is registered.
+    pub fn is_empty(&self) -> bool {
+        self.engines.read().is_empty()
+    }
+
+    /// Registered engine names, in registration order.
+    pub fn engine_names(&self) -> Vec<String> {
+        self.engines.read().iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Shared handles to the registered engines, in registration order
+    /// (used by the hierarchy layer to build group summaries).
+    pub fn engines(&self) -> Vec<Arc<SearchEngine>> {
+        self.engines
+            .read()
+            .iter()
+            .map(|e| e.engine.clone())
+            .collect()
+    }
+
+    /// Rebuilds the named engine's representative from its current
+    /// collection — the paper's infrequent metadata-propagation step
+    /// (§1). Returns false if no engine has that name.
+    pub fn refresh_representative(&self, name: &str) -> bool {
+        let mut engines = self.engines.write();
+        match engines.iter_mut().find(|e| e.name == name) {
+            Some(e) => {
+                e.repr = Representative::build(e.engine.collection());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces the named engine's representative with one it shipped
+    /// (e.g. a quantized or accumulator-snapshotted one). Returns false
+    /// if no engine has that name.
+    pub fn update_representative(&self, name: &str, repr: Representative) -> bool {
+        let mut engines = self.engines.write();
+        match engines.iter_mut().find(|e| e.name == name) {
+            Some(e) => {
+                e.repr = repr;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Estimates every engine's usefulness for a query text at a
+    /// threshold. The query is re-analyzed per engine against that
+    /// engine's vocabulary.
+    pub fn estimate_all(&self, query_text: &str, threshold: f64) -> Vec<EngineEstimate> {
+        let engines = self.engines.read();
+        engines
+            .iter()
+            .map(|e| {
+                let query = e.engine.collection().query_from_text(query_text);
+                EngineEstimate {
+                    engine: e.name.clone(),
+                    usefulness: self.estimator.estimate(&e.repr, &query, threshold),
+                }
+            })
+            .collect()
+    }
+
+    /// Selects engines for a query under a policy. Returns names in
+    /// invocation order.
+    pub fn select(&self, query_text: &str, threshold: f64, policy: SelectionPolicy) -> Vec<String> {
+        let estimates = self.estimate_all(query_text, threshold);
+        let us: Vec<Usefulness> = estimates.iter().map(|e| e.usefulness).collect();
+        policy
+            .select(&us)
+            .into_iter()
+            .map(|i| estimates[i].engine.clone())
+            .collect()
+    }
+
+    /// Full metasearch: select engines, dispatch the query to them in
+    /// parallel, and merge results above the threshold by global
+    /// similarity.
+    pub fn search(
+        &self,
+        query_text: &str,
+        threshold: f64,
+        policy: SelectionPolicy,
+    ) -> Vec<MergedHit> {
+        let engines = self.engines.read();
+        let us: Vec<Usefulness> = engines
+            .iter()
+            .map(|e| {
+                let query = e.engine.collection().query_from_text(query_text);
+                self.estimator.estimate(&e.repr, &query, threshold)
+            })
+            .collect();
+        let selected = policy.select(&us);
+
+        let mut per_engine: Vec<Vec<MergedHit>> = Vec::with_capacity(selected.len());
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = selected
+                .iter()
+                .map(|&i| {
+                    let e = &engines[i];
+                    scope.spawn(move |_| {
+                        let query = e.engine.collection().query_from_text(query_text);
+                        e.engine
+                            .search_threshold(&query, threshold)
+                            .into_iter()
+                            .map(|h| MergedHit {
+                                engine: e.name.clone(),
+                                doc: e.engine.collection().doc(h.doc).name.clone(),
+                                sim: h.sim,
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_engine.push(h.join().expect("engine search panicked"));
+            }
+        })
+        .expect("dispatch scope");
+        merge_results(per_engine)
+    }
+
+    /// Ground-truth selection (which engines truly have a document above
+    /// the threshold) — the oracle the evaluation compares against.
+    pub fn oracle_select(&self, query_text: &str, threshold: f64) -> Vec<String> {
+        let engines = self.engines.read();
+        engines
+            .iter()
+            .filter(|e| {
+                let query = e.engine.collection().query_from_text(query_text);
+                e.engine.true_usefulness(&query, threshold).no_doc >= 1
+            })
+            .map(|e| e.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_core::SubrangeEstimator;
+    use seu_engine::{CollectionBuilder, WeightingScheme};
+    use seu_text::Analyzer;
+
+    fn engine_from(texts: &[&str]) -> SearchEngine {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        for (i, t) in texts.iter().enumerate() {
+            b.add_document(&format!("doc{i}"), t);
+        }
+        SearchEngine::new(b.build())
+    }
+
+    fn broker() -> Broker<SubrangeEstimator> {
+        let b = Broker::new(SubrangeEstimator::paper_six_subrange());
+        b.register(
+            "databases",
+            engine_from(&[
+                "relational databases and query optimization",
+                "transaction processing in databases",
+                "distributed query processing systems",
+            ]),
+        );
+        b.register(
+            "cooking",
+            engine_from(&[
+                "mushroom soup recipes with cream",
+                "baking sourdough bread at home",
+            ]),
+        );
+        b.register(
+            "mixed",
+            engine_from(&[
+                "databases of bread recipes",
+                "soup kitchens and processing plants",
+            ]),
+        );
+        b
+    }
+
+    #[test]
+    fn registration_and_names() {
+        let b = broker();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.engine_names(), vec!["databases", "cooking", "mixed"]);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn estimates_favor_matching_engine() {
+        let b = broker();
+        let ests = b.estimate_all("databases query", 0.1);
+        let by_name = |n: &str| {
+            ests.iter()
+                .find(|e| e.engine == n)
+                .unwrap()
+                .usefulness
+                .no_doc
+        };
+        assert!(by_name("databases") > by_name("cooking"));
+    }
+
+    #[test]
+    fn selection_excludes_useless_engines() {
+        let b = broker();
+        let sel = b.select("mushroom soup", 0.25, SelectionPolicy::EstimatedUseful);
+        assert!(sel.contains(&"cooking".to_string()));
+        assert!(!sel.contains(&"databases".to_string()));
+    }
+
+    #[test]
+    fn search_merges_across_engines() {
+        let b = broker();
+        let hits = b.search("databases", 0.0, SelectionPolicy::All);
+        assert!(!hits.is_empty());
+        // Sorted descending.
+        for w in hits.windows(2) {
+            assert!(w[0].sim >= w[1].sim);
+        }
+        // Hits come from both engines that mention databases.
+        let engines: Vec<&str> = hits.iter().map(|h| h.engine.as_str()).collect();
+        assert!(engines.contains(&"databases"));
+        assert!(engines.contains(&"mixed"));
+        assert!(!engines.contains(&"cooking"));
+    }
+
+    #[test]
+    fn selective_search_returns_subset_of_all() {
+        let b = broker();
+        let all = b.search("soup", 0.1, SelectionPolicy::All);
+        let selected = b.search("soup", 0.1, SelectionPolicy::EstimatedUseful);
+        // Everything the selective search returns is in the full search.
+        for h in &selected {
+            assert!(all.contains(h));
+        }
+    }
+
+    #[test]
+    fn oracle_matches_reality() {
+        let b = broker();
+        let oracle = b.oracle_select("sourdough", 0.1);
+        assert_eq!(oracle, vec!["cooking".to_string()]);
+    }
+
+    #[test]
+    fn top_k_selection() {
+        let b = broker();
+        let sel = b.select("databases processing", 0.05, SelectionPolicy::TopK(1));
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0], "databases");
+    }
+
+    #[test]
+    fn representative_refresh_and_update() {
+        let b = broker();
+        // Cripple one engine's representative, watch selection change,
+        // then refresh it back.
+        let empty = Representative::from_parts(0, Vec::new(), 0);
+        assert!(b.update_representative("cooking", empty));
+        let sel = b.select("mushroom soup", 0.25, SelectionPolicy::EstimatedUseful);
+        assert!(!sel.contains(&"cooking".to_string()), "{sel:?}");
+        assert!(b.refresh_representative("cooking"));
+        let sel = b.select("mushroom soup", 0.25, SelectionPolicy::EstimatedUseful);
+        assert!(sel.contains(&"cooking".to_string()), "{sel:?}");
+        // Unknown names report failure.
+        assert!(!b.refresh_representative("nope"));
+        assert!(!b.update_representative("nope", Representative::from_parts(0, Vec::new(), 0)));
+    }
+
+    #[test]
+    fn unknown_query_selects_nothing_useful() {
+        let b = broker();
+        let sel = b.select("zebra quantum", 0.1, SelectionPolicy::EstimatedUseful);
+        assert!(sel.is_empty());
+        let hits = b.search("zebra quantum", 0.1, SelectionPolicy::EstimatedUseful);
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! Multi-level metasearch: a broker of brokers.
+//!
+//! Section 1 of the paper: "the approach can be generalized to more than
+//! two levels". A [`SuperBroker`] fronts a set of child [`Broker`]s; each
+//! child exports one [`PortableRepresentative`] summarizing the union of
+//! its engines' databases (mergeable because it is keyed by term string
+//! and carries full weight moments). The super-broker estimates each
+//! *group's* usefulness from that summary alone, forwards the query to
+//! the selected children, and each child runs its own engine selection —
+//! the same estimator at every level.
+
+use crate::broker::{Broker, MergedHit};
+use crate::merge::merge_results;
+use crate::selection::SelectionPolicy;
+use parking_lot::RwLock;
+use seu_core::{Usefulness, UsefulnessEstimator};
+use seu_repr::{FrozenSummary, PortableRepresentative};
+use seu_text::Analyzer;
+use std::sync::Arc;
+
+struct Child<E> {
+    name: String,
+    broker: Arc<Broker<E>>,
+    summary: FrozenSummary,
+}
+
+/// A two-level (or deeper, by composition) metasearch broker.
+pub struct SuperBroker<E> {
+    estimator: E,
+    analyzer: Analyzer,
+    children: RwLock<Vec<Child<E>>>,
+}
+
+impl<E: UsefulnessEstimator + Sync> Broker<E> {
+    /// The union summary of every registered engine's database — what
+    /// this broker exports to a parent broker.
+    pub fn portable_summary(&self) -> PortableRepresentative {
+        let mut summary = PortableRepresentative::new();
+        for engine in self.engines() {
+            summary.merge(&PortableRepresentative::build(engine.collection()));
+        }
+        summary
+    }
+}
+
+impl<E: UsefulnessEstimator + Sync> SuperBroker<E> {
+    /// Creates an empty super-broker. Queries are analyzed with the
+    /// paper's default pipeline before group estimation.
+    pub fn new(estimator: E) -> Self {
+        SuperBroker {
+            estimator,
+            analyzer: Analyzer::paper_default(),
+            children: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers a child broker; its group summary is requested once at
+    /// registration (a deployment would refresh it periodically).
+    pub fn register_broker(&self, name: &str, broker: Arc<Broker<E>>) {
+        let summary = broker.portable_summary().freeze();
+        self.children.write().push(Child {
+            name: name.to_string(),
+            broker,
+            summary,
+        });
+    }
+
+    /// Number of child brokers.
+    pub fn len(&self) -> usize {
+        self.children.read().len()
+    }
+
+    /// A shared handle to the named child broker, if registered.
+    pub fn child(&self, name: &str) -> Option<Arc<Broker<E>>> {
+        self.children
+            .read()
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.broker.clone())
+    }
+
+    /// Whether no child is registered.
+    pub fn is_empty(&self) -> bool {
+        self.children.read().is_empty()
+    }
+
+    /// Per-child usefulness estimates for a query.
+    pub fn estimate_children(&self, query_text: &str, threshold: f64) -> Vec<(String, Usefulness)> {
+        let tokens = self.analyzer.analyze(query_text);
+        self.children
+            .read()
+            .iter()
+            .map(|c| {
+                let query = c.summary.query_from_tokens(&tokens);
+                (
+                    c.name.clone(),
+                    self.estimator.estimate(&c.summary.repr, &query, threshold),
+                )
+            })
+            .collect()
+    }
+
+    /// Selects child brokers under a policy (their names, in invocation
+    /// order).
+    pub fn select(&self, query_text: &str, threshold: f64, policy: SelectionPolicy) -> Vec<String> {
+        let estimates = self.estimate_children(query_text, threshold);
+        let us: Vec<Usefulness> = estimates.iter().map(|(_, u)| *u).collect();
+        policy
+            .select(&us)
+            .into_iter()
+            .map(|i| estimates[i].0.clone())
+            .collect()
+    }
+
+    /// Full two-level search: select child brokers, let each selected
+    /// child run its own engine selection and search under the same
+    /// policy, merge everything by global similarity. Hit engine names
+    /// are prefixed with the child broker's name (`child/engine`).
+    pub fn search(
+        &self,
+        query_text: &str,
+        threshold: f64,
+        policy: SelectionPolicy,
+    ) -> Vec<MergedHit> {
+        let selected = self.select(query_text, threshold, policy);
+        let children = self.children.read();
+        let mut per_child = Vec::with_capacity(selected.len());
+        for name in &selected {
+            if let Some(c) = children.iter().find(|c| &c.name == name) {
+                let hits = c
+                    .broker
+                    .search(query_text, threshold, policy)
+                    .into_iter()
+                    .map(|mut h| {
+                        h.engine = format!("{}/{}", c.name, h.engine);
+                        h
+                    })
+                    .collect();
+                per_child.push(hits);
+            }
+        }
+        merge_results(per_child)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_core::SubrangeEstimator;
+    use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
+
+    fn engine(docs: &[&str]) -> SearchEngine {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        for (i, d) in docs.iter().enumerate() {
+            b.add_document(&format!("d{i}"), d);
+        }
+        SearchEngine::new(b.build())
+    }
+
+    fn tech_broker() -> Broker<SubrangeEstimator> {
+        let b = Broker::new(SubrangeEstimator::paper_six_subrange());
+        b.register(
+            "databases",
+            engine(&["relational databases", "query optimization databases"]),
+        );
+        b.register(
+            "systems",
+            engine(&["operating systems kernels", "filesystem journals"]),
+        );
+        b
+    }
+
+    fn food_broker() -> Broker<SubrangeEstimator> {
+        let b = Broker::new(SubrangeEstimator::paper_six_subrange());
+        b.register(
+            "soups",
+            engine(&["mushroom soup cream", "lentil soup spices"]),
+        );
+        b.register("baking", engine(&["sourdough bread", "rye crackers"]));
+        b
+    }
+
+    fn super_broker() -> SuperBroker<SubrangeEstimator> {
+        let sb = SuperBroker::new(SubrangeEstimator::paper_six_subrange());
+        sb.register_broker("tech", Arc::new(tech_broker()));
+        sb.register_broker("food", Arc::new(food_broker()));
+        sb
+    }
+
+    #[test]
+    fn group_estimates_discriminate() {
+        let sb = super_broker();
+        assert_eq!(sb.len(), 2);
+        let ests = sb.estimate_children("databases", 0.2);
+        let by = |n: &str| ests.iter().find(|(m, _)| m == n).unwrap().1.no_doc;
+        assert!(by("tech") > 0.5);
+        assert_eq!(by("food"), 0.0);
+    }
+
+    #[test]
+    fn selection_routes_to_the_right_group() {
+        let sb = super_broker();
+        assert_eq!(
+            sb.select("soup", 0.2, SelectionPolicy::EstimatedUseful),
+            vec!["food".to_string()]
+        );
+        assert_eq!(
+            sb.select("databases", 0.2, SelectionPolicy::EstimatedUseful),
+            vec!["tech".to_string()]
+        );
+    }
+
+    #[test]
+    fn two_level_search_reaches_the_documents() {
+        let sb = super_broker();
+        let hits = sb.search("mushroom soup", 0.2, SelectionPolicy::EstimatedUseful);
+        assert!(!hits.is_empty());
+        assert!(hits[0].engine.starts_with("food/soups"), "{:?}", hits[0]);
+        // Merged ordering is by similarity.
+        for w in hits.windows(2) {
+            assert!(w[0].sim >= w[1].sim);
+        }
+    }
+
+    #[test]
+    fn unknown_query_selects_no_group() {
+        let sb = super_broker();
+        assert!(sb
+            .select("zebra quantum", 0.1, SelectionPolicy::EstimatedUseful)
+            .is_empty());
+        assert!(sb
+            .search("zebra quantum", 0.1, SelectionPolicy::EstimatedUseful)
+            .is_empty());
+    }
+
+    #[test]
+    fn portable_summary_covers_all_engines() {
+        let b = tech_broker();
+        let s = b.portable_summary();
+        assert_eq!(s.n_docs(), 4);
+        let f = s.freeze();
+        assert!(f.vocab.get("databases").is_some());
+        assert!(f.vocab.get("kernels").is_some());
+    }
+}

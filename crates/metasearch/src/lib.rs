@@ -1,0 +1,35 @@
+//! The metasearch broker — the application the paper's estimator exists
+//! for (Section 1).
+//!
+//! A [`Broker`] sits above a set of local [`SearchEngine`]s. It never
+//! touches their documents; at registration time it builds (or receives)
+//! each engine's [`Representative`] and thereafter decides, per query,
+//! which engines to invoke:
+//!
+//! 1. the query text is analyzed per engine (each engine owns its
+//!    vocabulary, exactly as real engines do);
+//! 2. the configured [`UsefulnessEstimator`] predicts `(NoDoc, AvgSim)`
+//!    for every engine from its representative alone;
+//! 3. a [`SelectionPolicy`] turns the estimates into an invocation set;
+//! 4. selected engines are searched in parallel and their results merged
+//!    by global similarity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocate;
+pub mod broker;
+pub mod hierarchy;
+pub mod merge;
+pub mod selection;
+
+pub use allocate::Allocation;
+pub use broker::{Broker, EngineEstimate, MergedHit};
+pub use hierarchy::SuperBroker;
+pub use merge::merge_results;
+pub use selection::SelectionPolicy;
+
+// Re-exported for downstream convenience (the broker API surfaces these).
+pub use seu_core::{Usefulness, UsefulnessEstimator};
+pub use seu_engine::SearchEngine;
+pub use seu_repr::Representative;

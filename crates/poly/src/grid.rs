@@ -1,0 +1,219 @@
+//! Dense fixed-resolution convolution — the scalable alternative to exact
+//! sparse expansion.
+//!
+//! A [`GridPoly`] discretizes similarity into `cells` equal buckets over
+//! `[0, max_exponent]`. Multiplying in a factor with `k` spikes costs
+//! `O(k * cells)`, so a query of `r` terms costs `O(r * k * cells)`
+//! regardless of how many distinct exact exponents would exist — the exact
+//! sparse expansion is exponential in `r` in the worst case.
+//!
+//! Exponents are rounded to the *lower* cell edge when mass is deposited,
+//! which makes tail masses above a threshold a conservative (never
+//! over-counting) approximation; the `ablation-grid` experiment quantifies
+//! the error against the exact expansion.
+
+use crate::sparse::SparsePoly;
+use crate::tail::TailStats;
+
+/// Dense probability vector over a similarity grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoly {
+    /// Mass per cell; cell `i` covers exponents `[i*step, (i+1)*step)`.
+    mass: Vec<f64>,
+    /// Weighted mass per cell: `Σ p * exponent` of the deposits, so mean
+    /// exponents stay exact even though cell membership is rounded.
+    weighted: Vec<f64>,
+    step: f64,
+}
+
+impl GridPoly {
+    /// Creates the identity distribution (all mass at exponent 0) over
+    /// `[0, max_exponent]` with `cells` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0` or `max_exponent <= 0`.
+    pub fn identity(max_exponent: f64, cells: usize) -> Self {
+        assert!(cells > 0, "grid needs at least one cell");
+        assert!(max_exponent > 0.0, "max_exponent must be positive");
+        let mut mass = vec![0.0; cells + 1];
+        let weighted = vec![0.0; cells + 1];
+        mass[0] = 1.0;
+        GridPoly {
+            mass,
+            weighted,
+            step: max_exponent / cells as f64,
+        }
+    }
+
+    fn cell_of(&self, exponent: f64) -> usize {
+        ((exponent / self.step).floor() as usize).min(self.mass.len() - 1)
+    }
+
+    /// Convolves in one factor given as `(probability, exponent)` spikes
+    /// plus an implicit remainder `1 - Σ p` at exponent 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if spike probabilities sum to more than `1 + 1e-9`.
+    pub fn convolve_spikes(&mut self, spikes: &[(f64, f64)]) {
+        let total: f64 = spikes.iter().map(|&(p, _)| p).sum();
+        assert!(total <= 1.0 + 1e-9, "spike probabilities sum to {total}");
+        let remainder = (1.0 - total).max(0.0);
+
+        let n = self.mass.len();
+        let mut new_mass = vec![0.0; n];
+        let mut new_weighted = vec![0.0; n];
+        for i in 0..n {
+            let m = self.mass[i];
+            if m == 0.0 {
+                continue;
+            }
+            let w = self.weighted[i];
+            // Remainder keeps the cell.
+            new_mass[i] += m * remainder;
+            new_weighted[i] += w * remainder;
+            let base = i as f64 * self.step;
+            for &(p, e) in spikes {
+                if p == 0.0 {
+                    continue;
+                }
+                let j = self.cell_of(base + e).min(n - 1);
+                new_mass[j] += m * p;
+                // True exponent bookkeeping: shift the cell's weighted mass.
+                new_weighted[j] += (w + m * e) * p;
+            }
+        }
+        self.mass = new_mass;
+        self.weighted = new_weighted;
+    }
+
+    /// Convolves in a sparse factor polynomial. The factor's exponent-0
+    /// term is treated as the remainder.
+    pub fn convolve_factor(&mut self, factor: &SparsePoly) {
+        let spikes: Vec<(f64, f64)> = factor
+            .terms()
+            .iter()
+            .filter(|&&(e, _)| e != 0.0)
+            .map(|&(e, c)| (c, e))
+            .collect();
+        self.convolve_spikes(&spikes);
+    }
+
+    /// Total probability mass (should be 1 up to rounding).
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Tail statistics strictly above `t`, by whole cells: all cells whose
+    /// lower edge exceeds `t` (mass within a straddling cell is excluded,
+    /// making the tail an under- rather than over-estimate).
+    pub fn tail_above(&self, t: f64) -> TailStats {
+        let first = if t < 0.0 {
+            0
+        } else {
+            (t / self.step).floor() as usize + 1
+        };
+        let mut mass = 0.0;
+        let mut weighted = 0.0;
+        for i in first..self.mass.len() {
+            mass += self.mass[i];
+            weighted += self.weighted[i];
+        }
+        TailStats {
+            mass,
+            weighted_mass: weighted,
+        }
+    }
+
+    /// Grid resolution (cell width in exponent units).
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_factors() -> Vec<SparsePoly> {
+        vec![
+            SparsePoly::basic_factor(0.6, 2.0),
+            SparsePoly::basic_factor(0.2, 1.0),
+            SparsePoly::basic_factor(0.4, 2.0),
+        ]
+    }
+
+    #[test]
+    fn grid_matches_exact_on_integer_exponents() {
+        let mut g = GridPoly::identity(5.0, 500);
+        for f in paper_factors() {
+            g.convolve_factor(&f);
+        }
+        let exact = SparsePoly::product(&paper_factors());
+        for t in [0.5, 1.5, 2.5, 3.0, 4.5] {
+            let a = g.tail_above(t);
+            let b = exact.tail_above(t);
+            assert!((a.mass - b.mass).abs() < 1e-9, "t={t}");
+            assert!((a.weighted_mass - b.weighted_mass).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let mut g = GridPoly::identity(1.0, 100);
+        g.convolve_spikes(&[(0.1, 0.33), (0.2, 0.77)]);
+        g.convolve_spikes(&[(0.5, 0.11)]);
+        assert!((g.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_mass_clamps_to_top_cell() {
+        let mut g = GridPoly::identity(1.0, 10);
+        g.convolve_spikes(&[(0.5, 0.9)]);
+        g.convolve_spikes(&[(0.5, 0.9)]);
+        // 0.25 of the mass is at exponent 1.8, clamped into the top cell.
+        assert!((g.total_mass() - 1.0).abs() < 1e-12);
+        let tail = g.tail_above(0.95);
+        assert!(tail.mass >= 0.25 - 1e-12);
+    }
+
+    #[test]
+    fn weighted_mass_tracks_true_exponents() {
+        // Spikes at 0.33 land in cell floor(0.33*100)=33 but the weighted
+        // mass uses the exact exponent.
+        let mut g = GridPoly::identity(1.0, 100);
+        g.convolve_spikes(&[(1.0, 0.333)]);
+        let t = g.tail_above(0.0);
+        assert!((t.mass - 1.0).abs() < 1e-12);
+        assert!((t.weighted_mass - 0.333).abs() < 1e-12);
+        assert!((t.avg_exponent() - 0.333).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_never_overcounts_vs_exact() {
+        let factors = vec![
+            SparsePoly::basic_factor(0.3, 0.21),
+            SparsePoly::basic_factor(0.7, 0.13),
+            SparsePoly::basic_factor(0.5, 0.42),
+        ];
+        let mut g = GridPoly::identity(1.0, 64);
+        for f in &factors {
+            g.convolve_factor(f);
+        }
+        let exact = SparsePoly::product(&factors);
+        for i in 0..20 {
+            let t = i as f64 * 0.05;
+            assert!(
+                g.tail_above(t).mass <= exact.tail_above(t).mass + 1e-12,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        GridPoly::identity(1.0, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Tail statistics of an expanded generating function.
+
+use serde::{Deserialize, Serialize};
+
+/// `Σ a_i` and `Σ a_i * b_i` over the terms with exponent above a
+/// threshold — everything Equations (6)–(7) of the paper need.
+///
+/// Scaled by the database size `n`, `mass` becomes the estimated NoDoc and
+/// `weighted_mass / mass` the estimated AvgSim.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TailStats {
+    /// `Σ_{b_i > T} a_i` — probability a random document clears the
+    /// threshold.
+    pub mass: f64,
+    /// `Σ_{b_i > T} a_i * b_i` — expected similarity contribution of the
+    /// clearing documents.
+    pub weighted_mass: f64,
+}
+
+impl TailStats {
+    /// Average exponent of the tail, `Σ a_i b_i / Σ a_i`; 0 when the tail
+    /// is empty (the estimator's convention for "no useful documents").
+    pub fn avg_exponent(&self) -> f64 {
+        if self.mass > 0.0 {
+            self.weighted_mass / self.mass
+        } else {
+            0.0
+        }
+    }
+
+    /// Adds another tail (used when combining disjoint document buckets,
+    /// e.g. in the gGlOSS baselines).
+    pub fn add(&mut self, other: TailStats) {
+        self.mass += other.mass;
+        self.weighted_mass += other.weighted_mass;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_of_empty_tail_is_zero() {
+        assert_eq!(TailStats::default().avg_exponent(), 0.0);
+    }
+
+    #[test]
+    fn avg_exponent_weighted() {
+        let t = TailStats {
+            mass: 0.24,
+            weighted_mass: 0.048 * 5.0 + 0.192 * 4.0,
+        };
+        assert!((t.avg_exponent() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = TailStats {
+            mass: 1.0,
+            weighted_mass: 2.0,
+        };
+        a.add(TailStats {
+            mass: 3.0,
+            weighted_mass: 4.0,
+        });
+        assert_eq!(a.mass, 4.0);
+        assert_eq!(a.weighted_mass, 6.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Pairwise term co-occurrence statistics — the optional representative
+//! extension for dependence-aware estimation.
+//!
+//! Proposition 1 assumes query terms occur independently across
+//! documents; real text violates that (terms of one subject co-occur).
+//! The paper's related work (\[14\], Lam & Yu) extends estimation with
+//! term dependencies; this module supplies the broker-side statistic it
+//! needs: the *joint document frequency* of term pairs.
+//!
+//! Storing all `O(m^2)` pairs is out of the question, so the builder
+//! keeps the `max_pairs` pairs with the largest joint document frequency
+//! — exactly the pairs where independence errs most in absolute terms.
+//! At 12 bytes a pair this stays a small additive cost to the
+//! representative (reported by [`CooccurrenceStats::size_bytes`]).
+
+use seu_engine::Collection;
+use seu_text::TermId;
+use std::collections::HashMap;
+
+/// Joint document frequencies for high-co-occurrence term pairs.
+#[derive(Debug, Clone, Default)]
+pub struct CooccurrenceStats {
+    n_docs: u64,
+    /// `(t1, t2)` with `t1 < t2` → number of documents containing both.
+    pairs: HashMap<(TermId, TermId), u32>,
+}
+
+impl CooccurrenceStats {
+    /// Counts pairwise co-occurrence over a collection, keeping the
+    /// `max_pairs` most frequent pairs. Documents longer than
+    /// `max_doc_terms` distinct terms only contribute their
+    /// `max_doc_terms` highest-weighted terms (quadratic guard).
+    pub fn build(collection: &Collection, max_pairs: usize, max_doc_terms: usize) -> Self {
+        let mut counts: HashMap<(TermId, TermId), u32> = HashMap::new();
+        for doc in collection.docs() {
+            // Top-weighted distinct terms of the document.
+            let mut terms: Vec<(TermId, f64)> = doc.terms.clone();
+            if terms.len() > max_doc_terms {
+                terms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                terms.truncate(max_doc_terms);
+                terms.sort_by_key(|&(t, _)| t);
+            }
+            for i in 0..terms.len() {
+                for j in i + 1..terms.len() {
+                    *counts.entry((terms[i].0, terms[j].0)).or_insert(0) += 1;
+                }
+            }
+        }
+        // Keep the heaviest pairs.
+        let mut all: Vec<((TermId, TermId), u32)> = counts.into_iter().collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(max_pairs);
+        CooccurrenceStats {
+            n_docs: collection.len() as u64,
+            pairs: all.into_iter().collect(),
+        }
+    }
+
+    /// Number of documents the statistics were computed over.
+    pub fn n_docs(&self) -> u64 {
+        self.n_docs
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Joint probability `P(t1 ∧ t2)` if the pair is stored (order of the
+    /// arguments does not matter).
+    pub fn joint_p(&self, a: TermId, b: TermId) -> Option<f64> {
+        if self.n_docs == 0 {
+            return None;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.pairs
+            .get(&key)
+            .map(|&df| df as f64 / self.n_docs as f64)
+    }
+
+    /// Storage cost: two 4-byte term ids + one 4-byte count per pair.
+    pub fn size_bytes(&self) -> u64 {
+        12 * self.pairs.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_engine::{CollectionBuilder, WeightingScheme};
+    use seu_text::Analyzer;
+
+    fn collection() -> Collection {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        b.add_document("d0", "alpha beta");
+        b.add_document("d1", "alpha beta gamma");
+        b.add_document("d2", "alpha gamma");
+        b.add_document("d3", "delta");
+        b.build()
+    }
+
+    #[test]
+    fn joint_frequencies_are_counted() {
+        let c = collection();
+        let stats = CooccurrenceStats::build(&c, 100, 64);
+        let alpha = c.vocab().get("alpha").unwrap();
+        let beta = c.vocab().get("beta").unwrap();
+        let gamma = c.vocab().get("gamma").unwrap();
+        let delta = c.vocab().get("delta").unwrap();
+        assert_eq!(stats.joint_p(alpha, beta), Some(0.5)); // d0, d1
+        assert_eq!(stats.joint_p(beta, alpha), Some(0.5)); // symmetric
+        assert_eq!(stats.joint_p(alpha, gamma), Some(0.5)); // d1, d2
+        assert_eq!(stats.joint_p(beta, gamma), Some(0.25)); // d1
+        assert_eq!(stats.joint_p(alpha, delta), None); // never co-occur
+        assert_eq!(stats.n_docs(), 4);
+    }
+
+    #[test]
+    fn max_pairs_keeps_heaviest() {
+        let c = collection();
+        let stats = CooccurrenceStats::build(&c, 2, 64);
+        assert_eq!(stats.len(), 2);
+        // The two df-2 pairs survive; the df-1 pair is dropped.
+        let alpha = c.vocab().get("alpha").unwrap();
+        let beta = c.vocab().get("beta").unwrap();
+        let gamma = c.vocab().get("gamma").unwrap();
+        assert!(stats.joint_p(alpha, beta).is_some());
+        assert!(stats.joint_p(alpha, gamma).is_some());
+        assert!(stats.joint_p(beta, gamma).is_none());
+    }
+
+    #[test]
+    fn doc_term_cap_bounds_work() {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        // One long document; with the cap at 3 only C(3,2)=3 pairs arise.
+        b.add_document("big", "one two three four five six");
+        let c = b.build();
+        let stats = CooccurrenceStats::build(&c, 100, 3);
+        assert_eq!(stats.len(), 3);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let c = collection();
+        let stats = CooccurrenceStats::build(&c, 100, 64);
+        assert_eq!(stats.size_bytes(), 12 * stats.len() as u64);
+        assert!(!stats.is_empty());
+    }
+
+    #[test]
+    fn empty_collection() {
+        let b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        let stats = CooccurrenceStats::build(&b.build(), 10, 10);
+        assert!(stats.is_empty());
+        assert_eq!(stats.joint_p(TermId(0), TermId(1)), None);
+    }
+}

@@ -1,0 +1,295 @@
+//! Portable, mergeable database summaries — the metadata of a broker
+//! *hierarchy*.
+//!
+//! The paper notes its two-level architecture "can be generalized to more
+//! than two levels" (and gGlOSS explicitly targets "broker hierarchies").
+//! A higher-level broker then needs a representative of an entire *group*
+//! of databases. Term ids are per-collection, so group summaries are
+//! keyed by term **string** and carry full weight moments per term —
+//! which makes them exactly mergeable: merging the portable summaries of
+//! two databases yields the summary of their union (for the cosine
+//! schemes, whose normalized weights are per-document).
+//!
+//! A frozen summary exposes the familiar `(Representative, Vocabulary)`
+//! pair so the usual estimators run against it unchanged.
+
+use crate::representative::{Representative, TermStats};
+use seu_engine::{Collection, Query};
+use seu_stats::Moments;
+use seu_text::Vocabulary;
+use std::collections::BTreeMap;
+
+/// A string-keyed, mergeable database summary.
+#[derive(Debug, Clone, Default)]
+pub struct PortableRepresentative {
+    n_docs: u64,
+    collection_bytes: u64,
+    /// Per-term weight moments, keyed by term string (BTreeMap for
+    /// deterministic freeze order).
+    terms: BTreeMap<String, Moments>,
+}
+
+impl PortableRepresentative {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Summarizes one collection.
+    pub fn build(collection: &Collection) -> Self {
+        let mut terms: BTreeMap<String, Moments> = BTreeMap::new();
+        for doc in collection.docs() {
+            for &(term, weight) in &doc.terms {
+                terms
+                    .entry(collection.vocab().term(term).to_string())
+                    .or_default()
+                    .push(weight);
+            }
+        }
+        PortableRepresentative {
+            n_docs: collection.len() as u64,
+            collection_bytes: collection.raw_bytes(),
+            terms,
+        }
+    }
+
+    /// Merges another summary in: the result summarizes the union of the
+    /// two document sets.
+    pub fn merge(&mut self, other: &PortableRepresentative) {
+        self.n_docs += other.n_docs;
+        self.collection_bytes += other.collection_bytes;
+        for (term, m) in &other.terms {
+            self.terms.entry(term.clone()).or_default().merge(m);
+        }
+    }
+
+    /// Number of summarized documents.
+    pub fn n_docs(&self) -> u64 {
+        self.n_docs
+    }
+
+    /// Number of distinct terms.
+    pub fn distinct_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Freezes into an id-aligned representative + vocabulary, ready for
+    /// the estimators.
+    pub fn freeze(&self) -> FrozenSummary {
+        let mut vocab = Vocabulary::new();
+        let mut stats = Vec::with_capacity(self.terms.len());
+        for (term, m) in &self.terms {
+            vocab.intern(term);
+            stats.push(TermStats {
+                p: if self.n_docs == 0 {
+                    0.0
+                } else {
+                    m.count() as f64 / self.n_docs as f64
+                },
+                mean: m.mean(),
+                std_dev: m.std_dev(),
+                max: m.max(),
+            });
+        }
+        FrozenSummary {
+            repr: Representative::from_parts(self.n_docs, stats, self.collection_bytes),
+            vocab,
+        }
+    }
+}
+
+/// A frozen [`PortableRepresentative`]: the estimator-facing view.
+#[derive(Debug, Clone)]
+pub struct FrozenSummary {
+    /// The id-aligned representative.
+    pub repr: Representative,
+    /// The vocabulary its ids index.
+    pub vocab: Vocabulary,
+}
+
+impl FrozenSummary {
+    /// Serializes the summary to a self-contained, string-keyed binary
+    /// buffer — unlike [`Representative::to_bytes`], this carries the
+    /// term strings, so the receiver needs no shared vocabulary.
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u32(0x5345_5553); // "SEUS"
+        buf.put_u64(self.repr.n_docs());
+        buf.put_u64(self.repr.collection_bytes());
+        buf.put_u32(self.repr.distinct_terms() as u32);
+        for (term, s) in self.repr.iter() {
+            let name = self.vocab.term(term).as_bytes();
+            buf.put_u16(name.len() as u16);
+            buf.put_slice(name);
+            buf.put_f32(s.p as f32);
+            buf.put_f32(s.mean as f32);
+            buf.put_f32(s.std_dev as f32);
+            buf.put_f32(s.max as f32);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes [`FrozenSummary::to_bytes`]; `None` on malformed
+    /// input.
+    pub fn from_bytes(mut buf: impl bytes::Buf) -> Option<Self> {
+        use crate::representative::TermStats;
+        if buf.remaining() < 4 + 8 + 8 + 4 {
+            return None;
+        }
+        if buf.get_u32() != 0x5345_5553 {
+            return None;
+        }
+        let n_docs = buf.get_u64();
+        let collection_bytes = buf.get_u64();
+        let n_terms = buf.get_u32() as usize;
+        let mut vocab = Vocabulary::new();
+        let mut stats = Vec::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            if buf.remaining() < 2 {
+                return None;
+            }
+            let len = buf.get_u16() as usize;
+            if buf.remaining() < len + 16 {
+                return None;
+            }
+            let mut name = vec![0u8; len];
+            buf.copy_to_slice(&mut name);
+            let name = String::from_utf8(name).ok()?;
+            vocab.intern(&name);
+            stats.push(TermStats {
+                p: buf.get_f32() as f64,
+                mean: buf.get_f32() as f64,
+                std_dev: buf.get_f32() as f64,
+                max: buf.get_f32() as f64,
+            });
+        }
+        Some(FrozenSummary {
+            repr: Representative::from_parts(n_docs, stats, collection_bytes),
+            vocab,
+        })
+    }
+
+    /// Builds a cosine-normalized query vector over the summary's
+    /// vocabulary from analyzed tokens (unknown tokens dropped).
+    pub fn query_from_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> Query {
+        use std::collections::HashMap;
+        let mut tf: HashMap<seu_text::TermId, u32> = HashMap::new();
+        for t in tokens {
+            if let Some(id) = self.vocab.get(t.as_ref()) {
+                *tf.entry(id).or_insert(0) += 1;
+            }
+        }
+        let mut weights: Vec<(seu_text::TermId, f64)> =
+            tf.into_iter().map(|(t, f)| (t, f as f64)).collect();
+        weights.sort_by_key(|&(t, _)| t);
+        let norm = weights.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in weights.iter_mut() {
+                *w /= norm;
+            }
+        }
+        Query::new(weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_engine::{CollectionBuilder, WeightingScheme};
+    use seu_text::Analyzer;
+
+    fn collection(docs: &[&str]) -> Collection {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        for (i, d) in docs.iter().enumerate() {
+            b.add_document(&format!("d{i}"), d);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn merge_equals_union_build() {
+        let docs_a = ["alpha beta", "alpha gamma gamma"];
+        let docs_b = ["beta beta delta", "gamma"];
+        let a = PortableRepresentative::build(&collection(&docs_a));
+        let b = PortableRepresentative::build(&collection(&docs_b));
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        let union_docs: Vec<&str> = docs_a.iter().chain(docs_b.iter()).copied().collect();
+        let union = PortableRepresentative::build(&collection(&union_docs));
+
+        assert_eq!(merged.n_docs(), union.n_docs());
+        assert_eq!(merged.distinct_terms(), union.distinct_terms());
+        let fm = merged.freeze();
+        let fu = union.freeze();
+        for (term, s) in fu.repr.iter() {
+            let name = fu.vocab.term(term);
+            let id = fm.vocab.get(name).expect("term in merged");
+            let s2 = fm.repr.get(id).expect("stats in merged");
+            assert!((s.p - s2.p).abs() < 1e-12, "{name}");
+            assert!((s.mean - s2.mean).abs() < 1e-10, "{name}");
+            assert!((s.std_dev - s2.std_dev).abs() < 1e-9, "{name}");
+            assert!((s.max - s2.max).abs() < 1e-12, "{name}");
+        }
+    }
+
+    #[test]
+    fn freeze_matches_direct_representative() {
+        let docs = ["alpha beta", "alpha gamma gamma", "beta"];
+        let c = collection(&docs);
+        let direct = Representative::build(&c);
+        let frozen = PortableRepresentative::build(&c).freeze();
+        assert_eq!(frozen.repr.n_docs(), direct.n_docs());
+        assert_eq!(frozen.repr.distinct_terms(), direct.distinct_terms());
+        for (term, s) in direct.iter() {
+            let name = c.vocab().term(term);
+            let id = frozen.vocab.get(name).unwrap();
+            let s2 = frozen.repr.get(id).unwrap();
+            assert!((s.mean - s2.mean).abs() < 1e-12);
+            assert!((s.max - s2.max).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn frozen_query_normalization() {
+        let c = collection(&["alpha beta gamma"]);
+        let f = PortableRepresentative::build(&c).freeze();
+        let q = f.query_from_tokens(&["alpha", "beta", "unknown"]);
+        assert_eq!(q.len(), 2);
+        let sq: f64 = q.terms().iter().map(|&(_, w)| w * w).sum();
+        assert!((sq - 1.0).abs() < 1e-12);
+        // Duplicate tokens weigh more.
+        let q2 = f.query_from_tokens(&["alpha", "alpha", "beta"]);
+        assert!(q2.terms()[0].1 > q2.terms()[1].1 || q2.terms()[1].1 > q2.terms()[0].1);
+    }
+
+    #[test]
+    fn frozen_wire_format_round_trips() {
+        let c = collection(&["alpha beta", "alpha gamma gamma", "beta"]);
+        let f = PortableRepresentative::build(&c).freeze();
+        let f2 = FrozenSummary::from_bytes(f.to_bytes()).expect("valid buffer");
+        assert_eq!(f2.repr.n_docs(), f.repr.n_docs());
+        assert_eq!(f2.repr.distinct_terms(), f.repr.distinct_terms());
+        for (term, s) in f.repr.iter() {
+            let name = f.vocab.term(term);
+            let id2 = f2.vocab.get(name).expect("term survives");
+            let s2 = f2.repr.get(id2).expect("stats survive");
+            assert!((s.p - s2.p).abs() < 1e-6);
+            assert!((s.max - s2.max).abs() < 1e-6);
+        }
+        // Garbage is rejected, not panicked on.
+        assert!(FrozenSummary::from_bytes(&b"junk"[..]).is_none());
+        let bytes = f.to_bytes();
+        assert!(FrozenSummary::from_bytes(&bytes[..bytes.len() - 2]).is_none());
+    }
+
+    #[test]
+    fn empty_summary() {
+        let p = PortableRepresentative::new();
+        assert_eq!(p.n_docs(), 0);
+        let f = p.freeze();
+        assert_eq!(f.repr.distinct_terms(), 0);
+        assert!(f.query_from_tokens(&["x"]).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! One-byte-per-number representative compression (Section 3.2).
+//!
+//! Probabilities are quantized over the fixed interval `[0, 1]`; means,
+//! standard deviations and maxima over their observed ranges. Each stored
+//! value becomes the average of the training values in its 256-level
+//! interval, exactly the paper's scheme. Tables 7–9 show estimation
+//! quality is essentially unchanged.
+
+use crate::representative::{Representative, TermStats};
+use seu_stats::ByteQuantizer;
+use seu_text::TermId;
+
+/// A representative with every number stored as one byte.
+#[derive(Debug, Clone)]
+pub struct QuantizedRepresentative {
+    n_docs: u64,
+    collection_bytes: u64,
+    rows: usize,
+    /// `(term, [p, mean, std_dev, max] codes)` for present terms.
+    codes: Vec<(TermId, [u8; 4])>,
+    quantizers: [ByteQuantizer; 4],
+}
+
+impl QuantizedRepresentative {
+    /// Quantizes a full representative.
+    pub fn from_representative(repr: &Representative) -> Self {
+        let ps: Vec<f64> = repr.iter().map(|(_, s)| s.p).collect();
+        let means: Vec<f64> = repr.iter().map(|(_, s)| s.mean).collect();
+        let sds: Vec<f64> = repr.iter().map(|(_, s)| s.std_dev).collect();
+        let maxes: Vec<f64> = repr.iter().map(|(_, s)| s.max).collect();
+        let quantizers = [
+            ByteQuantizer::train_with_range(ps.iter().copied(), 0.0, 1.0),
+            ByteQuantizer::train(means.iter().copied()),
+            ByteQuantizer::train(sds.iter().copied()),
+            ByteQuantizer::train(maxes.iter().copied()),
+        ];
+        let codes = repr
+            .iter()
+            .map(|(t, s)| {
+                (
+                    t,
+                    [
+                        quantizers[0].encode(s.p),
+                        quantizers[1].encode(s.mean),
+                        quantizers[2].encode(s.std_dev),
+                        quantizers[3].encode(s.max),
+                    ],
+                )
+            })
+            .collect();
+        QuantizedRepresentative {
+            n_docs: repr.n_docs(),
+            collection_bytes: repr.collection_bytes(),
+            rows: repr.table_len(),
+            codes,
+            quantizers,
+        }
+    }
+
+    /// Number of documents in the summarized database.
+    pub fn n_docs(&self) -> u64 {
+        self.n_docs
+    }
+
+    /// Number of present terms.
+    pub fn distinct_terms(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Stored size: 4 bytes of term id + 4 one-byte numbers per term
+    /// (the reconstruction tables are constant-size overhead: 4 * 256
+    /// f32 values).
+    pub fn size_bytes(&self) -> u64 {
+        8 * self.codes.len() as u64 + 4 * 256 * 4
+    }
+
+    /// Reconstructs a full-precision [`Representative`] view with every
+    /// number replaced by its dequantized value — what the estimators
+    /// consume in the Tables 7–9 experiments.
+    pub fn decode(&self) -> Representative {
+        let mut stats = vec![
+            TermStats {
+                p: 0.0,
+                mean: 0.0,
+                std_dev: 0.0,
+                max: 0.0,
+            };
+            self.rows
+        ];
+        for &(term, code) in &self.codes {
+            stats[term.index()] = TermStats {
+                // Guard: decoded p of a present term must stay positive so
+                // the term is not dropped from the table.
+                p: self.quantizers[0].decode(code[0]).max(f64::MIN_POSITIVE),
+                mean: self.quantizers[1].decode(code[1]),
+                std_dev: self.quantizers[2].decode(code[2]).max(0.0),
+                max: self.quantizers[3].decode(code[3]),
+            };
+        }
+        Representative::from_parts(self.n_docs, stats, self.collection_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_engine::{CollectionBuilder, WeightingScheme};
+    use seu_text::Analyzer;
+
+    fn repr() -> Representative {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        for i in 0..50 {
+            let text = match i % 4 {
+                0 => "alpha beta gamma alpha",
+                1 => "beta gamma delta",
+                2 => "gamma delta epsilon epsilon",
+                _ => "alpha epsilon zeta",
+            };
+            b.add_document(&format!("d{i}"), text);
+        }
+        Representative::build(&b.build())
+    }
+
+    #[test]
+    fn round_trip_error_is_small() {
+        let r = repr();
+        let q = QuantizedRepresentative::from_representative(&r);
+        let r2 = q.decode();
+        assert_eq!(r2.n_docs(), r.n_docs());
+        assert_eq!(r2.distinct_terms(), r.distinct_terms());
+        for (term, s) in r.iter() {
+            let s2 = r2.get(term).expect("term survives quantization");
+            assert!((s.p - s2.p).abs() <= 1.0 / 256.0 + 1e-9, "p");
+            assert!((s.mean - s2.mean).abs() <= 1.0 / 256.0 + 1e-9, "mean");
+        }
+    }
+
+    #[test]
+    fn size_is_8_bytes_per_term_plus_tables() {
+        let r = repr();
+        let q = QuantizedRepresentative::from_representative(&r);
+        assert_eq!(q.size_bytes(), 8 * r.distinct_terms() as u64 + 4 * 256 * 4);
+        assert!(q.size_bytes() < r.size_bytes_quadruplet() + 4 * 256 * 4);
+    }
+
+    #[test]
+    fn present_terms_stay_present() {
+        let r = repr();
+        let r2 = QuantizedRepresentative::from_representative(&r).decode();
+        for (term, _) in r.iter() {
+            assert!(r2.get(term).is_some());
+        }
+    }
+
+    #[test]
+    fn empty_representative() {
+        let b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        let r = Representative::build(&b.build());
+        let q = QuantizedRepresentative::from_representative(&r);
+        assert_eq!(q.distinct_terms(), 0);
+        assert_eq!(q.decode().distinct_terms(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Vose's alias method for O(1) sampling from a discrete distribution.
+//!
+//! The synthetic newsgroup corpus draws millions of terms from Zipfian
+//! topic vocabularies; the alias method makes each draw constant-time after
+//! linear preprocessing.
+
+use rand::Rng;
+
+/// Precomputed alias table over `n` outcomes with given (unnormalized)
+/// weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table over empty support");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "support too large for u32 aliases"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive finite value"
+        );
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        // Scaled probabilities: p_i * n.
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "invalid weight {w}");
+                w / total * n as f64
+            })
+            .collect();
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let freq = empirical(&[1.0, 1.0, 1.0, 1.0], 100_000, 1);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.01, "f={f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights() {
+        let freq = empirical(&[8.0, 1.0, 1.0], 200_000, 2);
+        assert!((freq[0] - 0.8).abs() < 0.01);
+        assert!((freq[1] - 0.1).abs() < 0.01);
+        assert!((freq[2] - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let freq = empirical(&[1.0, 0.0, 1.0], 50_000, 3);
+        assert_eq!(freq[1], 0.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let freq = empirical(&[42.0], 100, 4);
+        assert_eq!(freq[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_panics() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

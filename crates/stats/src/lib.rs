@@ -1,0 +1,37 @@
+//! Statistics substrate for the `seu` workspace.
+//!
+//! The subrange-based usefulness estimator of Meng et al. (ICDE 1999) leans
+//! on a handful of numerical building blocks that this crate provides from
+//! scratch:
+//!
+//! * [`normal`] — the standard normal distribution: `erf`, CDF `phi`,
+//!   quantile `phi_inv` (used to place subrange medians at
+//!   `w + z(percentile) * sigma`), truncated-normal moments, and a seeded
+//!   Box–Muller sampler.
+//! * [`moments`] — single-pass (Welford) mean / standard deviation / min /
+//!   max accumulation, used when building database representatives.
+//! * [`percentile`] — exact percentiles of observed data, used by the
+//!   evaluation harness and by representative diagnostics.
+//! * [`quantize`] — the one-byte-per-number representative compression of
+//!   Section 3.2 of the paper: 256 equal-width intervals, each value mapped
+//!   to the mean of its interval.
+//! * [`alias`] — Vose's alias method for O(1) discrete sampling, the
+//!   backbone of the synthetic corpus generator.
+//! * [`histogram`] — fixed-bin histograms for diagnostics and ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod histogram;
+pub mod moments;
+pub mod normal;
+pub mod percentile;
+pub mod quantize;
+
+pub use alias::AliasTable;
+pub use histogram::Histogram;
+pub use moments::Moments;
+pub use normal::{erf, normal_sample, phi, phi_inv, truncated_mean, upper_tail};
+pub use percentile::{percentile_linear, percentile_nearest_rank};
+pub use quantize::{ByteQuantizer, UNIT_RANGE};

@@ -1,0 +1,260 @@
+//! The standard normal distribution, implemented from scratch.
+//!
+//! The subrange method approximates a term's weight distribution as
+//! `N(w, sigma^2)` and places each subrange's median weight at
+//! `w + z(q) * sigma` where `z = phi_inv` is the standard normal quantile.
+//! The paper's Example 3.3 uses `z(0.875) = 1.15`, `z(0.625) = 0.318`; the
+//! triplet experiments (Tables 10–12) estimate the maximum normalized weight
+//! as the 99.9-percentile `w + z(0.999) * sigma`.
+
+use rand::Rng;
+
+/// `1 / sqrt(2)`.
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+/// `1 / sqrt(2 * pi)`.
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// Error function `erf(x)`, accurate to roughly `1.2e-7` absolute error.
+///
+/// Uses the rational Chebyshev-style approximation of the complementary
+/// error function (Numerical Recipes `erfcc`), which is plenty for the
+/// quantile refinement below (the quantile itself is computed by Acklam's
+/// algorithm and polished with one Halley step).
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    // Horner evaluation of the NR rational approximation.
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal probability density function.
+pub fn pdf(x: f64) -> f64 {
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cumulative distribution function `P(Z <= x)`.
+pub fn phi(x: f64) -> f64 {
+    0.5 * erfc(-x * FRAC_1_SQRT_2)
+}
+
+/// Upper tail probability `P(Z > x) = 1 - phi(x)`.
+pub fn upper_tail(x: f64) -> f64 {
+    0.5 * erfc(x * FRAC_1_SQRT_2)
+}
+
+/// Standard normal quantile (inverse CDF): the `x` with `phi(x) = p`.
+///
+/// Acklam's rational approximation (relative error below `1.2e-9`) followed
+/// by one Halley refinement step against [`phi`]. Returns `-INFINITY` /
+/// `INFINITY` for `p <= 0` / `p >= 1`.
+///
+/// # Examples
+///
+/// ```
+/// // Example 3.3 of the paper: the median of the top quartile.
+/// let z = seu_stats::phi_inv(0.875);
+/// assert!((z - 1.1503).abs() < 1e-3);
+/// ```
+pub fn phi_inv(p: f64) -> f64 {
+    if p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+
+    // Coefficients for Acklam's algorithm.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step: x <- x - 2 e / (2 phi'(x) + e x), e = phi(x) - p.
+    let e = phi(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+/// Mean of a normal `N(mu, sigma^2)` truncated to the interval `(c, inf)`:
+/// `E[W | W > c] = mu + sigma * pdf(a) / (1 - phi(a))` with
+/// `a = (c - mu) / sigma`.
+///
+/// Returns `mu` when `sigma` is not strictly positive (degenerate
+/// distribution) or when the upper tail mass underflows to zero.
+pub fn truncated_mean(mu: f64, sigma: f64, c: f64) -> f64 {
+    if sigma <= 0.0 {
+        return mu;
+    }
+    let a = (c - mu) / sigma;
+    let tail = upper_tail(a);
+    if tail <= f64::MIN_POSITIVE {
+        // Essentially no mass above c; the conditional mean degenerates to c.
+        return c.max(mu);
+    }
+    mu + sigma * pdf(a) / tail
+}
+
+/// Draws one `N(mu, sigma^2)` sample with the Box–Muller transform.
+pub fn normal_sample<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    mu + sigma * r * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_known_values() {
+        // The rational approximation has ~1.2e-7 absolute error.
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_is_symmetric_cdf() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-7);
+        for &x in &[0.1, 0.5, 1.0, 1.5, 2.33, 3.0] {
+            assert!((phi(x) + phi(-x) - 1.0).abs() < 1e-7, "x={x}");
+        }
+    }
+
+    #[test]
+    fn phi_inv_matches_paper_constants() {
+        // Example 3.3: quartile medians of a normal.
+        assert!((phi_inv(0.875) - 1.1503).abs() < 1e-3);
+        assert!((phi_inv(0.625) - 0.3186).abs() < 1e-3);
+        assert!((phi_inv(0.375) + 0.3186).abs() < 1e-3);
+        assert!((phi_inv(0.125) + 1.1503).abs() < 1e-3);
+        // Section 4 six-subrange medians.
+        assert!((phi_inv(0.98) - 2.0537).abs() < 1e-3);
+        assert!((phi_inv(0.931) - 1.4833).abs() < 2e-3);
+        assert!((phi_inv(0.70) - 0.5244).abs() < 1e-3);
+        // Tables 10-12: the 99.9 percentile used to estimate max weights.
+        assert!((phi_inv(0.999) - 3.0902).abs() < 1e-3);
+    }
+
+    #[test]
+    fn phi_inv_is_inverse_of_phi() {
+        for i in 1..999 {
+            let p = i as f64 / 1000.0;
+            let x = phi_inv(p);
+            assert!((phi(x) - p).abs() < 1e-8, "p={p} x={x} phi={}", phi(x));
+        }
+    }
+
+    #[test]
+    fn phi_inv_extremes() {
+        assert_eq!(phi_inv(0.0), f64::NEG_INFINITY);
+        assert_eq!(phi_inv(1.0), f64::INFINITY);
+        assert!(phi_inv(1e-12) < -6.0);
+        assert!(phi_inv(1.0 - 1e-12) > 6.0);
+    }
+
+    #[test]
+    fn truncated_mean_basics() {
+        // Truncating far below the mean changes nothing.
+        assert!((truncated_mean(2.0, 1.0, -100.0) - 2.0).abs() < 1e-6);
+        // Truncating at the mean gives mu + sigma * sqrt(2/pi)... actually
+        // E[W | W > mu] = mu + sigma * pdf(0)/0.5 = mu + sigma * 0.7979.
+        let m = truncated_mean(2.0, 1.0, 2.0);
+        assert!((m - (2.0 + 0.797_884_56)).abs() < 1e-5);
+        // Monotone in the cutoff.
+        let lo = truncated_mean(0.0, 1.0, 0.0);
+        let hi = truncated_mean(0.0, 1.0, 1.0);
+        assert!(hi > lo && hi > 1.0);
+        // Degenerate sigma.
+        assert_eq!(truncated_mean(3.0, 0.0, 10.0), 3.0);
+    }
+
+    #[test]
+    fn truncated_mean_far_tail_does_not_blow_up() {
+        let m = truncated_mean(0.0, 1.0, 40.0);
+        assert!(m.is_finite() && m >= 40.0 - 1e-9);
+    }
+
+    #[test]
+    fn sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = normal_sample(&mut rng, 5.0, 2.0);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 5.0).abs() < 0.02, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.08, "var={var}");
+    }
+}

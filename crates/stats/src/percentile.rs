@@ -1,0 +1,83 @@
+//! Exact percentiles of observed data.
+//!
+//! Used by representative diagnostics (comparing the normal-quantile
+//! approximation of subrange medians with the true empirical medians) and by
+//! the evaluation harness.
+
+/// Nearest-rank percentile of `sorted` (ascending), `q` in `[0, 1]`.
+///
+/// The nearest-rank definition: the smallest value such that at least
+/// `q * 100` percent of the data is less than or equal to it.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn percentile_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty data");
+    assert!((0.0..=1.0).contains(&q), "q out of range: {q}");
+    if q == 0.0 {
+        return sorted[0];
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Linearly interpolated percentile of `sorted` (ascending), `q` in `[0, 1]`.
+///
+/// Uses the common `(n - 1) * q` interpolation (NumPy's default).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn percentile_linear(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty data");
+    assert!((0.0..=1.0).contains(&q), "q out of range: {q}");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_small() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_nearest_rank(&xs, 0.0), 1.0);
+        assert_eq!(percentile_nearest_rank(&xs, 0.25), 1.0);
+        assert_eq!(percentile_nearest_rank(&xs, 0.26), 2.0);
+        assert_eq!(percentile_nearest_rank(&xs, 0.5), 2.0);
+        assert_eq!(percentile_nearest_rank(&xs, 1.0), 4.0);
+    }
+
+    #[test]
+    fn linear_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile_linear(&xs, 0.5), 5.0);
+        assert_eq!(percentile_linear(&xs, 0.0), 0.0);
+        assert_eq!(percentile_linear(&xs, 1.0), 10.0);
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_linear(&ys, 0.5), 2.0);
+        assert!((percentile_linear(&ys, 0.75) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton() {
+        let xs = [42.0];
+        assert_eq!(percentile_nearest_rank(&xs, 0.5), 42.0);
+        assert_eq!(percentile_linear(&xs, 0.99), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        percentile_linear(&[], 0.5);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use seu_stats::{
+    percentile_linear, percentile_nearest_rank, phi, phi_inv, truncated_mean, AliasTable,
+    ByteQuantizer, Moments,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// phi_inv inverts phi across the useful range.
+    #[test]
+    fn quantile_round_trip(x in -5.5f64..5.5) {
+        let p = phi(x);
+        let back = phi_inv(p);
+        prop_assert!((back - x).abs() < 1e-5, "x={x} back={back}");
+    }
+
+    /// phi is a monotone CDF.
+    #[test]
+    fn phi_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(phi(lo) <= phi(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&phi(a)));
+    }
+
+    /// Truncated means sit above both the cutoff and the raw mean.
+    #[test]
+    fn truncated_mean_dominates(mu in -5.0f64..5.0, sigma in 0.01f64..3.0, c in -10.0f64..10.0) {
+        let m = truncated_mean(mu, sigma, c);
+        prop_assert!(m >= mu - 1e-9, "m={m} mu={mu}");
+        prop_assert!(m >= c - 1e-9 || c < mu, "m={m} c={c}");
+        prop_assert!(m.is_finite());
+    }
+
+    /// One-byte quantization round-trips within half an interval.
+    #[test]
+    fn quantizer_error_bound(values in prop::collection::vec(-100.0f64..100.0, 1..200)) {
+        let q = ByteQuantizer::train(values.iter().copied());
+        let bound = q.max_error_bound();
+        for &v in &values {
+            prop_assert!((q.quantize(v) - v).abs() <= bound + 1e-9);
+        }
+    }
+
+    /// Quantizer codes are monotone in the value.
+    #[test]
+    fn quantizer_monotone(values in prop::collection::vec(-100.0f64..100.0, 2..100)) {
+        let q = ByteQuantizer::train(values.iter().copied());
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in sorted.windows(2) {
+            prop_assert!(q.encode(w[0]) <= q.encode(w[1]));
+        }
+    }
+
+    /// Welford moments agree with the naive two-pass computation.
+    #[test]
+    fn moments_match_naive(values in prop::collection::vec(-50.0f64..50.0, 1..100)) {
+        let m: Moments = values.iter().copied().collect();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((m.mean() - mean).abs() < 1e-8);
+        prop_assert!((m.variance() - var).abs() < 1e-7);
+        prop_assert_eq!(m.count(), values.len() as u64);
+        prop_assert_eq!(m.min(), values.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(m.max(), values.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging any split of the data equals processing it sequentially.
+    #[test]
+    fn moments_merge_any_split(values in prop::collection::vec(-50.0f64..50.0, 2..100), split in 0usize..100) {
+        let cut = split % values.len();
+        let seq: Moments = values.iter().copied().collect();
+        let mut a: Moments = values[..cut].iter().copied().collect();
+        let b: Moments = values[cut..].iter().copied().collect();
+        a.merge(&b);
+        prop_assert!((a.mean() - seq.mean()).abs() < 1e-8);
+        prop_assert!((a.variance() - seq.variance()).abs() < 1e-7);
+        prop_assert!((a.skewness() - seq.skewness()).abs() < 1e-6);
+    }
+
+    /// Alias sampling stays in range and only hits positive-weight items.
+    #[test]
+    fn alias_respects_support(weights in prop::collection::vec(0.0f64..10.0, 1..50), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        use rand::{rngs::StdRng, SeedableRng};
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight item {i}");
+        }
+    }
+
+    /// Percentiles are bounded by the data and monotone in q.
+    #[test]
+    fn percentiles_bounded_and_monotone(values in prop::collection::vec(-50.0f64..50.0, 1..100)) {
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let p = percentile_linear(&sorted, q);
+            prop_assert!((lo..=hi).contains(&p));
+            prop_assert!(p >= prev - 1e-12);
+            prev = p;
+            let nr = percentile_nearest_rank(&sorted, q);
+            prop_assert!((lo..=hi).contains(&nr));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Text analysis pipeline for the `seu` workspace.
+//!
+//! The paper preprocesses documents and queries identically: text is split
+//! into words, "non-content words such as 'the', 'of'" are removed, and the
+//! remainder become vector components. This crate implements that pipeline
+//! from scratch:
+//!
+//! * [`tokenizer`] — lowercasing alphanumeric tokenization;
+//! * [`stopwords`] — a classic English stopword list (the SMART-style core);
+//! * [`stemmer`] — a complete Porter stemmer (optional in the pipeline;
+//!   1990s metasearch systems commonly stemmed, and the estimators are
+//!   agnostic to it);
+//! * [`vocab`] — a term dictionary interning strings to dense [`TermId`]s;
+//! * [`analyzer`] — the composed pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod stemmer;
+pub mod stopwords;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use analyzer::{Analyzer, AnalyzerConfig};
+pub use stemmer::porter_stem;
+pub use stopwords::is_stopword;
+pub use tokenizer::tokenize;
+pub use vocab::{TermId, Vocabulary};

@@ -1,0 +1,410 @@
+//! The Porter stemming algorithm (Porter, 1980), implemented in full.
+//!
+//! Stemming conflates morphological variants ("connect", "connected",
+//! "connection" …) to one index term. The analyzer can run with or without
+//! it; the usefulness estimators are agnostic, but stemming shrinks the term
+//! dictionary, which matters for the representative-size experiment (§3.2).
+//!
+//! This is the classic algorithm with the two widely-adopted revisions from
+//! Porter's reference implementation (`BLI -> BLE` generalized, `LOGI ->
+//! LOG` added).
+
+/// Stems `word` (expected lowercase ASCII) with the Porter algorithm.
+///
+/// Words shorter than 3 characters are returned unchanged, as in the
+/// reference implementation.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(seu_text::porter_stem("caresses"), "caress");
+/// assert_eq!(seu_text::porter_stem("ponies"), "poni");
+/// assert_eq!(seu_text::porter_stem("relational"), "relat");
+/// assert_eq!(seu_text::porter_stem("usefulness"), "us");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() < 3
+        || !word
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+    {
+        return word.to_string();
+    }
+    let mut s = Stem {
+        b: word.as_bytes().to_vec(),
+    };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    String::from_utf8(s.b).expect("stemmer produces ASCII")
+}
+
+struct Stem {
+    b: Vec<u8>,
+}
+
+impl Stem {
+    /// Is the character at position `i` a consonant?
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Porter's measure m of the stem `b[..len]`: the number of VC
+    /// sequences in the [C](VC)^m[V] decomposition.
+    fn measure(&self, len: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        while i < len && self.is_consonant(i) {
+            i += 1;
+        }
+        loop {
+            // Skip vowels.
+            while i < len && !self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= len {
+                return m;
+            }
+            // Skip consonants -> one VC.
+            while i < len && self.is_consonant(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    /// Does the stem `b[..len]` contain a vowel?
+    fn has_vowel(&self, len: usize) -> bool {
+        (0..len).any(|i| !self.is_consonant(i))
+    }
+
+    /// Does the stem end in a double consonant?
+    fn ends_double_consonant(&self, len: usize) -> bool {
+        len >= 2 && self.b[len - 1] == self.b[len - 2] && self.is_consonant(len - 1)
+    }
+
+    /// CVC test at end of `b[..len]` where the last C is not w, x or y
+    /// (Porter's `*o` condition).
+    fn cvc(&self, len: usize) -> bool {
+        if len < 3 {
+            return false;
+        }
+        let (a, b, c) = (len - 3, len - 2, len - 1);
+        self.is_consonant(a)
+            && !self.is_consonant(b)
+            && self.is_consonant(c)
+            && !matches!(self.b[c], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suf: &str) -> bool {
+        self.b.ends_with(suf.as_bytes())
+    }
+
+    /// Length of the stem if suffix `suf` is removed.
+    fn stem_len(&self, suf: &str) -> usize {
+        self.b.len() - suf.len()
+    }
+
+    /// Replaces suffix `suf` with `rep` (caller has checked `ends_with`).
+    fn set_suffix(&mut self, suf: &str, rep: &str) {
+        let l = self.stem_len(suf);
+        self.b.truncate(l);
+        self.b.extend_from_slice(rep.as_bytes());
+    }
+
+    /// If the word ends with `suf` and the remaining stem has measure > `m`,
+    /// replace the suffix by `rep` and return true.
+    fn replace_if_m(&mut self, suf: &str, rep: &str, m: usize) -> bool {
+        if self.ends_with(suf) && self.measure(self.stem_len(suf)) > m {
+            self.set_suffix(suf, rep);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step1a(&mut self) {
+        if self.ends_with("sses") {
+            self.set_suffix("sses", "ss");
+        } else if self.ends_with("ies") {
+            self.set_suffix("ies", "i");
+        } else if self.ends_with("ss") {
+            // keep
+        } else if self.ends_with("s") && self.b.len() > 1 {
+            self.set_suffix("s", "");
+        }
+    }
+
+    fn step1b(&mut self) {
+        if self.ends_with("eed") {
+            if self.measure(self.stem_len("eed")) > 0 {
+                self.set_suffix("eed", "ee");
+            }
+            return;
+        }
+        let fired = if self.ends_with("ed") && self.has_vowel(self.stem_len("ed")) {
+            self.set_suffix("ed", "");
+            true
+        } else if self.ends_with("ing") && self.has_vowel(self.stem_len("ing")) {
+            self.set_suffix("ing", "");
+            true
+        } else {
+            false
+        };
+        if fired {
+            if self.ends_with("at") {
+                self.set_suffix("at", "ate");
+            } else if self.ends_with("bl") {
+                self.set_suffix("bl", "ble");
+            } else if self.ends_with("iz") {
+                self.set_suffix("iz", "ize");
+            } else if self.ends_double_consonant(self.b.len())
+                && !matches!(self.b[self.b.len() - 1], b'l' | b's' | b'z')
+            {
+                self.b.pop();
+            } else if self.measure(self.b.len()) == 1 && self.cvc(self.b.len()) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if self.ends_with("y") && self.has_vowel(self.stem_len("y")) {
+            let l = self.b.len();
+            self.b[l - 1] = b'i';
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("bli", "ble"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+            ("logi", "log"),
+        ];
+        for &(suf, rep) in RULES {
+            if self.ends_with(suf) {
+                self.replace_if_m(suf, rep, 0);
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for &(suf, rep) in RULES {
+            if self.ends_with(suf) {
+                self.replace_if_m(suf, rep, 0);
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const SUFFIXES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        for &suf in SUFFIXES {
+            if self.ends_with(suf) {
+                let l = self.stem_len(suf);
+                if self.measure(l) > 1 {
+                    if suf == "ion" && !(l > 0 && matches!(self.b[l - 1], b's' | b't')) {
+                        return;
+                    }
+                    self.b.truncate(l);
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5a(&mut self) {
+        if self.ends_with("e") {
+            let l = self.stem_len("e");
+            let m = self.measure(l);
+            if m > 1 || (m == 1 && !self.cvc(l)) {
+                self.b.truncate(l);
+            }
+        }
+    }
+
+    fn step5b(&mut self) {
+        let l = self.b.len();
+        if l >= 2 && self.b[l - 1] == b'l' && self.ends_double_consonant(l) && self.measure(l) > 1 {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic cases from Porter's paper and reference vocabulary.
+    #[test]
+    fn porter_paper_examples() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            // step 1b yields "agree"; step 5a then removes the final e.
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(porter_stem(input), want, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("be"), "be");
+        assert_eq!(porter_stem("ox"), "ox");
+    }
+
+    #[test]
+    fn non_lowercase_passthrough() {
+        assert_eq!(porter_stem("Hello"), "Hello");
+        assert_eq!(porter_stem("caf\u{e9}s"), "caf\u{e9}s");
+    }
+
+    #[test]
+    fn domain_vocabulary() {
+        // Porter is not idempotent in general; pin the exact one-pass
+        // outputs for the domain vocabulary instead.
+        let cases = [
+            ("search", "search"),
+            ("engines", "engin"),
+            ("estimating", "estim"),
+            ("usefulness", "us"),
+            ("databases", "databas"),
+            ("queries", "queri"),
+            ("statistical", "statist"),
+            ("similarity", "similar"),
+            ("documents", "document"),
+            ("retrieval", "retriev"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(porter_stem(input), want, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn digits_survive() {
+        assert_eq!(porter_stem("8080"), "8080");
+        assert_eq!(porter_stem("x86"), "x86");
+    }
+}

@@ -1,0 +1,217 @@
+//! English stopword list ("non-content words such as 'the', 'of'").
+//!
+//! A compact classic list (the high-frequency core of the SMART list plus
+//! common contraction fragments). Lookup is a binary search over a sorted
+//! static table — no allocation, no hashing.
+
+/// Sorted list of stopwords. Keep sorted: lookup is `binary_search`.
+static STOPWORDS: &[&str] = &[
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "also",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "aren",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "couldn",
+    "did",
+    "didn",
+    "do",
+    "does",
+    "doesn",
+    "doing",
+    "don",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "hadn",
+    "has",
+    "hasn",
+    "have",
+    "haven",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "if",
+    "in",
+    "into",
+    "is",
+    "isn",
+    "it",
+    "its",
+    "itself",
+    "just",
+    "ll",
+    "me",
+    "more",
+    "most",
+    "mustn",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "ought",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "re",
+    "same",
+    "shan",
+    "she",
+    "should",
+    "shouldn",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "ve",
+    "very",
+    "was",
+    "wasn",
+    "we",
+    "were",
+    "weren",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "will",
+    "with",
+    "won",
+    "would",
+    "wouldn",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
+];
+
+/// Returns true if `word` (already lowercased) is a stopword.
+///
+/// # Examples
+///
+/// ```
+/// assert!(seu_text::is_stopword("the"));
+/// assert!(seu_text::is_stopword("of"));
+/// assert!(!seu_text::is_stopword("database"));
+/// ```
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Number of stopwords in the built-in list.
+pub fn stopword_count() -> usize {
+    STOPWORDS.len()
+}
+
+/// Iterates over the built-in stopword list (sorted ascending).
+pub fn stopwords() -> impl Iterator<Item = &'static str> {
+    STOPWORDS.iter().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn paper_examples_are_stopwords() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("of"));
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["search", "engine", "usefulness", "database", "metasearch"] {
+            assert!(!is_stopword(w), "{w} wrongly filtered");
+        }
+    }
+
+    #[test]
+    fn case_sensitivity_contract() {
+        // The predicate expects lowercased input; uppercase is not matched.
+        assert!(!is_stopword("The"));
+    }
+
+    #[test]
+    fn all_list_entries_match() {
+        for w in stopwords() {
+            assert!(is_stopword(w));
+        }
+        assert_eq!(stopwords().count(), stopword_count());
+    }
+}

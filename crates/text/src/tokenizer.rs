@@ -1,0 +1,86 @@
+//! Lowercasing alphanumeric tokenizer.
+//!
+//! A token is a maximal run of ASCII alphanumeric characters; everything
+//! else separates tokens. Tokens are lowercased. Purely numeric tokens are
+//! kept (they can be content-bearing in newsgroup text); single-character
+//! tokens are dropped as noise, matching common IR practice of the era.
+
+/// Iterator over the tokens of a text.
+pub struct Tokens<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        loop {
+            let start = self.rest.find(|c: char| c.is_ascii_alphanumeric())?;
+            self.rest = &self.rest[start..];
+            let end = self
+                .rest
+                .find(|c: char| !c.is_ascii_alphanumeric())
+                .unwrap_or(self.rest.len());
+            let (tok, rest) = self.rest.split_at(end);
+            self.rest = rest;
+            if tok.len() >= 2 {
+                return Some(tok.to_ascii_lowercase());
+            }
+            // Single-char token: skip and continue scanning.
+        }
+    }
+}
+
+/// Tokenizes `text` into lowercased alphanumeric tokens of length >= 2.
+///
+/// # Examples
+///
+/// ```
+/// let toks: Vec<String> = seu_text::tokenize("The C-3PO unit, obviously!").collect();
+/// assert_eq!(toks, ["the", "3po", "unit", "obviously"]);
+/// ```
+pub fn tokenize(text: &str) -> Tokens<'_> {
+    Tokens { rest: text }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s).collect()
+    }
+
+    #[test]
+    fn basic_splitting() {
+        assert_eq!(toks("hello world"), ["hello", "world"]);
+        assert_eq!(toks("hello, world!"), ["hello", "world"]);
+        assert_eq!(toks("  spaced   out  "), ["spaced", "out"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(toks("Hello WORLD MiXeD"), ["hello", "world", "mixed"]);
+    }
+
+    #[test]
+    fn drops_single_chars() {
+        assert_eq!(toks("a b ab I x yz"), ["ab", "yz"]);
+    }
+
+    #[test]
+    fn keeps_numbers_and_mixed() {
+        assert_eq!(toks("v2 port 8080 x86"), ["v2", "port", "8080", "x86"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(toks("").is_empty());
+        assert!(toks("!!! ... ---").is_empty());
+    }
+
+    #[test]
+    fn non_ascii_separates() {
+        assert_eq!(toks("caf\u{e9} table"), ["caf", "table"]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the text pipeline.
+
+use proptest::prelude::*;
+use seu_text::{is_stopword, porter_stem, tokenize, Analyzer, AnalyzerConfig, Vocabulary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tokens are lowercase alphanumeric runs of length >= 2 that appear
+    /// (case-insensitively) in the input.
+    #[test]
+    fn tokenizer_invariants(text in ".{0,200}") {
+        let lower = text.to_lowercase();
+        for tok in tokenize(&text) {
+            prop_assert!(tok.len() >= 2);
+            prop_assert!(tok.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+            prop_assert!(lower.contains(&tok), "{tok:?} not in input");
+        }
+    }
+
+    /// Tokenization never panics and is deterministic.
+    #[test]
+    fn tokenizer_deterministic(text in ".{0,200}") {
+        let a: Vec<String> = tokenize(&text).collect();
+        let b: Vec<String> = tokenize(&text).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Stems are never longer than the word, never empty for valid
+    /// input, and stay ASCII-lowercase/digit.
+    #[test]
+    fn stemmer_invariants(word in "[a-z0-9]{1,20}") {
+        let stem = porter_stem(&word);
+        prop_assert!(!stem.is_empty());
+        // Porter only shrinks or rewrites suffixes of comparable length;
+        // a one-letter growth is possible (e.g. "bl" -> "ble" inside a
+        // longer rewrite) but never more.
+        prop_assert!(stem.len() <= word.len() + 1, "{word} -> {stem}");
+        prop_assert!(stem.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+    }
+
+    /// The stemmer is a pure function.
+    #[test]
+    fn stemmer_deterministic(word in "[a-z]{1,15}") {
+        prop_assert_eq!(porter_stem(&word), porter_stem(&word));
+    }
+
+    /// Analysis with stopword removal yields a subsequence of analysis
+    /// without it.
+    #[test]
+    fn stopword_removal_is_a_filter(text in "[a-zA-Z ]{0,120}") {
+        let keep_all = Analyzer::new(AnalyzerConfig { remove_stopwords: false, stem: false });
+        let filtered = Analyzer::new(AnalyzerConfig { remove_stopwords: true, stem: false });
+        let all = keep_all.analyze(&text);
+        let some = filtered.analyze(&text);
+        // `some` is `all` minus stopwords, in order.
+        let expected: Vec<String> = all.iter().filter(|t| !is_stopword(t)).cloned().collect();
+        prop_assert_eq!(some, expected);
+    }
+
+    /// Vocabulary interning: ids are dense, stable, and round-trip.
+    #[test]
+    fn vocabulary_round_trip(words in prop::collection::vec("[a-z]{1,8}", 1..50)) {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
+        for (w, &id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.term(id), w.as_str());
+            prop_assert_eq!(v.get(w), Some(id));
+        }
+        // Interning again changes nothing.
+        let before = v.len();
+        for w in &words {
+            v.intern(w);
+        }
+        prop_assert_eq!(v.len(), before);
+        // Ids are dense.
+        prop_assert!(v.len() <= words.len());
+    }
+}

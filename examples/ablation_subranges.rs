@@ -1,0 +1,76 @@
+//! Ablation: how estimation quality depends on the subrange scheme — the
+//! design choice at the heart of the paper. Runs the D1 workload under
+//! one-subrange (the basic method), equal-subrange schemes with and
+//! without the singleton max subrange, and the paper's six-subrange
+//! scheme.
+//!
+//! ```text
+//! cargo run --release --example ablation_subranges
+//! ```
+
+use seu::core::Expansion;
+use seu::eval::render_side_by_side;
+use seu::eval::runner::{evaluate, EvalConfig};
+use seu::prelude::*;
+use seu::repr::MaxWeightMode;
+use seu::repr::SubrangeScheme;
+use seu_core::UsefulnessEstimator;
+
+fn main() {
+    println!("generating synthetic D1 + query log (seed 42)...");
+    let ds = seu::corpus::paper_datasets(42);
+    let repr = Representative::build(&ds.d1);
+    let mut queries = ds.queries;
+    queries.truncate(1500);
+    let config = EvalConfig::default();
+
+    let variants: Vec<(&str, SubrangeEstimator)> = vec![
+        (
+            "1 subrange (= basic method)",
+            SubrangeEstimator::new(
+                SubrangeScheme::single(),
+                MaxWeightMode::Stored,
+                Expansion::Exact,
+            ),
+        ),
+        (
+            "4 equal subranges, no max",
+            SubrangeEstimator::new(
+                SubrangeScheme::four_equal(),
+                MaxWeightMode::Stored,
+                Expansion::Exact,
+            ),
+        ),
+        (
+            "4 equal + singleton max",
+            SubrangeEstimator::new(
+                SubrangeScheme::equal(4, true),
+                MaxWeightMode::Stored,
+                Expansion::Exact,
+            ),
+        ),
+        (
+            "paper six-subrange",
+            SubrangeEstimator::paper_six_subrange(),
+        ),
+        (
+            "six-subrange, triplet (estimated max)",
+            SubrangeEstimator::paper_triplet(),
+        ),
+    ];
+
+    for (label, est) in &variants {
+        let res = evaluate(
+            &ds.d1,
+            &repr,
+            &queries,
+            &[est as &(dyn UsefulnessEstimator + Sync)],
+            &config,
+        );
+        println!("{}", render_side_by_side(label, &res[0]));
+    }
+    println!(
+        "reading: the singleton max subrange is what rescues match rates at high \
+         thresholds; extra subranges then shave d-N/d-S (the paper's claim)."
+    );
+}

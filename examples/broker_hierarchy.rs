@@ -1,0 +1,61 @@
+//! A broker of brokers — the paper's "more than two levels"
+//! generalization. Eight regional brokers front the 53 newsgroup
+//! databases; a super-broker holds only eight *merged* group summaries
+//! and routes queries down the tree.
+//!
+//! ```text
+//! cargo run --release --example broker_hierarchy
+//! ```
+
+use seu::corpus::many_databases;
+use seu::corpus::queries::query_text;
+use seu::metasearch::{Broker, SuperBroker};
+use seu::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    println!("generating 53 newsgroup databases (seed 42)...");
+    let dbs = many_databases(42, 220);
+    let n_dbs = dbs.len();
+
+    let superb = SuperBroker::new(SubrangeEstimator::paper_six_subrange());
+    let regions = 8;
+    let region_brokers: Vec<Broker<SubrangeEstimator>> = (0..regions)
+        .map(|_| Broker::new(SubrangeEstimator::paper_six_subrange()))
+        .collect();
+    for (i, (name, coll)) in dbs.into_iter().enumerate() {
+        region_brokers[i * regions / n_dbs].register(&name, SearchEngine::new(coll));
+    }
+    for (g, broker) in region_brokers.into_iter().enumerate() {
+        let summary = broker.portable_summary();
+        println!(
+            "region{g}: {} engines, {} docs, {} distinct terms in its group summary",
+            broker.len(),
+            summary.n_docs(),
+            summary.distinct_terms()
+        );
+        superb.register_broker(&format!("region{g}"), Arc::new(broker));
+    }
+
+    let corpus = seu::corpus::SyntheticCorpus::standard();
+    let queries = corpus.generate_query_log(&QueryLogSpec {
+        n_queries: 6,
+        single_term_fraction: 0.2,
+        max_terms: 4,
+        on_topic_prob: 0.8,
+        seed: 77,
+    });
+
+    for tokens in &queries {
+        let text = query_text(tokens);
+        let groups = superb.select(&text, 0.15, SelectionPolicy::EstimatedUseful);
+        println!("\nquery {text:?}\n  groups selected: {groups:?}");
+        let hits = superb.search(&text, 0.15, SelectionPolicy::EstimatedUseful);
+        for hit in hits.iter().take(3) {
+            println!("    {:<22} {:<12} sim {:.3}", hit.engine, hit.doc, hit.sim);
+        }
+        if hits.is_empty() {
+            println!("    (no documents above the threshold anywhere)");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Document allocation: "give me the 20 best documents overall" —
+//! decided from representatives alone.
+//!
+//! The paper contrasts its threshold-aware usefulness measure with
+//! rank-only methods that need "a separate method … to convert these
+//! measures to the number of documents to retrieve from each search
+//! engine". Here the conversion is direct: the broker locates the global
+//! similarity level at which the engines jointly hold the requested
+//! documents and splits the budget by each engine's estimated share.
+//! The usefulness *curve* of a single engine is shown first.
+//!
+//! ```text
+//! cargo run --release --example document_allocation
+//! ```
+
+use seu::metasearch::Broker;
+use seu::prelude::*;
+
+fn main() {
+    println!("generating three synthetic newsgroup databases (seed 42)...");
+    let ds = seu::corpus::paper_datasets(42);
+
+    // --- One engine's usefulness curve -----------------------------------
+    let repr = Representative::build(&ds.d1);
+    let est = SubrangeEstimator::paper_six_subrange();
+    let query = ds.d1.query_from_text("tp0x40 tp0x41 tp0x55");
+    let curve = est.curve(&repr, &query);
+    println!("\nD1 usefulness curve for a 3-term topical query:");
+    for t in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        println!(
+            "  T={t:.1}  est NoDoc {:>7.2}   est AvgSim {:.3}",
+            curve.no_doc_above(t),
+            curve.avg_sim_above(t)
+        );
+    }
+    for k in [1.0, 5.0, 20.0] {
+        match curve.similarity_for_count(k) {
+            Some(s) => println!("  {k:>4.0} docs expected down to similarity {s:.3}"),
+            None => println!("  {k:>4.0} docs: not expected at any positive similarity"),
+        }
+    }
+
+    // --- Allocation across engines ---------------------------------------
+    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    broker.register("D1", SearchEngine::new(ds.d1.clone()));
+    broker.register("D2", SearchEngine::new(ds.d2.clone()));
+    broker.register("D3", SearchEngine::new(ds.d3.clone()));
+
+    // A background-vocabulary query reaches all three databases.
+    let query_text = "bg120 bg77";
+    for k in [5u64, 20, 100] {
+        let alloc = broker.allocate_documents(query_text, k);
+        let total: u64 = alloc.iter().map(|a| a.k).sum();
+        println!("\nrequest {k:>3} docs for {query_text:?} -> allocated {total}:");
+        for a in &alloc {
+            println!(
+                "  {:<4} k = {:>3}   (estimated NoDoc at chosen level: {:.2})",
+                a.engine, a.k, a.estimated
+            );
+        }
+    }
+}

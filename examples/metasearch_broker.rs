@@ -1,0 +1,87 @@
+//! A full metasearch deployment in miniature: engines ship serialized
+//! (and optionally one-byte-quantized) representatives to a broker, the
+//! broker selects engines per query with the subrange estimator, searches
+//! them in parallel, and merges the results.
+//!
+//! ```text
+//! cargo run --example metasearch_broker
+//! ```
+
+use seu::metasearch::Broker;
+use seu::prelude::*;
+use seu::repr::QuantizedRepresentative;
+
+fn engine(topic_docs: &[&str]) -> SearchEngine {
+    let mut builder = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+    for (i, text) in topic_docs.iter().enumerate() {
+        builder.add_document(&format!("msg-{i}"), text);
+    }
+    SearchEngine::new(builder.build())
+}
+
+fn main() {
+    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+
+    let engines = [
+        (
+            "comp.databases",
+            engine(&[
+                "tuning postgres query plans with partial indexes",
+                "comparing btree and hash indexes for point lookups",
+                "write amplification in log structured storage engines",
+                "metasearch brokers and database selection research",
+            ]),
+        ),
+        (
+            "rec.food",
+            engine(&[
+                "slow roasted tomato sauce for winter pasta",
+                "which mushrooms work best in a cream soup",
+                "trouble shooting dense sourdough crumb",
+            ]),
+        ),
+        (
+            "sci.space",
+            engine(&[
+                "delta v budgets for lunar transfer orbits",
+                "storage tanks boiloff rates for cryogenic propellant",
+                "selecting landing sites from orbital imagery databases",
+            ]),
+        ),
+    ];
+
+    for (name, engine) in engines {
+        // The engine serializes its representative (what would cross the
+        // network), optionally quantizing every number to one byte first.
+        let repr = Representative::build(engine.collection());
+        let quantized = QuantizedRepresentative::from_representative(&repr);
+        let shipped = repr.to_bytes();
+        println!(
+            "{name}: representative {} bytes serialized, {} bytes quantized",
+            shipped.len(),
+            quantized.size_bytes()
+        );
+        let received = Representative::from_bytes(shipped).expect("intact representative");
+        broker.register_with_representative(name, engine, received);
+    }
+
+    let threshold = 0.15;
+    for query in ["database indexes", "mushroom soup", "orbital databases"] {
+        println!("\nquery {query:?}");
+        let estimates = broker.estimate_all(query, threshold);
+        for e in &estimates {
+            println!(
+                "  {:<15} est NoDoc {:.2}  AvgSim {:.3}",
+                e.engine, e.usefulness.no_doc, e.usefulness.avg_sim
+            );
+        }
+        let selected = broker.select(query, threshold, SelectionPolicy::EstimatedUseful);
+        println!(
+            "  selected: {selected:?}  (oracle: {:?})",
+            broker.oracle_select(query, threshold)
+        );
+        for hit in broker.search(query, threshold, SelectionPolicy::EstimatedUseful) {
+            println!("    {:<15} {:<8} sim {:.3}", hit.engine, hit.doc, hit.sim);
+        }
+    }
+}

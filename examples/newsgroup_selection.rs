@@ -1,0 +1,67 @@
+//! The paper's scenario at workload scale: 53-topic synthetic newsgroup
+//! universe, the D1/D2/D3 snapshot databases, and a SIFT-style query log.
+//! Measures how often usefulness-based selection agrees with the oracle
+//! and how much engine traffic it saves versus broadcasting every query.
+//!
+//! ```text
+//! cargo run --release --example newsgroup_selection
+//! ```
+
+use seu::corpus::queries::query_text;
+use seu::metasearch::Broker;
+use seu::prelude::*;
+
+fn main() {
+    println!("generating synthetic newsgroup universe (seed 42)...");
+    let ds = seu::corpus::paper_datasets(42);
+    let n_queries = 800; // a slice of the 6 234-query log keeps this quick
+    let threshold = 0.2;
+
+    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    broker.register("D1", SearchEngine::new(ds.d1.clone()));
+    broker.register("D2", SearchEngine::new(ds.d2.clone()));
+    broker.register("D3", SearchEngine::new(ds.d3.clone()));
+
+    let mut invoked = 0usize;
+    let mut oracle_invoked = 0usize;
+    let mut exact = 0usize;
+    let mut missed_engines = 0usize;
+    let mut extra_engines = 0usize;
+
+    for tokens in ds.queries.iter().take(n_queries) {
+        let text = query_text(tokens);
+        let selected = broker.select(&text, threshold, SelectionPolicy::EstimatedUseful);
+        let oracle = broker.oracle_select(&text, threshold);
+        invoked += selected.len();
+        oracle_invoked += oracle.len();
+        if selected == oracle {
+            exact += 1;
+        }
+        missed_engines += oracle.iter().filter(|e| !selected.contains(e)).count();
+        extra_engines += selected.iter().filter(|e| !oracle.contains(e)).count();
+    }
+
+    let broadcast = n_queries * broker.len();
+    println!("\n{n_queries} queries at threshold {threshold} against 3 engines:");
+    println!("  broadcast policy would invoke {broadcast} engines");
+    println!(
+        "  estimated-useful policy invoked   {invoked} ({:.1} % of broadcast)",
+        100.0 * invoked as f64 / broadcast as f64
+    );
+    println!("  oracle would invoke              {oracle_invoked}");
+    println!(
+        "  exact selections: {exact}/{n_queries} ({:.1} %)",
+        100.0 * exact as f64 / n_queries as f64
+    );
+    println!(
+        "  useful engines missed: {missed_engines}   useless engines invoked: {extra_engines}"
+    );
+
+    // Show a few concrete selections.
+    println!("\nsample selections:");
+    for tokens in ds.queries.iter().take(8) {
+        let text = query_text(tokens);
+        let selected = broker.select(&text, threshold, SelectionPolicy::EstimatedUseful);
+        println!("  {text:<40} -> {selected:?}");
+    }
+}

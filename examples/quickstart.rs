@@ -1,0 +1,71 @@
+//! Quickstart: build two tiny search engines, summarize them into
+//! representatives, and let the subrange estimator decide which one is
+//! worth querying — without ever touching their documents.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use seu::prelude::*;
+
+fn engine(texts: &[(&str, &str)]) -> SearchEngine {
+    let mut builder = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+    for (name, text) in texts {
+        builder.add_document(name, text);
+    }
+    SearchEngine::new(builder.build())
+}
+
+fn main() {
+    // Two "local search engines" with different subject matter.
+    let db_systems = engine(&[
+        ("vldb", "query optimization in distributed database systems"),
+        (
+            "sigmod",
+            "transaction concurrency control for relational databases",
+        ),
+        (
+            "icde",
+            "estimating the usefulness of search engines for metasearch",
+        ),
+        (
+            "tods",
+            "cost models for database query processing and indexes",
+        ),
+    ]);
+    let cooking = engine(&[
+        ("soup", "creamy mushroom soup with garlic and thyme"),
+        ("bread", "sourdough bread baking with a rye starter"),
+        ("pasta", "fresh pasta dough and tomato sauce basics"),
+    ]);
+
+    // The broker sees only the compact statistical representatives.
+    let r_systems = Representative::build(db_systems.collection());
+    let r_cooking = Representative::build(cooking.collection());
+    println!(
+        "representatives: systems = {} terms ({} bytes), cooking = {} terms ({} bytes)",
+        r_systems.distinct_terms(),
+        r_systems.size_bytes_quadruplet(),
+        r_cooking.distinct_terms(),
+        r_cooking.size_bytes_quadruplet(),
+    );
+
+    let estimator = SubrangeEstimator::paper_six_subrange();
+    let threshold = 0.2;
+
+    for query_text in ["database query", "mushroom soup", "search engines"] {
+        println!("\nquery: {query_text:?} (threshold {threshold})");
+        for (name, engine, repr) in [
+            ("db-systems", &db_systems, &r_systems),
+            ("cooking", &cooking, &r_cooking),
+        ] {
+            let query = engine.collection().query_from_text(query_text);
+            let est = estimator.estimate(repr, &query, threshold);
+            let truth = engine.true_usefulness(&query, threshold);
+            println!(
+                "  {name:<10} est NoDoc {:.2} (AvgSim {:.3})   true NoDoc {} (AvgSim {:.3})",
+                est.no_doc, est.avg_sim, truth.no_doc, truth.avg_sim
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # seu — Search-Engine Usefulness estimation
+//!
+//! A production-quality Rust reproduction of
+//! *Meng, Liu, Yu, Wu, Rishe — "Estimating the Usefulness of Search
+//! Engines", ICDE 1999*.
+//!
+//! In a metasearch architecture a broker holds, for each local search
+//! engine, a compact statistical *representative* of its database and must
+//! decide per query which engines to invoke. This workspace implements the
+//! paper's subrange-based usefulness estimator — which predicts both the
+//! number of documents above a similarity threshold (`NoDoc`) and their
+//! average similarity (`AvgSim`) — together with every substrate it needs:
+//! a text-analysis pipeline, a vector-space search engine, the
+//! generating-function polynomial machinery, the compared baselines
+//! (gGlOSS high-correlation/disjoint and the VLDB'98 method), a synthetic
+//! newsgroup workload, a metasearch broker, and the full evaluation harness
+//! that regenerates every table in the paper.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names.
+//!
+//! ```
+//! use seu::prelude::*;
+//!
+//! // Build a tiny engine, its representative, and estimate usefulness.
+//! let analyzer = Analyzer::paper_default();
+//! let mut builder = CollectionBuilder::new(analyzer, WeightingScheme::CosineTf);
+//! builder.add_document("d1", "rust database systems");
+//! builder.add_document("d2", "cooking with mushrooms");
+//! let collection = builder.build();
+//! let engine = SearchEngine::new(collection);
+//!
+//! let repr = Representative::build(engine.collection());
+//! let est = SubrangeEstimator::paper_six_subrange();
+//! let query = engine.collection().query_from_text("rust database");
+//! let u = est.estimate(&repr, &query, 0.2);
+//! let truth = engine.true_usefulness(&query, 0.2);
+//! assert!(u.no_doc > 0.0 && truth.no_doc == 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use seu_core as core;
+pub use seu_corpus as corpus;
+pub use seu_engine as engine;
+pub use seu_eval as eval;
+pub use seu_metasearch as metasearch;
+pub use seu_poly as poly;
+pub use seu_repr as repr;
+pub use seu_stats as stats;
+pub use seu_text as text;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use seu_core::{
+        BasicEstimator, BinaryIndependentEstimator, CoriRanker, DependenceAdjustedEstimator,
+        DisjointEstimator, EmpiricalSubrangeEstimator, HighCorrelationEstimator,
+        PrevMethodEstimator, SubrangeEstimator, Usefulness, UsefulnessCurve, UsefulnessEstimator,
+    };
+    pub use seu_corpus::{CollectionSpec, QueryLogSpec, SyntheticCorpus};
+    pub use seu_engine::{CollectionBuilder, Query, SearchEngine, WeightingScheme};
+    pub use seu_metasearch::{Allocation, Broker, SelectionPolicy};
+    pub use seu_repr::{
+        QuantizedRepresentative, Representative, RepresentativeAccumulator, SubrangeScheme,
+    };
+    pub use seu_text::{Analyzer, AnalyzerConfig};
+}

@@ -1,0 +1,105 @@
+//! Integration tests for the multi-level broker and document allocation
+//! on the synthetic paper workload.
+
+use seu::corpus::queries::query_text;
+use seu::corpus::{many_databases, paper_datasets};
+use seu::metasearch::{Broker, SuperBroker};
+use seu::prelude::*;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+fn flat_broker() -> &'static Broker<SubrangeEstimator> {
+    static B: OnceLock<Broker<SubrangeEstimator>> = OnceLock::new();
+    B.get_or_init(|| {
+        let ds = paper_datasets(17);
+        let b = Broker::new(SubrangeEstimator::paper_six_subrange());
+        b.register("D1", SearchEngine::new(ds.d1));
+        b.register("D2", SearchEngine::new(ds.d2));
+        b.register("D3", SearchEngine::new(ds.d3));
+        b
+    })
+}
+
+#[test]
+fn allocation_respects_truth_at_scale() {
+    let broker = flat_broker();
+    let ds = paper_datasets(17);
+    for tokens in ds.queries.iter().take(60).filter(|q| q.len() >= 2) {
+        let text = query_text(tokens);
+        let k = 10;
+        let alloc = broker.allocate_documents(&text, k);
+        let total: u64 = alloc.iter().map(|a| a.k).sum();
+        assert!(total <= k, "{text}: over-allocated {total}");
+        // Engines allocated documents must be estimated useful at some
+        // level — they must at least contain a query term.
+        for a in &alloc {
+            if a.k > 0 {
+                assert!(a.estimated > 0.0, "{text}: {a:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn allocation_fills_budget_when_documents_exist() {
+    let broker = flat_broker();
+    // A background term reaches all databases.
+    let alloc = broker.allocate_documents("bg3 bg8", 30);
+    let total: u64 = alloc.iter().map(|a| a.k).sum();
+    assert!(total >= 25, "{alloc:?}");
+}
+
+#[test]
+fn two_level_routing_matches_flat_selection_mostly() {
+    let dbs = many_databases(29, 150);
+    let n = dbs.len();
+    let flat = Broker::new(SubrangeEstimator::paper_six_subrange());
+    let superb = SuperBroker::new(SubrangeEstimator::paper_six_subrange());
+    let groups: Vec<Broker<SubrangeEstimator>> = (0..6)
+        .map(|_| Broker::new(SubrangeEstimator::paper_six_subrange()))
+        .collect();
+    for (i, (name, coll)) in dbs.into_iter().enumerate() {
+        flat.register(&name, SearchEngine::new(coll.clone()));
+        groups[i * 6 / n].register(&name, SearchEngine::new(coll));
+    }
+    for (g, broker) in groups.into_iter().enumerate() {
+        superb.register_broker(&format!("g{g}"), Arc::new(broker));
+    }
+
+    let corpus = seu::corpus::SyntheticCorpus::standard();
+    let queries = corpus.generate_query_log(&QueryLogSpec {
+        n_queries: 120,
+        single_term_fraction: 0.3,
+        max_terms: 5,
+        on_topic_prob: 0.7,
+        seed: 31,
+    });
+
+    let mut flat_hits = 0usize;
+    let mut two_hits = 0usize;
+    for tokens in &queries {
+        let text = query_text(tokens);
+        let f = flat.search(&text, 0.2, SelectionPolicy::EstimatedUseful);
+        let t = superb.search(&text, 0.2, SelectionPolicy::EstimatedUseful);
+        flat_hits += f.len();
+        two_hits += t.len();
+        // Every two-level hit exists in the flat result (same engines,
+        // same threshold; only the engine label gains a region prefix).
+        for h in &t {
+            let suffix = h.engine.split('/').next_back().unwrap();
+            assert!(
+                f.iter().any(|fh| fh.engine == suffix
+                    && fh.doc == h.doc
+                    && (fh.sim - h.sim).abs() < 1e-12),
+                "{text}: {h:?} missing from flat results"
+            );
+        }
+    }
+    assert!(flat_hits > 0);
+    // The hierarchy loses only a small fraction of hits to group-summary
+    // blurring.
+    assert!(
+        two_hits as f64 >= 0.9 * flat_hits as f64,
+        "{two_hits} vs {flat_hits}"
+    );
+}
