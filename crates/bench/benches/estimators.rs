@@ -28,7 +28,7 @@ fn bench_single_estimates(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("estimate_single_threshold");
     for (name, m) in &methods {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let mut acc = 0.0;
                 for q in &f.queries {

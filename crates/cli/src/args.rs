@@ -54,6 +54,24 @@ pub enum Command {
     },
 }
 
+/// Observability options shared by every subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsOptions {
+    /// Print a metrics snapshot after the command runs.
+    pub stats: bool,
+    /// Write the metrics snapshot as JSON to this path.
+    pub metrics_out: Option<PathBuf>,
+}
+
+/// A parsed command plus the flags that apply to all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand.
+    pub command: Command,
+    /// Observability options.
+    pub obs: ObsOptions,
+}
+
 /// The usage string printed on parse failure.
 pub const USAGE: &str = "\
 usage:
@@ -61,7 +79,10 @@ usage:
   seu repr <engine.bin> -o <repr.bin> [--quantize]
   seu estimate <repr.bin> -q <query> [-t <threshold>]
   seu search <engine.bin> -q <query> [-t <threshold>] [-k <top-k>]
-  seu broker <engine.bin>... -q <query> [-t <threshold>]";
+  seu broker <engine.bin>... -q <query> [-t <threshold>]
+global flags:
+  --stats               print a metrics snapshot after the command
+  --metrics-out <path>  write the metrics snapshot as JSON";
 
 struct Cursor {
     args: Vec<String>,
@@ -83,7 +104,7 @@ impl Cursor {
 }
 
 /// Parses a `seu` command line (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, String> {
+pub fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut cur = Cursor {
         args: args.to_vec(),
         pos: 0,
@@ -101,10 +122,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut top_k: Option<usize> = None;
     let mut stem = false;
     let mut quantize = false;
+    let mut obs = ObsOptions::default();
 
     while let Some(arg) = cur.next().map(str::to_string) {
         match arg.as_str() {
             "-o" | "--output" => output = Some(PathBuf::from(cur.value_for("-o")?)),
+            "--stats" => obs.stats = true,
+            "--metrics-out" => {
+                obs.metrics_out = Some(PathBuf::from(cur.value_for("--metrics-out")?));
+            }
             "-q" | "--query" => query = Some(cur.value_for("-q")?),
             "-t" | "--threshold" => {
                 threshold = cur
@@ -141,54 +167,55 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             .ok_or_else(|| "missing -q <query>".to_string())
     };
 
-    match sub.as_str() {
-        "index" => Ok(Command::Index {
+    let command = match sub.as_str() {
+        "index" => Command::Index {
             input: one_positional("input path")?,
             output: output.ok_or("missing -o <engine.bin>")?,
             stem,
-        }),
-        "repr" => Ok(Command::Repr {
+        },
+        "repr" => Command::Repr {
             engine: one_positional("engine file")?,
             output: output.ok_or("missing -o <repr.bin>")?,
             quantize,
-        }),
-        "estimate" => Ok(Command::Estimate {
+        },
+        "estimate" => Command::Estimate {
             repr: one_positional("representative file")?,
             query: need_query()?,
             threshold,
-        }),
-        "search" => Ok(Command::Search {
+        },
+        "search" => Command::Search {
             engine: one_positional("engine file")?,
             query: need_query()?,
             threshold,
             top_k,
-        }),
+        },
         "broker" => {
             if positionals.is_empty() {
                 return Err("broker needs at least one engine file".into());
             }
-            Ok(Command::Broker {
+            Command::Broker {
                 engines: positionals,
                 query: need_query()?,
                 threshold,
-            })
+            }
         }
-        other => Err(format!("unknown command {other}")),
-    }
+        other => return Err(format!("unknown command {other}")),
+    };
+    Ok(Invocation { command, obs })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn p(args: &[&str]) -> Result<Command, String> {
+    fn p(args: &[&str]) -> Result<Invocation, String> {
         parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
     #[test]
     fn index_parses() {
         assert_eq!(
-            p(&["index", "docs/", "-o", "e.bin", "--stem"]).unwrap(),
+            p(&["index", "docs/", "-o", "e.bin", "--stem"]).unwrap().command,
             Command::Index {
                 input: "docs/".into(),
                 output: "e.bin".into(),
@@ -201,7 +228,7 @@ mod tests {
     #[test]
     fn repr_parses() {
         assert_eq!(
-            p(&["repr", "e.bin", "-o", "r.bin"]).unwrap(),
+            p(&["repr", "e.bin", "-o", "r.bin"]).unwrap().command,
             Command::Repr {
                 engine: "e.bin".into(),
                 output: "r.bin".into(),
@@ -209,7 +236,9 @@ mod tests {
             }
         );
         assert!(matches!(
-            p(&["repr", "e.bin", "-o", "r.bin", "--quantize"]).unwrap(),
+            p(&["repr", "e.bin", "-o", "r.bin", "--quantize"])
+                .unwrap()
+                .command,
             Command::Repr { quantize: true, .. }
         ));
     }
@@ -217,7 +246,9 @@ mod tests {
     #[test]
     fn estimate_and_search_parse() {
         assert_eq!(
-            p(&["estimate", "r.bin", "-q", "mushroom soup", "-t", "0.3"]).unwrap(),
+            p(&["estimate", "r.bin", "-q", "mushroom soup", "-t", "0.3"])
+                .unwrap()
+                .command,
             Command::Estimate {
                 repr: "r.bin".into(),
                 query: "mushroom soup".into(),
@@ -225,7 +256,7 @@ mod tests {
             }
         );
         assert_eq!(
-            p(&["search", "e.bin", "-q", "soup", "-k", "5"]).unwrap(),
+            p(&["search", "e.bin", "-q", "soup", "-k", "5"]).unwrap().command,
             Command::Search {
                 engine: "e.bin".into(),
                 query: "soup".into(),
@@ -237,11 +268,41 @@ mod tests {
 
     #[test]
     fn broker_takes_many_engines() {
-        match p(&["broker", "a.bin", "b.bin", "c.bin", "-q", "x"]).unwrap() {
+        match p(&["broker", "a.bin", "b.bin", "c.bin", "-q", "x"])
+            .unwrap()
+            .command
+        {
             Command::Broker { engines, .. } => assert_eq!(engines.len(), 3),
             other => panic!("{other:?}"),
         }
         assert!(p(&["broker", "-q", "x"]).unwrap_err().contains("engine"));
+    }
+
+    #[test]
+    fn obs_flags_parse_on_any_command() {
+        let inv = p(&["search", "e.bin", "-q", "soup", "--stats"]).unwrap();
+        assert!(inv.obs.stats);
+        assert_eq!(inv.obs.metrics_out, None);
+
+        let inv = p(&[
+            "estimate",
+            "r.bin",
+            "-q",
+            "x",
+            "--metrics-out",
+            "m.json",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(inv.obs.stats);
+        assert_eq!(inv.obs.metrics_out, Some("m.json".into()));
+
+        // Defaults stay off.
+        let inv = p(&["search", "e.bin", "-q", "soup"]).unwrap();
+        assert_eq!(inv.obs, ObsOptions::default());
+        assert!(p(&["search", "e.bin", "-q", "x", "--metrics-out"])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

@@ -6,7 +6,7 @@ fn main() {
         eprintln!("{}", seu_cli::args::USAGE);
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
-    let command = match seu_cli::parse(&args) {
+    let invocation = match seu_cli::parse(&args) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}\n{}", seu_cli::args::USAGE);
@@ -15,7 +15,7 @@ fn main() {
     };
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
-    if let Err(e) = seu_cli::run(&command, &mut lock) {
+    if let Err(e) = seu_cli::run(&invocation, &mut lock) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

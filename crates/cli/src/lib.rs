@@ -19,12 +19,44 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse, Command};
+pub use args::{parse, Command, Invocation, ObsOptions};
 
 use std::io;
 
+/// Runs a parsed invocation: the command itself, then the observability
+/// flags (`--stats` prints a snapshot, `--metrics-out` writes it as
+/// JSON). Metrics are emitted even when the command fails, so a crash
+/// still leaves its counters behind.
+pub fn run(invocation: &Invocation, out: &mut dyn io::Write) -> Result<(), String> {
+    let result = run_command(&invocation.command, out);
+    emit_metrics(&invocation.obs, out)?;
+    result
+}
+
+fn emit_metrics(obs: &ObsOptions, out: &mut dyn io::Write) -> Result<(), String> {
+    if !obs.stats && obs.metrics_out.is_none() {
+        return Ok(());
+    }
+    // Eagerly register the core instrument families so every exposition
+    // has a stable set of series (zero-valued when untouched) and
+    // dashboards never see names flicker in and out across runs.
+    seu_engine::search::register_metrics();
+    seu_metasearch::broker::register_metrics();
+    seu_core::subrange::register_metrics();
+    let snapshot = seu_obs::global().snapshot();
+    if obs.stats {
+        write!(out, "--- metrics ---\n{}", snapshot.to_text())
+            .map_err(|e| format!("writing metrics: {e}"))?;
+    }
+    if let Some(path) = &obs.metrics_out {
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
 /// Runs a parsed command, writing human-readable output to `out`.
-pub fn run(command: &Command, out: &mut dyn io::Write) -> Result<(), String> {
+pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), String> {
     match command {
         Command::Index {
             input,

@@ -1,0 +1,75 @@
+//! Integration: `--stats` prints a metrics snapshot after the command
+//! and `--metrics-out` writes JSON that parses back into a
+//! [`seu_obs::Snapshot`].
+
+use seu_cli::{parse, run};
+use std::fs;
+use std::path::Path;
+
+fn invoke(args: &[&str]) -> (Result<(), String>, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let invocation = parse(&args).expect("arguments parse");
+    let mut out = Vec::new();
+    let result = run(&invocation, &mut out);
+    (result, String::from_utf8(out).expect("output is UTF-8"))
+}
+
+fn write_docs(dir: &Path) {
+    fs::create_dir_all(dir).expect("create docs dir");
+    fs::write(dir.join("a.txt"), "mushroom soup with cream and chives").unwrap();
+    fs::write(dir.join("b.txt"), "grilled cheese sandwich with tomato soup").unwrap();
+}
+
+#[test]
+fn stats_prints_and_metrics_out_roundtrips() {
+    let dir = std::env::temp_dir().join(format!("seu-cli-metrics-{}", std::process::id()));
+    let docs = dir.join("docs");
+    write_docs(&docs);
+    let engine = dir.join("engine.bin");
+    let (result, _) = invoke(&[
+        "index",
+        docs.to_str().unwrap(),
+        "-o",
+        engine.to_str().unwrap(),
+    ]);
+    result.expect("index succeeds");
+
+    let json_path = dir.join("metrics.json");
+    let (result, out) = invoke(&[
+        "search",
+        engine.to_str().unwrap(),
+        "-q",
+        "mushroom soup",
+        "--stats",
+        "--metrics-out",
+        json_path.to_str().unwrap(),
+    ]);
+    result.expect("search succeeds");
+
+    // --stats appends the snapshot; eager registration means the broker
+    // and estimator families show up even though a single-engine search
+    // never touches them.
+    assert!(out.contains("--- metrics ---"), "missing marker:\n{out}");
+    assert!(out.contains("engine_searches_total"), "{out}");
+    assert!(out.contains("broker_query_latency_seconds"), "{out}");
+    assert!(out.contains("estimator_poly_terms_expanded_total"), "{out}");
+
+    // --metrics-out wrote a JSON document that parses back.
+    let text = fs::read_to_string(&json_path).expect("metrics file written");
+    let snapshot = seu_obs::Snapshot::from_json(&text).expect("metrics JSON parses");
+    assert!(
+        snapshot
+            .counters
+            .get("engine_searches_total")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "search did not count: {:?}",
+        snapshot.counters
+    );
+    assert!(snapshot
+        .histograms
+        .contains_key("broker_query_latency_seconds"));
+
+    fs::remove_dir_all(&dir).ok();
+}

@@ -18,6 +18,48 @@ use seu_engine::Query;
 use seu_poly::TailStats;
 use seu_poly::{GridPoly, SparsePoly};
 use seu_repr::{MaxWeightMode, Representative, SubrangeScheme};
+use std::sync::{Arc, OnceLock};
+
+/// Instrument handles cached once per process. The `raw` count is the
+/// unmerged expansion size (product of per-factor spike counts); the
+/// difference to the stored term count is what epsilon merging pruned.
+struct EstimatorMetrics {
+    invocations: Arc<seu_obs::Counter>,
+    sweeps: Arc<seu_obs::Counter>,
+    expansions: Arc<seu_obs::Counter>,
+    terms_raw: Arc<seu_obs::Counter>,
+    terms_expanded: Arc<seu_obs::Counter>,
+    terms_pruned: Arc<seu_obs::Counter>,
+    expansion_size: Arc<seu_obs::Histogram>,
+    expansion_seconds: Arc<seu_obs::Histogram>,
+    grid_cells: Arc<seu_obs::Counter>,
+}
+
+fn metrics() -> &'static EstimatorMetrics {
+    static METRICS: OnceLock<EstimatorMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EstimatorMetrics {
+        invocations: seu_obs::counter("estimator_subrange_invocations_total"),
+        sweeps: seu_obs::counter("estimator_subrange_sweeps_total"),
+        expansions: seu_obs::counter("estimator_poly_expansions_total"),
+        terms_raw: seu_obs::counter("estimator_poly_terms_raw_total"),
+        terms_expanded: seu_obs::counter("estimator_poly_terms_expanded_total"),
+        terms_pruned: seu_obs::counter("estimator_poly_terms_pruned_total"),
+        expansion_size: seu_obs::histogram_with_buckets(
+            "estimator_poly_expansion_terms",
+            &seu_obs::SIZE_BUCKETS,
+        ),
+        expansion_seconds: seu_obs::histogram("estimator_expansion_seconds"),
+        grid_cells: seu_obs::counter("estimator_grid_cells_convolved_total"),
+    })
+}
+
+/// Forces creation of the estimator's instruments so snapshots and
+/// expositions include the whole `estimator_*` family — zero-valued if
+/// the process never estimated — instead of a family that appears only
+/// after the first call touches it.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// How the generating function is expanded.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -160,27 +202,40 @@ impl SubrangeEstimator {
     /// by the user").
     pub fn curve(&self, repr: &Representative, query: &Query) -> crate::curve::UsefulnessCurve {
         let factors = self.factors(repr, query);
-        let polys: Vec<SparsePoly> = factors
-            .iter()
-            .map(|spikes| SparsePoly::spike_factor(spikes.iter().map(|&(p, e)| (p, e))))
-            .collect();
-        let g = if polys.is_empty() {
+        let g = if factors.is_empty() {
             SparsePoly::one()
         } else {
-            SparsePoly::product(&polys)
+            self.expand_exact(&factors)
         };
         crate::curve::UsefulnessCurve::from_expansion(&g, repr.n_docs())
     }
 
+    /// Expands the product of spike factors exactly, recording the
+    /// polynomial-size and timing metrics for the expansion.
+    fn expand_exact(&self, factors: &[Vec<(f64, f64)>]) -> SparsePoly {
+        let m = metrics();
+        let timer = m.expansion_seconds.start_timer();
+        let polys: Vec<SparsePoly> = factors
+            .iter()
+            .map(|spikes| SparsePoly::spike_factor(spikes.iter().map(|&(p, e)| (p, e))))
+            .collect();
+        let g = SparsePoly::product(&polys);
+        timer.stop();
+        let raw: u64 = polys
+            .iter()
+            .fold(1u64, |acc, p| acc.saturating_mul(p.len().max(1) as u64));
+        let expanded = g.len() as u64;
+        m.expansions.inc();
+        m.terms_raw.add(raw);
+        m.terms_expanded.add(expanded);
+        m.terms_pruned.add(raw.saturating_sub(expanded));
+        m.expansion_size.observe(expanded as f64);
+        g
+    }
+
     fn tail(&self, factors: &[Vec<(f64, f64)>], threshold: f64) -> TailStats {
         match self.expansion {
-            Expansion::Exact => {
-                let polys: Vec<SparsePoly> = factors
-                    .iter()
-                    .map(|spikes| SparsePoly::spike_factor(spikes.iter().map(|&(p, e)| (p, e))))
-                    .collect();
-                SparsePoly::product(&polys).tail_above(threshold)
-            }
+            Expansion::Exact => self.expand_exact(factors).tail_above(threshold),
             Expansion::Grid { cells } => {
                 let max_exp: f64 = factors
                     .iter()
@@ -189,11 +244,18 @@ impl SubrangeEstimator {
                 if max_exp <= 0.0 {
                     return TailStats::default();
                 }
+                let m = metrics();
+                let timer = m.expansion_seconds.start_timer();
                 let mut g = GridPoly::identity(max_exp, cells);
                 for spikes in factors {
                     g.convolve_spikes(spikes);
                 }
-                g.tail_above(threshold)
+                let tail = g.tail_above(threshold);
+                timer.stop();
+                m.expansions.inc();
+                m.grid_cells
+                    .add((cells as u64).saturating_mul(factors.len() as u64));
+                tail
             }
         }
     }
@@ -201,6 +263,7 @@ impl SubrangeEstimator {
 
 impl UsefulnessEstimator for SubrangeEstimator {
     fn estimate(&self, repr: &Representative, query: &Query, threshold: f64) -> Usefulness {
+        metrics().invocations.inc();
         let factors = self.factors(repr, query);
         if factors.is_empty() {
             return Usefulness::default();
@@ -218,6 +281,7 @@ impl UsefulnessEstimator for SubrangeEstimator {
         query: &Query,
         thresholds: &[f64],
     ) -> Vec<Usefulness> {
+        metrics().sweeps.inc();
         let factors = self.factors(repr, query);
         if factors.is_empty() {
             return vec![Usefulness::default(); thresholds.len()];
@@ -225,11 +289,7 @@ impl UsefulnessEstimator for SubrangeEstimator {
         // The expansion does not depend on the threshold: do it once.
         match self.expansion {
             Expansion::Exact => {
-                let polys: Vec<SparsePoly> = factors
-                    .iter()
-                    .map(|spikes| SparsePoly::spike_factor(spikes.iter().map(|&(p, e)| (p, e))))
-                    .collect();
-                let g = SparsePoly::product(&polys);
+                let g = self.expand_exact(&factors);
                 thresholds
                     .iter()
                     .map(|&t| {

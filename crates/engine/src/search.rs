@@ -6,6 +6,32 @@ use crate::query::Query;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, OnceLock};
+
+/// Instrument handles cached once per process; each scoring pass then
+/// costs three relaxed atomic adds.
+pub(crate) struct EngineMetrics {
+    pub(crate) searches: Arc<seu_obs::Counter>,
+    pub(crate) docs_scored: Arc<seu_obs::Counter>,
+    pub(crate) postings_touched: Arc<seu_obs::Counter>,
+}
+
+pub(crate) fn metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        searches: seu_obs::counter("engine_searches_total"),
+        docs_scored: seu_obs::counter("engine_docs_scored_total"),
+        postings_touched: seu_obs::counter("engine_postings_touched_total"),
+    })
+}
+
+/// Forces creation of the engine's instruments so snapshots and
+/// expositions include the whole `engine_*` family — zero-valued if the
+/// process never searched — instead of a family that appears only after
+/// the first call touches it.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// One retrieved document with its global (cosine) similarity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,6 +91,7 @@ impl SearchEngine {
             }
         }
         acc.sort_by_key(|&(d, _)| d);
+        let postings = acc.len() as u64;
         let mut out: Vec<(DocId, f64)> = Vec::with_capacity(acc.len());
         for (d, s) in acc {
             match out.last_mut() {
@@ -72,6 +99,10 @@ impl SearchEngine {
                 _ => out.push((DocId(d), s)),
             }
         }
+        let m = metrics();
+        m.searches.inc();
+        m.postings_touched.add(postings);
+        m.docs_scored.add(out.len() as u64);
         out
     }
 

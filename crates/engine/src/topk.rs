@@ -91,6 +91,12 @@ impl SearchEngine {
             }
         }
 
+        let m = crate::search::metrics();
+        m.searches.inc();
+        m.postings_touched
+            .add(terms.iter().map(|&(_, p, _)| p.len() as u64).sum());
+        m.docs_scored.add(acc.len() as u64);
+
         let mut hits: Vec<SearchHit> = acc
             .into_iter()
             .filter(|&(_, sim)| sim > 0.0)

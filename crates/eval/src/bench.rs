@@ -1,0 +1,234 @@
+//! Machine-readable broker benchmark (`repro bench-broker`).
+//!
+//! Runs a full metasearch workload — build the 53 topic databases,
+//! register them with a broker (which builds their representatives),
+//! then estimate / select / search a slice of the SIFT-style query log —
+//! and reports per-phase wall-clock alongside the observability
+//! counters the run produced. The report serializes to the JSON file
+//! `BENCH_broker.json` so dashboards and regression scripts can diff
+//! runs without scraping stdout.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use seu_core::SubrangeEstimator;
+use seu_corpus::queries::QueryLogSpec;
+use seu_corpus::SyntheticCorpus;
+use seu_engine::SearchEngine;
+use seu_metasearch::{Broker, SelectionPolicy};
+use seu_obs::json;
+
+/// One timed phase of the benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPhase {
+    /// Phase name (`build_databases`, `register`, `estimate`, `select`,
+    /// `search`).
+    pub name: &'static str,
+    /// Wall-clock spent in the phase.
+    pub seconds: f64,
+    /// Work items processed (databases or queries).
+    pub items: u64,
+}
+
+/// The benchmark report: configuration, per-phase timings, and the
+/// counter deltas the run generated.
+#[derive(Debug, Clone)]
+pub struct BrokerBenchReport {
+    /// RNG seed the workload was generated from.
+    pub seed: u64,
+    /// Number of databases registered with the broker.
+    pub databases: usize,
+    /// Number of queries driven through each phase.
+    pub queries: usize,
+    /// Similarity threshold used for estimate/select/search.
+    pub threshold: f64,
+    /// Timed phases, in execution order.
+    pub phases: Vec<BenchPhase>,
+    /// Counter increments attributable to this run (global counter
+    /// values after minus before, so a bench inside a longer process
+    /// reports only its own work).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl BrokerBenchReport {
+    /// Serializes the report as a pretty-printed JSON document, with the
+    /// full metrics snapshot embedded under `"metrics"`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"broker\",\n");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"databases\": {},", self.databases);
+        let _ = writeln!(out, "  \"queries\": {},", self.queries);
+        out.push_str("  \"threshold\": ");
+        json::write_num(&mut out, self.threshold);
+        out.push_str(",\n  \"phases\": [\n");
+        for (i, phase) in self.phases.iter().enumerate() {
+            out.push_str("    {\"name\": ");
+            json::write_escaped(&mut out, phase.name);
+            out.push_str(", \"seconds\": ");
+            json::write_num(&mut out, phase.seconds);
+            let _ = write!(out, ", \"items\": {}}}", phase.items);
+            out.push_str(if i + 1 < self.phases.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"counters\": {\n");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            out.push_str("    ");
+            json::write_escaped(&mut out, name);
+            let _ = write!(out, ": {value}");
+            out.push_str(if i + 1 < self.counters.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  },\n  \"metrics\": ");
+        // Reindent the embedded snapshot so the document stays readable.
+        let snapshot = seu_obs::global().snapshot().to_json();
+        out.push_str(&snapshot.trim_end().replace('\n', "\n  "));
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Human-readable phase table for the terminal.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "broker bench: {} databases, {} queries, threshold {} (seed {})",
+            self.databases, self.queries, self.threshold, self.seed
+        );
+        let _ = writeln!(out, "  {:<16} {:>10} {:>8}", "phase", "seconds", "items");
+        for phase in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10.4} {:>8}",
+                phase.name, phase.seconds, phase.items
+            );
+        }
+        out
+    }
+}
+
+/// Runs the broker benchmark. `docs_base` scales database sizes exactly
+/// as in [`seu_corpus::many_databases`] (the paper-scale run uses 120);
+/// `n_queries` caps the query-log slice driven through the broker.
+pub fn run_broker_bench(seed: u64, docs_base: usize, n_queries: usize) -> BrokerBenchReport {
+    let threshold = 0.15;
+    let before = seu_obs::global().snapshot().counters;
+    let mut phases = Vec::new();
+
+    let start = Instant::now();
+    let mut databases = seu_corpus::many_databases(seed, docs_base);
+    phases.push(BenchPhase {
+        name: "build_databases",
+        seconds: start.elapsed().as_secs_f64(),
+        items: databases.len() as u64,
+    });
+    let n_databases = databases.len();
+
+    let queries: Vec<String> = SyntheticCorpus::standard()
+        .generate_query_log(&QueryLogSpec {
+            n_queries,
+            ..QueryLogSpec::paper_default(seed ^ 0x5157)
+        })
+        .iter()
+        .map(|q| q.join(" "))
+        .collect();
+
+    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    let mut timed = |name: &'static str, items: u64, work: &mut dyn FnMut()| {
+        let start = Instant::now();
+        work();
+        phases.push(BenchPhase {
+            name,
+            seconds: start.elapsed().as_secs_f64(),
+            items,
+        });
+    };
+    timed("register", n_databases as u64, &mut || {
+        for (name, coll) in databases.drain(..) {
+            broker.register(&name, SearchEngine::new(coll));
+        }
+    });
+    timed("estimate", queries.len() as u64, &mut || {
+        for q in &queries {
+            broker.estimate_all(q, threshold);
+        }
+    });
+    timed("select", queries.len() as u64, &mut || {
+        for q in &queries {
+            broker.select(q, threshold, SelectionPolicy::EstimatedUseful);
+        }
+    });
+    timed("search", queries.len() as u64, &mut || {
+        for q in &queries {
+            broker.search(q, threshold, SelectionPolicy::EstimatedUseful);
+        }
+    });
+
+    let after = seu_obs::global().snapshot().counters;
+    let counters = after
+        .into_iter()
+        .filter_map(|(name, value)| {
+            let delta = value - before.get(&name).copied().unwrap_or(0);
+            (delta > 0).then_some((name, delta))
+        })
+        .collect();
+
+    BrokerBenchReport {
+        seed,
+        databases: n_databases,
+        queries: queries.len(),
+        threshold,
+        phases,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_report_is_valid_json_with_expected_shape() {
+        let report = run_broker_bench(7, 6, 4);
+        assert_eq!(report.queries, 4);
+        assert!(report.databases > 0);
+        assert_eq!(
+            report.phases.iter().map(|p| p.name).collect::<Vec<_>>(),
+            ["build_databases", "register", "estimate", "select", "search"]
+        );
+
+        let doc = json::parse(&report.to_json()).expect("bench JSON parses");
+        assert_eq!(
+            doc.get("bench").and_then(|b| b.as_str()),
+            Some("broker"),
+            "bench tag"
+        );
+        let phases = doc.get("phases").and_then(|p| p.as_arr()).expect("phases");
+        assert_eq!(phases.len(), 5);
+        for phase in phases {
+            assert!(phase.get("seconds").and_then(json::Json::as_num).is_some());
+        }
+        let counters = doc.get("counters").and_then(|c| c.as_obj()).expect("counters");
+        assert!(
+            counters.contains_key("broker_queries_total"),
+            "search phase drives broker_queries_total; got {:?}",
+            counters.keys().collect::<Vec<_>>()
+        );
+        assert!(counters.contains_key("estimator_subrange_invocations_total"));
+        // The embedded snapshot must itself round-trip.
+        let metrics = doc.get("metrics").expect("metrics field");
+        assert!(metrics.get("counters").is_some());
+    }
+
+    #[test]
+    fn counter_deltas_scale_with_queries() {
+        let report = run_broker_bench(11, 6, 3);
+        // estimate + select + search each consider every database per query.
+        let estimates = report.counters["estimator_subrange_invocations_total"];
+        assert!(
+            estimates >= (3 * report.databases) as u64,
+            "expected at least one estimate per (query, database): {estimates}"
+        );
+        assert_eq!(report.counters.get("broker_selects_total"), Some(&3));
+    }
+}

@@ -24,7 +24,15 @@
 //!   weighting           E19: robustness under log-tf / pivoted weighting
 //!   exact-percentiles   E20: normal-approximated vs exact subrange medians
 //!   diagnostics         workload sanity numbers
+//!   bench-broker        timed broker workload -> BENCH_broker.json
 //!   all                 everything above
+//!
+//! FLAGS
+//!   --seed N            workload RNG seed (default 42)
+//!   --csv DIR           dump per-database CSVs alongside the tables
+//!   --bench-out PATH    where bench-broker writes its JSON report
+//!   --stats             print a metrics snapshot after the run
+//!   --metrics-out PATH  write the metrics snapshot as JSON
 //! ```
 
 use seu_eval::experiments::*;
@@ -35,6 +43,9 @@ fn main() {
     let mut command = "all".to_string();
     let mut seed = 42u64;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut bench_out: Option<std::path::PathBuf> = None;
+    let mut stats = false;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,6 +62,23 @@ fn main() {
                     args.get(i)
                         .map(std::path::PathBuf::from)
                         .unwrap_or_else(|| usage("--csv needs a directory")),
+                );
+            }
+            "--bench-out" => {
+                i += 1;
+                bench_out = Some(
+                    args.get(i)
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage("--bench-out needs a path")),
+                );
+            }
+            "--stats" => stats = true,
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(
+                    args.get(i)
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| usage("--metrics-out needs a path")),
                 );
             }
             "--help" | "-h" => usage(""),
@@ -84,11 +112,32 @@ fn main() {
         }
     };
 
+    let run = |name: &str| command == name || command == "all";
+
+    // The broker bench builds its own databases; run it before (and,
+    // when it is the only command, instead of) dataset generation.
+    if run("bench-broker") {
+        eprintln!("running broker bench (seed {seed})...");
+        let report = seu_eval::run_broker_bench(seed, 120, 400);
+        print!("{}", report.to_text());
+        let path = bench_out
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("BENCH_broker.json"));
+        match std::fs::write(&path, report.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        println!();
+        if command == "bench-broker" {
+            emit_metrics(stats, metrics_out.as_deref());
+            return;
+        }
+    }
+
     eprintln!("generating synthetic datasets (seed {seed})...");
     let ds = seu_corpus::paper_datasets(seed);
     let config = EvalConfig::default();
 
-    let run = |name: &str| command == name || command == "all";
     let mut ran = false;
     if run("diagnostics") {
         print!("{}", run_workload_diagnostics(&ds).text);
@@ -188,6 +237,23 @@ fn main() {
     if !ran {
         usage(&format!("unknown command {command}"));
     }
+    emit_metrics(stats, metrics_out.as_deref());
+}
+
+/// Honors `--stats` / `--metrics-out` after the experiments run.
+fn emit_metrics(stats: bool, metrics_out: Option<&std::path::Path>) {
+    if !stats && metrics_out.is_none() {
+        return;
+    }
+    let snapshot = seu_obs::global().snapshot();
+    if stats {
+        print!("--- metrics ---\n{}", snapshot.to_text());
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -198,7 +264,8 @@ fn usage(err: &str) -> ! {
         "usage: repro [--csv DIR] [tables-1-6|tables-7-9|tables-10-12|scalability|guarantee|\
          ablation-subranges|ablation-disjoint|ablation-grid|ranking|long-queries|\
          hierarchy|selection|gloss-bounds|dependence|binary|policies|weighting|\
-         exact-percentiles|diagnostics|all] [--seed N]"
+         exact-percentiles|diagnostics|bench-broker|all] [--seed N] \
+         [--bench-out PATH] [--stats] [--metrics-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

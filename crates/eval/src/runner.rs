@@ -5,6 +5,44 @@ use crate::metrics::{MethodResult, ThresholdRow};
 use seu_core::UsefulnessEstimator;
 use seu_engine::{Collection, Query, SearchEngine};
 use seu_repr::Representative;
+use std::sync::{Arc, OnceLock};
+
+/// Instrument handles cached once per process. The drift instruments
+/// compare each method's estimate against the exact ground truth the
+/// runner computes anyway, so estimator regressions show up in `--stats`
+/// output without rerunning a table.
+struct EvalMetrics {
+    queries: Arc<seu_obs::Counter>,
+    estimates: Arc<seu_obs::Counter>,
+    nodoc_over: Arc<seu_obs::Counter>,
+    nodoc_under: Arc<seu_obs::Counter>,
+    nodoc_exact: Arc<seu_obs::Counter>,
+    nodoc_drift: Arc<seu_obs::Histogram>,
+    avg_sim_drift: Arc<seu_obs::Histogram>,
+}
+
+fn metrics() -> &'static EvalMetrics {
+    static METRICS: OnceLock<EvalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EvalMetrics {
+        queries: seu_obs::counter("eval_queries_total"),
+        estimates: seu_obs::counter("eval_estimates_total"),
+        nodoc_over: seu_obs::counter("eval_nodoc_overestimates_total"),
+        nodoc_under: seu_obs::counter("eval_nodoc_underestimates_total"),
+        nodoc_exact: seu_obs::counter("eval_nodoc_exact_total"),
+        nodoc_drift: seu_obs::histogram_with_buckets("eval_nodoc_drift_docs", &seu_obs::SIZE_BUCKETS),
+        avg_sim_drift: seu_obs::histogram("eval_avg_sim_drift"),
+    })
+}
+
+/// `estimator_invocations_<name>_total`, with the method name made
+/// Prometheus-safe.
+fn method_counter(name: &str) -> Arc<seu_obs::Counter> {
+    let safe: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    seu_obs::counter(&format!("estimator_invocations_{safe}_total"))
+}
 
 /// Configuration of one evaluation run.
 #[derive(Debug, Clone)]
@@ -57,6 +95,9 @@ pub fn evaluate(
     let thresholds = &config.thresholds;
     let workers = config.worker_count().max(1);
     let chunk = queries.len().div_ceil(workers).max(1);
+    let method_counters: Vec<Arc<seu_obs::Counter>> =
+        methods.iter().map(|m| method_counter(m.name())).collect();
+    let method_counters = &method_counters;
 
     // partials[worker][method][threshold]
     let partials: Vec<Vec<Vec<ThresholdRow>>> = crossbeam::scope(|scope| {
@@ -65,6 +106,14 @@ pub fn evaluate(
             .map(|qchunk| {
                 let engine = &engine;
                 scope.spawn(move |_| {
+                    let m = metrics();
+                    // Tallies accumulate locally; one atomic add per chunk.
+                    let mut n_queries = 0u64;
+                    let mut n_estimates = 0u64;
+                    let mut n_over = 0u64;
+                    let mut n_under = 0u64;
+                    let mut n_exact = 0u64;
+                    let mut per_method = vec![0u64; methods.len()];
                     let mut acc: Vec<Vec<ThresholdRow>> = methods
                         .iter()
                         .map(|_| {
@@ -110,13 +159,32 @@ pub fn evaluate(
                                 (count as u64, avg)
                             })
                             .collect();
+                        n_queries += 1;
                         for (mi, method) in methods.iter().enumerate() {
                             let ests = method.estimate_sweep(repr, &query, thresholds);
+                            per_method[mi] += 1;
                             for (ti, est) in ests.iter().enumerate() {
                                 let (tn, ta) = truth[ti];
-                                acc[mi][ti].record(tn, ta, est.no_doc_rounded(), est.avg_sim);
+                                let en = est.no_doc_rounded();
+                                n_estimates += 1;
+                                match en.cmp(&tn) {
+                                    std::cmp::Ordering::Greater => n_over += 1,
+                                    std::cmp::Ordering::Less => n_under += 1,
+                                    std::cmp::Ordering::Equal => n_exact += 1,
+                                }
+                                m.nodoc_drift.observe(en.abs_diff(tn) as f64);
+                                m.avg_sim_drift.observe((est.avg_sim - ta).abs());
+                                acc[mi][ti].record(tn, ta, en, est.avg_sim);
                             }
                         }
+                    }
+                    m.queries.add(n_queries);
+                    m.estimates.add(n_estimates);
+                    m.nodoc_over.add(n_over);
+                    m.nodoc_under.add(n_under);
+                    m.nodoc_exact.add(n_exact);
+                    for (mi, n) in per_method.iter().enumerate() {
+                        method_counters[mi].add(*n);
                     }
                     acc
                 })

@@ -7,7 +7,46 @@ use serde::{Deserialize, Serialize};
 use seu_core::{Usefulness, UsefulnessEstimator};
 use seu_engine::SearchEngine;
 use seu_repr::Representative;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Instrument handles cached once per process.
+struct BrokerMetrics {
+    query_latency: Arc<seu_obs::Histogram>,
+    select_latency: Arc<seu_obs::Histogram>,
+    queries: Arc<seu_obs::Counter>,
+    selects: Arc<seu_obs::Counter>,
+    estimates: Arc<seu_obs::Counter>,
+    considered: Arc<seu_obs::Counter>,
+    selected: Arc<seu_obs::Counter>,
+    merge_hits: Arc<seu_obs::Counter>,
+    merge_size: Arc<seu_obs::Histogram>,
+}
+
+fn metrics() -> &'static BrokerMetrics {
+    static METRICS: OnceLock<BrokerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| BrokerMetrics {
+        query_latency: seu_obs::histogram("broker_query_latency_seconds"),
+        select_latency: seu_obs::histogram("broker_select_latency_seconds"),
+        queries: seu_obs::counter("broker_queries_total"),
+        selects: seu_obs::counter("broker_selects_total"),
+        estimates: seu_obs::counter("broker_estimates_total"),
+        considered: seu_obs::counter("broker_engines_considered_total"),
+        selected: seu_obs::counter("broker_engines_selected_total"),
+        merge_hits: seu_obs::counter("broker_merge_hits_total"),
+        merge_size: seu_obs::histogram_with_buckets(
+            "broker_merge_result_size",
+            &seu_obs::SIZE_BUCKETS,
+        ),
+    })
+}
+
+/// Forces creation of the broker's instruments so snapshots and
+/// expositions include the whole `broker_*` family — zero-valued if the
+/// process never ran a query — instead of a family that appears only
+/// after the first call touches it.
+pub fn register_metrics() {
+    let _ = metrics();
+}
 
 /// One engine's estimate for a query, as reported by the broker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -154,6 +193,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// engine's vocabulary.
     pub fn estimate_all(&self, query_text: &str, threshold: f64) -> Vec<EngineEstimate> {
         let engines = self.engines.read();
+        metrics().estimates.add(engines.len() as u64);
         engines
             .iter()
             .map(|e| {
@@ -169,13 +209,20 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// Selects engines for a query under a policy. Returns names in
     /// invocation order.
     pub fn select(&self, query_text: &str, threshold: f64, policy: SelectionPolicy) -> Vec<String> {
+        let m = metrics();
+        let timer = m.select_latency.start_timer();
         let estimates = self.estimate_all(query_text, threshold);
         let us: Vec<Usefulness> = estimates.iter().map(|e| e.usefulness).collect();
-        policy
+        let selected: Vec<String> = policy
             .select(&us)
             .into_iter()
             .map(|i| estimates[i].engine.clone())
-            .collect()
+            .collect();
+        m.selects.inc();
+        m.considered.add(estimates.len() as u64);
+        m.selected.add(selected.len() as u64);
+        timer.stop();
+        selected
     }
 
     /// Full metasearch: select engines, dispatch the query to them in
@@ -187,6 +234,8 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         threshold: f64,
         policy: SelectionPolicy,
     ) -> Vec<MergedHit> {
+        let m = metrics();
+        let timer = m.query_latency.start_timer();
         let engines = self.engines.read();
         let us: Vec<Usefulness> = engines
             .iter()
@@ -222,7 +271,14 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             }
         })
         .expect("dispatch scope");
-        merge_results(per_engine)
+        let merged = merge_results(per_engine);
+        m.queries.inc();
+        m.considered.add(engines.len() as u64);
+        m.selected.add(selected.len() as u64);
+        m.merge_hits.add(merged.len() as u64);
+        m.merge_size.observe(merged.len() as f64);
+        timer.stop();
+        merged
     }
 
     /// Ground-truth selection (which engines truly have a document above

@@ -1,0 +1,79 @@
+//! Integration: a full broker round trip populates the expected metric
+//! series in the global registry.
+//!
+//! The test reads counter values before and after (rather than clearing
+//! the registry) because instrument handles are cached per process — a
+//! cleared registry would silently orphan them for every later test in
+//! the binary.
+
+use seu_core::SubrangeEstimator;
+use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
+use seu_metasearch::{Broker, SelectionPolicy};
+use seu_text::Analyzer;
+
+fn engine(docs: &[(&str, &str)]) -> SearchEngine {
+    let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+    for (name, text) in docs {
+        b.add_document(name, text);
+    }
+    SearchEngine::new(b.build())
+}
+
+#[test]
+fn broker_search_populates_expected_metrics() {
+    let before = seu_obs::global().snapshot();
+
+    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    broker.register(
+        "cooking",
+        engine(&[
+            ("d0", "mushroom soup with cream and chives"),
+            ("d1", "grilled cheese sandwich with tomato"),
+        ]),
+    );
+    broker.register(
+        "astronomy",
+        engine(&[
+            ("d2", "telescope mirror grinding at home"),
+            ("d3", "neutron star merger lights the sky"),
+        ]),
+    );
+    let selected = broker.select("mushroom soup", 0.1, SelectionPolicy::EstimatedUseful);
+    assert_eq!(selected, vec!["cooking".to_string()]);
+    let hits = broker.search("mushroom soup", 0.1, SelectionPolicy::EstimatedUseful);
+    assert!(!hits.is_empty());
+
+    let after = seu_obs::global().snapshot();
+    let delta = |name: &str| {
+        after.counters.get(name).copied().unwrap_or(0)
+            - before.counters.get(name).copied().unwrap_or(0)
+    };
+
+    assert_eq!(delta("broker_queries_total"), 1);
+    assert_eq!(delta("broker_selects_total"), 1);
+    // select() and search() each size up every registered engine.
+    assert_eq!(delta("broker_engines_considered_total"), 4);
+    assert!(delta("broker_engines_selected_total") >= 2);
+    assert!(delta("broker_merge_hits_total") >= 1);
+    // One subrange estimate per (call, engine).
+    assert!(delta("estimator_subrange_invocations_total") >= 4);
+    assert!(delta("estimator_poly_expansions_total") >= 1);
+    assert!(delta("engine_searches_total") >= 1);
+    assert!(delta("engine_docs_scored_total") >= 1);
+
+    let count = |snap: &seu_obs::Snapshot, name: &str| {
+        snap.histograms.get(name).map(|h| h.count).unwrap_or(0)
+    };
+    for hist in [
+        "broker_query_latency_seconds",
+        "broker_select_latency_seconds",
+        "broker_merge_result_size",
+    ] {
+        assert!(
+            count(&after, hist) > count(&before, hist),
+            "{hist} got no observation"
+        );
+        let h = &after.histograms[hist];
+        assert!(h.p50.is_some(), "{hist} has no quantiles");
+    }
+}

@@ -1,0 +1,325 @@
+//! Lock-free metric primitives: counters, gauges, and fixed-bucket
+//! histograms with quantile readout, plus the RAII `SpanTimer`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move in both directions, stored as `f64` bits.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: f64) {
+        self.bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + delta).to_bits())
+            })
+            .expect("fetch_update closure never returns None");
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default histogram bucket upper bounds, in seconds: a 1-2.5-5 ladder
+/// from 1µs to 10s. Suits both query latencies and dimensionless sizes
+/// when callers pass their own bounds instead.
+pub const DEFAULT_BUCKETS: [f64; 22] = [
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Fixed-bucket histogram. Observations are cumulative-bucketed on read,
+/// not on write: each `observe` increments exactly one bucket counter, a
+/// count, and a bit-CAS'd sum, so the hot path is a few relaxed atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds (inclusive) of the finite buckets, ascending.
+    bounds: Vec<f64>,
+    /// One slot per finite bucket plus a final overflow (+Inf) slot.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::with_buckets(&DEFAULT_BUCKETS)
+    }
+
+    /// `bounds` must be finite, positive, and strictly ascending.
+    pub fn with_buckets(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite and strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + value).to_bits())
+            })
+            .expect("fetch_update closure never returns None");
+        self.max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (value > f64::from_bits(bits)).then(|| value.to_bits())
+            })
+            .ok();
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Bucket upper bounds (the final +Inf bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket holding the target rank. Returns `None` while
+    /// empty. The overflow bucket interpolates toward the observed max.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (idx, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cumulative + n;
+            if (next as f64) >= target {
+                let lower = if idx == 0 { 0.0 } else { self.bounds[idx - 1] };
+                let upper = if idx < self.bounds.len() {
+                    self.bounds[idx]
+                } else {
+                    self.max().max(lower)
+                };
+                let fraction = (target - cumulative as f64) / n as f64;
+                return Some(lower + (upper - lower) * fraction);
+            }
+            cumulative = next;
+        }
+        Some(self.max())
+    }
+
+    /// Starts a timer that observes its elapsed seconds into `self` when
+    /// dropped.
+    pub fn start_timer(self: &Arc<Self>) -> SpanTimer {
+        SpanTimer {
+            histogram: Arc::clone(self),
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// RAII span guard: records wall-clock seconds into its histogram on
+/// drop (or earlier via [`SpanTimer::stop`]).
+#[derive(Debug)]
+pub struct SpanTimer {
+    histogram: Arc<Histogram>,
+    start: Instant,
+    recorded: bool,
+}
+
+impl SpanTimer {
+    /// Records now and returns the elapsed seconds; the drop is then a
+    /// no-op.
+    pub fn stop(mut self) -> f64 {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        self.histogram.observe(elapsed);
+        self.recorded = true;
+        elapsed
+    }
+
+    /// Discards the span without recording it.
+    pub fn cancel(mut self) {
+        self.recorded = true;
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.histogram.observe(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observations_land_in_correct_buckets() {
+        let h = Histogram::with_buckets(&[1.0, 10.0, 100.0]);
+        // Bucket bounds are inclusive: 1.0 goes to the first bucket.
+        for v in [0.5, 1.0, 5.0, 100.0, 1e6] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 1_000_106.5).abs() < 1e-6);
+        assert!((h.max() - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::with_buckets(&[1.0, 2.0, 4.0]);
+        for _ in 0..50 {
+            h.observe(0.5);
+        }
+        for _ in 0..50 {
+            h.observe(1.5);
+        }
+        // Median sits exactly at the edge of the first bucket.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((0.9..=1.0).contains(&p50), "{p50}");
+        // p99 falls inside the (1, 2] bucket.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((1.9..=2.0).contains(&p99), "{p99}");
+        assert!(h.quantile(0.0).unwrap() <= p50);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn overflow_bucket_uses_observed_max() {
+        let h = Histogram::with_buckets(&[1.0]);
+        h.observe(50.0);
+        h.observe(90.0);
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 <= 90.0 && p99 > 1.0, "{p99}");
+    }
+
+    #[test]
+    fn span_timer_records_on_drop_and_stop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        let elapsed = h.start_timer().stop();
+        assert!(elapsed >= 0.0);
+        assert_eq!(h.count(), 2);
+        h.start_timer().cancel();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = Arc::new(Counter::new());
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe((t * 1000 + i) as f64 * 1e-6);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 8000);
+    }
+}

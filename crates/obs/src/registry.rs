@@ -1,0 +1,212 @@
+//! The metric registry: named get-or-create access to counters, gauges,
+//! and histograms, with a process-wide default instance.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named family of metrics. Cheap to share: instruments are `Arc`s and
+/// callers are expected to cache them outside hot loops.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, creating it on first use. Panics if the
+    /// name is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.metrics.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.metrics.read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// The histogram named `name` with default (latency) buckets.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with_buckets(name, &crate::metrics::DEFAULT_BUCKETS)
+    }
+
+    /// The histogram named `name`; `bounds` applies only on first
+    /// registration.
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.metrics.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::with_buckets(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// Registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics.read().keys().cloned().collect()
+    }
+
+    /// A point-in-time copy of every metric's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.read();
+        let mut snap = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    snap.histograms.insert(
+                        name.clone(),
+                        HistogramSnapshot {
+                            count: h.count(),
+                            sum: h.sum(),
+                            max: h.max(),
+                            p50: h.quantile(0.50),
+                            p95: h.quantile(0.95),
+                            p99: h.quantile(0.99),
+                            buckets: h
+                                .bounds()
+                                .iter()
+                                .map(|&b| Some(b))
+                                .chain([None])
+                                .zip(counts)
+                                .collect(),
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+
+    /// Resets the registry to empty. Existing `Arc` handles keep working
+    /// but are no longer reported.
+    pub fn clear(&self) {
+        self.metrics.write().clear();
+    }
+}
+
+/// The process-wide default registry, used by the instrumentation hooks
+/// in the seu crates. Library users wanting isolation can construct and
+/// thread their own [`MetricsRegistry`] instead.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// `global().counter(name)`, as a free function for terse call sites.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// `global().gauge(name)`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// `global().histogram(name)`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// `global().histogram_with_buckets(name, bounds)`.
+pub fn histogram_with_buckets(name: &str, bounds: &[f64]) -> Arc<Histogram> {
+    global().histogram_with_buckets(name, bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instrument() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").add(3);
+        assert_eq!(reg.counter("a").get(), 5);
+        assert_eq!(reg.names(), vec!["a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(1.25);
+        reg.histogram_with_buckets("h", &[1.0, 2.0]).observe(1.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["c"], 7);
+        assert_eq!(snap.gauges["g"], 1.25);
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.buckets.len(), 3);
+        assert_eq!(h.buckets[1], (Some(2.0), 1));
+        assert_eq!(h.buckets[2].0, None);
+    }
+
+    #[test]
+    fn concurrent_get_or_create_single_instrument() {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        reg.counter("shared").inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("shared").get(), 4000);
+    }
+}

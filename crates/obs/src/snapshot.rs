@@ -1,0 +1,303 @@
+//! Point-in-time registry snapshots and their two expositions:
+//! Prometheus text format and a JSON document that round-trips through
+//! [`Snapshot::from_json`].
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub max: f64,
+    pub p50: Option<f64>,
+    pub p95: Option<f64>,
+    pub p99: Option<f64>,
+    /// `(upper_bound, count)` per bucket; `None` is the +Inf bucket.
+    /// Counts are per-bucket (not cumulative).
+    pub buckets: Vec<(Option<f64>, u64)>,
+}
+
+/// Frozen state of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes to a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str("    ");
+            json::write_escaped(&mut out, name);
+            let _ = write!(out, ": {value}");
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (name, value) in &self.gauges {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str("    ");
+            json::write_escaped(&mut out, name);
+            out.push_str(": ");
+            json::write_num(&mut out, *value);
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.histograms {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str("    ");
+            json::write_escaped(&mut out, name);
+            let _ = write!(out, ": {{\"count\": {}, \"sum\": ", h.count);
+            json::write_num(&mut out, h.sum);
+            out.push_str(", \"max\": ");
+            json::write_num(&mut out, h.max);
+            for (label, q) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99)] {
+                let _ = write!(out, ", \"{label}\": ");
+                match q {
+                    Some(v) => json::write_num(&mut out, v),
+                    None => out.push_str("null"),
+                }
+            }
+            out.push_str(", \"buckets\": [");
+            for (i, (bound, count)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                match bound {
+                    Some(b) => json::write_num(&mut out, *b),
+                    None => out.push_str("null"),
+                }
+                let _ = write!(out, ", {count}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push('}');
+        out
+    }
+
+    /// Parses a document produced by [`Snapshot::to_json`].
+    pub fn from_json(input: &str) -> Result<Snapshot, String> {
+        let doc = json::parse(input)?;
+        let mut snap = Snapshot::default();
+        let section = |key: &str| -> Result<BTreeMap<String, Json>, String> {
+            doc.get(key)
+                .and_then(Json::as_obj)
+                .cloned()
+                .ok_or_else(|| format!("snapshot is missing the {key:?} object"))
+        };
+        for (name, value) in section("counters")? {
+            let n = value
+                .as_num()
+                .filter(|n| *n >= 0.0)
+                .ok_or_else(|| format!("counter {name:?} is not a non-negative number"))?;
+            snap.counters.insert(name, n as u64);
+        }
+        for (name, value) in section("gauges")? {
+            let n = value
+                .as_num()
+                .ok_or_else(|| format!("gauge {name:?} is not a number"))?;
+            snap.gauges.insert(name, n);
+        }
+        for (name, value) in section("histograms")? {
+            let num = |key: &str| -> Result<f64, String> {
+                value
+                    .get(key)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("histogram {name:?} is missing {key:?}"))
+            };
+            let quantile = |key: &str| -> Result<Option<f64>, String> {
+                match value.get(key) {
+                    Some(Json::Null) | None => Ok(None),
+                    Some(Json::Num(n)) => Ok(Some(*n)),
+                    Some(_) => Err(format!("histogram {name:?} has non-numeric {key:?}")),
+                }
+            };
+            let mut buckets = Vec::new();
+            for pair in value
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("histogram {name:?} is missing \"buckets\""))?
+            {
+                match pair.as_arr() {
+                    Some([bound, count]) => {
+                        let bound = match bound {
+                            Json::Null => None,
+                            Json::Num(b) => Some(*b),
+                            _ => return Err(format!("histogram {name:?} has a bad bound")),
+                        };
+                        let count = count
+                            .as_num()
+                            .filter(|n| *n >= 0.0)
+                            .ok_or_else(|| format!("histogram {name:?} has a bad count"))?;
+                        buckets.push((bound, count as u64));
+                    }
+                    _ => return Err(format!("histogram {name:?} bucket is not a pair")),
+                }
+            }
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    count: num("count")? as u64,
+                    sum: num("sum")?,
+                    max: num("max")?,
+                    p50: quantile("p50")?,
+                    p95: quantile("p95")?,
+                    p99: quantile("p99")?,
+                    buckets,
+                },
+            );
+        }
+        Ok(snap)
+    }
+
+    /// Renders Prometheus text exposition format (untyped timestamps,
+    /// cumulative `_bucket` series, `_sum` and `_count`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in &h.buckets {
+                cumulative += count;
+                match bound {
+                    Some(b) => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+        }
+        out
+    }
+
+    /// A compact human-oriented rendering for `--stats` output.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<52} {value}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<52} {value}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let quantiles = match (h.p50, h.p95, h.p99) {
+                    (Some(p50), Some(p95), Some(p99)) => {
+                        format!("p50={p50:.3e} p95={p95:.3e} p99={p99:.3e}")
+                    }
+                    _ => String::from("(empty)"),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {name:<52} count={} sum={:.3e} {quantiles}",
+                    h.count, h.sum
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("queries_total".into(), 42);
+        snap.gauges.insert("engines".into(), 3.0);
+        snap.histograms.insert(
+            "latency_seconds".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 0.125,
+                max: 0.1,
+                p50: Some(0.01),
+                p95: Some(0.09),
+                p99: Some(0.099),
+                buckets: vec![(Some(0.01), 1), (Some(0.1), 2), (None, 0)],
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let snap = sample();
+        let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let empty = Snapshot::default();
+        assert_eq!(Snapshot::from_json(&empty.to_json()).unwrap(), empty);
+        assert!(empty.is_empty());
+        assert!(empty.to_text().contains("no metrics"));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(Snapshot::from_json("not json").is_err());
+        assert!(Snapshot::from_json("{}").is_err());
+        assert!(Snapshot::from_json(r#"{"counters": {"a": -1}, "gauges": {}, "histograms": {}}"#)
+            .is_err());
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE queries_total counter"));
+        assert!(text.contains("queries_total 42"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.01\"} 1"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.1\"} 3"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn text_rendering_shows_quantiles() {
+        let text = sample().to_text();
+        assert!(text.contains("queries_total"));
+        assert!(text.contains("p95="));
+    }
+}

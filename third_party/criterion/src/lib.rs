@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId::from_parameter`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Timing is real but
+//! deliberately cheap: a short warm-up, then `sample_size` samples of
+//! auto-scaled iteration batches, reporting min/median/max ns per
+//! iteration. No plots, no regression statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark (split across samples).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; filters and flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterisation of a grouped benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch(iters: u64, f: &mut impl FnMut(&mut Bencher)) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm up and discover how many iterations fit in one sample.
+    let mut iters = 1u64;
+    let warmup_start = Instant::now();
+    let mut per_iter = loop {
+        let elapsed = time_batch(iters, &mut f);
+        if warmup_start.elapsed() >= WARMUP_BUDGET || elapsed >= WARMUP_BUDGET / 4 {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+    let sample_budget = MEASURE_BUDGET.as_secs_f64() / sample_size as f64;
+    let iters_per_sample = ((sample_budget / per_iter) as u64).clamp(1, 10_000_000);
+
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| time_batch(iters_per_sample, &mut f).as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {:>10}/s", human_bytes(n as f64 / median))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.3e} elem/s", n as f64 / median)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} time: [{} {} {}]{extra}",
+        human_time(min),
+        human_time(median),
+        human_time(max),
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    const UNITS: &[&str] = &["B", "KiB", "MiB", "GiB"];
+    let mut v = bps;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.1} {}", UNITS[unit])
+}
+
+/// Binds a group name to a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { sample_size: 2 };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input_passes_input() {
+        let mut c = Criterion { sample_size: 2 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Bytes(128));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn humanized_units() {
+        assert!(human_time(5e-9).ends_with("ns"));
+        assert!(human_time(5e-6).ends_with("µs"));
+        assert!(human_time(5e-3).ends_with("ms"));
+        assert!(human_time(5.0).ends_with('s'));
+        assert_eq!(human_bytes(2048.0), "2.0 KiB");
+    }
+}

@@ -1,0 +1,229 @@
+//! The `Strategy` trait and the primitive strategies: numeric ranges,
+//! tuples, regex-like string patterns, and `prop_map`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// The character class of a string pattern.
+enum CharClass {
+    /// `.` — any character (printable ASCII plus a sprinkling of
+    /// whitespace and multi-byte unicode, mirroring proptest's habit of
+    /// feeding tokenizers surprising input).
+    Any,
+    /// `[...]` — inclusive ranges and singletons.
+    Set(Vec<(char, char)>),
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharClass::Any => {
+                const EXOTIC: &[char] = &[
+                    '\t', '\n', 'é', 'ß', 'ø', 'λ', 'Ж', '中', '文', '🦀', '—', '…', '\u{a0}',
+                ];
+                if rng.gen_bool(0.12) {
+                    EXOTIC[rng.gen_range(0..EXOTIC.len())]
+                } else {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+                }
+            }
+            CharClass::Set(ranges) => {
+                // Weight ranges by size for uniformity over the class.
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for &(a, b) in ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(a as u32 + pick).expect("valid char range");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick within total")
+            }
+        }
+    }
+}
+
+/// Parses the regex subset used by the tests: a single `.` or `[...]`
+/// class followed by a `{lo,hi}` repetition.
+fn parse_pattern(pattern: &str) -> (CharClass, usize, usize) {
+    let unsupported = || -> ! {
+        panic!(
+            "string strategy {pattern:?} is not in the supported subset \
+             (one `.` or `[...]` class followed by {{lo,hi}})"
+        )
+    };
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        (CharClass::Any, rest)
+    } else if let Some(body) = pattern.strip_prefix('[') {
+        let Some(end) = body.find(']') else { unsupported() };
+        let mut ranges = Vec::new();
+        let chars: Vec<char> = body[..end].chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                ranges.push((chars[i], chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((chars[i], chars[i]));
+                i += 1;
+            }
+        }
+        if ranges.is_empty() {
+            unsupported();
+        }
+        (CharClass::Set(ranges), &body[end + 1..])
+    } else {
+        unsupported()
+    };
+    let Some(rep) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        unsupported()
+    };
+    let (lo, hi) = match rep.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse(), hi.trim().parse()),
+        None => (rep.trim().parse(), rep.trim().parse()),
+    };
+    match (lo, hi) {
+        (Ok(lo), Ok(hi)) if lo <= hi => (class, lo, hi),
+        _ => unsupported(),
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (class, lo, hi) = parse_pattern(self);
+        let len = rng.gen_range(lo..=hi);
+        (0..len).map(|_| class.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let x = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&x));
+            let f = (-1.0f64..1.0).generate(&mut r);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let mut r = rng();
+        let s = (0.0f64..1.0, 1usize..4).prop_map(|(p, n)| vec![p; n]);
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|p| (0.0..1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn char_class_pattern() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z0-9]{1,20}".generate(&mut r);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+        let s = "[a-zA-Z ]{0,120}".generate(&mut r);
+        assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
+    }
+
+    #[test]
+    fn dot_pattern_length_bounds() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = ".{0,200}".generate(&mut r);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the supported subset")]
+    fn unsupported_pattern_panics() {
+        "(a|b)+".generate(&mut rng());
+    }
+}

@@ -1,0 +1,142 @@
+//! The case runner: deterministic seeding, reject handling, failure
+//! reporting with the generated inputs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (only the field the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// `prop_assume!` filtered the inputs out.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// FNV-1a, for deriving a stable per-test seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs one property: `case` generates inputs from the given RNG and
+/// returns `(inputs-description, outcome)`. Panics on the first failing
+/// case, reporting the inputs and the case seed.
+pub fn run_property(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+) {
+    let base_seed = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(10).max(1000);
+    let mut index = 0u64;
+    while passed < config.cases {
+        let seed = base_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property '{name}': too many prop_assume! rejections \
+                     ({rejected} after {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed at case #{index} (seed {seed:#x}):\n  \
+                     {msg}\n  inputs: {inputs}"
+                );
+            }
+        }
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0;
+        run_property(&ProptestConfig::with_cases(17), "counting", |_| {
+            count += 1;
+            (String::new(), Ok(()))
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run_property(&ProptestConfig::with_cases(5), "failing", |_| {
+            (String::from("x = 1"), Err(TestCaseError::fail("boom")))
+        });
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_passes() {
+        let mut attempts = 0;
+        run_property(&ProptestConfig::with_cases(4), "rejecting", |_| {
+            attempts += 1;
+            if attempts % 2 == 0 {
+                (String::new(), Err(TestCaseError::Reject))
+            } else {
+                (String::new(), Ok(()))
+            }
+        });
+        assert!(attempts >= 7, "{attempts}");
+    }
+
+    #[test]
+    fn seeds_differ_across_cases_but_not_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        run_property(&ProptestConfig::with_cases(5), "seeds", |rng| {
+            first.push(rand::Rng::gen::<u64>(rng));
+            (String::new(), Ok(()))
+        });
+        let mut second: Vec<u64> = Vec::new();
+        run_property(&ProptestConfig::with_cases(5), "seeds", |rng| {
+            second.push(rand::Rng::gen::<u64>(rng));
+            (String::new(), Ok(()))
+        });
+        assert_eq!(first, second);
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+}

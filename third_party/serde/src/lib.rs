@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The crates-io registry is unreachable in this environment, and nothing
+//! in the workspace actually serializes through serde (binary persistence
+//! is hand-rolled, JSON lives in `seu-obs`). This crate keeps the
+//! `#[derive(Serialize, Deserialize)]` annotations compiling so the real
+//! serde can be dropped back in without touching any annotated type.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` declaratively —
+//! nothing in-tree calls serde's runtime (persistence is hand-rolled
+//! binary, and JSON emission lives in `seu-obs`). These derives therefore
+//! expand to nothing: the types stay annotated, and swapping the real
+//! serde back in (when a registry is reachable) needs only a Cargo.toml
+//! change.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
