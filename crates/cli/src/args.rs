@@ -215,7 +215,9 @@ mod tests {
     #[test]
     fn index_parses() {
         assert_eq!(
-            p(&["index", "docs/", "-o", "e.bin", "--stem"]).unwrap().command,
+            p(&["index", "docs/", "-o", "e.bin", "--stem"])
+                .unwrap()
+                .command,
             Command::Index {
                 input: "docs/".into(),
                 output: "e.bin".into(),
@@ -256,7 +258,9 @@ mod tests {
             }
         );
         assert_eq!(
-            p(&["search", "e.bin", "-q", "soup", "-k", "5"]).unwrap().command,
+            p(&["search", "e.bin", "-q", "soup", "-k", "5"])
+                .unwrap()
+                .command,
             Command::Search {
                 engine: "e.bin".into(),
                 query: "soup".into(),

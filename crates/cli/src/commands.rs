@@ -3,7 +3,7 @@
 use seu_core::{SubrangeEstimator, UsefulnessEstimator};
 use seu_corpus::loader;
 use seu_engine::{Collection, SearchEngine, WeightingScheme};
-use seu_metasearch::{Broker, SelectionPolicy};
+use seu_metasearch::{Broker, SearchRequest, SelectionPolicy};
 use seu_repr::{FrozenSummary, PortableRepresentative, QuantizedRepresentative};
 use seu_text::{Analyzer, AnalyzerConfig};
 use std::fs;
@@ -158,7 +158,16 @@ pub fn broker(
             .unwrap_or_else(|| path.display().to_string());
         broker.register(&name, load_engine(path)?);
     }
-    for e in broker.estimate_all(query_text, threshold) {
+    // One pipeline execution serves estimates, selection, and hits (the
+    // seed ran three passes — estimate_all, select, search — analyzing
+    // the query six times over these two engines).
+    let resp = broker.execute(
+        &SearchRequest::new(query_text)
+            .threshold(threshold)
+            .policy(SelectionPolicy::EstimatedUseful)
+            .with_estimates(true),
+    );
+    for e in &resp.estimates {
         writeln!(
             out,
             "{:<20} est NoDoc {:.2}  AvgSim {:.3}",
@@ -166,9 +175,9 @@ pub fn broker(
         )
         .map_err(|e| io_err("writing output", e))?;
     }
-    let selected = broker.select(query_text, threshold, SelectionPolicy::EstimatedUseful);
+    let selected = resp.selected();
     writeln!(out, "selected: {selected:?}").map_err(|e| io_err("writing output", e))?;
-    for h in broker.search(query_text, threshold, SelectionPolicy::EstimatedUseful) {
+    for h in &resp.hits {
         writeln!(out, "{:<20} {:<30} {:.4}", h.engine, h.doc, h.sim)
             .map_err(|e| io_err("writing output", e))?;
     }

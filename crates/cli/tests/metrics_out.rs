@@ -17,7 +17,11 @@ fn invoke(args: &[&str]) -> (Result<(), String>, String) {
 fn write_docs(dir: &Path) {
     fs::create_dir_all(dir).expect("create docs dir");
     fs::write(dir.join("a.txt"), "mushroom soup with cream and chives").unwrap();
-    fs::write(dir.join("b.txt"), "grilled cheese sandwich with tomato soup").unwrap();
+    fs::write(
+        dir.join("b.txt"),
+        "grilled cheese sandwich with tomato soup",
+    )
+    .unwrap();
 }
 
 #[test]

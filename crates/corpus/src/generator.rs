@@ -413,16 +413,12 @@ mod tests {
         assert_eq!(tf.vocab().len(), log.vocab().len());
         assert_eq!(tf.total_tokens(), log.total_tokens());
         // ...but different weights wherever tf > 1 occurs.
-        let differs = tf
-            .docs()
-            .iter()
-            .zip(log.docs())
-            .any(|(a, b)| {
-                a.terms
-                    .iter()
-                    .zip(&b.terms)
-                    .any(|(x, y)| (x.1 - y.1).abs() > 1e-9)
-            });
+        let differs = tf.docs().iter().zip(log.docs()).any(|(a, b)| {
+            a.terms
+                .iter()
+                .zip(&b.terms)
+                .any(|(x, y)| (x.1 - y.1).abs() > 1e-9)
+        });
         assert!(differs, "weighting scheme had no effect");
     }
 

@@ -22,6 +22,7 @@ pub mod collection;
 pub mod index;
 pub mod query;
 pub mod search;
+pub mod shared;
 pub mod storage;
 pub mod topk;
 pub mod weighting;
@@ -30,4 +31,5 @@ pub use collection::{Collection, CollectionBuilder, DocId, Document};
 pub use index::InvertedIndex;
 pub use query::Query;
 pub use search::{SearchEngine, SearchHit, TrueUsefulness};
+pub use shared::TermMap;
 pub use weighting::WeightingScheme;

@@ -16,14 +16,14 @@ use seu_core::SubrangeEstimator;
 use seu_corpus::queries::QueryLogSpec;
 use seu_corpus::SyntheticCorpus;
 use seu_engine::SearchEngine;
-use seu_metasearch::{Broker, SelectionPolicy};
+use seu_metasearch::{Broker, SearchRequest, SelectionPolicy};
 use seu_obs::json;
 
 /// One timed phase of the benchmark.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchPhase {
     /// Phase name (`build_databases`, `register`, `estimate`, `select`,
-    /// `search`).
+    /// `search`, `plan`, `dispatch`).
     pub name: &'static str,
     /// Wall-clock spent in the phase.
     pub seconds: f64,
@@ -70,14 +70,22 @@ impl BrokerBenchReport {
             out.push_str(", \"seconds\": ");
             json::write_num(&mut out, phase.seconds);
             let _ = write!(out, ", \"items\": {}}}", phase.items);
-            out.push_str(if i + 1 < self.phases.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < self.phases.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         out.push_str("  ],\n  \"counters\": {\n");
         for (i, (name, value)) in self.counters.iter().enumerate() {
             out.push_str("    ");
             json::write_escaped(&mut out, name);
             let _ = write!(out, ": {value}");
-            out.push_str(if i + 1 < self.counters.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < self.counters.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         out.push_str("  },\n  \"metrics\": ");
         // Reindent the embedded snapshot so the document stays readable.
@@ -163,6 +171,27 @@ pub fn run_broker_bench(seed: u64, docs_base: usize, n_queries: usize) -> Broker
             broker.search(q, threshold, SelectionPolicy::EstimatedUseful);
         }
     });
+    // The pipeline split: planning (analysis + estimation + selection)
+    // versus dispatch (worker-pool fan-out + merge), so regressions in
+    // either half show up separately.
+    timed("plan", queries.len() as u64, &mut || {
+        for q in &queries {
+            broker.plan(
+                &SearchRequest::new(q)
+                    .threshold(threshold)
+                    .policy(SelectionPolicy::EstimatedUseful),
+            );
+        }
+    });
+    timed("dispatch", queries.len() as u64, &mut || {
+        for q in &queries {
+            broker.execute(
+                &SearchRequest::new(q)
+                    .threshold(threshold)
+                    .policy(SelectionPolicy::EstimatedUseful),
+            );
+        }
+    });
 
     let after = seu_obs::global().snapshot().counters;
     let counters = after
@@ -194,7 +223,15 @@ mod tests {
         assert!(report.databases > 0);
         assert_eq!(
             report.phases.iter().map(|p| p.name).collect::<Vec<_>>(),
-            ["build_databases", "register", "estimate", "select", "search"]
+            [
+                "build_databases",
+                "register",
+                "estimate",
+                "select",
+                "search",
+                "plan",
+                "dispatch"
+            ]
         );
 
         let doc = json::parse(&report.to_json()).expect("bench JSON parses");
@@ -204,11 +241,14 @@ mod tests {
             "bench tag"
         );
         let phases = doc.get("phases").and_then(|p| p.as_arr()).expect("phases");
-        assert_eq!(phases.len(), 5);
+        assert_eq!(phases.len(), 7);
         for phase in phases {
             assert!(phase.get("seconds").and_then(json::Json::as_num).is_some());
         }
-        let counters = doc.get("counters").and_then(|c| c.as_obj()).expect("counters");
+        let counters = doc
+            .get("counters")
+            .and_then(|c| c.as_obj())
+            .expect("counters");
         assert!(
             counters.contains_key("broker_queries_total"),
             "search phase drives broker_queries_total; got {:?}",

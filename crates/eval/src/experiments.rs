@@ -650,7 +650,7 @@ pub fn run_weighting_robustness(ds: &PaperDatasets, config: &EvalConfig) -> Expe
 /// result documents), over D1–D3.
 pub fn run_policy_sweep(ds: &PaperDatasets, threshold: f64, n_queries: usize) -> ExperimentOutput {
     use seu_engine::SearchEngine;
-    use seu_metasearch::{Broker, SelectionPolicy};
+    use seu_metasearch::{Broker, SearchRequest, SelectionPolicy};
     let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
     for (name, coll) in databases(ds) {
         broker.register(name, SearchEngine::new(coll.clone()));
@@ -669,10 +669,18 @@ pub fn run_policy_sweep(ds: &PaperDatasets, threshold: f64, n_queries: usize) ->
         .map(|toks| toks.join(" "))
         .collect();
 
-    // Broadcast results once, per query.
+    // Broadcast results once, per query, through the request pipeline.
     let broadcast: Vec<Vec<seu_metasearch::MergedHit>> = queries
         .iter()
-        .map(|q| broker.search(q, threshold, SelectionPolicy::All))
+        .map(|q| {
+            broker
+                .execute(
+                    &SearchRequest::new(q)
+                        .threshold(threshold)
+                        .policy(SelectionPolicy::All),
+                )
+                .hits
+        })
         .collect();
     let total_hits: usize = broadcast.iter().map(Vec::len).sum();
 

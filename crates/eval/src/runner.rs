@@ -29,7 +29,10 @@ fn metrics() -> &'static EvalMetrics {
         nodoc_over: seu_obs::counter("eval_nodoc_overestimates_total"),
         nodoc_under: seu_obs::counter("eval_nodoc_underestimates_total"),
         nodoc_exact: seu_obs::counter("eval_nodoc_exact_total"),
-        nodoc_drift: seu_obs::histogram_with_buckets("eval_nodoc_drift_docs", &seu_obs::SIZE_BUCKETS),
+        nodoc_drift: seu_obs::histogram_with_buckets(
+            "eval_nodoc_drift_docs",
+            &seu_obs::SIZE_BUCKETS,
+        ),
         avg_sim_drift: seu_obs::histogram("eval_avg_sim_drift"),
     })
 }

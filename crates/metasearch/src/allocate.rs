@@ -14,6 +14,9 @@
 //! [`UsefulnessEstimator`], not only the subrange method.
 
 use crate::broker::Broker;
+use crate::plan::QueryPlan;
+use crate::request::SearchRequest;
+use crate::selection::SelectionPolicy;
 use seu_core::UsefulnessEstimator;
 
 /// One engine's slice of a document allocation.
@@ -36,12 +39,20 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// positive similarity, everything they are expected to hold is
     /// allocated (the allocation sums to less than `k_total`).
     pub fn allocate_documents(&self, query_text: &str, k_total: u64) -> Vec<Allocation> {
-        let names = self.engine_names();
-        if names.is_empty() || k_total == 0 {
-            return names
-                .into_iter()
-                .map(|engine| Allocation {
-                    engine,
+        let plan = self.plan(&SearchRequest::new(query_text).policy(SelectionPolicy::All));
+        self.allocate_planned(&plan, k_total)
+    }
+
+    /// [`Broker::allocate_documents`] over an existing [`QueryPlan`]. The
+    /// bisection sweeps ~50 thresholds; re-estimating the plan's query
+    /// vectors means the query text is analyzed once, not once per probe.
+    pub fn allocate_planned(&self, plan: &QueryPlan, k_total: u64) -> Vec<Allocation> {
+        if plan.is_empty() || k_total == 0 {
+            return plan
+                .engines()
+                .iter()
+                .map(|e| Allocation {
+                    engine: e.name.clone(),
                     k: 0,
                     estimated: 0.0,
                 })
@@ -49,7 +60,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         }
 
         let total_at = |t: f64| -> f64 {
-            self.estimate_all(query_text, t)
+            self.reestimate(plan, t)
                 .iter()
                 .map(|e| e.usefulness.no_doc)
                 .sum()
@@ -77,7 +88,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         // below a step of the (discontinuous) total curve, so the shares
         // can jointly exceed the request; scale them down proportionally
         // in that case.
-        let estimates = self.estimate_all(query_text, level);
+        let estimates = self.reestimate(plan, level);
         let raw: Vec<f64> = estimates.iter().map(|e| e.usefulness.no_doc).collect();
         let total: f64 = raw.iter().sum();
         let target = if total <= 0.0 {
@@ -132,20 +143,20 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         query_text: &str,
         k_total: u64,
     ) -> Vec<crate::broker::MergedHit> {
-        let allocation = self.allocate_documents(query_text, k_total);
-        let per_engine: Vec<Vec<crate::broker::MergedHit>> = self
+        let plan = self.plan(&SearchRequest::new(query_text).policy(SelectionPolicy::All));
+        let allocation = self.allocate_planned(&plan, k_total);
+        let per_engine: Vec<Vec<crate::broker::MergedHit>> = plan
             .engines()
             .iter()
-            .zip(self.engine_names())
             .zip(&allocation)
             .filter(|(_, a)| a.k > 0)
-            .map(|((engine, name), a)| {
-                let query = engine.collection().query_from_text(query_text);
+            .map(|(planned, a)| {
+                let engine = planned.engine();
                 engine
-                    .search_top_k_maxscore(&query, a.k as usize)
+                    .search_top_k_maxscore(planned.query(), a.k as usize)
                     .into_iter()
                     .map(|h| crate::broker::MergedHit {
-                        engine: name.clone(),
+                        engine: planned.name.clone(),
                         doc: engine.collection().doc(h.doc).name.clone(),
                         sim: h.sim,
                     })

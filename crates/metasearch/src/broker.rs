@@ -1,25 +1,51 @@
 //! The broker itself.
+//!
+//! The public API is the [`SearchRequest`] pipeline:
+//!
+//! 1. [`Broker::plan`] analyzes the query once against the broker-global
+//!    vocabulary, builds per-engine query vectors through each engine's
+//!    registration-time [`TermMap`], estimates every engine, and applies
+//!    the selection policy → [`QueryPlan`];
+//! 2. [`Broker::execute`] dispatches the plan over a bounded
+//!    [`WorkerPool`] and merges the results → [`SearchResponse`].
+//!
+//! The pre-pipeline entry points ([`Broker::estimate_all`],
+//! [`Broker::select`], [`Broker::search`]) remain as thin wrappers over
+//! the same implementation.
 
 use crate::merge::merge_results;
+use crate::plan::{PlannedEngine, QueryPlan, SharedAnalysis};
+use crate::pool::{JobStatus, WorkerPool};
+use crate::request::{DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse};
 use crate::selection::SelectionPolicy;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use seu_core::{Usefulness, UsefulnessEstimator};
-use seu_engine::SearchEngine;
+use seu_engine::{SearchEngine, TermMap};
 use seu_repr::Representative;
+use seu_text::{Analyzer, AnalyzerConfig, Vocabulary};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// One engine's dispatch job: its merged hits and its wall-clock.
+type DispatchJob = Box<dyn FnOnce() -> (Vec<MergedHit>, f64) + Send>;
 
 /// Instrument handles cached once per process.
 struct BrokerMetrics {
     query_latency: Arc<seu_obs::Histogram>,
     select_latency: Arc<seu_obs::Histogram>,
+    plan_latency: Arc<seu_obs::Histogram>,
+    dispatch_latency: Arc<seu_obs::Histogram>,
     queries: Arc<seu_obs::Counter>,
     selects: Arc<seu_obs::Counter>,
     estimates: Arc<seu_obs::Counter>,
+    analyses: Arc<seu_obs::Counter>,
     considered: Arc<seu_obs::Counter>,
     selected: Arc<seu_obs::Counter>,
     merge_hits: Arc<seu_obs::Counter>,
     merge_size: Arc<seu_obs::Histogram>,
+    engine_failures: Arc<seu_obs::Counter>,
+    engine_timeouts: Arc<seu_obs::Counter>,
 }
 
 fn metrics() -> &'static BrokerMetrics {
@@ -27,9 +53,12 @@ fn metrics() -> &'static BrokerMetrics {
     METRICS.get_or_init(|| BrokerMetrics {
         query_latency: seu_obs::histogram("broker_query_latency_seconds"),
         select_latency: seu_obs::histogram("broker_select_latency_seconds"),
+        plan_latency: seu_obs::histogram("broker_plan_latency_seconds"),
+        dispatch_latency: seu_obs::histogram("broker_dispatch_latency_seconds"),
         queries: seu_obs::counter("broker_queries_total"),
         selects: seu_obs::counter("broker_selects_total"),
         estimates: seu_obs::counter("broker_estimates_total"),
+        analyses: seu_obs::counter("broker_query_analyses_total"),
         considered: seu_obs::counter("broker_engines_considered_total"),
         selected: seu_obs::counter("broker_engines_selected_total"),
         merge_hits: seu_obs::counter("broker_merge_hits_total"),
@@ -37,6 +66,8 @@ fn metrics() -> &'static BrokerMetrics {
             "broker_merge_result_size",
             &seu_obs::SIZE_BUCKETS,
         ),
+        engine_failures: seu_obs::counter("broker_engine_failures_total"),
+        engine_timeouts: seu_obs::counter("broker_engine_timeouts_total"),
     })
 }
 
@@ -46,6 +77,7 @@ fn metrics() -> &'static BrokerMetrics {
 /// after the first call touches it.
 pub fn register_metrics() {
     let _ = metrics();
+    crate::pool::register_metrics();
 }
 
 /// One engine's estimate for a query, as reported by the broker.
@@ -71,7 +103,47 @@ pub struct MergedHit {
 struct RegisteredEngine {
     name: String,
     engine: Arc<SearchEngine>,
-    repr: Representative,
+    repr: Arc<Representative>,
+    /// Broker-global → engine-local term translation, built at
+    /// registration.
+    map: TermMap,
+}
+
+/// Configures a [`Broker`] before construction.
+///
+/// ```
+/// use seu_metasearch::Broker;
+/// use seu_core::SubrangeEstimator;
+///
+/// let broker = Broker::builder(SubrangeEstimator::paper_six_subrange())
+///     .worker_threads(8)
+///     .build();
+/// assert!(broker.is_empty());
+/// ```
+pub struct BrokerBuilder<E> {
+    estimator: E,
+    worker_threads: Option<usize>,
+}
+
+impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
+    /// Fixes the dispatch worker-pool size. Without this the pool is
+    /// sized `min(registered engines, available cores)` when the first
+    /// query executes.
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Builds the (empty) broker.
+    pub fn build(self) -> Broker<E> {
+        Broker {
+            estimator: self.estimator,
+            engines: RwLock::new(Vec::new()),
+            vocab: RwLock::new(Vocabulary::new()),
+            worker_threads: self.worker_threads,
+            pool: OnceLock::new(),
+        }
+    }
 }
 
 /// A metasearch broker generic over the usefulness estimator.
@@ -79,7 +151,7 @@ struct RegisteredEngine {
 /// # Examples
 ///
 /// ```
-/// use seu_metasearch::{Broker, SelectionPolicy};
+/// use seu_metasearch::{Broker, SearchRequest, SelectionPolicy};
 /// use seu_core::SubrangeEstimator;
 /// use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
 /// use seu_text::Analyzer;
@@ -91,22 +163,45 @@ struct RegisteredEngine {
 /// let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
 /// broker.register("cooking", cooking);
 ///
+/// // The request pipeline: plan once, execute over the worker pool.
+/// let req = SearchRequest::new("mushroom soup")
+///     .threshold(0.2)
+///     .with_estimates(true);
+/// let plan = broker.plan(&req);
+/// assert_eq!(plan.selected_names(), vec!["cooking".to_string()]);
+/// let resp = broker.execute(&req);
+/// assert_eq!(resp.hits[0].doc, "d0");
+/// assert_eq!(resp.estimates.len(), 1);
+///
+/// // The legacy wrappers delegate to the same pipeline.
 /// let selected = broker.select("mushroom soup", 0.2, SelectionPolicy::EstimatedUseful);
 /// assert_eq!(selected, vec!["cooking".to_string()]);
 /// let hits = broker.search("mushroom soup", 0.2, SelectionPolicy::EstimatedUseful);
-/// assert_eq!(hits[0].doc, "d0");
+/// assert_eq!(hits, resp.hits);
 /// ```
 pub struct Broker<E> {
     estimator: E,
     engines: RwLock<Vec<RegisteredEngine>>,
+    /// Union vocabulary over every registered engine — the target of the
+    /// single query-analysis pass.
+    vocab: RwLock<Vocabulary>,
+    /// Builder override for the dispatch pool size.
+    worker_threads: Option<usize>,
+    /// The dispatch pool, sized lazily at first execution.
+    pool: OnceLock<WorkerPool>,
 }
 
 impl<E: UsefulnessEstimator + Sync> Broker<E> {
-    /// Creates an empty broker.
+    /// Creates an empty broker with default dispatch configuration.
     pub fn new(estimator: E) -> Self {
-        Broker {
+        Broker::builder(estimator).build()
+    }
+
+    /// Starts configuring a broker.
+    pub fn builder(estimator: E) -> BrokerBuilder<E> {
+        BrokerBuilder {
             estimator,
-            engines: RwLock::new(Vec::new()),
+            worker_threads: None,
         }
     }
 
@@ -121,17 +216,21 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
 
     /// Registers an engine together with a representative it supplied
     /// (e.g. deserialized from [`Representative::to_bytes`], or a
-    /// quantized one).
+    /// quantized one). The engine's vocabulary is folded into the
+    /// broker-global vocabulary so queries are analyzed once, not once
+    /// per engine.
     pub fn register_with_representative(
         &self,
         name: &str,
         engine: SearchEngine,
         repr: Representative,
     ) {
+        let map = TermMap::build(&mut self.vocab.write(), engine.collection());
         self.engines.write().push(RegisteredEngine {
             name: name.to_string(),
             engine: Arc::new(engine),
-            repr,
+            repr: Arc::new(repr),
+            map,
         });
     }
 
@@ -160,6 +259,30 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             .collect()
     }
 
+    /// The dispatch pool, created at first use: `worker_threads` from the
+    /// builder if set, else `min(registered engines, available cores)`.
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| {
+            let threads = self.worker_threads.unwrap_or_else(|| {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                cores.min(self.engines.read().len().max(1))
+            });
+            WorkerPool::new(threads)
+        })
+    }
+
+    /// The configured or effective dispatch pool size, and the peak
+    /// number of concurrently dispatched engine searches observed so far
+    /// (0 before the first execution).
+    pub fn pool_stats(&self) -> (usize, u64) {
+        match self.pool.get() {
+            Some(pool) => (pool.threads(), pool.peak_active()),
+            None => (self.worker_threads.unwrap_or(0), 0),
+        }
+    }
+
     /// Rebuilds the named engine's representative from its current
     /// collection — the paper's infrequent metadata-propagation step
     /// (§1). Returns false if no engine has that name.
@@ -167,7 +290,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let mut engines = self.engines.write();
         match engines.iter_mut().find(|e| e.name == name) {
             Some(e) => {
-                e.repr = Representative::build(e.engine.collection());
+                e.repr = Arc::new(Representative::build(e.engine.collection()));
                 true
             }
             None => false,
@@ -181,104 +304,236 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let mut engines = self.engines.write();
         match engines.iter_mut().find(|e| e.name == name) {
             Some(e) => {
-                e.repr = repr;
+                e.repr = Arc::new(repr);
                 true
             }
             None => false,
         }
     }
 
-    /// Estimates every engine's usefulness for a query text at a
-    /// threshold. The query is re-analyzed per engine against that
-    /// engine's vocabulary.
-    pub fn estimate_all(&self, query_text: &str, threshold: f64) -> Vec<EngineEstimate> {
+    /// Analyzes a query text once per distinct analyzer configuration
+    /// among the registered engines (normally: exactly once) against the
+    /// broker-global vocabulary. The result translates into any engine's
+    /// term space without further string processing, and can be reused
+    /// across thresholds.
+    pub fn analyze(&self, query_text: &str) -> SharedAnalysis {
+        let mut configs: Vec<AnalyzerConfig> = Vec::new();
+        for e in self.engines.read().iter() {
+            let config = e.engine.collection().analyzer_config();
+            if !configs.contains(&config) {
+                configs.push(config);
+            }
+        }
+        let vocab = self.vocab.read();
+        let m = metrics();
+        let per_config = configs
+            .into_iter()
+            .map(|config| {
+                m.analyses.inc();
+                let tokens = Analyzer::new(config).analyze(query_text);
+                (config, seu_engine::shared::global_tf(&vocab, &tokens))
+            })
+            .collect();
+        SharedAnalysis { per_config }
+    }
+
+    /// Plans a request: one shared analysis pass, a query vector and a
+    /// usefulness estimate per engine, and the policy's invocation set.
+    /// No engine is contacted.
+    pub fn plan(&self, req: &SearchRequest) -> QueryPlan {
+        let m = metrics();
+        let timer = m.plan_latency.start_timer();
+        let analysis = self.analyze(&req.query);
         let engines = self.engines.read();
-        metrics().estimates.add(engines.len() as u64);
-        engines
+        m.estimates.add(engines.len() as u64);
+        let planned: Vec<PlannedEngine> = engines
             .iter()
             .map(|e| {
-                let query = e.engine.collection().query_from_text(query_text);
-                EngineEstimate {
-                    engine: e.name.clone(),
-                    usefulness: self.estimator.estimate(&e.repr, &query, threshold),
+                let collection = e.engine.collection();
+                let query = match analysis.tf_for(collection.analyzer_config()) {
+                    Some(tf) => collection.query_from_shared(tf, &e.map),
+                    // An engine with a config the analysis pass did not
+                    // cover (registered concurrently): analyze directly.
+                    None => collection.query_from_text(&req.query),
+                };
+                let usefulness = self.estimator.estimate(&e.repr, &query, req.threshold);
+                PlannedEngine {
+                    name: e.name.clone(),
+                    usefulness,
+                    query,
+                    repr: e.repr.clone(),
+                    engine: e.engine.clone(),
                 }
+            })
+            .collect();
+        drop(engines);
+        let us: Vec<Usefulness> = planned.iter().map(|e| e.usefulness).collect();
+        let selected = req.policy.select(&us);
+        timer.stop();
+        QueryPlan {
+            threshold: req.threshold,
+            policy: req.policy,
+            engines: planned,
+            selected,
+        }
+    }
+
+    /// Re-estimates a plan's engines at a different threshold without
+    /// re-analyzing the query — the query vectors are threshold-free, so
+    /// threshold sweeps (e.g. document allocation's bisection) pay for
+    /// analysis once.
+    pub fn reestimate(&self, plan: &QueryPlan, threshold: f64) -> Vec<EngineEstimate> {
+        metrics().estimates.add(plan.engines.len() as u64);
+        plan.engines
+            .iter()
+            .map(|e| EngineEstimate {
+                engine: e.name.clone(),
+                usefulness: self.estimator.estimate(&e.repr, &e.query, threshold),
             })
             .collect()
     }
 
+    /// Executes a request end to end: plan, dispatch the selected engines
+    /// over the bounded worker pool, merge by global similarity.
+    ///
+    /// A panicking engine contributes no hits and is reported as
+    /// [`DispatchOutcome::Failed`] (counted by
+    /// `broker_engine_failures_total`) instead of poisoning the query;
+    /// engines that miss the request's timeout budget are reported as
+    /// [`DispatchOutcome::TimedOut`].
+    pub fn execute(&self, req: &SearchRequest) -> SearchResponse {
+        let m = metrics();
+        let timer = m.query_latency.start_timer();
+        let plan = self.plan(req);
+
+        let dispatch_timer = m.dispatch_latency.start_timer();
+        let threshold = req.threshold;
+        let jobs: Vec<DispatchJob> = plan
+            .selected
+            .iter()
+            .map(|&i| {
+                let e = &plan.engines[i];
+                let engine = e.engine.clone();
+                let name = e.name.clone();
+                let query = e.query.clone();
+                Box::new(move || {
+                    let start = Instant::now();
+                    let hits: Vec<MergedHit> = engine
+                        .search_threshold(&query, threshold)
+                        .into_iter()
+                        .map(|h| MergedHit {
+                            engine: name.clone(),
+                            doc: engine.collection().doc(h.doc).name.clone(),
+                            sim: h.sim,
+                        })
+                        .collect();
+                    (hits, start.elapsed().as_secs_f64())
+                }) as DispatchJob
+            })
+            .collect();
+        let statuses = self.pool().run_collect(jobs, req.timeout);
+
+        let mut per_engine: Vec<Vec<MergedHit>> = Vec::with_capacity(statuses.len());
+        let mut per_engine_stats = Vec::with_capacity(statuses.len());
+        for (&i, status) in plan.selected.iter().zip(statuses) {
+            let name = plan.engines[i].name.clone();
+            let (hits, seconds, outcome) = match status {
+                JobStatus::Done((hits, seconds)) => (hits, seconds, DispatchOutcome::Completed),
+                JobStatus::Panicked => {
+                    m.engine_failures.inc();
+                    (Vec::new(), 0.0, DispatchOutcome::Failed)
+                }
+                JobStatus::TimedOut => {
+                    m.engine_timeouts.inc();
+                    (Vec::new(), 0.0, DispatchOutcome::TimedOut)
+                }
+            };
+            per_engine_stats.push(EngineDispatchStats {
+                engine: name,
+                hits: hits.len(),
+                seconds,
+                outcome,
+            });
+            per_engine.push(hits);
+        }
+        let mut merged = merge_results(per_engine);
+        if let Some(k) = req.top_k {
+            merged.truncate(k);
+        }
+        dispatch_timer.stop();
+
+        m.queries.inc();
+        m.considered.add(plan.engines.len() as u64);
+        m.selected.add(plan.selected.len() as u64);
+        m.merge_hits.add(merged.len() as u64);
+        m.merge_size.observe(merged.len() as f64);
+        timer.stop();
+
+        SearchResponse {
+            hits: merged,
+            estimates: if req.with_estimates {
+                plan.estimates()
+            } else {
+                Vec::new()
+            },
+            per_engine_stats,
+        }
+    }
+
+    /// Estimates every engine's usefulness for a query text at a
+    /// threshold, in registration order.
+    ///
+    /// Wrapper over [`Broker::plan`]; prefer the request pipeline
+    /// (`plan(&req).estimates()`) in new code.
+    pub fn estimate_all(&self, query_text: &str, threshold: f64) -> Vec<EngineEstimate> {
+        self.plan(
+            &SearchRequest::new(query_text)
+                .threshold(threshold)
+                .policy(SelectionPolicy::All),
+        )
+        .estimates()
+    }
+
     /// Selects engines for a query under a policy. Returns names in
     /// invocation order.
+    ///
+    /// Wrapper over [`Broker::plan`]; prefer the request pipeline
+    /// (`plan(&req).selected_names()`) in new code.
     pub fn select(&self, query_text: &str, threshold: f64, policy: SelectionPolicy) -> Vec<String> {
         let m = metrics();
         let timer = m.select_latency.start_timer();
-        let estimates = self.estimate_all(query_text, threshold);
-        let us: Vec<Usefulness> = estimates.iter().map(|e| e.usefulness).collect();
-        let selected: Vec<String> = policy
-            .select(&us)
-            .into_iter()
-            .map(|i| estimates[i].engine.clone())
-            .collect();
+        let plan = self.plan(
+            &SearchRequest::new(query_text)
+                .threshold(threshold)
+                .policy(policy),
+        );
+        let selected = plan.selected_names();
         m.selects.inc();
-        m.considered.add(estimates.len() as u64);
+        m.considered.add(plan.len() as u64);
         m.selected.add(selected.len() as u64);
         timer.stop();
         selected
     }
 
-    /// Full metasearch: select engines, dispatch the query to them in
-    /// parallel, and merge results above the threshold by global
+    /// Full metasearch: select engines, dispatch the query to them over
+    /// the worker pool, and merge results above the threshold by global
     /// similarity.
+    ///
+    /// Wrapper over [`Broker::execute`]; prefer the request pipeline in
+    /// new code — it also exposes estimates, per-engine stats, result
+    /// caps, and timeout budgets.
     pub fn search(
         &self,
         query_text: &str,
         threshold: f64,
         policy: SelectionPolicy,
     ) -> Vec<MergedHit> {
-        let m = metrics();
-        let timer = m.query_latency.start_timer();
-        let engines = self.engines.read();
-        let us: Vec<Usefulness> = engines
-            .iter()
-            .map(|e| {
-                let query = e.engine.collection().query_from_text(query_text);
-                self.estimator.estimate(&e.repr, &query, threshold)
-            })
-            .collect();
-        let selected = policy.select(&us);
-
-        let mut per_engine: Vec<Vec<MergedHit>> = Vec::with_capacity(selected.len());
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = selected
-                .iter()
-                .map(|&i| {
-                    let e = &engines[i];
-                    scope.spawn(move |_| {
-                        let query = e.engine.collection().query_from_text(query_text);
-                        e.engine
-                            .search_threshold(&query, threshold)
-                            .into_iter()
-                            .map(|h| MergedHit {
-                                engine: e.name.clone(),
-                                doc: e.engine.collection().doc(h.doc).name.clone(),
-                                sim: h.sim,
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                per_engine.push(h.join().expect("engine search panicked"));
-            }
-        })
-        .expect("dispatch scope");
-        let merged = merge_results(per_engine);
-        m.queries.inc();
-        m.considered.add(engines.len() as u64);
-        m.selected.add(selected.len() as u64);
-        m.merge_hits.add(merged.len() as u64);
-        m.merge_size.observe(merged.len() as f64);
-        timer.stop();
-        merged
+        self.execute(
+            &SearchRequest::new(query_text)
+                .threshold(threshold)
+                .policy(policy),
+        )
+        .hits
     }
 
     /// Ground-truth selection (which engines truly have a document above
@@ -302,6 +557,7 @@ mod tests {
     use seu_core::SubrangeEstimator;
     use seu_engine::{CollectionBuilder, WeightingScheme};
     use seu_text::Analyzer;
+    use std::time::Duration;
 
     fn engine_from(texts: &[&str]) -> SearchEngine {
         let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
@@ -434,5 +690,122 @@ mod tests {
         assert!(sel.is_empty());
         let hits = b.search("zebra quantum", 0.1, SelectionPolicy::EstimatedUseful);
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn plan_matches_wrappers() {
+        let b = broker();
+        let req = SearchRequest::new("databases processing")
+            .threshold(0.05)
+            .policy(SelectionPolicy::TopK(2));
+        let plan = b.plan(&req);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(
+            plan.estimates(),
+            b.estimate_all("databases processing", 0.05)
+        );
+        assert_eq!(
+            plan.selected_names(),
+            b.select("databases processing", 0.05, SelectionPolicy::TopK(2))
+        );
+    }
+
+    #[test]
+    fn execute_reports_per_engine_stats() {
+        let b = broker();
+        let req = SearchRequest::new("databases")
+            .threshold(0.0)
+            .policy(SelectionPolicy::All)
+            .with_estimates(true);
+        let resp = b.execute(&req);
+        assert_eq!(resp.estimates.len(), 3);
+        assert_eq!(resp.per_engine_stats.len(), 3);
+        assert!(resp.is_complete());
+        let total: usize = resp.per_engine_stats.iter().map(|s| s.hits).sum();
+        assert_eq!(total, resp.hits.len());
+        assert_eq!(resp.hits, b.search("databases", 0.0, SelectionPolicy::All));
+    }
+
+    #[test]
+    fn execute_honors_top_k_cap() {
+        let b = broker();
+        let all = b.execute(
+            &SearchRequest::new("databases")
+                .threshold(0.0)
+                .policy(SelectionPolicy::All),
+        );
+        assert!(all.hits.len() > 2);
+        let capped = b.execute(
+            &SearchRequest::new("databases")
+                .threshold(0.0)
+                .policy(SelectionPolicy::All)
+                .top_k(2),
+        );
+        assert_eq!(capped.hits.len(), 2);
+        assert_eq!(capped.hits[..], all.hits[..2]);
+    }
+
+    #[test]
+    fn zero_timeout_budget_reports_timeouts() {
+        let b = broker();
+        let resp = b.execute(
+            &SearchRequest::new("databases")
+                .threshold(0.0)
+                .policy(SelectionPolicy::All)
+                .timeout(Duration::ZERO),
+        );
+        assert!(resp.hits.is_empty());
+        assert!(!resp.is_complete());
+        assert!(resp
+            .per_engine_stats
+            .iter()
+            .all(|s| s.outcome == DispatchOutcome::TimedOut));
+    }
+
+    #[test]
+    fn reestimate_sweeps_thresholds_without_reanalysis() {
+        let b = broker();
+        let plan = b.plan(&SearchRequest::new("soup").policy(SelectionPolicy::All));
+        for t in [0.0, 0.1, 0.3, 0.9] {
+            assert_eq!(b.reestimate(&plan, t), b.estimate_all("soup", t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn mixed_analyzer_configs_are_each_analyzed() {
+        let b = Broker::new(SubrangeEstimator::paper_six_subrange());
+        b.register("plain", engine_from(&["btree indexes win for range scans"]));
+        let mut stemmed = CollectionBuilder::new(
+            Analyzer::new(seu_text::AnalyzerConfig {
+                remove_stopwords: true,
+                stem: true,
+            }),
+            WeightingScheme::CosineTf,
+        );
+        stemmed.add_document("d0", "btree indexes win for range scans");
+        b.register("stemmed", SearchEngine::new(stemmed.build()));
+
+        let analysis = b.analyze("indexes scanning");
+        assert_eq!(analysis.configs(), 2);
+        // The stemmed engine resolves both stems; the plain engine only
+        // the literal surface form.
+        let plan = b.plan(&SearchRequest::new("indexes scanning").policy(SelectionPolicy::All));
+        let by =
+            |n: &str| &plan.engines()[plan.engines().iter().position(|e| e.name == n).unwrap()];
+        assert_eq!(by("plain").query().len(), 1);
+        assert_eq!(by("stemmed").query().len(), 2);
+    }
+
+    #[test]
+    fn pool_stats_reflect_builder_override() {
+        let b = Broker::builder(SubrangeEstimator::paper_six_subrange())
+            .worker_threads(2)
+            .build();
+        b.register("only", engine_from(&["solo document here"]));
+        assert_eq!(b.pool_stats(), (2, 0));
+        let _ = b.search("solo", 0.0, SelectionPolicy::All);
+        let (threads, peak) = b.pool_stats();
+        assert_eq!(threads, 2);
+        assert!((1..=2).contains(&peak), "{peak}");
     }
 }

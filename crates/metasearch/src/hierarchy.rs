@@ -11,6 +11,7 @@
 
 use crate::broker::{Broker, MergedHit};
 use crate::merge::merge_results;
+use crate::request::SearchRequest;
 use crate::selection::SelectionPolicy;
 use parking_lot::RwLock;
 use seu_core::{Usefulness, UsefulnessEstimator};
@@ -125,11 +126,15 @@ impl<E: UsefulnessEstimator + Sync> SuperBroker<E> {
         let selected = self.select(query_text, threshold, policy);
         let children = self.children.read();
         let mut per_child = Vec::with_capacity(selected.len());
+        let req = SearchRequest::new(query_text)
+            .threshold(threshold)
+            .policy(policy);
         for name in &selected {
             if let Some(c) = children.iter().find(|c| &c.name == name) {
                 let hits = c
                     .broker
-                    .search(query_text, threshold, policy)
+                    .execute(&req)
+                    .hits
                     .into_iter()
                     .map(|mut h| {
                         h.engine = format!("{}/{}", c.name, h.engine);

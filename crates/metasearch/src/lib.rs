@@ -3,16 +3,23 @@
 //!
 //! A [`Broker`] sits above a set of local [`SearchEngine`]s. It never
 //! touches their documents; at registration time it builds (or receives)
-//! each engine's [`Representative`] and thereafter decides, per query,
-//! which engines to invoke:
+//! each engine's [`Representative`] and folds the engine's vocabulary
+//! into a broker-global term space. Serving a query is a two-step
+//! pipeline:
 //!
-//! 1. the query text is analyzed per engine (each engine owns its
-//!    vocabulary, exactly as real engines do);
-//! 2. the configured [`UsefulnessEstimator`] predicts `(NoDoc, AvgSim)`
-//!    for every engine from its representative alone;
-//! 3. a [`SelectionPolicy`] turns the estimates into an invocation set;
-//! 4. selected engines are searched in parallel and their results merged
-//!    by global similarity.
+//! 1. [`Broker::plan`] analyzes the [`SearchRequest`]'s text **once**
+//!    against the global vocabulary, translates it into every engine's
+//!    local term space, predicts `(NoDoc, AvgSim)` for every engine from
+//!    its representative alone (the configured [`UsefulnessEstimator`]),
+//!    and applies the [`SelectionPolicy`] → a [`QueryPlan`];
+//! 2. [`Broker::execute`] dispatches the plan's selected engines over a
+//!    bounded worker pool and merges their results by global similarity
+//!    → a [`SearchResponse`] with hits, optional estimates, and
+//!    per-engine dispatch stats.
+//!
+//! The pre-pipeline entry points ([`Broker::estimate_all`],
+//! [`Broker::select`], [`Broker::search`]) are thin wrappers over the
+//! same machinery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,12 +28,18 @@ pub mod allocate;
 pub mod broker;
 pub mod hierarchy;
 pub mod merge;
+pub mod plan;
+pub mod pool;
+pub mod request;
 pub mod selection;
 
 pub use allocate::Allocation;
-pub use broker::{Broker, EngineEstimate, MergedHit};
+pub use broker::{Broker, BrokerBuilder, EngineEstimate, MergedHit};
 pub use hierarchy::SuperBroker;
 pub use merge::merge_results;
+pub use plan::{PlannedEngine, QueryPlan, SharedAnalysis};
+pub use pool::{JobStatus, WorkerPool};
+pub use request::{DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse};
 pub use selection::SelectionPolicy;
 
 // Re-exported for downstream convenience (the broker API surfaces these).

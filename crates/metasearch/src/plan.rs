@@ -1,0 +1,130 @@
+//! Query planning: one analysis pass, per-engine query vectors, and the
+//! selection decision — everything the broker knows before any engine is
+//! contacted.
+//!
+//! [`Broker::plan`] analyzes the request's query text **once** per
+//! distinct analyzer configuration (almost always exactly once) against
+//! the broker-global vocabulary, translates the result into each engine's
+//! local term space through its registration-time
+//! [`TermMap`](seu_engine::TermMap), estimates every engine's usefulness,
+//! and applies the selection policy. The resulting [`QueryPlan`] is
+//! self-contained — it holds shared handles to the engines and their
+//! representatives — so it stays valid even if the registry changes
+//! afterwards, and it can be re-estimated at other thresholds without
+//! re-analysis ([`Broker::reestimate`]).
+//!
+//! [`Broker::plan`]: crate::Broker::plan
+//! [`Broker::reestimate`]: crate::Broker::reestimate
+
+use crate::broker::EngineEstimate;
+use crate::selection::SelectionPolicy;
+use seu_core::Usefulness;
+use seu_engine::{Query, SearchEngine};
+use seu_repr::Representative;
+use seu_text::AnalyzerConfig;
+use std::sync::Arc;
+
+/// The shared analysis of one query text: `(global term id, count)`
+/// pairs per distinct analyzer configuration among the registered
+/// engines. Produced by [`Broker::analyze`](crate::Broker::analyze).
+#[derive(Debug, Clone, Default)]
+pub struct SharedAnalysis {
+    /// One entry per distinct analyzer configuration, in registration
+    /// order of first appearance.
+    pub(crate) per_config: Vec<(AnalyzerConfig, Vec<(u32, u32)>)>,
+}
+
+impl SharedAnalysis {
+    /// The global term frequencies for an analyzer configuration, if an
+    /// engine with that configuration was registered when the analysis
+    /// ran.
+    pub fn tf_for(&self, config: AnalyzerConfig) -> Option<&[(u32, u32)]> {
+        self.per_config
+            .iter()
+            .find(|(c, _)| *c == config)
+            .map(|(_, tf)| tf.as_slice())
+    }
+
+    /// Number of distinct analyzer configurations analyzed.
+    pub fn configs(&self) -> usize {
+        self.per_config.len()
+    }
+}
+
+/// One engine's slice of a [`QueryPlan`]: its translated query vector,
+/// its estimate, and shared handles for dispatch and re-estimation.
+#[derive(Debug, Clone)]
+pub struct PlannedEngine {
+    /// Engine name (registration key).
+    pub name: String,
+    /// Estimated usefulness at the plan's threshold.
+    pub usefulness: Usefulness,
+    /// The query translated into this engine's term space.
+    pub(crate) query: Query,
+    /// The engine's representative (for re-estimation).
+    pub(crate) repr: Arc<Representative>,
+    /// The engine itself (for dispatch).
+    pub(crate) engine: Arc<SearchEngine>,
+}
+
+impl PlannedEngine {
+    /// The query vector in this engine's local term space.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// A shared handle to the engine itself.
+    pub fn engine(&self) -> &Arc<SearchEngine> {
+        &self.engine
+    }
+}
+
+/// The broker's decision for one request: per-engine queries and
+/// estimates, plus the invocation set the policy chose.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The threshold the estimates were computed at.
+    pub threshold: f64,
+    /// The policy that produced `selected`.
+    pub policy: SelectionPolicy,
+    /// Every registered engine, in registration order.
+    pub(crate) engines: Vec<PlannedEngine>,
+    /// Indices into `engines`, in invocation order.
+    pub selected: Vec<usize>,
+}
+
+impl QueryPlan {
+    /// Every engine's slice of the plan, in registration order.
+    pub fn engines(&self) -> &[PlannedEngine] {
+        &self.engines
+    }
+
+    /// Number of engines the plan covers.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the plan covers no engines.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The per-engine estimates, in registration order.
+    pub fn estimates(&self) -> Vec<EngineEstimate> {
+        self.engines
+            .iter()
+            .map(|e| EngineEstimate {
+                engine: e.name.clone(),
+                usefulness: e.usefulness,
+            })
+            .collect()
+    }
+
+    /// Names of the selected engines, in invocation order.
+    pub fn selected_names(&self) -> Vec<String> {
+        self.selected
+            .iter()
+            .map(|&i| self.engines[i].name.clone())
+            .collect()
+    }
+}

@@ -1,0 +1,211 @@
+//! The broker's request/response types: one entry point for estimate,
+//! select, and search.
+//!
+//! A [`SearchRequest`] carries everything the broker needs to serve a
+//! query — the text, the similarity threshold, the [`SelectionPolicy`],
+//! and per-request options (result cap, dispatch timeout budget, whether
+//! to return the per-engine estimates). [`Broker::plan`] turns a request
+//! into a [`QueryPlan`]; [`Broker::execute`] dispatches the plan and
+//! returns a [`SearchResponse`].
+//!
+//! [`Broker::plan`]: crate::Broker::plan
+//! [`Broker::execute`]: crate::Broker::execute
+//! [`QueryPlan`]: crate::QueryPlan
+
+use crate::broker::{EngineEstimate, MergedHit};
+use crate::selection::SelectionPolicy;
+use std::time::Duration;
+
+/// One metasearch query, with its options.
+///
+/// Built fluently; only the query text is required:
+///
+/// ```
+/// use seu_metasearch::{SearchRequest, SelectionPolicy};
+/// use std::time::Duration;
+///
+/// let req = SearchRequest::new("mushroom soup")
+///     .threshold(0.2)
+///     .policy(SelectionPolicy::TopK(3))
+///     .top_k(10)
+///     .timeout(Duration::from_millis(50))
+///     .with_estimates(true);
+/// assert_eq!(req.threshold, 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// The raw query text (analyzed once by the broker).
+    pub query: String,
+    /// Similarity threshold `T` for estimates and retrieval.
+    pub threshold: f64,
+    /// How estimates become an invocation set.
+    pub policy: SelectionPolicy,
+    /// Cap on the number of merged hits returned (`None`: unlimited).
+    pub top_k: Option<usize>,
+    /// Wall-clock budget for the dispatch fan-out; engines that do not
+    /// answer in time contribute no hits and are reported as timed out
+    /// (`None`: wait for every selected engine).
+    pub timeout: Option<Duration>,
+    /// Whether [`SearchResponse::estimates`] should carry the per-engine
+    /// estimates the plan produced.
+    pub with_estimates: bool,
+}
+
+impl SearchRequest {
+    /// A request with the paper's defaults: threshold 0, estimated-useful
+    /// selection, no result cap, no timeout, no estimates in the
+    /// response.
+    pub fn new(query: impl Into<String>) -> Self {
+        SearchRequest {
+            query: query.into(),
+            threshold: 0.0,
+            policy: SelectionPolicy::EstimatedUseful,
+            top_k: None,
+            timeout: None,
+            with_estimates: false,
+        }
+    }
+
+    /// Sets the similarity threshold.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the selection policy.
+    pub fn policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Caps the number of merged hits returned.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Sets the dispatch timeout budget.
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.timeout = Some(budget);
+        self
+    }
+
+    /// Whether the response should include the per-engine estimates.
+    pub fn with_estimates(mut self, yes: bool) -> Self {
+        self.with_estimates = yes;
+        self
+    }
+}
+
+/// What happened to one selected engine during dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchOutcome {
+    /// The engine answered.
+    Completed,
+    /// The engine panicked; it contributed no hits
+    /// (`broker_engine_failures_total` counts these).
+    Failed,
+    /// The engine did not answer within the request's timeout budget
+    /// (`broker_engine_timeouts_total` counts these).
+    TimedOut,
+}
+
+/// Per-engine dispatch accounting for one executed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineDispatchStats {
+    /// Engine name (registration key).
+    pub engine: String,
+    /// Hits the engine contributed before merging.
+    pub hits: usize,
+    /// Wall-clock the engine's search took (0 when it failed or timed
+    /// out).
+    pub seconds: f64,
+    /// How the dispatch ended.
+    pub outcome: DispatchOutcome,
+}
+
+/// The result of [`Broker::execute`]: merged hits plus the accounting
+/// the broker produced along the way.
+///
+/// [`Broker::execute`]: crate::Broker::execute
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// Merged hits, sorted by descending global similarity (capped at
+    /// the request's `top_k` if set).
+    pub hits: Vec<MergedHit>,
+    /// Per-engine estimates from the plan step, in registration order.
+    /// Empty unless the request set `with_estimates`.
+    pub estimates: Vec<EngineEstimate>,
+    /// Per selected engine: hit count, latency, and outcome, in
+    /// invocation order.
+    pub per_engine_stats: Vec<EngineDispatchStats>,
+}
+
+impl SearchResponse {
+    /// Names of the engines the plan selected, in invocation order.
+    pub fn selected(&self) -> Vec<String> {
+        self.per_engine_stats
+            .iter()
+            .map(|s| s.engine.clone())
+            .collect()
+    }
+
+    /// Whether every selected engine completed in time.
+    pub fn is_complete(&self) -> bool {
+        self.per_engine_stats
+            .iter()
+            .all(|s| s.outcome == DispatchOutcome::Completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let req = SearchRequest::new("soup");
+        assert_eq!(req.query, "soup");
+        assert_eq!(req.threshold, 0.0);
+        assert_eq!(req.policy, SelectionPolicy::EstimatedUseful);
+        assert_eq!(req.top_k, None);
+        assert_eq!(req.timeout, None);
+        assert!(!req.with_estimates);
+
+        let req = req
+            .threshold(0.3)
+            .policy(SelectionPolicy::All)
+            .top_k(5)
+            .timeout(Duration::from_secs(1))
+            .with_estimates(true);
+        assert_eq!(req.threshold, 0.3);
+        assert_eq!(req.policy, SelectionPolicy::All);
+        assert_eq!(req.top_k, Some(5));
+        assert_eq!(req.timeout, Some(Duration::from_secs(1)));
+        assert!(req.with_estimates);
+    }
+
+    #[test]
+    fn response_helpers() {
+        let resp = SearchResponse {
+            hits: Vec::new(),
+            estimates: Vec::new(),
+            per_engine_stats: vec![
+                EngineDispatchStats {
+                    engine: "a".into(),
+                    hits: 2,
+                    seconds: 0.01,
+                    outcome: DispatchOutcome::Completed,
+                },
+                EngineDispatchStats {
+                    engine: "b".into(),
+                    hits: 0,
+                    seconds: 0.0,
+                    outcome: DispatchOutcome::TimedOut,
+                },
+            ],
+        };
+        assert_eq!(resp.selected(), vec!["a".to_string(), "b".to_string()]);
+        assert!(!resp.is_complete());
+    }
+}

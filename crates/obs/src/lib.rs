@@ -47,7 +47,10 @@ mod tests {
         let snap = global().snapshot();
         assert!(snap.counters["obs_selftest_total"] >= 3);
         let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
-        assert_eq!(parsed.counters["obs_selftest_total"], snap.counters["obs_selftest_total"]);
+        assert_eq!(
+            parsed.counters["obs_selftest_total"],
+            snap.counters["obs_selftest_total"]
+        );
         assert!(parsed.histograms["obs_selftest_seconds"].count >= 1);
     }
 

@@ -279,8 +279,10 @@ mod tests {
     fn from_json_rejects_malformed_documents() {
         assert!(Snapshot::from_json("not json").is_err());
         assert!(Snapshot::from_json("{}").is_err());
-        assert!(Snapshot::from_json(r#"{"counters": {"a": -1}, "gauges": {}, "histograms": {}}"#)
-            .is_err());
+        assert!(
+            Snapshot::from_json(r#"{"counters": {"a": -1}, "gauges": {}, "histograms": {}}"#)
+                .is_err()
+        );
     }
 
     #[test]

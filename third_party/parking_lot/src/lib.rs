@@ -23,9 +23,7 @@ impl<T> RwLock<T> {
 
     /// Consumes the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -62,9 +60,7 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 

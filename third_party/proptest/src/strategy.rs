@@ -126,7 +126,9 @@ fn parse_pattern(pattern: &str) -> (CharClass, usize, usize) {
     let (class, rest) = if let Some(rest) = pattern.strip_prefix('.') {
         (CharClass::Any, rest)
     } else if let Some(body) = pattern.strip_prefix('[') {
-        let Some(end) = body.find(']') else { unsupported() };
+        let Some(end) = body.find(']') else {
+            unsupported()
+        };
         let mut ranges = Vec::new();
         let chars: Vec<char> = body[..end].chars().collect();
         let mut i = 0;
@@ -206,7 +208,9 @@ mod tests {
         for _ in 0..100 {
             let s = "[a-z0-9]{1,20}".generate(&mut r);
             assert!((1..=20).contains(&s.chars().count()), "{s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
         let s = "[a-zA-Z ]{0,120}".generate(&mut r);
         assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
