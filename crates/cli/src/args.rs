@@ -52,6 +52,17 @@ pub enum Command {
         /// Similarity threshold.
         threshold: f64,
     },
+    /// `seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]`
+    Refresh {
+        /// Persisted engine files.
+        engines: Vec<PathBuf>,
+        /// Directory the portable representatives live in (one
+        /// `<engine-stem>.repr` per engine).
+        repr_dir: PathBuf,
+        /// Skip engines whose existing representative still matches the
+        /// collection's totals.
+        stale_only: bool,
+    },
 }
 
 /// Observability options shared by every subcommand.
@@ -80,6 +91,7 @@ usage:
   seu estimate <repr.bin> -q <query> [-t <threshold>]
   seu search <engine.bin> -q <query> [-t <threshold>] [-k <top-k>]
   seu broker <engine.bin>... -q <query> [-t <threshold>]
+  seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]
 global flags:
   --stats               print a metrics snapshot after the command
   --metrics-out <path>  write the metrics snapshot as JSON";
@@ -122,6 +134,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut top_k: Option<usize> = None;
     let mut stem = false;
     let mut quantize = false;
+    let mut repr_dir: Option<PathBuf> = None;
+    let mut stale_only = false;
     let mut obs = ObsOptions::default();
 
     while let Some(arg) = cur.next().map(str::to_string) {
@@ -147,6 +161,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             }
             "--stem" => stem = true,
             "--quantize" => quantize = true,
+            "--repr-dir" => repr_dir = Some(PathBuf::from(cur.value_for("--repr-dir")?)),
+            "--stale-only" => stale_only = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -197,6 +213,16 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                 engines: positionals,
                 query: need_query()?,
                 threshold,
+            }
+        }
+        "refresh" => {
+            if positionals.is_empty() {
+                return Err("refresh needs at least one engine file".into());
+            }
+            Command::Refresh {
+                engines: positionals,
+                repr_dir: repr_dir.ok_or("missing --repr-dir <dir>")?,
+                stale_only,
             }
         }
         other => return Err(format!("unknown command {other}")),
@@ -280,6 +306,33 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(p(&["broker", "-q", "x"]).unwrap_err().contains("engine"));
+    }
+
+    #[test]
+    fn refresh_parses() {
+        assert_eq!(
+            p(&["refresh", "a.bin", "b.bin", "--repr-dir", "reprs/"])
+                .unwrap()
+                .command,
+            Command::Refresh {
+                engines: vec!["a.bin".into(), "b.bin".into()],
+                repr_dir: "reprs/".into(),
+                stale_only: false,
+            }
+        );
+        assert!(matches!(
+            p(&["refresh", "a.bin", "--repr-dir", "r/", "--stale-only"])
+                .unwrap()
+                .command,
+            Command::Refresh {
+                stale_only: true,
+                ..
+            }
+        ));
+        assert!(p(&["refresh", "a.bin"]).unwrap_err().contains("--repr-dir"));
+        assert!(p(&["refresh", "--repr-dir", "r/"])
+            .unwrap_err()
+            .contains("engine"));
     }
 
     #[test]

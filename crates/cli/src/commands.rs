@@ -184,6 +184,65 @@ pub fn broker(
     Ok(())
 }
 
+/// `seu refresh`: the broker-side metadata-propagation sweep, as a
+/// file-based workflow. For each engine file, rebuild its portable
+/// representative into `<repr-dir>/<engine-stem>.repr`; with
+/// `--stale-only`, skip engines whose existing representative still
+/// matches the collection's document count and raw byte total (the same
+/// weak check the broker applies to shipped representatives, since a
+/// serialized summary carries no content hash).
+pub fn refresh(
+    engines: &[PathBuf],
+    repr_dir: &Path,
+    stale_only: bool,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    fs::create_dir_all(repr_dir)
+        .map_err(|e| io_err(&format!("creating {}", repr_dir.display()), e))?;
+    let mut refreshed = 0usize;
+    for path in engines {
+        let engine = load_engine(path)?;
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let repr_path = repr_dir.join(format!("{stem}.repr"));
+        if stale_only {
+            let fresh = fs::read(&repr_path)
+                .ok()
+                .and_then(|bytes| FrozenSummary::from_bytes(&bytes[..]))
+                .is_some_and(|summary| {
+                    summary.repr.n_docs() == engine.collection().len() as u64
+                        && summary.repr.collection_bytes() == engine.collection().raw_bytes()
+                });
+            if fresh {
+                writeln!(out, "{stem}: up to date").map_err(|e| io_err("writing output", e))?;
+                continue;
+            }
+        }
+        let summary = PortableRepresentative::build(engine.collection()).freeze();
+        let bytes = summary.to_bytes();
+        fs::write(&repr_path, &bytes)
+            .map_err(|e| io_err(&format!("writing {}", repr_path.display()), e))?;
+        writeln!(
+            out,
+            "{stem}: {} terms over {} documents -> {} ({} bytes)",
+            summary.repr.distinct_terms(),
+            summary.repr.n_docs(),
+            repr_path.display(),
+            bytes.len()
+        )
+        .map_err(|e| io_err("writing output", e))?;
+        refreshed += 1;
+    }
+    writeln!(
+        out,
+        "refreshed {refreshed} of {} representatives",
+        engines.len()
+    )
+    .map_err(|e| io_err("writing output", e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +301,42 @@ mod tests {
         // Unknown query terms estimate zero.
         let msg = run_to_string(|out| estimate(&repr_file, "zebra", 0.1, out));
         assert!(msg.contains("rounded 0"), "{msg}");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refresh_rebuilds_only_stale_representatives() {
+        let dir = tmpdir("refresh");
+        let docs = dir.join("docs");
+        fs::create_dir_all(&docs).unwrap();
+        fs::write(docs.join("a.txt"), "mushroom soup with cream").unwrap();
+        let engine_file = dir.join("cooking.bin");
+        run_to_string(|out| index(&docs, &engine_file, false, out));
+
+        let repr_dir = dir.join("reprs");
+        let engines = vec![engine_file.clone()];
+
+        // No representative on disk: --stale-only rebuilds it.
+        let msg = run_to_string(|out| refresh(&engines, &repr_dir, true, out));
+        assert!(msg.contains("refreshed 1 of 1"), "{msg}");
+        assert!(repr_dir.join("cooking.repr").exists());
+
+        // Unchanged collection: --stale-only skips it.
+        let msg = run_to_string(|out| refresh(&engines, &repr_dir, true, out));
+        assert!(msg.contains("up to date"), "{msg}");
+        assert!(msg.contains("refreshed 0 of 1"), "{msg}");
+
+        // The collection grows (re-index with one more document): the
+        // representative no longer matches and is rebuilt.
+        fs::write(docs.join("b.txt"), "a second document about porcini").unwrap();
+        run_to_string(|out| index(&docs, &engine_file, false, out));
+        let msg = run_to_string(|out| refresh(&engines, &repr_dir, true, out));
+        assert!(msg.contains("refreshed 1 of 1"), "{msg}");
+
+        // Without --stale-only everything is rebuilt unconditionally.
+        let msg = run_to_string(|out| refresh(&engines, &repr_dir, false, out));
+        assert!(msg.contains("refreshed 1 of 1"), "{msg}");
 
         fs::remove_dir_all(&dir).unwrap();
     }

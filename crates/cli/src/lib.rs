@@ -11,6 +11,7 @@
 //! seu estimate repr.bin -q "query" [-t 0.2]     usefulness from metadata only
 //! seu search engine.bin -q "query" [-t T|-k K]  search one engine
 //! seu broker e1.bin e2.bin … -q "query" [-t T]  select + search + merge
+//! seu refresh e1.bin … --repr-dir d [--stale-only]  re-ship representatives
 //! ```
 
 #![forbid(unsafe_code)]
@@ -84,5 +85,10 @@ pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), Str
             query,
             threshold,
         } => commands::broker(engines, query, *threshold, out),
+        Command::Refresh {
+            engines,
+            repr_dir,
+            stale_only,
+        } => commands::refresh(engines, repr_dir, *stale_only, out),
     }
 }

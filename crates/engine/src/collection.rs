@@ -43,6 +43,38 @@ impl Document {
     }
 }
 
+/// A cheap content fingerprint of a [`Collection`]: document count,
+/// total raw bytes, and a rolling hash over every document's name and
+/// weighted term vector. Two collections with the same fingerprint hold
+/// the same indexed content for all practical purposes; any document
+/// added, removed, or re-weighted changes it.
+///
+/// This is the broker's staleness signal: a registry records the
+/// fingerprint of the collection a representative was built from and
+/// compares it against the engine's current fingerprint to decide
+/// whether the representative still describes the engine
+/// (`Broker::refresh_if_stale` in `seu-metasearch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Number of documents.
+    pub n_docs: u64,
+    /// Total bytes of raw text ingested.
+    pub raw_bytes: u64,
+    /// FNV-1a rolling hash over document names and term vectors.
+    pub hash: u64,
+}
+
+impl Fingerprint {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn fold(hash: u64, bytes: &[u8]) -> u64 {
+        bytes.iter().fold(hash, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(Self::FNV_PRIME)
+        })
+    }
+}
+
 /// An analyzed, weighted, cosine-normalized document collection.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Collection {
@@ -119,6 +151,28 @@ impl Collection {
     /// The analysis pipeline configuration documents were built with.
     pub fn analyzer_config(&self) -> AnalyzerConfig {
         self.analyzer
+    }
+
+    /// Computes the collection's content [`Fingerprint`] in one pass over
+    /// the documents (O(total postings)). Collections are immutable, so
+    /// callers that need repeated comparisons should compute this once
+    /// and cache it — [`SearchEngine`](crate::SearchEngine) does exactly
+    /// that at index-build time.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut hash = Fingerprint::FNV_OFFSET;
+        for doc in &self.docs {
+            hash = Fingerprint::fold(hash, doc.name.as_bytes());
+            hash = Fingerprint::fold(hash, &doc.len.to_le_bytes());
+            for &(term, weight) in &doc.terms {
+                hash = Fingerprint::fold(hash, &term.0.to_le_bytes());
+                hash = Fingerprint::fold(hash, &weight.to_bits().to_le_bytes());
+            }
+        }
+        Fingerprint {
+            n_docs: self.docs.len() as u64,
+            raw_bytes: self.raw_bytes,
+            hash,
+        }
     }
 
     /// Reassembles a collection from its stored parts (the storage
@@ -482,6 +536,36 @@ mod tests {
                 assert!((a.1 - b.1).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Any added document changes the fingerprint.
+        let mut grown =
+            CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        grown.add_document("d0", "apple banana apple");
+        grown.add_document("d1", "banana cherry");
+        grown.add_document("d2", "the of and");
+        grown.add_document("d3", "quantum entanglement");
+        let grown = grown.build();
+        let fp = grown.fingerprint();
+        assert_ne!(a.fingerprint(), fp);
+        assert_eq!(fp.n_docs, 4);
+        assert!(fp.raw_bytes > a.fingerprint().raw_bytes);
+
+        // Same shape, different content: counts match, hash differs.
+        let mut renamed =
+            CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        renamed.add_document("x0", "apple banana apple");
+        renamed.add_document("d1", "banana cherry");
+        renamed.add_document("d2", "the of and");
+        let renamed = renamed.build();
+        assert_eq!(renamed.fingerprint().n_docs, a.fingerprint().n_docs);
+        assert_ne!(renamed.fingerprint().hash, a.fingerprint().hash);
     }
 
     #[test]

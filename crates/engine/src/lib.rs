@@ -27,7 +27,7 @@ pub mod storage;
 pub mod topk;
 pub mod weighting;
 
-pub use collection::{Collection, CollectionBuilder, DocId, Document};
+pub use collection::{Collection, CollectionBuilder, DocId, Document, Fingerprint};
 pub use index::InvertedIndex;
 pub use query::Query;
 pub use search::{SearchEngine, SearchHit, TrueUsefulness};

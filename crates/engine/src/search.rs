@@ -1,6 +1,6 @@
 //! Query evaluation: threshold search, top-k search, and exact usefulness.
 
-use crate::collection::{Collection, DocId};
+use crate::collection::{Collection, DocId, Fingerprint};
 use crate::index::InvertedIndex;
 use crate::query::Query;
 use serde::{Deserialize, Serialize};
@@ -62,13 +62,22 @@ pub struct TrueUsefulness {
 pub struct SearchEngine {
     collection: Collection,
     index: InvertedIndex,
+    /// Content fingerprint, computed once at index-build time (the
+    /// collection is immutable, so indexing a new snapshot is the only
+    /// way content can change — and that recomputes this).
+    fingerprint: Fingerprint,
 }
 
 impl SearchEngine {
     /// Indexes a collection.
     pub fn new(collection: Collection) -> Self {
         let index = InvertedIndex::build(&collection);
-        SearchEngine { collection, index }
+        let fingerprint = collection.fingerprint();
+        SearchEngine {
+            collection,
+            index,
+            fingerprint,
+        }
     }
 
     /// The underlying collection.
@@ -79,6 +88,12 @@ impl SearchEngine {
     /// The inverted index.
     pub fn index(&self) -> &InvertedIndex {
         &self.index
+    }
+
+    /// The collection's content fingerprint (cached at construction, so
+    /// registry staleness sweeps cost O(1) per engine).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
     }
 
     /// Scores every document sharing at least one term with the query

@@ -31,6 +31,8 @@
 //!   --seed N            workload RNG seed (default 42)
 //!   --csv DIR           dump per-database CSVs alongside the tables
 //!   --bench-out PATH    where bench-broker writes its JSON report
+//!   --docs-base N       bench-broker documents-per-database base (default 120)
+//!   --queries N         bench-broker query count (default 400)
 //!   --stats             print a metrics snapshot after the run
 //!   --metrics-out PATH  write the metrics snapshot as JSON
 //! ```
@@ -44,6 +46,8 @@ fn main() {
     let mut seed = 42u64;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut bench_out: Option<std::path::PathBuf> = None;
+    let mut docs_base = 120usize;
+    let mut n_queries = 400usize;
     let mut stats = false;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
@@ -71,6 +75,20 @@ fn main() {
                         .map(std::path::PathBuf::from)
                         .unwrap_or_else(|| usage("--bench-out needs a path")),
                 );
+            }
+            "--docs-base" => {
+                i += 1;
+                docs_base = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--docs-base needs an integer"));
+            }
+            "--queries" => {
+                i += 1;
+                n_queries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--queries needs an integer"));
             }
             "--stats" => stats = true,
             "--metrics-out" => {
@@ -118,7 +136,7 @@ fn main() {
     // when it is the only command, instead of) dataset generation.
     if run("bench-broker") {
         eprintln!("running broker bench (seed {seed})...");
-        let report = seu_eval::run_broker_bench(seed, 120, 400);
+        let report = seu_eval::run_broker_bench(seed, docs_base, n_queries);
         print!("{}", report.to_text());
         let path = bench_out
             .clone()
@@ -265,7 +283,7 @@ fn usage(err: &str) -> ! {
          ablation-subranges|ablation-disjoint|ablation-grid|ranking|long-queries|\
          hierarchy|selection|gloss-bounds|dependence|binary|policies|weighting|\
          exact-percentiles|diagnostics|bench-broker|all] [--seed N] \
-         [--bench-out PATH] [--stats] [--metrics-out PATH]"
+         [--bench-out PATH] [--docs-base N] [--queries N] [--stats] [--metrics-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -16,7 +16,10 @@
 use crate::merge::merge_results;
 use crate::plan::{PlannedEngine, QueryPlan, SharedAnalysis};
 use crate::pool::{JobStatus, WorkerPool};
-use crate::request::{DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse};
+use crate::registry::{EngineStatus, RegisteredEngine, ReprProvenance, StalePlanError};
+use crate::request::{
+    DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse, StaleMode,
+};
 use crate::selection::SelectionPolicy;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -24,6 +27,7 @@ use seu_core::{Usefulness, UsefulnessEstimator};
 use seu_engine::{SearchEngine, TermMap};
 use seu_repr::Representative;
 use seu_text::{Analyzer, AnalyzerConfig, Vocabulary};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -46,6 +50,10 @@ struct BrokerMetrics {
     merge_size: Arc<seu_obs::Histogram>,
     engine_failures: Arc<seu_obs::Counter>,
     engine_timeouts: Arc<seu_obs::Counter>,
+    representative_refreshes: Arc<seu_obs::Counter>,
+    stale_plans: Arc<seu_obs::Counter>,
+    registry_engines: Arc<seu_obs::Gauge>,
+    representative_bytes: Arc<seu_obs::Gauge>,
 }
 
 fn metrics() -> &'static BrokerMetrics {
@@ -68,6 +76,10 @@ fn metrics() -> &'static BrokerMetrics {
         ),
         engine_failures: seu_obs::counter("broker_engine_failures_total"),
         engine_timeouts: seu_obs::counter("broker_engine_timeouts_total"),
+        representative_refreshes: seu_obs::counter("broker_representative_refreshes_total"),
+        stale_plans: seu_obs::counter("broker_stale_plans_total"),
+        registry_engines: seu_obs::gauge("broker_registry_engines"),
+        representative_bytes: seu_obs::gauge("broker_representative_bytes_resident"),
     })
 }
 
@@ -98,15 +110,6 @@ pub struct MergedHit {
     pub doc: String,
     /// Global (cosine) similarity.
     pub sim: f64,
-}
-
-struct RegisteredEngine {
-    name: String,
-    engine: Arc<SearchEngine>,
-    repr: Arc<Representative>,
-    /// Broker-global → engine-local term translation, built at
-    /// registration.
-    map: TermMap,
 }
 
 /// Configures a [`Broker`] before construction.
@@ -140,6 +143,9 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
             estimator: self.estimator,
             engines: RwLock::new(Vec::new()),
             vocab: RwLock::new(Vocabulary::new()),
+            registry_epoch: AtomicU64::new(0),
+            gauge_engines: AtomicU64::new(0),
+            gauge_repr_bytes: AtomicU64::new(0),
             worker_threads: self.worker_threads,
             pool: OnceLock::new(),
         }
@@ -185,10 +191,31 @@ pub struct Broker<E> {
     /// Union vocabulary over every registered engine — the target of the
     /// single query-analysis pass.
     vocab: RwLock<Vocabulary>,
+    /// Broker-wide registry version: bumped on every registration and on
+    /// every per-engine lifecycle change (refresh, representative update,
+    /// engine replacement). [`QueryPlan`] records the value it was
+    /// planned against; a mismatch later means the plan is stale.
+    registry_epoch: AtomicU64,
+    /// This broker's current contribution to the process-wide
+    /// `broker_registry_engines` gauge (so several brokers sum instead of
+    /// clobbering each other, and `Drop` can retract it).
+    gauge_engines: AtomicU64,
+    /// Ditto for `broker_representative_bytes_resident`.
+    gauge_repr_bytes: AtomicU64,
     /// Builder override for the dispatch pool size.
     worker_threads: Option<usize>,
     /// The dispatch pool, sized lazily at first execution.
     pool: OnceLock<WorkerPool>,
+}
+
+impl<E> Drop for Broker<E> {
+    fn drop(&mut self) {
+        let m = metrics();
+        let n = self.gauge_engines.swap(0, Ordering::SeqCst);
+        let bytes = self.gauge_repr_bytes.swap(0, Ordering::SeqCst);
+        m.registry_engines.add(-(n as f64));
+        m.representative_bytes.add(-(bytes as f64));
+    }
 }
 
 impl<E: UsefulnessEstimator + Sync> Broker<E> {
@@ -211,7 +238,8 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// [`Broker::register_with_representative`]).
     pub fn register(&self, name: &str, engine: SearchEngine) {
         let repr = Representative::build(engine.collection());
-        self.register_with_representative(name, engine, repr);
+        let provenance = ReprProvenance::Local(engine.fingerprint());
+        self.register_inner(name, engine, repr, provenance);
     }
 
     /// Registers an engine together with a representative it supplied
@@ -225,13 +253,48 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         engine: SearchEngine,
         repr: Representative,
     ) {
+        let provenance = ReprProvenance::Shipped {
+            n_docs: repr.n_docs(),
+            raw_bytes: repr.collection_bytes(),
+        };
+        self.register_inner(name, engine, repr, provenance);
+    }
+
+    /// Shared registration path. Lock order: `engines` before `vocab`,
+    /// matching every lifecycle method that touches both.
+    fn register_inner(
+        &self,
+        name: &str,
+        engine: SearchEngine,
+        repr: Representative,
+        provenance: ReprProvenance,
+    ) {
+        let mut engines = self.engines.write();
         let map = TermMap::build(&mut self.vocab.write(), engine.collection());
-        self.engines.write().push(RegisteredEngine {
+        engines.push(RegisteredEngine {
             name: name.to_string(),
             engine: Arc::new(engine),
             repr: Arc::new(repr),
             map,
+            epoch: 0,
+            provenance,
         });
+        self.registry_epoch.fetch_add(1, Ordering::SeqCst);
+        self.update_registry_gauges(&engines);
+    }
+
+    /// Re-publishes this broker's contribution to the process-wide
+    /// registry gauges as a delta against what it last reported, so
+    /// several live brokers (e.g. in one test binary) sum correctly.
+    /// Call with the `engines` write lock held.
+    fn update_registry_gauges(&self, engines: &[RegisteredEngine]) {
+        let m = metrics();
+        let n = engines.len() as u64;
+        let bytes: u64 = engines.iter().map(|e| e.repr.bytes_resident()).sum();
+        let prev_n = self.gauge_engines.swap(n, Ordering::SeqCst);
+        let prev_bytes = self.gauge_repr_bytes.swap(bytes, Ordering::SeqCst);
+        m.registry_engines.add(n as f64 - prev_n as f64);
+        m.representative_bytes.add(bytes as f64 - prev_bytes as f64);
     }
 
     /// Number of registered engines.
@@ -285,12 +348,19 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
 
     /// Rebuilds the named engine's representative from its current
     /// collection — the paper's infrequent metadata-propagation step
-    /// (§1). Returns false if no engine has that name.
+    /// (§1) — and, atomically with it, the engine's term map against the
+    /// broker-global vocabulary, so terms that entered the collection
+    /// after registration reach every subsequent plan. Bumps the engine's
+    /// epoch and the registry epoch. Returns false if no engine has that
+    /// name.
     pub fn refresh_representative(&self, name: &str) -> bool {
         let mut engines = self.engines.write();
         match engines.iter_mut().find(|e| e.name == name) {
             Some(e) => {
-                e.repr = Arc::new(Representative::build(e.engine.collection()));
+                e.refresh(&mut self.vocab.write());
+                metrics().representative_refreshes.inc();
+                self.registry_epoch.fetch_add(1, Ordering::SeqCst);
+                self.update_registry_gauges(&engines);
                 true
             }
             None => false,
@@ -298,17 +368,99 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     }
 
     /// Replaces the named engine's representative with one it shipped
-    /// (e.g. a quantized or accumulator-snapshotted one). Returns false
-    /// if no engine has that name.
+    /// (e.g. a quantized or accumulator-snapshotted one), rebuilding the
+    /// engine's term map alongside it. Bumps the engine's epoch and the
+    /// registry epoch. Returns false if no engine has that name.
     pub fn update_representative(&self, name: &str, repr: Representative) -> bool {
         let mut engines = self.engines.write();
         match engines.iter_mut().find(|e| e.name == name) {
             Some(e) => {
-                e.repr = Arc::new(repr);
+                e.install_shipped(&mut self.vocab.write(), repr);
+                metrics().representative_refreshes.inc();
+                self.registry_epoch.fetch_add(1, Ordering::SeqCst);
+                self.update_registry_gauges(&engines);
                 true
             }
             None => false,
         }
+    }
+
+    /// Swaps the named engine for a new snapshot of it **without**
+    /// touching its representative or term map — modelling a remote
+    /// engine that re-indexed while the broker's metadata lags behind
+    /// (the paper's propagation is infrequent by design). The entry
+    /// becomes stale if the new collection's fingerprint differs; a
+    /// [`Broker::refresh_if_stale`] sweep (or an explicit
+    /// [`Broker::refresh_representative`]) reconciles it. Bumps the
+    /// registry epoch so outstanding plans are detectably stale. Returns
+    /// false if no engine has that name.
+    pub fn replace_engine(&self, name: &str, engine: SearchEngine) -> bool {
+        let mut engines = self.engines.write();
+        match engines.iter_mut().find(|e| e.name == name) {
+            Some(e) => {
+                e.engine = Arc::new(engine);
+                e.epoch += 1;
+                self.registry_epoch.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sweeps the registry and rebuilds the representative (and term
+    /// map) of every engine whose collection fingerprint no longer
+    /// matches what its representative was built from. The comparison is
+    /// O(1) per engine — fingerprints are cached at engine construction —
+    /// so the sweep is cheap when nothing changed. Returns the names of
+    /// the engines it refreshed, in registration order.
+    pub fn refresh_if_stale(&self) -> Vec<String> {
+        let mut engines = self.engines.write();
+        let mut refreshed = Vec::new();
+        for e in engines.iter_mut() {
+            if e.is_stale() {
+                e.refresh(&mut self.vocab.write());
+                metrics().representative_refreshes.inc();
+                self.registry_epoch.fetch_add(1, Ordering::SeqCst);
+                refreshed.push(e.name.clone());
+            }
+        }
+        if !refreshed.is_empty() {
+            self.update_registry_gauges(&engines);
+        }
+        refreshed
+    }
+
+    /// Whether the named engine's representative is stale (its
+    /// collection fingerprint no longer matches). `None` if no engine
+    /// has that name.
+    pub fn is_stale(&self, name: &str) -> Option<bool> {
+        self.engines
+            .read()
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.is_stale())
+    }
+
+    /// Per-engine lifecycle status, in registration order.
+    pub fn engine_statuses(&self) -> Vec<EngineStatus> {
+        self.engines
+            .read()
+            .iter()
+            .map(|e| EngineStatus {
+                name: e.name.clone(),
+                epoch: e.epoch,
+                stale: e.is_stale(),
+                repr_terms: e.repr.distinct_terms(),
+                repr_bytes: e.repr.bytes_resident(),
+            })
+            .collect()
+    }
+
+    /// The current registry epoch. Plans made at an older epoch are
+    /// stale: their term translations and estimates may no longer
+    /// describe the registered representatives.
+    pub fn registry_epoch(&self) -> u64 {
+        self.registry_epoch.load(Ordering::SeqCst)
     }
 
     /// Analyzes a query text once per distinct analyzer configuration
@@ -343,6 +495,9 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     pub fn plan(&self, req: &SearchRequest) -> QueryPlan {
         let m = metrics();
         let timer = m.plan_latency.start_timer();
+        // Epoch is read before analysis: a refresh landing mid-plan makes
+        // the plan detectably stale rather than silently half-updated.
+        let epoch = self.registry_epoch.load(Ordering::SeqCst);
         let analysis = self.analyze(&req.query);
         let engines = self.engines.read();
         m.estimates.add(engines.len() as u64);
@@ -371,8 +526,10 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let selected = req.policy.select(&us);
         timer.stop();
         QueryPlan {
+            query: req.query.clone(),
             threshold: req.threshold,
             policy: req.policy,
+            epoch,
             engines: planned,
             selected,
         }
@@ -381,16 +538,50 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// Re-estimates a plan's engines at a different threshold without
     /// re-analyzing the query — the query vectors are threshold-free, so
     /// threshold sweeps (e.g. document allocation's bisection) pay for
-    /// analysis once.
-    pub fn reestimate(&self, plan: &QueryPlan, threshold: f64) -> Vec<EngineEstimate> {
+    /// analysis once. Fails with [`StalePlanError`] if the registry has
+    /// changed since the plan was made: the plan's representatives and
+    /// term translations may no longer describe the registered engines,
+    /// so estimates from them could not be compared against fresh ones.
+    pub fn try_reestimate(
+        &self,
+        plan: &QueryPlan,
+        threshold: f64,
+    ) -> Result<Vec<EngineEstimate>, StalePlanError> {
+        let registry_epoch = self.registry_epoch.load(Ordering::SeqCst);
+        if plan.epoch != registry_epoch {
+            metrics().stale_plans.inc();
+            return Err(StalePlanError {
+                plan_epoch: plan.epoch,
+                registry_epoch,
+            });
+        }
         metrics().estimates.add(plan.engines.len() as u64);
-        plan.engines
+        Ok(plan
+            .engines
             .iter()
             .map(|e| EngineEstimate {
                 engine: e.name.clone(),
                 usefulness: self.estimator.estimate(&e.repr, &e.query, threshold),
             })
-            .collect()
+            .collect())
+    }
+
+    /// Re-estimates a plan's engines at a different threshold,
+    /// transparently replanning from the plan's recorded query text if
+    /// the registry has changed since the plan was made (counted by
+    /// `broker_stale_plans_total`). Callers that must not silently switch
+    /// registries mid-sweep use [`Broker::try_reestimate`].
+    pub fn reestimate(&self, plan: &QueryPlan, threshold: f64) -> Vec<EngineEstimate> {
+        match self.try_reestimate(plan, threshold) {
+            Ok(estimates) => estimates,
+            Err(_) => self
+                .plan(
+                    &SearchRequest::new(plan.query.clone())
+                        .threshold(threshold)
+                        .policy(plan.policy),
+                )
+                .estimates(),
+        }
     }
 
     /// Executes a request end to end: plan, dispatch the selected engines
@@ -400,12 +591,61 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// [`DispatchOutcome::Failed`] (counted by
     /// `broker_engine_failures_total`) instead of poisoning the query;
     /// engines that miss the request's timeout budget are reported as
-    /// [`DispatchOutcome::TimedOut`].
+    /// [`DispatchOutcome::TimedOut`]. If a representative refresh lands
+    /// between planning and dispatch, the request is replanned once
+    /// (counted by `broker_stale_plans_total`).
     pub fn execute(&self, req: &SearchRequest) -> SearchResponse {
         let m = metrics();
         let timer = m.query_latency.start_timer();
-        let plan = self.plan(req);
+        let mut plan = self.plan(req);
+        if plan.epoch != self.registry_epoch.load(Ordering::SeqCst) {
+            m.stale_plans.inc();
+            plan = self.plan(req);
+        }
+        let resp = self.dispatch(req, &plan);
+        timer.stop();
+        resp
+    }
 
+    /// Executes an externally supplied plan — e.g. one the caller
+    /// inspected or adjusted before committing to dispatch. If the
+    /// registry has changed since the plan was made, the request's
+    /// [`StaleMode`] decides: replan transparently (the default) or
+    /// surface a [`StalePlanError`]. Either way the staleness is counted
+    /// by `broker_stale_plans_total`.
+    pub fn execute_plan(
+        &self,
+        req: &SearchRequest,
+        plan: &QueryPlan,
+    ) -> Result<SearchResponse, StalePlanError> {
+        let m = metrics();
+        let timer = m.query_latency.start_timer();
+        let registry_epoch = self.registry_epoch.load(Ordering::SeqCst);
+        let resp = if plan.epoch != registry_epoch {
+            m.stale_plans.inc();
+            match req.stale_mode {
+                StaleMode::Error => {
+                    return Err(StalePlanError {
+                        plan_epoch: plan.epoch,
+                        registry_epoch,
+                    });
+                }
+                StaleMode::Replan => {
+                    let fresh = self.plan(req);
+                    self.dispatch(req, &fresh)
+                }
+            }
+        } else {
+            self.dispatch(req, plan)
+        };
+        timer.stop();
+        Ok(resp)
+    }
+
+    /// Dispatches a plan's invocation set over the worker pool and merges
+    /// the results. The accounting half of [`Broker::execute`].
+    fn dispatch(&self, req: &SearchRequest, plan: &QueryPlan) -> SearchResponse {
+        let m = metrics();
         let dispatch_timer = m.dispatch_latency.start_timer();
         let threshold = req.threshold;
         let jobs: Vec<DispatchJob> = plan
@@ -439,7 +679,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             let name = plan.engines[i].name.clone();
             let (hits, seconds, outcome) = match status {
                 JobStatus::Done((hits, seconds)) => (hits, seconds, DispatchOutcome::Completed),
-                JobStatus::Panicked => {
+                JobStatus::Panicked | JobStatus::Rejected => {
                     m.engine_failures.inc();
                     (Vec::new(), 0.0, DispatchOutcome::Failed)
                 }
@@ -467,7 +707,6 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         m.selected.add(plan.selected.len() as u64);
         m.merge_hits.add(merged.len() as u64);
         m.merge_size.observe(merged.len() as f64);
-        timer.stop();
 
         SearchResponse {
             hits: merged,

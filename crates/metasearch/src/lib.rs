@@ -20,6 +20,15 @@
 //! The pre-pipeline entry points ([`Broker::estimate_all`],
 //! [`Broker::select`], [`Broker::search`]) are thin wrappers over the
 //! same machinery.
+//!
+//! Representatives have a **lifecycle**: every registry entry is
+//! epoch-versioned and records the fingerprint of the collection its
+//! representative and term map were built from, so staleness is
+//! detectable ([`Broker::engine_statuses`], [`Broker::is_stale`]) and
+//! repairable in one sweep ([`Broker::refresh_if_stale`]). Plans record
+//! the registry epoch they were made against; executing or re-estimating
+//! a stale plan replans transparently by default, or surfaces a typed
+//! [`StalePlanError`] under [`StaleMode::Error`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +39,7 @@ pub mod hierarchy;
 pub mod merge;
 pub mod plan;
 pub mod pool;
+pub mod registry;
 pub mod request;
 pub mod selection;
 
@@ -38,8 +48,9 @@ pub use broker::{Broker, BrokerBuilder, EngineEstimate, MergedHit};
 pub use hierarchy::SuperBroker;
 pub use merge::merge_results;
 pub use plan::{PlannedEngine, QueryPlan, SharedAnalysis};
-pub use pool::{JobStatus, WorkerPool};
-pub use request::{DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse};
+pub use pool::{JobStatus, PoolClosed, WorkerPool};
+pub use registry::{EngineStatus, StalePlanError};
+pub use request::{DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse, StaleMode};
 pub use selection::SelectionPolicy;
 
 // Re-exported for downstream convenience (the broker API surfaces these).

@@ -81,12 +81,28 @@ impl PlannedEngine {
 
 /// The broker's decision for one request: per-engine queries and
 /// estimates, plus the invocation set the policy chose.
+///
+/// A plan is self-contained — it holds shared handles to the engines and
+/// representatives it was made from, so it stays internally consistent
+/// even if the registry changes afterwards. The `epoch` field records
+/// the registry state it described: [`Broker::execute_plan`] and
+/// [`Broker::try_reestimate`] compare it against the current registry
+/// epoch and refuse (or replan) when a representative refresh has made
+/// the plan's term translation stale.
+///
+/// [`Broker::execute_plan`]: crate::Broker::execute_plan
+/// [`Broker::try_reestimate`]: crate::Broker::try_reestimate
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
+    /// The raw query text the plan was made from (kept so a stale plan
+    /// can be transparently replanned).
+    pub query: String,
     /// The threshold the estimates were computed at.
     pub threshold: f64,
     /// The policy that produced `selected`.
     pub policy: SelectionPolicy,
+    /// The broker's registry epoch at planning time.
+    pub epoch: u64,
     /// Every registered engine, in registration order.
     pub(crate) engines: Vec<PlannedEngine>,
     /// Indices into `engines`, in invocation order.

@@ -17,13 +17,20 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Instrument handles cached once per process.
+///
+/// The gauges are process-global: when several pools coexist (e.g. two
+/// brokers in one process), `broker_pool_workers` and
+/// `broker_pool_queue_depth` report the *sum* across all of them, not
+/// any single pool's value. Each pool therefore adjusts the gauges by
+/// deltas (`add`) rather than overwriting them (`set`), and undoes its
+/// own contribution when it drops, so the aggregate stays consistent.
 struct PoolMetrics {
     workers: Arc<seu_obs::Gauge>,
     queue_depth: Arc<seu_obs::Gauge>,
@@ -53,7 +60,25 @@ struct PoolState {
     active: AtomicU64,
     /// High-water mark of `active` — the concurrency-bound witness.
     peak: AtomicU64,
+    /// Jobs submitted but not yet picked up by a worker. Mirrors this
+    /// pool's contribution to the shared `broker_pool_queue_depth`
+    /// gauge, so `Drop` can subtract whatever never drained.
+    queued: AtomicU64,
 }
+
+/// The pool can no longer accept jobs: every worker has exited, so a
+/// submitted job would never run. Returned by [`WorkerPool::submit`]
+/// instead of panicking the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool closed: no workers are alive to run the job")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
 
 /// How one job submitted through [`WorkerPool::run_collect`] ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +90,9 @@ pub enum JobStatus<T> {
     /// The job did not report back within the deadline (it may still be
     /// running; its eventual result is discarded).
     TimedOut,
+    /// The pool refused the job because no worker was alive to run it
+    /// (see [`PoolClosed`]).
+    Rejected,
 }
 
 impl<T> JobStatus<T> {
@@ -90,7 +118,7 @@ impl WorkerPool {
     /// Spawns `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        metrics().workers.set(threads as f64);
+        metrics().workers.add(threads as f64);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let state = Arc::new(PoolState::default());
@@ -120,22 +148,34 @@ impl WorkerPool {
         self.state.peak.load(Ordering::SeqCst)
     }
 
-    /// Enqueues a fire-and-forget job.
-    pub fn submit(&self, job: Job) {
+    /// Enqueues a fire-and-forget job. Errs with [`PoolClosed`] —
+    /// instead of panicking — if every worker has exited and the job
+    /// could never run.
+    pub fn submit(&self, job: Job) -> Result<(), PoolClosed> {
         let m = metrics();
         m.jobs.inc();
         m.queue_depth.add(1.0);
-        self.tx
+        self.state.queued.fetch_add(1, Ordering::SeqCst);
+        let sent = self
+            .tx
             .as_ref()
             .expect("pool sender lives until drop")
-            .send(job)
-            .expect("workers outlive the pool handle");
+            .send(job);
+        if sent.is_err() {
+            // The receiver is gone: every worker exited. Undo the queue
+            // accounting for the job that never entered the queue.
+            m.queue_depth.add(-1.0);
+            self.state.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err(PoolClosed);
+        }
+        Ok(())
     }
 
     /// Runs every job on the pool and collects their results in input
     /// order. Panicking jobs yield [`JobStatus::Panicked`]; jobs that
     /// miss the `timeout` deadline (measured across the whole batch)
-    /// yield [`JobStatus::TimedOut`].
+    /// yield [`JobStatus::TimedOut`]; jobs the pool could not accept
+    /// (every worker dead) yield [`JobStatus::Rejected`].
     pub fn run_collect<T: Send + 'static>(
         &self,
         jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
@@ -144,16 +184,24 @@ impl WorkerPool {
         let n = jobs.len();
         let deadline = timeout.map(|t| Instant::now() + t);
         let (tx, rx) = channel::<(usize, Option<T>)>();
+        let mut rejected: Vec<usize> = Vec::new();
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
-            self.submit(Box::new(move || {
+            let submitted = self.submit(Box::new(move || {
                 let result = catch_unwind(AssertUnwindSafe(job)).ok();
                 let _ = tx.send((i, result));
             }));
+            if submitted.is_err() {
+                rejected.push(i);
+            }
         }
         drop(tx);
 
         let mut out: Vec<JobStatus<T>> = (0..n).map(|_| JobStatus::TimedOut).collect();
+        for &i in &rejected {
+            out[i] = JobStatus::Rejected;
+        }
+        let n = n - rejected.len();
         let mut received = 0usize;
         while received < n {
             let message = match deadline {
@@ -190,20 +238,33 @@ impl Drop for WorkerPool {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        metrics().workers.set(0.0);
+        // Workers normally drain the queue before exiting, but if they
+        // died early any still-queued job was never dequeued — subtract
+        // this pool's residual contribution so the process-global gauge
+        // does not drift upward across pool lifetimes.
+        let leaked = self.state.queued.swap(0, Ordering::SeqCst);
+        let m = metrics();
+        if leaked > 0 {
+            m.queue_depth.add(-(leaked as f64));
+        }
+        // Remove this pool's workers from the shared gauge (other pools'
+        // workers stay counted).
+        m.workers.add(-(self.threads as f64));
     }
 }
 
 fn worker_loop(rx: &Mutex<Receiver<Job>>, state: &PoolState) {
     loop {
         // Take the lock only to receive, never while running a job, so
-        // one slow engine cannot serialize the whole pool.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
-        };
+        // one slow engine cannot serialize the whole pool. A poisoned
+        // lock (a sibling worker panicked while holding it) is
+        // recovered, not fatal: the receiver itself is still sound, and
+        // exiting here would silently shrink the pool until `submit`
+        // had no workers left.
+        let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
         let Ok(job) = job else { return };
         metrics().queue_depth.add(-1.0);
+        state.queued.fetch_sub(1, Ordering::SeqCst);
         let active = state.active.fetch_add(1, Ordering::SeqCst) + 1;
         state.peak.fetch_max(active, Ordering::SeqCst);
         let _ = catch_unwind(AssertUnwindSafe(job));

@@ -1,0 +1,216 @@
+//! The representative lifecycle: epoch-versioned registry entries and
+//! staleness detection.
+//!
+//! The paper's broker keeps a *representative* per engine and assumes
+//! infrequent metadata propagation keeps it consistent with the engine's
+//! collection (§1). This module is the machinery that makes that
+//! consistency checkable and restorable instead of assumed:
+//!
+//! * every registry entry carries a monotonically increasing **epoch**,
+//!   bumped on any change to the entry (representative refresh or
+//!   replacement, engine snapshot swap);
+//! * the entry records the [`Fingerprint`] of the collection its
+//!   representative and term map were built from, so a sweep
+//!   (`Broker::refresh_if_stale`) can compare it against the engine's
+//!   current fingerprint and rebuild only what actually changed;
+//! * a [`QueryPlan`](crate::QueryPlan) records the broker-wide registry
+//!   epoch it was planned against, so `Broker::execute_plan` and
+//!   `Broker::try_reestimate` can detect that a plan's term translation
+//!   no longer matches the registry and replan (or surface a typed
+//!   [`StalePlanError`] under [`StaleMode::Error`](crate::StaleMode)).
+//!
+//! The headline invariant: **any** path that changes a representative
+//! also rebuilds the engine's `TermMap` against the broker-global
+//! vocabulary. Terms added to a collection after registration therefore
+//! reach the global vocabulary and every subsequent plan, instead of
+//! being silently dropped from query translation.
+
+use seu_engine::{Fingerprint, SearchEngine, TermMap};
+use seu_repr::Representative;
+use seu_text::Vocabulary;
+use std::sync::Arc;
+
+/// What the registry knows about the collection a representative
+/// summarized — the baseline a staleness check compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReprProvenance {
+    /// The broker built the representative from the engine's collection
+    /// itself: the full content fingerprint is known.
+    Local(Fingerprint),
+    /// The engine shipped the representative (possibly quantized or
+    /// accumulator-snapshotted): only the summary's own totals are
+    /// known, so staleness is judged on document count and raw bytes.
+    Shipped {
+        /// `n_docs` the shipped summary claims.
+        n_docs: u64,
+        /// `collection_bytes` the shipped summary claims.
+        raw_bytes: u64,
+    },
+}
+
+impl ReprProvenance {
+    /// Whether a collection with fingerprint `current` is still the one
+    /// this representative describes.
+    pub(crate) fn matches(&self, current: Fingerprint) -> bool {
+        match *self {
+            ReprProvenance::Local(fp) => fp == current,
+            ReprProvenance::Shipped { n_docs, raw_bytes } => {
+                n_docs == current.n_docs && raw_bytes == current.raw_bytes
+            }
+        }
+    }
+}
+
+/// One engine's registry entry: the engine, its representative, the
+/// global→local term translation, and the lifecycle bookkeeping.
+pub(crate) struct RegisteredEngine {
+    pub(crate) name: String,
+    pub(crate) engine: Arc<SearchEngine>,
+    pub(crate) repr: Arc<Representative>,
+    /// Broker-global → engine-local term translation; rebuilt together
+    /// with the representative, never independently of it.
+    pub(crate) map: TermMap,
+    /// Per-engine version, starting at 0 and bumped on every refresh,
+    /// representative update, or engine replacement.
+    pub(crate) epoch: u64,
+    /// Fingerprint (or shipped totals) of the collection `repr` and
+    /// `map` were built from.
+    pub(crate) provenance: ReprProvenance,
+}
+
+impl RegisteredEngine {
+    /// Whether the engine's current collection no longer matches the
+    /// collection its representative was built from.
+    pub(crate) fn is_stale(&self) -> bool {
+        !self.provenance.matches(self.engine.fingerprint())
+    }
+
+    /// Rebuilds the representative from the engine's current collection
+    /// and — atomically with it — the term map against the global
+    /// vocabulary, folding any new terms in. This is the single code
+    /// path behind every representative change, so the map can never
+    /// lag the representative again.
+    pub(crate) fn refresh(&mut self, global_vocab: &mut Vocabulary) {
+        let repr = Representative::build(self.engine.collection());
+        self.install(
+            global_vocab,
+            repr,
+            ReprProvenance::Local(self.engine.fingerprint()),
+        );
+    }
+
+    /// Installs a representative the engine shipped, rebuilding the term
+    /// map from the engine's current collection (shipped representatives
+    /// are id-aligned with it).
+    pub(crate) fn install_shipped(&mut self, global_vocab: &mut Vocabulary, repr: Representative) {
+        let provenance = ReprProvenance::Shipped {
+            n_docs: repr.n_docs(),
+            raw_bytes: repr.collection_bytes(),
+        };
+        self.install(global_vocab, repr, provenance);
+    }
+
+    fn install(
+        &mut self,
+        global_vocab: &mut Vocabulary,
+        repr: Representative,
+        provenance: ReprProvenance,
+    ) {
+        self.map = TermMap::build(global_vocab, self.engine.collection());
+        self.repr = Arc::new(repr);
+        self.provenance = provenance;
+        self.epoch += 1;
+    }
+}
+
+/// One engine's lifecycle status, as reported by
+/// [`Broker::engine_statuses`](crate::Broker::engine_statuses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStatus {
+    /// Engine name (registration key).
+    pub name: String,
+    /// Per-engine epoch: how many times this entry has changed since
+    /// registration.
+    pub epoch: u64,
+    /// Whether the engine's collection no longer matches its
+    /// representative (a `refresh_if_stale` sweep would rebuild it).
+    pub stale: bool,
+    /// Distinct terms in the representative.
+    pub repr_terms: usize,
+    /// Approximate resident bytes of the representative.
+    pub repr_bytes: u64,
+}
+
+/// A plan was made against an older registry state than the broker
+/// currently holds: its per-engine term translations and estimates may
+/// no longer describe the registered representatives.
+///
+/// Returned by [`Broker::try_reestimate`](crate::Broker::try_reestimate)
+/// always, and by [`Broker::execute_plan`](crate::Broker::execute_plan)
+/// under [`StaleMode::Error`](crate::StaleMode); under the default
+/// [`StaleMode::Replan`](crate::StaleMode) the broker replans instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalePlanError {
+    /// The registry epoch the plan was made against.
+    pub plan_epoch: u64,
+    /// The registry epoch the broker holds now.
+    pub registry_epoch: u64,
+}
+
+impl std::fmt::Display for StalePlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plan was made against registry epoch {} but the registry is at epoch {}",
+            self.plan_epoch, self.registry_epoch
+        )
+    }
+}
+
+impl std::error::Error for StalePlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_provenance_matches_on_totals_only() {
+        let p = ReprProvenance::Shipped {
+            n_docs: 3,
+            raw_bytes: 100,
+        };
+        assert!(p.matches(Fingerprint {
+            n_docs: 3,
+            raw_bytes: 100,
+            hash: 0xdead,
+        }));
+        assert!(!p.matches(Fingerprint {
+            n_docs: 4,
+            raw_bytes: 100,
+            hash: 0xdead,
+        }));
+    }
+
+    #[test]
+    fn local_provenance_matches_on_full_fingerprint() {
+        let fp = Fingerprint {
+            n_docs: 3,
+            raw_bytes: 100,
+            hash: 7,
+        };
+        let p = ReprProvenance::Local(fp);
+        assert!(p.matches(fp));
+        assert!(!p.matches(Fingerprint { hash: 8, ..fp }));
+    }
+
+    #[test]
+    fn stale_plan_error_formats_epochs() {
+        let e = StalePlanError {
+            plan_epoch: 2,
+            registry_epoch: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("epoch 2"), "{msg}");
+        assert!(msg.contains("epoch 5"), "{msg}");
+    }
+}

@@ -16,6 +16,22 @@ use crate::broker::{EngineEstimate, MergedHit};
 use crate::selection::SelectionPolicy;
 use std::time::Duration;
 
+/// What [`Broker::execute_plan`] does when the supplied plan was made
+/// against an older registry epoch than the broker currently holds.
+///
+/// [`Broker::execute_plan`]: crate::Broker::execute_plan
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaleMode {
+    /// Transparently replan against the current registry and execute
+    /// the fresh plan (the default).
+    #[default]
+    Replan,
+    /// Surface a typed [`StalePlanError`](crate::StalePlanError) so the
+    /// caller decides — e.g. a threshold sweep that must not silently
+    /// switch registries mid-bisection.
+    Error,
+}
+
 /// One metasearch query, with its options.
 ///
 /// Built fluently; only the query text is required:
@@ -49,6 +65,9 @@ pub struct SearchRequest {
     /// Whether [`SearchResponse::estimates`] should carry the per-engine
     /// estimates the plan produced.
     pub with_estimates: bool,
+    /// What to do when an externally supplied plan turns out stale
+    /// (see [`StaleMode`]).
+    pub stale_mode: StaleMode,
 }
 
 impl SearchRequest {
@@ -63,6 +82,7 @@ impl SearchRequest {
             top_k: None,
             timeout: None,
             with_estimates: false,
+            stale_mode: StaleMode::Replan,
         }
     }
 
@@ -93,6 +113,12 @@ impl SearchRequest {
     /// Whether the response should include the per-engine estimates.
     pub fn with_estimates(mut self, yes: bool) -> Self {
         self.with_estimates = yes;
+        self
+    }
+
+    /// Sets the stale-plan handling mode.
+    pub fn stale_mode(mut self, mode: StaleMode) -> Self {
+        self.stale_mode = mode;
         self
     }
 }
@@ -171,18 +197,21 @@ mod tests {
         assert_eq!(req.top_k, None);
         assert_eq!(req.timeout, None);
         assert!(!req.with_estimates);
+        assert_eq!(req.stale_mode, StaleMode::Replan);
 
         let req = req
             .threshold(0.3)
             .policy(SelectionPolicy::All)
             .top_k(5)
             .timeout(Duration::from_secs(1))
-            .with_estimates(true);
+            .with_estimates(true)
+            .stale_mode(StaleMode::Error);
         assert_eq!(req.threshold, 0.3);
         assert_eq!(req.policy, SelectionPolicy::All);
         assert_eq!(req.top_k, Some(5));
         assert_eq!(req.timeout, Some(Duration::from_secs(1)));
         assert!(req.with_estimates);
+        assert_eq!(req.stale_mode, StaleMode::Error);
     }
 
     #[test]

@@ -77,3 +77,38 @@ fn broker_search_populates_expected_metrics() {
         assert!(h.p50.is_some(), "{hist} has no quantiles");
     }
 }
+
+#[test]
+fn lifecycle_metrics_track_refreshes_and_stale_plans() {
+    let before = seu_obs::global().snapshot();
+
+    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    broker.register(
+        "cooking",
+        engine(&[("d0", "mushroom soup with cream and chives")]),
+    );
+
+    // Gauges sum across live brokers (other tests run in parallel), so
+    // assert on this broker's own contribution being included: the
+    // registry gauge moved up by at least this broker's one engine.
+    let gauge =
+        |snap: &seu_obs::Snapshot, name: &str| snap.gauges.get(name).copied().unwrap_or(0.0);
+    let mid = seu_obs::global().snapshot();
+    assert!(
+        gauge(&mid, "broker_registry_engines") >= gauge(&before, "broker_registry_engines"),
+        "registry gauge went backwards across a registration"
+    );
+    assert!(gauge(&mid, "broker_representative_bytes_resident") > 0.0);
+
+    let plan = broker.plan(&seu_metasearch::SearchRequest::new("soup"));
+    assert!(broker.refresh_representative("cooking"));
+    assert!(broker.try_reestimate(&plan, 0.1).is_err());
+
+    let after = seu_obs::global().snapshot();
+    let delta = |name: &str| {
+        after.counters.get(name).copied().unwrap_or(0)
+            - before.counters.get(name).copied().unwrap_or(0)
+    };
+    assert!(delta("broker_representative_refreshes_total") >= 1);
+    assert!(delta("broker_stale_plans_total") >= 1);
+}

@@ -1,0 +1,186 @@
+//! Representative-lifecycle integration tests: staleness detection,
+//! refresh-then-plan (the term-map regression), and epoch-mismatch
+//! handling for outstanding plans.
+
+use seu_core::SubrangeEstimator;
+use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
+use seu_metasearch::{Broker, SearchRequest, SelectionPolicy, StaleMode};
+use seu_text::Analyzer;
+
+fn engine_from(texts: &[&str]) -> SearchEngine {
+    let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+    for (i, t) in texts.iter().enumerate() {
+        b.add_document(&format!("doc{i}"), t);
+    }
+    SearchEngine::new(b.build())
+}
+
+fn broker() -> Broker<SubrangeEstimator> {
+    let b = Broker::new(SubrangeEstimator::paper_six_subrange());
+    b.register(
+        "cooking",
+        engine_from(&["mushroom soup with cream", "baking sourdough bread"]),
+    );
+    b.register(
+        "databases",
+        engine_from(&["relational databases and query planning"]),
+    );
+    b
+}
+
+/// The headline regression: an engine re-indexes and gains terms its
+/// representative has never seen. Before the refresh those terms are
+/// invisible to planning (dropped from query translation); after a
+/// `refresh_if_stale` sweep they must reach the global vocabulary, the
+/// rebuilt term map, the estimates, and the merged hits.
+#[test]
+fn new_terms_become_visible_after_refresh() {
+    let b = broker();
+    assert_eq!(b.is_stale("cooking"), Some(false));
+
+    // The cooking engine re-indexes remotely: same engine name, one new
+    // document whose vocabulary ("porcini", "risotto") postdates
+    // registration.
+    assert!(b.replace_engine(
+        "cooking",
+        engine_from(&[
+            "mushroom soup with cream",
+            "baking sourdough bread",
+            "porcini risotto with parmesan",
+        ]),
+    ));
+    assert_eq!(b.is_stale("cooking"), Some(true));
+    assert_eq!(b.is_stale("databases"), Some(false));
+    assert_eq!(b.is_stale("nope"), None);
+
+    // Stale: the new terms translate to nothing, so the engine looks
+    // useless for them and contributes no hits.
+    let req = SearchRequest::new("porcini risotto")
+        .threshold(0.1)
+        .policy(SelectionPolicy::EstimatedUseful)
+        .with_estimates(true);
+    let resp = b.execute(&req);
+    assert!(resp.hits.is_empty(), "{:?}", resp.hits);
+    let est = |resp: &seu_metasearch::SearchResponse, name: &str| {
+        resp.estimates
+            .iter()
+            .find(|e| e.engine == name)
+            .unwrap()
+            .usefulness
+            .no_doc
+    };
+    assert_eq!(est(&resp, "cooking"), 0.0);
+
+    // The sweep refreshes exactly the stale engine.
+    let refreshed = b.refresh_if_stale();
+    assert_eq!(refreshed, vec!["cooking".to_string()]);
+    assert_eq!(b.is_stale("cooking"), Some(false));
+    // Idempotent: nothing left to refresh.
+    assert!(b.refresh_if_stale().is_empty());
+
+    // Fresh: the new terms estimate non-zero and the new document is
+    // retrievable through the broker.
+    let resp = b.execute(&req);
+    assert!(est(&resp, "cooking") > 0.0);
+    assert!(resp.hits.iter().any(|h| h.doc == "doc2"), "{:?}", resp.hits);
+}
+
+/// `refresh_representative` alone (no sweep) must also rebuild the term
+/// map — replacing the representative without it was the original bug.
+#[test]
+fn explicit_refresh_rebuilds_term_map() {
+    let b = broker();
+    assert!(b.replace_engine(
+        "cooking",
+        engine_from(&["mushroom soup", "porcini everywhere"]),
+    ));
+    let stale = b.plan(&SearchRequest::new("porcini").threshold(0.05));
+    assert!(stale.selected_names().is_empty(), "{stale:?}");
+
+    assert!(b.refresh_representative("cooking"));
+    let fresh = b.plan(&SearchRequest::new("porcini").threshold(0.05));
+    assert_eq!(fresh.selected_names(), vec!["cooking".to_string()]);
+}
+
+#[test]
+fn epoch_mismatch_is_detected_and_typed() {
+    let b = broker();
+    let plan = b.plan(&SearchRequest::new("soup").policy(SelectionPolicy::All));
+    let epoch_before = b.registry_epoch();
+    assert_eq!(plan.epoch, epoch_before);
+
+    // Nothing changed: strict re-estimation succeeds.
+    assert!(b.try_reestimate(&plan, 0.1).is_ok());
+
+    // A refresh bumps the registry: the outstanding plan is stale.
+    assert!(b.refresh_representative("cooking"));
+    assert_eq!(b.registry_epoch(), epoch_before + 1);
+    let err = b.try_reestimate(&plan, 0.1).unwrap_err();
+    assert_eq!(err.plan_epoch, epoch_before);
+    assert_eq!(err.registry_epoch, epoch_before + 1);
+
+    // The lenient path replans transparently and matches fresh estimates.
+    assert_eq!(b.reestimate(&plan, 0.1), b.estimate_all("soup", 0.1));
+}
+
+#[test]
+fn execute_plan_honors_stale_mode() {
+    let b = broker();
+    let req = SearchRequest::new("soup").threshold(0.1);
+    let plan = b.plan(&req);
+
+    // Fresh plan: both modes execute.
+    assert!(b.execute_plan(&req, &plan).is_ok());
+    assert!(b
+        .execute_plan(&req.clone().stale_mode(StaleMode::Error), &plan)
+        .is_ok());
+
+    assert!(b.refresh_representative("cooking"));
+
+    // Stale + strict: typed error, no dispatch.
+    let err = b
+        .execute_plan(&req.clone().stale_mode(StaleMode::Error), &plan)
+        .unwrap_err();
+    assert!(err.registry_epoch > err.plan_epoch, "{err}");
+
+    // Stale + default: replans and answers like a fresh execute.
+    let resp = b.execute_plan(&req, &plan).expect("replan");
+    assert_eq!(resp.hits, b.execute(&req).hits);
+}
+
+#[test]
+fn engine_statuses_track_epochs() {
+    let b = broker();
+    let statuses = b.engine_statuses();
+    assert_eq!(statuses.len(), 2);
+    assert!(statuses.iter().all(|s| s.epoch == 0 && !s.stale));
+    assert!(statuses
+        .iter()
+        .all(|s| s.repr_terms > 0 && s.repr_bytes > 0));
+
+    assert!(b.refresh_representative("cooking"));
+    let statuses = b.engine_statuses();
+    let by = |name: &str| statuses.iter().find(|s| s.name == name).unwrap();
+    assert_eq!(by("cooking").epoch, 1);
+    assert_eq!(by("databases").epoch, 0);
+}
+
+/// Shipped representatives carry no content hash, so staleness for them
+/// is judged on totals; an update with matching totals stays fresh.
+#[test]
+fn shipped_representative_staleness_uses_totals() {
+    let engine = engine_from(&["mushroom soup with cream"]);
+    let repr = seu_repr::Representative::build(engine.collection());
+    let b = Broker::new(SubrangeEstimator::paper_six_subrange());
+    b.register_with_representative("cooking", engine, repr);
+    assert_eq!(b.is_stale("cooking"), Some(false));
+
+    // A snapshot with a different document count is visibly stale.
+    assert!(b.replace_engine(
+        "cooking",
+        engine_from(&["mushroom soup with cream", "second course"]),
+    ));
+    assert_eq!(b.is_stale("cooking"), Some(true));
+    assert_eq!(b.refresh_if_stale(), vec!["cooking".to_string()]);
+    assert_eq!(b.is_stale("cooking"), Some(false));
+}

@@ -130,6 +130,12 @@ impl FrozenSummary {
         buf.freeze()
     }
 
+    /// Smallest possible encoding of one term record: a 2-byte name
+    /// length (the name itself may be empty) plus four f32 statistics.
+    /// Bounds the up-front allocation `from_bytes` will make for a
+    /// claimed term count.
+    const MIN_TERM_RECORD_BYTES: usize = 2 + 16;
+
     /// Deserializes [`FrozenSummary::to_bytes`]; `None` on malformed
     /// input.
     pub fn from_bytes(mut buf: impl bytes::Buf) -> Option<Self> {
@@ -144,7 +150,12 @@ impl FrozenSummary {
         let collection_bytes = buf.get_u64();
         let n_terms = buf.get_u32() as usize;
         let mut vocab = Vocabulary::new();
-        let mut stats = Vec::with_capacity(n_terms);
+        // The claimed count is untrusted: a 16-byte header can announce
+        // u32::MAX terms. Cap the pre-allocation by what the remaining
+        // bytes could possibly encode; the parse loop still rejects the
+        // buffer if it runs short.
+        let mut stats =
+            Vec::with_capacity(n_terms.min(buf.remaining() / Self::MIN_TERM_RECORD_BYTES));
         for _ in 0..n_terms {
             if buf.remaining() < 2 {
                 return None;
@@ -282,6 +293,29 @@ mod tests {
         assert!(FrozenSummary::from_bytes(&b"junk"[..]).is_none());
         let bytes = f.to_bytes();
         assert!(FrozenSummary::from_bytes(&bytes[..bytes.len() - 2]).is_none());
+    }
+
+    #[test]
+    fn from_bytes_caps_allocation_for_malicious_term_counts() {
+        use bytes::BufMut;
+        // A 24-byte buffer claiming u32::MAX terms: before the capacity
+        // cap this demanded a multi-GB Vec before a single record was
+        // validated. It must be rejected cheaply instead.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u32(0x5345_5553);
+        buf.put_u64(3); // n_docs
+        buf.put_u64(100); // collection_bytes
+        buf.put_u32(u32::MAX); // claimed term count, no records follow
+        assert!(FrozenSummary::from_bytes(buf.freeze()).is_none());
+
+        // Same claim with one truncated record behind it.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u32(0x5345_5553);
+        buf.put_u64(3);
+        buf.put_u64(100);
+        buf.put_u32(u32::MAX);
+        buf.put_u16(5); // name length, but no name bytes
+        assert!(FrozenSummary::from_bytes(buf.freeze()).is_none());
     }
 
     #[test]

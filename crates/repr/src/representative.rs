@@ -118,6 +118,14 @@ impl Representative {
         self.stats.get(term.index()).filter(|s| s.p > 0.0)
     }
 
+    /// Approximate heap + inline footprint of this representative in
+    /// bytes — the broker's `broker_representative_bytes_resident` gauge
+    /// sums this over its registry.
+    pub fn bytes_resident(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.stats.capacity() * std::mem::size_of::<TermStats>())
+            as u64
+    }
+
     /// All `(TermId, &TermStats)` rows with `p > 0`.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &TermStats)> {
         self.stats

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use seu_engine::{Collection, CollectionBuilder, WeightingScheme};
 use seu_repr::{
-    MaxWeightMode, QuantizedRepresentative, Representative, RepresentativeAccumulator,
-    SubrangeScheme,
+    FrozenSummary, MaxWeightMode, PortableRepresentative, QuantizedRepresentative, Representative,
+    RepresentativeAccumulator, SubrangeScheme,
 };
 use seu_text::Analyzer;
 
@@ -94,6 +94,33 @@ proptest! {
         let r2 = Representative::from_bytes(r.to_bytes()).expect("valid buffer");
         prop_assert_eq!(r2.n_docs(), r.n_docs());
         prop_assert_eq!(r2.distinct_terms(), r.distinct_terms());
+    }
+
+    /// `FrozenSummary::from_bytes` on arbitrary byte strings never
+    /// panics, and the summary it admits never claims more terms than
+    /// the input could possibly encode (so the up-front allocation is
+    /// bounded by the input length).
+    #[test]
+    fn frozen_from_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Some(summary) = FrozenSummary::from_bytes(&bytes[..]) {
+            // Each parsed term consumed at least 18 bytes of input.
+            prop_assert!(summary.repr.table_len() <= bytes.len() / 18);
+        }
+    }
+
+    /// Corrupting any single byte of a valid wire buffer either still
+    /// parses or is rejected — never a panic.
+    #[test]
+    fn frozen_from_bytes_survives_single_byte_corruption(
+        c in arb_collection(),
+        pos in any::<usize>(),
+        flip in 1u8..255,
+    ) {
+        let valid = PortableRepresentative::build(&c).freeze().to_bytes();
+        let mut corrupt = valid.to_vec();
+        let pos = pos % corrupt.len();
+        corrupt[pos] ^= flip;
+        let _ = FrozenSummary::from_bytes(&corrupt[..]);
     }
 
     /// Incremental accumulation over any document order equals the batch
