@@ -52,6 +52,25 @@ pub enum Command {
         /// Similarity threshold.
         threshold: f64,
     },
+    /// `seu serve <engine.bin>... [--remote <host:port>]... --listen <addr>`
+    Serve {
+        /// Persisted engine files to register locally.
+        engines: Vec<PathBuf>,
+        /// `host:port` addresses of engine servers to register remotely
+        /// (with push-invalidation subscriptions).
+        remotes: Vec<String>,
+        /// Address the HTTP admin server binds (port 0 for ephemeral).
+        listen: String,
+    },
+    /// `seu serve-engine <engine.bin> --listen <addr> [--name <name>]`
+    ServeEngine {
+        /// Persisted engine file to serve.
+        engine: PathBuf,
+        /// Address the TCP engine server binds (port 0 for ephemeral).
+        listen: String,
+        /// Advertised engine name (defaults to the file stem).
+        name: Option<String>,
+    },
     /// `seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]`
     Refresh {
         /// Persisted engine files.
@@ -91,6 +110,8 @@ usage:
   seu estimate <repr.bin> -q <query> [-t <threshold>]
   seu search <engine.bin> -q <query> [-t <threshold>] [-k <top-k>]
   seu broker <engine.bin>... -q <query> [-t <threshold>]
+  seu serve <engine.bin>... [--remote <host:port>]... --listen <addr>
+  seu serve-engine <engine.bin> --listen <addr> [--name <name>]
   seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]
 global flags:
   --stats               print a metrics snapshot after the command
@@ -136,6 +157,9 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut quantize = false;
     let mut repr_dir: Option<PathBuf> = None;
     let mut stale_only = false;
+    let mut listen: Option<String> = None;
+    let mut remotes: Vec<String> = Vec::new();
+    let mut name: Option<String> = None;
     let mut obs = ObsOptions::default();
 
     while let Some(arg) = cur.next().map(str::to_string) {
@@ -163,6 +187,9 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             "--quantize" => quantize = true,
             "--repr-dir" => repr_dir = Some(PathBuf::from(cur.value_for("--repr-dir")?)),
             "--stale-only" => stale_only = true,
+            "--listen" => listen = Some(cur.value_for("--listen")?),
+            "--remote" => remotes.push(cur.value_for("--remote")?),
+            "--name" => name = Some(cur.value_for("--name")?),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -215,6 +242,21 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                 threshold,
             }
         }
+        "serve" => {
+            if positionals.is_empty() && remotes.is_empty() {
+                return Err("serve needs at least one engine file or --remote".into());
+            }
+            Command::Serve {
+                engines: positionals,
+                remotes,
+                listen: listen.ok_or("missing --listen <addr>")?,
+            }
+        }
+        "serve-engine" => Command::ServeEngine {
+            engine: one_positional("engine file")?,
+            listen: listen.ok_or("missing --listen <addr>")?,
+            name,
+        },
         "refresh" => {
             if positionals.is_empty() {
                 return Err("refresh needs at least one engine file".into());
@@ -333,6 +375,63 @@ mod tests {
         assert!(p(&["refresh", "--repr-dir", "r/"])
             .unwrap_err()
             .contains("engine"));
+    }
+
+    #[test]
+    fn serve_parses() {
+        assert_eq!(
+            p(&[
+                "serve",
+                "a.bin",
+                "--remote",
+                "127.0.0.1:4001",
+                "--remote",
+                "127.0.0.1:4002",
+                "--listen",
+                "127.0.0.1:8080",
+            ])
+            .unwrap()
+            .command,
+            Command::Serve {
+                engines: vec!["a.bin".into()],
+                remotes: vec!["127.0.0.1:4001".into(), "127.0.0.1:4002".into()],
+                listen: "127.0.0.1:8080".into(),
+            }
+        );
+        // Remote-only brokers are legal; engine-less and remote-less is not.
+        assert!(matches!(
+            p(&["serve", "--remote", "h:1", "--listen", "l:0"])
+                .unwrap()
+                .command,
+            Command::Serve { engines, .. } if engines.is_empty()
+        ));
+        assert!(p(&["serve", "--listen", "l:0"])
+            .unwrap_err()
+            .contains("engine"));
+        assert!(p(&["serve", "a.bin"]).unwrap_err().contains("--listen"));
+    }
+
+    #[test]
+    fn serve_engine_parses() {
+        assert_eq!(
+            p(&["serve-engine", "a.bin", "--listen", "127.0.0.1:0"])
+                .unwrap()
+                .command,
+            Command::ServeEngine {
+                engine: "a.bin".into(),
+                listen: "127.0.0.1:0".into(),
+                name: None,
+            }
+        );
+        assert!(matches!(
+            p(&["serve-engine", "a.bin", "--listen", "l:0", "--name", "news"])
+                .unwrap()
+                .command,
+            Command::ServeEngine { name: Some(n), .. } if n == "news"
+        ));
+        assert!(p(&["serve-engine", "a.bin"])
+            .unwrap_err()
+            .contains("--listen"));
     }
 
     #[test]

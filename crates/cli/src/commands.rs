@@ -184,6 +184,105 @@ pub fn broker(
     Ok(())
 }
 
+fn file_stem(path: &Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Builds the networked broker for `seu serve` without blocking: local
+/// engine files are registered in process, each `--remote` address is
+/// registered over TCP with a push-invalidation subscription, and the
+/// HTTP admin server starts on `listen`. Returns the admin server and
+/// the live subscriptions (dropping either tears that half down) so
+/// tests can drive a serve session in process.
+pub fn serve_start(
+    engines: &[PathBuf],
+    remotes: &[String],
+    listen: &str,
+) -> Result<(seu_net::AdminServer, Vec<seu_net::Subscription>), String> {
+    let broker = std::sync::Arc::new(Broker::new(SubrangeEstimator::paper_six_subrange()));
+    for path in engines {
+        broker.register(&file_stem(path), load_engine(path)?);
+    }
+    let mut subscriptions = Vec::new();
+    for addr in remotes {
+        let client = seu_net::RemoteEngine::new(addr.as_str())
+            .map_err(|e| format!("remote engine {addr}: {e}"))?;
+        let (_, subscription) = seu_net::register_and_subscribe(&broker, client)
+            .map_err(|e| format!("registering remote engine {addr}: {e}"))?;
+        subscriptions.push(subscription);
+    }
+    let admin = seu_net::AdminServer::bind(broker, listen)
+        .map_err(|e| io_err(&format!("binding {listen}"), e))?;
+    Ok((admin, subscriptions))
+}
+
+/// `seu serve`: run a networked broker until killed — local engines from
+/// files, remote engines over TCP, admin/metrics over HTTP.
+pub fn serve(
+    engines: &[PathBuf],
+    remotes: &[String],
+    listen: &str,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    seu_net::register_metrics();
+    let (admin, _subscriptions) = serve_start(engines, remotes, listen)?;
+    writeln!(
+        out,
+        "broker: {} local, {} remote; admin listening on http://{}",
+        engines.len(),
+        remotes.len(),
+        admin.addr()
+    )
+    .and_then(|()| out.flush())
+    .map_err(|e| io_err("writing output", e))?;
+    park_forever()
+}
+
+/// Builds the engine server for `seu serve-engine` without blocking.
+pub fn serve_engine_start(
+    engine_path: &Path,
+    name: Option<&str>,
+    listen: &str,
+) -> Result<seu_net::EngineServer, String> {
+    let name = name
+        .map(str::to_string)
+        .unwrap_or_else(|| file_stem(engine_path));
+    seu_net::EngineServer::bind(name, load_engine(engine_path)?, listen)
+        .map_err(|e| io_err(&format!("binding {listen}"), e))
+}
+
+/// `seu serve-engine`: serve one engine over the framed TCP protocol
+/// until killed.
+pub fn serve_engine(
+    engine_path: &Path,
+    name: Option<&str>,
+    listen: &str,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    seu_net::register_metrics();
+    let server = serve_engine_start(engine_path, name, listen)?;
+    writeln!(
+        out,
+        "engine {} listening on {}",
+        server.name(),
+        server.addr()
+    )
+    .and_then(|()| out.flush())
+    .map_err(|e| io_err("writing output", e))?;
+    park_forever()
+}
+
+/// Blocks the main thread while server threads do the work; the process
+/// exits via signal (there is no in-band shutdown command by design —
+/// supervisors own serve lifetimes).
+fn park_forever() -> Result<(), String> {
+    loop {
+        std::thread::park();
+    }
+}
+
 /// `seu refresh`: the broker-side metadata-propagation sweep, as a
 /// file-based workflow. For each engine file, rebuild its portable
 /// representative into `<repr-dir>/<engine-stem>.repr`; with

@@ -11,6 +11,8 @@
 //! seu estimate repr.bin -q "query" [-t 0.2]     usefulness from metadata only
 //! seu search engine.bin -q "query" [-t T|-k K]  search one engine
 //! seu broker e1.bin e2.bin … -q "query" [-t T]  select + search + merge
+//! seu serve e1.bin … --listen addr [--remote h:p]…  networked broker + HTTP admin
+//! seu serve-engine e.bin --listen addr          serve one engine over TCP
 //! seu refresh e1.bin … --repr-dir d [--stale-only]  re-ship representatives
 //! ```
 
@@ -44,6 +46,7 @@ fn emit_metrics(obs: &ObsOptions, out: &mut dyn io::Write) -> Result<(), String>
     seu_engine::search::register_metrics();
     seu_metasearch::broker::register_metrics();
     seu_core::subrange::register_metrics();
+    seu_net::register_metrics();
     let snapshot = seu_obs::global().snapshot();
     if obs.stats {
         write!(out, "--- metrics ---\n{}", snapshot.to_text())
@@ -85,6 +88,16 @@ pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), Str
             query,
             threshold,
         } => commands::broker(engines, query, *threshold, out),
+        Command::Serve {
+            engines,
+            remotes,
+            listen,
+        } => commands::serve(engines, remotes, listen, out),
+        Command::ServeEngine {
+            engine,
+            listen,
+            name,
+        } => commands::serve_engine(engine, name.as_deref(), listen, out),
         Command::Refresh {
             engines,
             repr_dir,

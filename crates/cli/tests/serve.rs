@@ -1,0 +1,101 @@
+//! Integration: the `serve-engine` + `serve` pair assembled in process —
+//! an engine file served over TCP, a broker serving HTTP with one local
+//! and one remote engine, and a `/metrics` scrape seeing both families.
+
+use seu_cli::commands::{serve_engine_start, serve_start};
+use std::fs;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+fn build_engine_file(dir: &Path, name: &str, docs: &[(&str, &str)]) -> PathBuf {
+    let docs_dir = dir.join(format!("{name}-docs"));
+    fs::create_dir_all(&docs_dir).unwrap();
+    for (file, text) in docs {
+        fs::write(docs_dir.join(file), text).unwrap();
+    }
+    let engine = dir.join(format!("{name}.bin"));
+    let args: Vec<String> = [
+        "index",
+        docs_dir.to_str().unwrap(),
+        "-o",
+        engine.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let invocation = seu_cli::parse(&args).unwrap();
+    seu_cli::run(&invocation, &mut Vec::new()).expect("index succeeds");
+    engine
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    (
+        head.lines().next().unwrap_or_default().to_string(),
+        body.to_string(),
+    )
+}
+
+#[test]
+fn serve_session_registers_local_and_remote_engines() {
+    let dir = std::env::temp_dir().join(format!("seu-cli-serve-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let local = build_engine_file(
+        &dir,
+        "pantry",
+        &[
+            ("a.txt", "mushroom soup with cream"),
+            ("b.txt", "tomato soup"),
+        ],
+    );
+    let remote = build_engine_file(
+        &dir,
+        "library",
+        &[
+            ("c.txt", "databases and query optimization"),
+            ("d.txt", "indexing for retrieval"),
+        ],
+    );
+
+    let engine_server = serve_engine_start(&remote, None, "127.0.0.1:0").expect("engine serves");
+    assert_eq!(engine_server.name(), "library");
+
+    let (admin, subscriptions) =
+        serve_start(&[local], &[engine_server.addr().to_string()], "127.0.0.1:0")
+            .expect("broker serves");
+    assert_eq!(subscriptions.len(), 1);
+    assert_eq!(engine_server.subscriber_count(), 1);
+
+    let (status, body) = http_get(admin.addr(), "/engines");
+    assert!(status.contains("200"), "{status}");
+    let engines = seu_obs::json::parse(&body).expect("engines JSON");
+    let rows = engines.as_arr().unwrap();
+    assert_eq!(rows.len(), 2);
+    let names: Vec<&str> = rows
+        .iter()
+        .filter_map(|r| r.get("name").and_then(seu_obs::json::Json::as_str))
+        .collect();
+    assert!(
+        names.contains(&"pantry") && names.contains(&"library"),
+        "{names:?}"
+    );
+
+    let (status, body) = http_get(admin.addr(), "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("broker_registry_engines"), "{body}");
+    assert!(body.contains("net_frames_sent_total"), "{body}");
+
+    // Bad remote addresses fail registration with a typed, contextual
+    // error instead of a panic or a half-built broker.
+    let err = serve_start(&[], &["127.0.0.1:1".to_string()], "127.0.0.1:0").unwrap_err();
+    assert!(err.contains("127.0.0.1:1"), "{err}");
+}

@@ -1,7 +1,7 @@
 //! Document collections: the database `D` of a local search engine.
 
 use crate::query::Query;
-use crate::weighting::{normalize, WeightingScheme};
+use crate::weighting::WeightingScheme;
 use serde::{Deserialize, Serialize};
 use seu_text::{Analyzer, AnalyzerConfig, TermId, Vocabulary};
 use std::collections::HashMap;
@@ -228,19 +228,11 @@ impl Collection {
     /// pivoted document normalization — pivoting corrects for *document*
     /// length bias and does not apply to queries (Singhal et al.).
     pub fn query_from_tf(&self, tf: impl IntoIterator<Item = (TermId, u32)>) -> Query {
-        let n = self.docs.len() as u32;
-        let mut weights: Vec<(u32, f64)> = tf
-            .into_iter()
-            .filter(|&(_, f)| f > 0)
-            .map(|(t, f)| (t.0, self.scheme.weight(f, self.doc_freq(t), n)))
-            .collect();
-        weights.sort_by_key(|&(t, _)| t);
-        normalize(&mut weights);
-        Query::new(
-            weights
-                .into_iter()
-                .filter(|&(_, w)| w > 0.0)
-                .map(|(t, w)| (TermId(t), w)),
+        crate::shared::weighted_query(
+            self.scheme,
+            self.docs.len() as u32,
+            |t| self.doc_freq(t),
+            tf,
         )
     }
 }

@@ -34,10 +34,18 @@ impl TermMap {
     /// Builds the map for `collection`, interning every term of its
     /// vocabulary into the broker-global `vocab`.
     pub fn build(global: &mut Vocabulary, collection: &Collection) -> TermMap {
-        let mut pairs: Vec<(u32, TermId)> = collection
-            .vocab()
+        TermMap::from_vocab(global, collection.vocab())
+    }
+
+    /// Builds the map for an arbitrary local vocabulary — e.g. one a
+    /// *remote* engine shipped alongside its representative, where the
+    /// broker never holds the collection itself. Every term is interned
+    /// into the broker-global `vocab`, exactly as registration of a local
+    /// engine would.
+    pub fn from_vocab(global: &mut Vocabulary, local: &Vocabulary) -> TermMap {
+        let mut pairs: Vec<(u32, TermId)> = local
             .iter()
-            .map(|(local, term)| (global.intern(term).0, local))
+            .map(|(local_id, term)| (global.intern(term).0, local_id))
             .collect();
         pairs.sort_by_key(|&(g, _)| g);
         TermMap { pairs }
@@ -69,6 +77,34 @@ impl TermMap {
             .filter_map(|&(g, f)| self.local(g).map(|t| (t, f)))
             .collect()
     }
+}
+
+/// Builds a cosine-normalized query vector from explicit term
+/// frequencies and collection *statistics* alone — no [`Collection`]
+/// required. This is [`Collection::query_from_tf`] with the collection
+/// replaced by the three numbers query weighting actually consumes
+/// (scheme, document count, per-term document frequency), so a broker
+/// can form byte-identical query vectors for a **remote** engine from
+/// metadata it shipped.
+pub fn weighted_query(
+    scheme: crate::weighting::WeightingScheme,
+    n_docs: u32,
+    doc_freq: impl Fn(TermId) -> u32,
+    tf: impl IntoIterator<Item = (TermId, u32)>,
+) -> Query {
+    let mut weights: Vec<(u32, f64)> = tf
+        .into_iter()
+        .filter(|&(_, f)| f > 0)
+        .map(|(t, f)| (t.0, scheme.weight(f, doc_freq(t), n_docs)))
+        .collect();
+    weights.sort_by_key(|&(t, _)| t);
+    crate::weighting::normalize(&mut weights);
+    Query::new(
+        weights
+            .into_iter()
+            .filter(|&(_, w)| w > 0.0)
+            .map(|(t, w)| (TermId(t), w)),
+    )
 }
 
 /// Folds analyzed tokens into `(global term id, count)` pairs against a

@@ -7,6 +7,14 @@
 //! counters the run produced. The report serializes to the JSON file
 //! `BENCH_broker.json` so dashboards and regression scripts can diff
 //! runs without scraping stdout.
+//!
+//! With `--remote` (see [`run_broker_bench_remote`]) every database is
+//! served by its own loopback [`seu_net::EngineServer`] and registered
+//! over TCP, so the report additionally carries the `net_*` counter
+//! deltas (frames, bytes, RPC retries/timeouts) and the phase timings
+//! price in the full frame/handshake round trips — the cost of the
+//! distributed deployment relative to the in-process one, same workload,
+//! same seed.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -43,6 +51,9 @@ pub struct BrokerBenchReport {
     pub queries: usize,
     /// Similarity threshold used for estimate/select/search.
     pub threshold: f64,
+    /// Whether databases were served over loopback TCP instead of
+    /// registered in process.
+    pub remote: bool,
     /// Timed phases, in execution order.
     pub phases: Vec<BenchPhase>,
     /// Counter increments attributable to this run (global counter
@@ -61,6 +72,7 @@ impl BrokerBenchReport {
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         let _ = writeln!(out, "  \"databases\": {},", self.databases);
         let _ = writeln!(out, "  \"queries\": {},", self.queries);
+        let _ = writeln!(out, "  \"remote\": {},", self.remote);
         out.push_str("  \"threshold\": ");
         json::write_num(&mut out, self.threshold);
         out.push_str(",\n  \"phases\": [\n");
@@ -100,8 +112,12 @@ impl BrokerBenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "broker bench: {} databases, {} queries, threshold {} (seed {})",
-            self.databases, self.queries, self.threshold, self.seed
+            "broker bench{}: {} databases, {} queries, threshold {} (seed {})",
+            if self.remote { " (remote)" } else { "" },
+            self.databases,
+            self.queries,
+            self.threshold,
+            self.seed
         );
         let _ = writeln!(out, "  {:<16} {:>10} {:>8}", "phase", "seconds", "items");
         for phase in &self.phases {
@@ -119,6 +135,24 @@ impl BrokerBenchReport {
 /// as in [`seu_corpus::many_databases`] (the paper-scale run uses 120);
 /// `n_queries` caps the query-log slice driven through the broker.
 pub fn run_broker_bench(seed: u64, docs_base: usize, n_queries: usize) -> BrokerBenchReport {
+    run_broker_bench_with(seed, docs_base, n_queries, false)
+}
+
+/// [`run_broker_bench`] with every database behind its own loopback
+/// TCP engine server: a `serve` phase starts the servers, registration
+/// fetches snapshots over the wire, and the search/dispatch phases pay
+/// real frame round trips. The counter deltas then include the `net_*`
+/// family.
+pub fn run_broker_bench_remote(seed: u64, docs_base: usize, n_queries: usize) -> BrokerBenchReport {
+    run_broker_bench_with(seed, docs_base, n_queries, true)
+}
+
+fn run_broker_bench_with(
+    seed: u64,
+    docs_base: usize,
+    n_queries: usize,
+    remote: bool,
+) -> BrokerBenchReport {
     let threshold = 0.15;
     let before = seu_obs::global().snapshot().counters;
     let mut phases = Vec::new();
@@ -151,11 +185,33 @@ pub fn run_broker_bench(seed: u64, docs_base: usize, n_queries: usize) -> Broker
             items,
         });
     };
-    timed("register", n_databases as u64, &mut || {
-        for (name, coll) in databases.drain(..) {
-            broker.register(&name, SearchEngine::new(coll));
-        }
-    });
+    // In remote mode every database gets its own loopback engine server;
+    // the servers must outlive the query phases, so they are held here.
+    let mut servers: Vec<seu_net::EngineServer> = Vec::new();
+    if remote {
+        timed("serve", n_databases as u64, &mut || {
+            for (name, coll) in databases.drain(..) {
+                servers.push(
+                    seu_net::EngineServer::bind(name, SearchEngine::new(coll), "127.0.0.1:0")
+                        .expect("binding a loopback engine server"),
+                );
+            }
+        });
+        timed("register", n_databases as u64, &mut || {
+            for server in &servers {
+                let client = seu_net::RemoteEngine::new(server.addr()).expect("resolving loopback");
+                broker
+                    .register_remote(std::sync::Arc::new(client))
+                    .expect("registering a loopback engine");
+            }
+        });
+    } else {
+        timed("register", n_databases as u64, &mut || {
+            for (name, coll) in databases.drain(..) {
+                broker.register(&name, SearchEngine::new(coll));
+            }
+        });
+    }
     timed("estimate", queries.len() as u64, &mut || {
         for q in &queries {
             broker.estimate_all(q, threshold);
@@ -207,6 +263,7 @@ pub fn run_broker_bench(seed: u64, docs_base: usize, n_queries: usize) -> Broker
         databases: n_databases,
         queries: queries.len(),
         threshold,
+        remote,
         phases,
         counters,
     }
@@ -258,6 +315,37 @@ mod tests {
         // The embedded snapshot must itself round-trip.
         let metrics = doc.get("metrics").expect("metrics field");
         assert!(metrics.get("counters").is_some());
+    }
+
+    #[test]
+    fn remote_bench_serves_over_loopback_and_reports_net_counters() {
+        let report = run_broker_bench_remote(7, 6, 3);
+        assert!(report.remote);
+        assert_eq!(
+            report.phases.iter().map(|p| p.name).collect::<Vec<_>>(),
+            [
+                "build_databases",
+                "serve",
+                "register",
+                "estimate",
+                "select",
+                "search",
+                "plan",
+                "dispatch"
+            ]
+        );
+        // Registration alone moves one snapshot per database over the
+        // wire; search/dispatch add a frame exchange per (query,
+        // selected engine).
+        assert!(report.counters["net_frames_sent_total"] > 0);
+        assert!(report.counters["net_bytes_received_total"] > 0);
+        assert!(
+            report.counters["net_server_connections_total"] >= report.databases as u64,
+            "at least one connection per database: {:?}",
+            report.counters.get("net_server_connections_total")
+        );
+        let doc = json::parse(&report.to_json()).expect("remote bench JSON parses");
+        assert_eq!(doc.get("remote"), Some(&json::Json::Bool(true)));
     }
 
     #[test]

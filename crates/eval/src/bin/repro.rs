@@ -33,6 +33,7 @@
 //!   --bench-out PATH    where bench-broker writes its JSON report
 //!   --docs-base N       bench-broker documents-per-database base (default 120)
 //!   --queries N         bench-broker query count (default 400)
+//!   --remote            bench-broker serves every database over loopback TCP
 //!   --stats             print a metrics snapshot after the run
 //!   --metrics-out PATH  write the metrics snapshot as JSON
 //! ```
@@ -48,6 +49,7 @@ fn main() {
     let mut bench_out: Option<std::path::PathBuf> = None;
     let mut docs_base = 120usize;
     let mut n_queries = 400usize;
+    let mut remote = false;
     let mut stats = false;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
@@ -90,6 +92,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--queries needs an integer"));
             }
+            "--remote" => remote = true,
             "--stats" => stats = true,
             "--metrics-out" => {
                 i += 1;
@@ -135,8 +138,15 @@ fn main() {
     // The broker bench builds its own databases; run it before (and,
     // when it is the only command, instead of) dataset generation.
     if run("bench-broker") {
-        eprintln!("running broker bench (seed {seed})...");
-        let report = seu_eval::run_broker_bench(seed, docs_base, n_queries);
+        eprintln!(
+            "running broker bench (seed {seed}{})...",
+            if remote { ", remote" } else { "" }
+        );
+        let report = if remote {
+            seu_eval::run_broker_bench_remote(seed, docs_base, n_queries)
+        } else {
+            seu_eval::run_broker_bench(seed, docs_base, n_queries)
+        };
         print!("{}", report.to_text());
         let path = bench_out
             .clone()
@@ -283,7 +293,8 @@ fn usage(err: &str) -> ! {
          ablation-subranges|ablation-disjoint|ablation-grid|ranking|long-queries|\
          hierarchy|selection|gloss-bounds|dependence|binary|policies|weighting|\
          exact-percentiles|diagnostics|bench-broker|all] [--seed N] \
-         [--bench-out PATH] [--docs-base N] [--queries N] [--stats] [--metrics-out PATH]"
+         [--bench-out PATH] [--docs-base N] [--queries N] [--remote] [--stats] \
+         [--metrics-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

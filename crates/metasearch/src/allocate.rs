@@ -15,6 +15,7 @@
 
 use crate::broker::Broker;
 use crate::plan::QueryPlan;
+use crate::registry::EngineHandle;
 use crate::request::SearchRequest;
 use crate::selection::SelectionPolicy;
 use seu_core::UsefulnessEstimator;
@@ -150,9 +151,8 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             .iter()
             .zip(&allocation)
             .filter(|(_, a)| a.k > 0)
-            .map(|(planned, a)| {
-                let engine = planned.engine();
-                engine
+            .map(|(planned, a)| match &planned.handle {
+                EngineHandle::Local(engine) => engine
                     .search_top_k_maxscore(planned.query(), a.k as usize)
                     .into_iter()
                     .map(|h| crate::broker::MergedHit {
@@ -160,7 +160,25 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                         doc: engine.collection().doc(h.doc).name.clone(),
                         sim: h.sim,
                     })
-                    .collect()
+                    .collect(),
+                // A remote engine has no max-score pruned top-k call on
+                // the wire; ask for everything above the floor and keep
+                // its allocated share (results arrive best first). A
+                // failed transport contributes nothing, like a failed
+                // dispatch.
+                EngineHandle::Remote { transport, .. } => transport
+                    .search(&plan.query, 0.0)
+                    .map(|hits| {
+                        hits.into_iter()
+                            .take(a.k as usize)
+                            .map(|h| crate::broker::MergedHit {
+                                engine: planned.name.clone(),
+                                doc: h.doc,
+                                sim: h.sim,
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
             })
             .collect();
         let mut merged = crate::merge::merge_results(per_engine);

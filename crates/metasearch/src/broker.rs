@@ -16,7 +16,10 @@
 use crate::merge::merge_results;
 use crate::plan::{PlannedEngine, QueryPlan, SharedAnalysis};
 use crate::pool::{JobStatus, WorkerPool};
-use crate::registry::{EngineStatus, RegisteredEngine, ReprProvenance, StalePlanError};
+use crate::registry::{
+    EngineHandle, EngineStatus, RegisteredEngine, ReprProvenance, StalePlanError,
+};
+use crate::remote::{RemoteMeta, RemoteTransport, TransportError, TransportErrorKind};
 use crate::request::{
     DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse, StaleMode,
 };
@@ -24,15 +27,16 @@ use crate::selection::SelectionPolicy;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use seu_core::{Usefulness, UsefulnessEstimator};
-use seu_engine::{SearchEngine, TermMap};
+use seu_engine::{Fingerprint, SearchEngine, TermMap};
 use seu_repr::Representative;
 use seu_text::{Analyzer, AnalyzerConfig, Vocabulary};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-/// One engine's dispatch job: its merged hits and its wall-clock.
-type DispatchJob = Box<dyn FnOnce() -> (Vec<MergedHit>, f64) + Send>;
+/// One engine's dispatch job: its merged hits and its wall-clock, or the
+/// typed transport failure that produced neither.
+type DispatchJob = Box<dyn FnOnce() -> Result<(Vec<MergedHit>, f64), TransportError> + Send>;
 
 /// Instrument handles cached once per process.
 struct BrokerMetrics {
@@ -52,6 +56,7 @@ struct BrokerMetrics {
     engine_timeouts: Arc<seu_obs::Counter>,
     representative_refreshes: Arc<seu_obs::Counter>,
     stale_plans: Arc<seu_obs::Counter>,
+    push_invalidations: Arc<seu_obs::Counter>,
     registry_engines: Arc<seu_obs::Gauge>,
     representative_bytes: Arc<seu_obs::Gauge>,
 }
@@ -78,6 +83,7 @@ fn metrics() -> &'static BrokerMetrics {
         engine_timeouts: seu_obs::counter("broker_engine_timeouts_total"),
         representative_refreshes: seu_obs::counter("broker_representative_refreshes_total"),
         stale_plans: seu_obs::counter("broker_stale_plans_total"),
+        push_invalidations: seu_obs::counter("broker_push_invalidations_total"),
         registry_engines: seu_obs::gauge("broker_registry_engines"),
         representative_bytes: seu_obs::gauge("broker_representative_bytes_resident"),
     })
@@ -126,6 +132,7 @@ pub struct MergedHit {
 pub struct BrokerBuilder<E> {
     estimator: E,
     worker_threads: Option<usize>,
+    pool_label: Option<String>,
 }
 
 impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
@@ -134,6 +141,17 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
     /// query executes.
     pub fn worker_threads(mut self, threads: usize) -> Self {
         self.worker_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Names this broker's dispatch pool, so its queue depth and worker
+    /// count are additionally published under exclusive, label-suffixed
+    /// gauges (`broker_pool_<label>_queue_depth`,
+    /// `broker_pool_<label>_workers`) instead of only the process-wide
+    /// sums — see [`WorkerPool::named`]. Use a Prometheus-safe fragment
+    /// (`[a-z0-9_]+`).
+    pub fn pool_label(mut self, label: impl Into<String>) -> Self {
+        self.pool_label = Some(label.into());
         self
     }
 
@@ -147,6 +165,7 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
             gauge_engines: AtomicU64::new(0),
             gauge_repr_bytes: AtomicU64::new(0),
             worker_threads: self.worker_threads,
+            pool_label: self.pool_label,
             pool: OnceLock::new(),
         }
     }
@@ -204,6 +223,8 @@ pub struct Broker<E> {
     gauge_repr_bytes: AtomicU64,
     /// Builder override for the dispatch pool size.
     worker_threads: Option<usize>,
+    /// Builder override for the dispatch pool's metric label.
+    pool_label: Option<String>,
     /// The dispatch pool, sized lazily at first execution.
     pool: OnceLock<WorkerPool>,
 }
@@ -229,6 +250,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         BrokerBuilder {
             estimator,
             worker_threads: None,
+            pool_label: None,
         }
     }
 
@@ -273,14 +295,99 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let map = TermMap::build(&mut self.vocab.write(), engine.collection());
         engines.push(RegisteredEngine {
             name: name.to_string(),
-            engine: Arc::new(engine),
+            handle: EngineHandle::Local(Arc::new(engine)),
             repr: Arc::new(repr),
             map,
             epoch: 0,
             provenance,
+            pending_invalidation: false,
         });
         self.registry_epoch.fetch_add(1, Ordering::SeqCst);
         self.update_registry_gauges(&engines);
+    }
+
+    /// Registers an engine that lives in another process, reached through
+    /// `transport`: fetches its [`EngineSnapshot`](crate::EngineSnapshot)
+    /// (name, analyzer configuration, weighting statistics, fingerprint,
+    /// and its representative + vocabulary at full precision), folds its
+    /// vocabulary into the broker-global term space, and registers it
+    /// under its advertised name. From then on the broker plans for it
+    /// exactly as for a local engine — same shared analysis, same term
+    /// translation, same estimates, byte for byte — and dispatches to it
+    /// over the transport.
+    ///
+    /// Returns the engine's advertised name, or the [`TransportError`]
+    /// if the snapshot could not be fetched or was inconsistent.
+    pub fn register_remote(
+        &self,
+        transport: Arc<dyn RemoteTransport>,
+    ) -> Result<String, TransportError> {
+        let snapshot = transport.fetch_snapshot()?;
+        if !snapshot.is_consistent() {
+            return Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!(
+                    "engine {:?} shipped an inconsistent snapshot",
+                    snapshot.name
+                ),
+            ));
+        }
+        let meta = RemoteMeta::from_snapshot(&snapshot);
+        let name = snapshot.name.clone();
+        let mut engines = self.engines.write();
+        let map = TermMap::from_vocab(&mut self.vocab.write(), &meta.vocab);
+        engines.push(RegisteredEngine {
+            name: name.clone(),
+            handle: EngineHandle::Remote { transport, meta },
+            repr: Arc::new(snapshot.summary.repr),
+            map,
+            epoch: 0,
+            provenance: ReprProvenance::Remote(snapshot.fingerprint),
+            pending_invalidation: false,
+        });
+        self.registry_epoch.fetch_add(1, Ordering::SeqCst);
+        self.update_registry_gauges(&engines);
+        Ok(name)
+    }
+
+    /// Applies a push invalidation notice from a remote engine: the
+    /// engine's collection changed and its snapshot fingerprint is now
+    /// `fingerprint`. If the registry already holds that snapshot the
+    /// notice is a no-op; otherwise the broker refetches the snapshot
+    /// over the engine's transport and installs it (representative, term
+    /// map, planning metadata, and provenance move together), bumping the
+    /// engine's epoch and the registry epoch so outstanding plans are
+    /// detectably stale.
+    ///
+    /// This is the push half of the representative lifecycle — the
+    /// polling [`Broker::refresh_if_stale`] sweep never has to run for an
+    /// engine that notifies. Counted by `broker_push_invalidations_total`.
+    ///
+    /// Returns `Ok(true)` if the notice targeted a known engine (whether
+    /// or not a refetch was needed), `Ok(false)` for an unknown name, and
+    /// the [`TransportError`] if the refetch failed — in which case the
+    /// entry is marked stale so a later sweep retries it.
+    pub fn apply_invalidation(
+        &self,
+        name: &str,
+        fingerprint: Fingerprint,
+    ) -> Result<bool, TransportError> {
+        let m = metrics();
+        let mut engines = self.engines.write();
+        let Some(i) = engines.iter().position(|e| e.name == name) else {
+            return Ok(false);
+        };
+        m.push_invalidations.inc();
+        if engines[i].provenance.matches(fingerprint) && !engines[i].pending_invalidation {
+            // The notice describes the snapshot the registry already
+            // holds (e.g. a redelivery); nothing to refetch.
+            return Ok(true);
+        }
+        engines[i].try_refresh(&mut self.vocab.write())?;
+        m.representative_refreshes.inc();
+        self.registry_epoch.fetch_add(1, Ordering::SeqCst);
+        self.update_registry_gauges(&engines);
+        Ok(true)
     }
 
     /// Re-publishes this broker's contribution to the process-wide
@@ -312,13 +419,15 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         self.engines.read().iter().map(|e| e.name.clone()).collect()
     }
 
-    /// Shared handles to the registered engines, in registration order
-    /// (used by the hierarchy layer to build group summaries).
+    /// Shared handles to the registered **local** engines, in
+    /// registration order (used by the hierarchy layer to build group
+    /// summaries). Remote engines are skipped: their collections are not
+    /// resident in this process.
     pub fn engines(&self) -> Vec<Arc<SearchEngine>> {
         self.engines
             .read()
             .iter()
-            .map(|e| e.engine.clone())
+            .filter_map(|e| e.handle.local().cloned())
             .collect()
     }
 
@@ -332,7 +441,10 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                     .unwrap_or(1);
                 cores.min(self.engines.read().len().max(1))
             });
-            WorkerPool::new(threads)
+            match &self.pool_label {
+                Some(label) => WorkerPool::named(label, threads),
+                None => WorkerPool::new(threads),
+            }
         })
     }
 
@@ -346,18 +458,22 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         }
     }
 
-    /// Rebuilds the named engine's representative from its current
-    /// collection — the paper's infrequent metadata-propagation step
-    /// (§1) — and, atomically with it, the engine's term map against the
-    /// broker-global vocabulary, so terms that entered the collection
-    /// after registration reach every subsequent plan. Bumps the engine's
-    /// epoch and the registry epoch. Returns false if no engine has that
-    /// name.
+    /// Rebuilds the named engine's representative — from its current
+    /// collection for a local engine (the paper's infrequent
+    /// metadata-propagation step, §1), by refetching its snapshot for a
+    /// remote one — and, atomically with it, the engine's term map
+    /// against the broker-global vocabulary, so terms that entered the
+    /// collection after registration reach every subsequent plan. Bumps
+    /// the engine's epoch and the registry epoch. Returns false if no
+    /// engine has that name or a remote refetch failed (the entry is
+    /// then marked stale for the next sweep).
     pub fn refresh_representative(&self, name: &str) -> bool {
         let mut engines = self.engines.write();
         match engines.iter_mut().find(|e| e.name == name) {
             Some(e) => {
-                e.refresh(&mut self.vocab.write());
+                if e.try_refresh(&mut self.vocab.write()).is_err() {
+                    return false;
+                }
                 metrics().representative_refreshes.inc();
                 self.registry_epoch.fetch_add(1, Ordering::SeqCst);
                 self.update_registry_gauges(&engines);
@@ -370,10 +486,15 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// Replaces the named engine's representative with one it shipped
     /// (e.g. a quantized or accumulator-snapshotted one), rebuilding the
     /// engine's term map alongside it. Bumps the engine's epoch and the
-    /// registry epoch. Returns false if no engine has that name.
+    /// registry epoch. Returns false if no engine has that name, or if
+    /// the engine is remote (remote entries receive whole snapshots via
+    /// push invalidation or [`Broker::refresh_representative`]).
     pub fn update_representative(&self, name: &str, repr: Representative) -> bool {
         let mut engines = self.engines.write();
-        match engines.iter_mut().find(|e| e.name == name) {
+        match engines
+            .iter_mut()
+            .find(|e| e.name == name && !e.handle.is_remote())
+        {
             Some(e) => {
                 e.install_shipped(&mut self.vocab.write(), repr);
                 metrics().representative_refreshes.inc();
@@ -393,12 +514,17 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// [`Broker::refresh_if_stale`] sweep (or an explicit
     /// [`Broker::refresh_representative`]) reconciles it. Bumps the
     /// registry epoch so outstanding plans are detectably stale. Returns
-    /// false if no engine has that name.
+    /// false if no **local** engine has that name (a remote engine's
+    /// snapshot lives in its own process; it announces changes with push
+    /// invalidation instead).
     pub fn replace_engine(&self, name: &str, engine: SearchEngine) -> bool {
         let mut engines = self.engines.write();
-        match engines.iter_mut().find(|e| e.name == name) {
+        match engines
+            .iter_mut()
+            .find(|e| e.name == name && !e.handle.is_remote())
+        {
             Some(e) => {
-                e.engine = Arc::new(engine);
+                e.handle = EngineHandle::Local(Arc::new(engine));
                 e.epoch += 1;
                 self.registry_epoch.fetch_add(1, Ordering::SeqCst);
                 true
@@ -410,15 +536,17 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// Sweeps the registry and rebuilds the representative (and term
     /// map) of every engine whose collection fingerprint no longer
     /// matches what its representative was built from. The comparison is
-    /// O(1) per engine — fingerprints are cached at engine construction —
-    /// so the sweep is cheap when nothing changed. Returns the names of
-    /// the engines it refreshed, in registration order.
+    /// O(1) per engine — fingerprints are cached at engine construction;
+    /// a remote engine is stale only if a push invalidation (or a failed
+    /// refetch) marked it — so the sweep is cheap when nothing changed.
+    /// A remote refetch that fails leaves its entry stale for the next
+    /// sweep. Returns the names of the engines it refreshed, in
+    /// registration order.
     pub fn refresh_if_stale(&self) -> Vec<String> {
         let mut engines = self.engines.write();
         let mut refreshed = Vec::new();
         for e in engines.iter_mut() {
-            if e.is_stale() {
-                e.refresh(&mut self.vocab.write());
+            if e.is_stale() && e.try_refresh(&mut self.vocab.write()).is_ok() {
                 metrics().representative_refreshes.inc();
                 self.registry_epoch.fetch_add(1, Ordering::SeqCst);
                 refreshed.push(e.name.clone());
@@ -452,6 +580,8 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                 stale: e.is_stale(),
                 repr_terms: e.repr.distinct_terms(),
                 repr_bytes: e.repr.bytes_resident(),
+                remote: e.handle.is_remote(),
+                endpoint: e.handle.endpoint(),
             })
             .collect()
     }
@@ -471,7 +601,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     pub fn analyze(&self, query_text: &str) -> SharedAnalysis {
         let mut configs: Vec<AnalyzerConfig> = Vec::new();
         for e in self.engines.read().iter() {
-            let config = e.engine.collection().analyzer_config();
+            let config = e.handle.analyzer_config();
             if !configs.contains(&config) {
                 configs.push(config);
             }
@@ -504,12 +634,21 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let planned: Vec<PlannedEngine> = engines
             .iter()
             .map(|e| {
-                let collection = e.engine.collection();
-                let query = match analysis.tf_for(collection.analyzer_config()) {
-                    Some(tf) => collection.query_from_shared(tf, &e.map),
-                    // An engine with a config the analysis pass did not
-                    // cover (registered concurrently): analyze directly.
-                    None => collection.query_from_text(&req.query),
+                let query = match &e.handle {
+                    EngineHandle::Local(engine) => {
+                        let collection = engine.collection();
+                        match analysis.tf_for(collection.analyzer_config()) {
+                            Some(tf) => collection.query_from_shared(tf, &e.map),
+                            // An engine with a config the analysis pass
+                            // did not cover (registered concurrently):
+                            // analyze directly.
+                            None => collection.query_from_text(&req.query),
+                        }
+                    }
+                    EngineHandle::Remote { meta, .. } => match analysis.tf_for(meta.analyzer) {
+                        Some(tf) => meta.query_from_shared(tf, &e.map),
+                        None => meta.query_from_text(&req.query),
+                    },
                 };
                 let usefulness = self.estimator.estimate(&e.repr, &query, req.threshold);
                 PlannedEngine {
@@ -517,7 +656,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                     usefulness,
                     query,
                     repr: e.repr.clone(),
-                    engine: e.engine.clone(),
+                    handle: e.handle.clone(),
                 }
             })
             .collect();
@@ -653,22 +792,43 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             .iter()
             .map(|&i| {
                 let e = &plan.engines[i];
-                let engine = e.engine.clone();
                 let name = e.name.clone();
-                let query = e.query.clone();
-                Box::new(move || {
-                    let start = Instant::now();
-                    let hits: Vec<MergedHit> = engine
-                        .search_threshold(&query, threshold)
-                        .into_iter()
-                        .map(|h| MergedHit {
-                            engine: name.clone(),
-                            doc: engine.collection().doc(h.doc).name.clone(),
-                            sim: h.sim,
-                        })
-                        .collect();
-                    (hits, start.elapsed().as_secs_f64())
-                }) as DispatchJob
+                match &e.handle {
+                    EngineHandle::Local(engine) => {
+                        let engine = engine.clone();
+                        let query = e.query.clone();
+                        Box::new(move || {
+                            let start = Instant::now();
+                            let hits: Vec<MergedHit> = engine
+                                .search_threshold(&query, threshold)
+                                .into_iter()
+                                .map(|h| MergedHit {
+                                    engine: name.clone(),
+                                    doc: engine.collection().doc(h.doc).name.clone(),
+                                    sim: h.sim,
+                                })
+                                .collect();
+                            Ok((hits, start.elapsed().as_secs_f64()))
+                        }) as DispatchJob
+                    }
+                    EngineHandle::Remote { transport, .. } => {
+                        let transport = transport.clone();
+                        let text = plan.query.clone();
+                        Box::new(move || {
+                            let start = Instant::now();
+                            let hits: Vec<MergedHit> = transport
+                                .search(&text, threshold)?
+                                .into_iter()
+                                .map(|h| MergedHit {
+                                    engine: name.clone(),
+                                    doc: h.doc,
+                                    sim: h.sim,
+                                })
+                                .collect();
+                            Ok((hits, start.elapsed().as_secs_f64()))
+                        }) as DispatchJob
+                    }
+                }
             })
             .collect();
         let statuses = self.pool().run_collect(jobs, req.timeout);
@@ -677,15 +837,30 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let mut per_engine_stats = Vec::with_capacity(statuses.len());
         for (&i, status) in plan.selected.iter().zip(statuses) {
             let name = plan.engines[i].name.clone();
-            let (hits, seconds, outcome) = match status {
-                JobStatus::Done((hits, seconds)) => (hits, seconds, DispatchOutcome::Completed),
+            let (hits, seconds, outcome, error) = match status {
+                JobStatus::Done(Ok((hits, seconds))) => {
+                    (hits, seconds, DispatchOutcome::Completed, None)
+                }
+                JobStatus::Done(Err(err)) => {
+                    let outcome = match err.kind {
+                        TransportErrorKind::Timeout => {
+                            m.engine_timeouts.inc();
+                            DispatchOutcome::TimedOut
+                        }
+                        _ => {
+                            m.engine_failures.inc();
+                            DispatchOutcome::Failed
+                        }
+                    };
+                    (Vec::new(), 0.0, outcome, Some(err))
+                }
                 JobStatus::Panicked | JobStatus::Rejected => {
                     m.engine_failures.inc();
-                    (Vec::new(), 0.0, DispatchOutcome::Failed)
+                    (Vec::new(), 0.0, DispatchOutcome::Failed, None)
                 }
                 JobStatus::TimedOut => {
                     m.engine_timeouts.inc();
-                    (Vec::new(), 0.0, DispatchOutcome::TimedOut)
+                    (Vec::new(), 0.0, DispatchOutcome::TimedOut, None)
                 }
             };
             per_engine_stats.push(EngineDispatchStats {
@@ -693,6 +868,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                 hits: hits.len(),
                 seconds,
                 outcome,
+                error,
             });
             per_engine.push(hits);
         }
@@ -776,14 +952,22 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     }
 
     /// Ground-truth selection (which engines truly have a document above
-    /// the threshold) — the oracle the evaluation compares against.
+    /// the threshold) — the oracle the evaluation compares against. A
+    /// remote engine answers over its transport; one whose transport
+    /// fails is treated as not useful.
     pub fn oracle_select(&self, query_text: &str, threshold: f64) -> Vec<String> {
         let engines = self.engines.read();
         engines
             .iter()
-            .filter(|e| {
-                let query = e.engine.collection().query_from_text(query_text);
-                e.engine.true_usefulness(&query, threshold).no_doc >= 1
+            .filter(|e| match &e.handle {
+                EngineHandle::Local(engine) => {
+                    let query = engine.collection().query_from_text(query_text);
+                    engine.true_usefulness(&query, threshold).no_doc >= 1
+                }
+                EngineHandle::Remote { transport, .. } => transport
+                    .true_usefulness(query_text, threshold)
+                    .map(|u| u.no_doc >= 1)
+                    .unwrap_or(false),
             })
             .map(|e| e.name.clone())
             .collect()

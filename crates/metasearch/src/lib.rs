@@ -40,6 +40,7 @@ pub mod merge;
 pub mod plan;
 pub mod pool;
 pub mod registry;
+pub mod remote;
 pub mod request;
 pub mod selection;
 
@@ -50,6 +51,9 @@ pub use merge::merge_results;
 pub use plan::{PlannedEngine, QueryPlan, SharedAnalysis};
 pub use pool::{JobStatus, PoolClosed, WorkerPool};
 pub use registry::{EngineStatus, StalePlanError};
+pub use remote::{
+    EngineSnapshot, RemoteHit, RemoteMeta, RemoteTransport, TransportError, TransportErrorKind,
+};
 pub use request::{DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse, StaleMode};
 pub use selection::SelectionPolicy;
 

@@ -17,6 +17,7 @@
 //! [`Broker::reestimate`]: crate::Broker::reestimate
 
 use crate::broker::EngineEstimate;
+use crate::registry::EngineHandle;
 use crate::selection::SelectionPolicy;
 use seu_core::Usefulness;
 use seu_engine::{Query, SearchEngine};
@@ -63,8 +64,9 @@ pub struct PlannedEngine {
     pub(crate) query: Query,
     /// The engine's representative (for re-estimation).
     pub(crate) repr: Arc<Representative>,
-    /// The engine itself (for dispatch).
-    pub(crate) engine: Arc<SearchEngine>,
+    /// How to reach the engine (for dispatch): in-process or over a
+    /// transport.
+    pub(crate) handle: EngineHandle,
 }
 
 impl PlannedEngine {
@@ -73,9 +75,16 @@ impl PlannedEngine {
         &self.query
     }
 
-    /// A shared handle to the engine itself.
-    pub fn engine(&self) -> &Arc<SearchEngine> {
-        &self.engine
+    /// A shared handle to the engine itself, when it lives in this
+    /// process (`None` for remote engines, which are only reachable
+    /// through dispatch).
+    pub fn engine(&self) -> Option<&Arc<SearchEngine>> {
+        self.handle.local()
+    }
+
+    /// Whether this engine is reached over a transport.
+    pub fn is_remote(&self) -> bool {
+        self.handle.is_remote()
     }
 }
 

@@ -25,9 +25,12 @@
 //! reach the global vocabulary and every subsequent plan, instead of
 //! being silently dropped from query translation.
 
+use crate::remote::{
+    EngineSnapshot, RemoteMeta, RemoteTransport, TransportError, TransportErrorKind,
+};
 use seu_engine::{Fingerprint, SearchEngine, TermMap};
 use seu_repr::Representative;
-use seu_text::Vocabulary;
+use seu_text::{AnalyzerConfig, Vocabulary};
 use std::sync::Arc;
 
 /// What the registry knows about the collection a representative
@@ -46,6 +49,10 @@ pub(crate) enum ReprProvenance {
         /// `collection_bytes` the shipped summary claims.
         raw_bytes: u64,
     },
+    /// A remote engine shipped a full [`EngineSnapshot`]: the snapshot
+    /// carries the collection's content fingerprint, so push
+    /// invalidations can be compared exactly.
+    Remote(Fingerprint),
 }
 
 impl ReprProvenance {
@@ -53,7 +60,7 @@ impl ReprProvenance {
     /// this representative describes.
     pub(crate) fn matches(&self, current: Fingerprint) -> bool {
         match *self {
-            ReprProvenance::Local(fp) => fp == current,
+            ReprProvenance::Local(fp) | ReprProvenance::Remote(fp) => fp == current,
             ReprProvenance::Shipped { n_docs, raw_bytes } => {
                 n_docs == current.n_docs && raw_bytes == current.raw_bytes
             }
@@ -61,11 +68,62 @@ impl ReprProvenance {
     }
 }
 
-/// One engine's registry entry: the engine, its representative, the
-/// global→local term translation, and the lifecycle bookkeeping.
+/// How the broker reaches one registered engine: in-process, or through
+/// a [`RemoteTransport`] with broker-side planning metadata.
+///
+/// Cloning is cheap (`Arc`s all the way down); plans hold a clone so
+/// they stay dispatchable after the registry moves on.
+#[derive(Debug, Clone)]
+pub(crate) enum EngineHandle {
+    /// The engine lives in this process; the broker holds it directly.
+    Local(Arc<SearchEngine>),
+    /// The engine lives elsewhere; the broker holds a transport to it
+    /// and the snapshot-derived metadata planning needs.
+    Remote {
+        /// The wire to the engine.
+        transport: Arc<dyn RemoteTransport>,
+        /// Planning metadata from the engine's last snapshot.
+        meta: RemoteMeta,
+    },
+}
+
+impl EngineHandle {
+    /// The engine's analyzer configuration (drives the shared-analysis
+    /// pass).
+    pub(crate) fn analyzer_config(&self) -> AnalyzerConfig {
+        match self {
+            EngineHandle::Local(e) => e.collection().analyzer_config(),
+            EngineHandle::Remote { meta, .. } => meta.analyzer,
+        }
+    }
+
+    /// The in-process engine, when there is one.
+    pub(crate) fn local(&self) -> Option<&Arc<SearchEngine>> {
+        match self {
+            EngineHandle::Local(e) => Some(e),
+            EngineHandle::Remote { .. } => None,
+        }
+    }
+
+    /// Whether this engine is reached over a transport.
+    pub(crate) fn is_remote(&self) -> bool {
+        matches!(self, EngineHandle::Remote { .. })
+    }
+
+    /// The remote endpoint, when there is one.
+    pub(crate) fn endpoint(&self) -> Option<String> {
+        match self {
+            EngineHandle::Local(_) => None,
+            EngineHandle::Remote { transport, .. } => Some(transport.endpoint()),
+        }
+    }
+}
+
+/// One engine's registry entry: the engine handle, its representative,
+/// the global→local term translation, and the lifecycle bookkeeping.
 pub(crate) struct RegisteredEngine {
     pub(crate) name: String,
-    pub(crate) engine: Arc<SearchEngine>,
+    pub(crate) handle: EngineHandle,
     pub(crate) repr: Arc<Representative>,
     /// Broker-global → engine-local term translation; rebuilt together
     /// with the representative, never independently of it.
@@ -76,32 +134,94 @@ pub(crate) struct RegisteredEngine {
     /// Fingerprint (or shipped totals) of the collection `repr` and
     /// `map` were built from.
     pub(crate) provenance: ReprProvenance,
+    /// Remote engines only: a push invalidation notice arrived (or a
+    /// snapshot refetch failed) and the entry has not been refreshed
+    /// yet, so [`RegisteredEngine::is_stale`] reports true until a
+    /// refetch succeeds.
+    pub(crate) pending_invalidation: bool,
 }
 
 impl RegisteredEngine {
     /// Whether the engine's current collection no longer matches the
-    /// collection its representative was built from.
+    /// collection its representative was built from. For local engines
+    /// this is an O(1) fingerprint comparison; for remote engines the
+    /// broker cannot poll cheaply, so staleness is what push
+    /// invalidation (or a failed refetch) has marked.
     pub(crate) fn is_stale(&self) -> bool {
-        !self.provenance.matches(self.engine.fingerprint())
+        match &self.handle {
+            EngineHandle::Local(e) => !self.provenance.matches(e.fingerprint()),
+            EngineHandle::Remote { .. } => self.pending_invalidation,
+        }
     }
 
-    /// Rebuilds the representative from the engine's current collection
-    /// and — atomically with it — the term map against the global
-    /// vocabulary, folding any new terms in. This is the single code
-    /// path behind every representative change, so the map can never
-    /// lag the representative again.
-    pub(crate) fn refresh(&mut self, global_vocab: &mut Vocabulary) {
-        let repr = Representative::build(self.engine.collection());
-        self.install(
-            global_vocab,
-            repr,
-            ReprProvenance::Local(self.engine.fingerprint()),
-        );
+    /// Rebuilds the representative — from the collection for local
+    /// engines, by refetching the snapshot for remote ones — and,
+    /// atomically with it, the term map against the global vocabulary,
+    /// folding any new terms in. This is the single code path behind
+    /// every representative change, so the map can never lag the
+    /// representative again. A remote refetch that fails leaves the
+    /// entry marked stale so the next sweep retries it.
+    pub(crate) fn try_refresh(
+        &mut self,
+        global_vocab: &mut Vocabulary,
+    ) -> Result<(), TransportError> {
+        match &self.handle {
+            EngineHandle::Local(engine) => {
+                let engine = engine.clone();
+                let repr = Representative::build(engine.collection());
+                self.install(
+                    global_vocab,
+                    repr,
+                    ReprProvenance::Local(engine.fingerprint()),
+                );
+                Ok(())
+            }
+            EngineHandle::Remote { transport, .. } => {
+                let snapshot = match transport.clone().fetch_snapshot() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        self.pending_invalidation = true;
+                        return Err(e);
+                    }
+                };
+                self.install_remote(global_vocab, &snapshot)
+            }
+        }
+    }
+
+    /// Installs a freshly fetched remote snapshot: representative, term
+    /// map, planning metadata, and fingerprint provenance move together.
+    pub(crate) fn install_remote(
+        &mut self,
+        global_vocab: &mut Vocabulary,
+        snapshot: &EngineSnapshot,
+    ) -> Result<(), TransportError> {
+        if !snapshot.is_consistent() {
+            self.pending_invalidation = true;
+            return Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!(
+                    "engine {:?} shipped an inconsistent snapshot",
+                    snapshot.name
+                ),
+            ));
+        }
+        let meta = RemoteMeta::from_snapshot(snapshot);
+        self.map = TermMap::from_vocab(global_vocab, &meta.vocab);
+        self.repr = Arc::new(snapshot.summary.repr.clone());
+        self.provenance = ReprProvenance::Remote(snapshot.fingerprint);
+        if let EngineHandle::Remote { meta: m, .. } = &mut self.handle {
+            *m = meta;
+        }
+        self.pending_invalidation = false;
+        self.epoch += 1;
+        Ok(())
     }
 
     /// Installs a representative the engine shipped, rebuilding the term
     /// map from the engine's current collection (shipped representatives
-    /// are id-aligned with it).
+    /// are id-aligned with it). Local engines only — remote entries
+    /// receive whole snapshots via [`RegisteredEngine::install_remote`].
     pub(crate) fn install_shipped(&mut self, global_vocab: &mut Vocabulary, repr: Representative) {
         let provenance = ReprProvenance::Shipped {
             n_docs: repr.n_docs(),
@@ -116,7 +236,12 @@ impl RegisteredEngine {
         repr: Representative,
         provenance: ReprProvenance,
     ) {
-        self.map = TermMap::build(global_vocab, self.engine.collection());
+        let engine = self
+            .handle
+            .local()
+            .expect("install targets local engines; remote entries use install_remote")
+            .clone();
+        self.map = TermMap::build(global_vocab, engine.collection());
         self.repr = Arc::new(repr);
         self.provenance = provenance;
         self.epoch += 1;
@@ -139,6 +264,10 @@ pub struct EngineStatus {
     pub repr_terms: usize,
     /// Approximate resident bytes of the representative.
     pub repr_bytes: u64,
+    /// Whether the engine is reached over a transport.
+    pub remote: bool,
+    /// The remote endpoint, when the engine is remote.
+    pub endpoint: Option<String>,
 }
 
 /// A plan was made against an older registry state than the broker

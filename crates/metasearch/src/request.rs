@@ -13,6 +13,7 @@
 //! [`QueryPlan`]: crate::QueryPlan
 
 use crate::broker::{EngineEstimate, MergedHit};
+use crate::remote::TransportError;
 use crate::selection::SelectionPolicy;
 use std::time::Duration;
 
@@ -128,10 +129,12 @@ impl SearchRequest {
 pub enum DispatchOutcome {
     /// The engine answered.
     Completed,
-    /// The engine panicked; it contributed no hits
-    /// (`broker_engine_failures_total` counts these).
+    /// The engine panicked, or its transport failed; it contributed no
+    /// hits (`broker_engine_failures_total` counts these).
     Failed,
-    /// The engine did not answer within the request's timeout budget
+    /// The engine did not answer within the request's timeout budget —
+    /// either the dispatch-wide budget or, for remote engines, the
+    /// transport's own per-call deadline
     /// (`broker_engine_timeouts_total` counts these).
     TimedOut,
 }
@@ -148,6 +151,11 @@ pub struct EngineDispatchStats {
     pub seconds: f64,
     /// How the dispatch ended.
     pub outcome: DispatchOutcome,
+    /// The typed transport failure behind a [`DispatchOutcome::Failed`]
+    /// or [`DispatchOutcome::TimedOut`] outcome, when the engine is
+    /// remote and its transport reported one (`None` for local engines
+    /// and pool-level timeouts).
+    pub error: Option<TransportError>,
 }
 
 /// The result of [`Broker::execute`]: merged hits plus the accounting
@@ -225,12 +233,14 @@ mod tests {
                     hits: 2,
                     seconds: 0.01,
                     outcome: DispatchOutcome::Completed,
+                    error: None,
                 },
                 EngineDispatchStats {
                     engine: "b".into(),
                     hits: 0,
                     seconds: 0.0,
                     outcome: DispatchOutcome::TimedOut,
+                    error: None,
                 },
             ],
         };

@@ -1,0 +1,294 @@
+//! The broker side of the wire: [`RemoteEngine`], a TCP client
+//! implementing [`RemoteTransport`] so a broker can register an engine
+//! living in another process with `Broker::register_remote`.
+//!
+//! The client is connection-per-call: every call connects (bounded by
+//! [`RemoteEngineConfig::connect_timeout`]), handshakes, exchanges one
+//! request/response pair under [`RemoteEngineConfig::call_timeout`], and
+//! closes. That keeps failure handling trivially per-call — no shared
+//! connection to poison — at the price of a loopback-cheap handshake.
+//!
+//! Retries are bounded and **transient-only**: refused connections and
+//! connections lost mid-exchange are retried with exponential backoff;
+//! deadline misses, protocol violations, and remote-reported errors are
+//! not (a timeout retried is a deadline doubled, and a protocol error
+//! will not get better by asking again).
+
+use crate::frame::{io_error, read_frame, write_frame};
+use crate::metrics::metrics;
+use crate::wire::Message;
+use seu_engine::{Fingerprint, TrueUsefulness};
+use seu_metasearch::{
+    EngineSnapshot, RemoteHit, RemoteTransport, TransportError, TransportErrorKind,
+};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Timeouts and retry policy for a [`RemoteEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteEngineConfig {
+    /// Deadline for establishing a connection.
+    pub connect_timeout: Duration,
+    /// Per-call deadline applied to every read and write on the
+    /// connection once established.
+    pub call_timeout: Duration,
+    /// Additional attempts after a transient failure (refused or
+    /// connection lost — never timeouts or protocol errors).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+}
+
+impl Default for RemoteEngineConfig {
+    fn default() -> Self {
+        RemoteEngineConfig {
+            connect_timeout: Duration::from_secs(1),
+            call_timeout: Duration::from_secs(5),
+            retries: 2,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A TCP client for one [`EngineServer`](crate::EngineServer), usable as
+/// the transport behind a broker's remote engine registration.
+#[derive(Debug, Clone)]
+pub struct RemoteEngine {
+    addr: SocketAddr,
+    config: RemoteEngineConfig,
+}
+
+impl RemoteEngine {
+    /// Creates a client for the engine at `addr` with default timeouts.
+    /// Resolution happens here; no connection is made until the first
+    /// call.
+    pub fn new(addr: impl ToSocketAddrs) -> Result<RemoteEngine, TransportError> {
+        RemoteEngine::with_config(addr, RemoteEngineConfig::default())
+    }
+
+    /// Creates a client with explicit timeouts and retry policy.
+    pub fn with_config(
+        addr: impl ToSocketAddrs,
+        config: RemoteEngineConfig,
+    ) -> Result<RemoteEngine, TransportError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| io_error(&e, "resolving engine address"))?
+            .next()
+            .ok_or_else(|| {
+                TransportError::new(TransportErrorKind::Refused, "address resolved to nothing")
+            })?;
+        Ok(RemoteEngine { addr, config })
+    }
+
+    /// Opens a connection and completes the Hello handshake, returning
+    /// the stream and the engine's advertised name.
+    fn handshake(&self, subscribe: bool) -> Result<(TcpStream, String), TransportError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+            .map_err(|e| io_error(&e, &format!("connecting to {}", self.addr)))?;
+        stream
+            .set_read_timeout(Some(self.config.call_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.config.call_timeout)))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|e| io_error(&e, "configuring socket"))?;
+        let (kind, payload) = Message::Hello { subscribe }.encode();
+        write_frame(&mut stream, kind, &payload)?;
+        let ack = read_frame(&mut stream).and_then(|f| Message::decode(f.kind, &f.payload))?;
+        match ack {
+            Message::HelloAck { name } => Ok((stream, name)),
+            other => Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!("expected HelloAck, got {other:?}"),
+            )),
+        }
+    }
+
+    /// One attempt: connect, handshake, send `request`, read the reply.
+    fn call_once(&self, request: &Message) -> Result<Message, TransportError> {
+        let (mut stream, _) = self.handshake(false)?;
+        let (kind, payload) = request.encode();
+        write_frame(&mut stream, kind, &payload)?;
+        let reply = read_frame(&mut stream).and_then(|f| Message::decode(f.kind, &f.payload))?;
+        let _ = stream.shutdown(Shutdown::Both);
+        match reply {
+            Message::Error { detail } => {
+                Err(TransportError::new(TransportErrorKind::Remote, detail))
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Sends `request` with the configured retry policy, recording
+    /// latency and failure metrics.
+    fn call(&self, request: &Message) -> Result<Message, TransportError> {
+        let m = metrics();
+        let timer = m.rpc_latency.start_timer();
+        let mut attempt = 0;
+        let result = loop {
+            match self.call_once(request) {
+                Ok(reply) => break Ok(reply),
+                Err(e) => {
+                    let transient = matches!(
+                        e.kind,
+                        TransportErrorKind::Refused | TransportErrorKind::ConnectionLost
+                    );
+                    if !transient || attempt >= self.config.retries {
+                        break Err(e);
+                    }
+                    m.client_retries.inc();
+                    std::thread::sleep(self.config.backoff * 2u32.saturating_pow(attempt));
+                    attempt += 1;
+                }
+            }
+        };
+        timer.stop();
+        if let Err(e) = &result {
+            if e.kind == TransportErrorKind::Timeout {
+                m.client_timeouts.inc();
+            } else {
+                m.client_failures.inc();
+            }
+        }
+        result
+    }
+
+    /// Liveness probe: a full connect/handshake/Ping round trip.
+    pub fn ping(&self) -> Result<(), TransportError> {
+        match self.call(&Message::Ping)? {
+            Message::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Opens a subscription connection: the engine server will push an
+    /// invalidation notice over it whenever its collection changes, and
+    /// `on_notice(name, fingerprint, epoch)` runs (on a dedicated reader
+    /// thread) for each. The subscription lives until the returned
+    /// handle is closed or dropped, or the server goes away.
+    pub fn subscribe_with(
+        &self,
+        on_notice: impl Fn(&str, Fingerprint, u64) + Send + 'static,
+    ) -> Result<Subscription, TransportError> {
+        let (stream, name) = self.handshake(true)?;
+        // Notices arrive whenever the engine changes — block indefinitely.
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| io_error(&e, "configuring subscription socket"))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| io_error(&e, "cloning subscription stream"))?;
+        let thread = std::thread::Builder::new()
+            .name(format!("seu-net-subscribe-{name}"))
+            .spawn(move || subscription_loop(read_half, on_notice))
+            .map_err(|e| io_error(&e, "spawning subscription reader"))?;
+        Ok(Subscription {
+            engine: name,
+            stream,
+            thread: Some(thread),
+        })
+    }
+}
+
+fn subscription_loop(mut stream: TcpStream, on_notice: impl Fn(&str, Fingerprint, u64)) {
+    loop {
+        let message =
+            match read_frame(&mut stream).and_then(|f| Message::decode(f.kind, &f.payload)) {
+                Ok(m) => m,
+                Err(_) => return,
+            };
+        if let Message::InvalidateNotice {
+            name,
+            fingerprint,
+            epoch,
+        } = message
+        {
+            metrics().push_notices_received.inc();
+            on_notice(&name, fingerprint, epoch);
+        }
+    }
+}
+
+/// A live push-invalidation subscription; dropping it disconnects.
+pub struct Subscription {
+    engine: String,
+    stream: TcpStream,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Subscription {
+    /// The advertised name of the engine this subscription watches.
+    pub fn engine(&self) -> &str {
+        &self.engine
+    }
+
+    /// Disconnects and joins the reader thread.
+    pub fn close(mut self) {
+        self.disconnect();
+    }
+
+    fn disconnect(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.disconnect();
+    }
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+fn unexpected(wanted: &str, got: &Message) -> TransportError {
+    TransportError::new(
+        TransportErrorKind::Protocol,
+        format!("expected {wanted}, got {got:?}"),
+    )
+}
+
+impl RemoteTransport for RemoteEngine {
+    fn endpoint(&self) -> String {
+        self.addr.to_string()
+    }
+
+    fn search(&self, query_text: &str, threshold: f64) -> Result<Vec<RemoteHit>, TransportError> {
+        match self.call(&Message::SearchDocs {
+            query: query_text.to_string(),
+            threshold,
+        })? {
+            Message::SearchResults { hits } => Ok(hits),
+            other => Err(unexpected("SearchResults", &other)),
+        }
+    }
+
+    fn true_usefulness(
+        &self,
+        query_text: &str,
+        threshold: f64,
+    ) -> Result<TrueUsefulness, TransportError> {
+        let reply = self.call(&Message::Estimate {
+            query: query_text.to_string(),
+            threshold,
+        })?;
+        reply
+            .as_usefulness()
+            .ok_or_else(|| unexpected("Usefulness", &reply))
+    }
+
+    fn fetch_snapshot(&self) -> Result<EngineSnapshot, TransportError> {
+        match self.call(&Message::GetRepresentative)? {
+            Message::Representative { snapshot } => Ok(snapshot),
+            other => Err(unexpected("Representative", &other)),
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The length-prefixed frame layer under every message.
+//!
+//! Every frame is `magic:u32 version:u8 kind:u8 len:u32 payload:[u8; len]`
+//! (big-endian). The reader is **byte-capped**: a peer announcing a
+//! payload larger than [`MAX_FRAME_BYTES`] is a protocol violation and
+//! the frame is rejected before a single payload byte is allocated —
+//! the same untrusted-length hardening as
+//! `FrozenSummary::from_bytes` applies inside representative payloads.
+//!
+//! Errors are typed at this layer already: truncated reads are
+//! [`TransportErrorKind::ConnectionLost`], socket deadline misses are
+//! [`TransportErrorKind::Timeout`], and anything that violates the
+//! framing (bad magic, unsupported version, oversized length) is
+//! [`TransportErrorKind::Protocol`].
+
+use crate::metrics::metrics;
+use seu_metasearch::{TransportError, TransportErrorKind};
+use std::io::{Read, Write};
+
+/// Frame magic — "SEUN".
+pub const MAGIC: u32 = 0x5345_554E;
+
+/// Protocol version carried in every frame header. A peer speaking a
+/// different version is rejected with a typed protocol error rather
+/// than misparsed.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Largest payload a reader accepts (32 MiB) — comfortably above any
+/// real snapshot, far below an allocation-of-death.
+pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// Frame header size on the wire.
+const HEADER_BYTES: usize = 4 + 1 + 1 + 4;
+
+/// One decoded frame: the message kind byte and its raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message discriminant (see [`crate::wire::Message`]).
+    pub kind: u8,
+    /// Raw message payload.
+    pub payload: Vec<u8>,
+}
+
+/// Maps a socket-level I/O error to the transport error it evidences.
+pub(crate) fn io_error(err: &std::io::Error, context: &str) -> TransportError {
+    use std::io::ErrorKind;
+    let kind = match err.kind() {
+        ErrorKind::ConnectionRefused | ErrorKind::AddrNotAvailable => TransportErrorKind::Refused,
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportErrorKind::Timeout,
+        _ => TransportErrorKind::ConnectionLost,
+    };
+    TransportError::new(kind, format!("{context}: {err}"))
+}
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), TransportError> {
+    let mut header = [0u8; HEADER_BYTES];
+    header[..4].copy_from_slice(&MAGIC.to_be_bytes());
+    header[4] = PROTOCOL_VERSION;
+    header[5] = kind;
+    header[6..].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&header)
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| io_error(&e, "writing frame"))?;
+    let m = metrics();
+    m.frames_sent.inc();
+    m.bytes_sent.add((HEADER_BYTES + payload.len()) as u64);
+    Ok(())
+}
+
+/// Reads one frame, rejecting bad magic, version mismatches, and
+/// payloads over `cap` bytes before allocating for them.
+pub fn read_frame_capped(r: &mut impl Read, cap: usize) -> Result<Frame, TransportError> {
+    let mut header = [0u8; HEADER_BYTES];
+    r.read_exact(&mut header)
+        .map_err(|e| io_error(&e, "reading frame header"))?;
+    let magic = u32::from_be_bytes(header[..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(TransportError::new(
+            TransportErrorKind::Protocol,
+            format!("bad frame magic {magic:#010x}"),
+        ));
+    }
+    let version = header[4];
+    if version != PROTOCOL_VERSION {
+        return Err(TransportError::new(
+            TransportErrorKind::Protocol,
+            format!("unsupported protocol version {version} (this side speaks {PROTOCOL_VERSION})"),
+        ));
+    }
+    let kind = header[5];
+    let len = u32::from_be_bytes(header[6..].try_into().expect("4 bytes")) as usize;
+    if len > cap {
+        return Err(TransportError::new(
+            TransportErrorKind::Protocol,
+            format!("frame of {len} bytes exceeds the {cap}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| io_error(&e, "reading frame payload"))?;
+    let m = metrics();
+    m.frames_received.inc();
+    m.bytes_received.add((HEADER_BYTES + len) as u64);
+    Ok(Frame { kind, payload })
+}
+
+/// [`read_frame_capped`] at the default [`MAX_FRAME_BYTES`] cap.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, TransportError> {
+    read_frame_capped(r, MAX_FRAME_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 7, b"payload").unwrap();
+        let frame = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(frame.kind, 7);
+        assert_eq!(frame.payload, b"payload");
+    }
+
+    #[test]
+    fn bad_magic_is_a_protocol_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, b"x").unwrap();
+        wire[0] ^= 0xff;
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_protocol_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, b"x").unwrap();
+        wire[4] = PROTOCOL_VERSION + 1;
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+        assert!(err.detail.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        // Header announcing a 3 GiB payload with nothing behind it: the
+        // cap must reject it without trying to read (or allocate) it.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC.to_be_bytes());
+        wire.push(PROTOCOL_VERSION);
+        wire.push(1);
+        wire.extend_from_slice(&(3u32 << 30).to_be_bytes());
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+        assert!(err.detail.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_connection_lost() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, b"hello world").unwrap();
+        // Mid-payload cut.
+        let err = read_frame(&mut &wire[..wire.len() - 4]).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::ConnectionLost);
+        // Mid-header cut.
+        let err = read_frame(&mut &wire[..3]).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::ConnectionLost);
+    }
+}

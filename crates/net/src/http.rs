@@ -1,0 +1,346 @@
+//! A minimal HTTP/1.1 admin server over a broker: Prometheus exposition,
+//! health, engine inventory, and search.
+//!
+//! Hand-rolled on `std::net` (the workspace vendors no HTTP stack), and
+//! deliberately small: one request per connection (`Connection: close`),
+//! capped header and body sizes, four routes:
+//!
+//! | route | reply |
+//! |-------|-------|
+//! | `GET /metrics` | the process-global [`seu_obs`] registry in Prometheus text exposition |
+//! | `GET /healthz` | `ok` |
+//! | `GET /engines` | JSON array of the broker's [`EngineStatus`] rows |
+//! | `POST /search` | executes a JSON search request against the broker |
+//!
+//! `POST /search` takes `{"query": "...", "threshold": 0.2, "top_k": 10,
+//! "all": true}` (only `query` required; `all` selects every engine
+//! instead of the estimated-useful policy) and answers with merged hits,
+//! per-engine estimates, and per-engine dispatch stats — including the
+//! typed transport error when a remote engine failed.
+//!
+//! The server is decoupled from the broker's estimator type through the
+//! object-safe [`BrokerAdmin`] trait, blanket-implemented for every
+//! `Broker<E>`.
+
+use crate::metrics::metrics;
+use seu_core::UsefulnessEstimator;
+use seu_metasearch::{Broker, EngineStatus, SearchRequest, SearchResponse, SelectionPolicy};
+use seu_obs::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request head (request line + headers) accepted.
+const MAX_HEAD_BYTES: usize = 8 << 10;
+/// Largest request body accepted.
+const MAX_BODY_BYTES: usize = 1 << 20;
+/// Socket deadline for reading a request and writing its response.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The slice of a broker the admin server needs, object-safe so one
+/// server type works over any estimator. Blanket-implemented for every
+/// [`Broker`].
+pub trait BrokerAdmin: Send + Sync {
+    /// Registry inventory, in registration order.
+    fn engine_statuses(&self) -> Vec<EngineStatus>;
+    /// Plans, selects, dispatches, and merges one request.
+    fn search(&self, request: &SearchRequest) -> SearchResponse;
+}
+
+impl<E: UsefulnessEstimator + Send + Sync> BrokerAdmin for Broker<E> {
+    fn engine_statuses(&self) -> Vec<EngineStatus> {
+        Broker::engine_statuses(self)
+    }
+
+    fn search(&self, request: &SearchRequest) -> SearchResponse {
+        self.execute(request)
+    }
+}
+
+/// The admin/metrics HTTP server; serving stops when dropped.
+pub struct AdminServer {
+    addr: SocketAddr,
+    shutting_down: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `addr` (port 0 for ephemeral) and serves `broker`.
+    pub fn bind(
+        broker: Arc<dyn BrokerAdmin>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutting_down);
+        let accept_thread = std::thread::Builder::new()
+            .name("seu-net-http".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let broker = Arc::clone(&broker);
+                    let _ = std::thread::Builder::new()
+                        .name("seu-net-http-conn".to_string())
+                        .spawn(move || {
+                            let _ = serve_one(stream, &*broker);
+                        });
+                }
+            })?;
+        Ok(AdminServer {
+            addr,
+            shutting_down,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for AdminServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdminServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Reads one HTTP request; `None` when the peer sent nothing valid
+/// within the caps.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return None;
+        }
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let mut request_line = lines.next()?.split_whitespace();
+    let method = request_line.next()?.to_string();
+    let path = request_line.next()?.to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().ok()?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).ok()?;
+    Some(Request { method, path, body })
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn serve_one(mut stream: TcpStream, broker: &dyn BrokerAdmin) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
+    let Some(request) = read_request(&mut stream) else {
+        return respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain",
+            "bad request\n",
+        );
+    };
+    metrics().http_requests.inc();
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/metrics") => {
+            let exposition = seu_obs::global().snapshot().to_prometheus();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &exposition,
+            )
+        }
+        ("GET", "/healthz") => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        ("GET", "/engines") => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &engines_json(&broker.engine_statuses()),
+        ),
+        ("POST", "/search") => match parse_search(&request.body) {
+            Ok(req) => {
+                let response = broker.search(&req);
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    "application/json",
+                    &search_json(&response),
+                )
+            }
+            Err(detail) => {
+                let mut body = String::from("{\"error\":");
+                json::write_escaped(&mut body, &detail);
+                body.push('}');
+                respond(&mut stream, "400 Bad Request", "application/json", &body)
+            }
+        },
+        ("GET" | "POST", _) => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+        _ => respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n",
+        ),
+    }
+}
+
+fn parse_search(body: &[u8]) -> Result<SearchRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = json::parse(text)?;
+    let query = value
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field \"query\"".to_string())?;
+    let mut request = SearchRequest::new(query).with_estimates(true);
+    if let Some(t) = value.get("threshold").and_then(Json::as_num) {
+        request = request.threshold(t);
+    }
+    if let Some(k) = value.get("top_k").and_then(Json::as_num) {
+        request = request.top_k(k as usize);
+    }
+    if value.get("all") == Some(&Json::Bool(true)) {
+        request = request.policy(SelectionPolicy::All);
+    }
+    Ok(request)
+}
+
+fn engines_json(statuses: &[EngineStatus]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in statuses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::write_escaped(&mut out, &s.name);
+        out.push_str(&format!(
+            ",\"epoch\":{},\"stale\":{},\"repr_terms\":{},\"repr_bytes\":{},\"remote\":{}",
+            s.epoch, s.stale, s.repr_terms, s.repr_bytes, s.remote
+        ));
+        out.push_str(",\"endpoint\":");
+        match &s.endpoint {
+            Some(e) => json::write_escaped(&mut out, e),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+fn search_json(response: &SearchResponse) -> String {
+    let mut out = String::from("{\"hits\":[");
+    for (i, h) in response.hits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"engine\":");
+        json::write_escaped(&mut out, &h.engine);
+        out.push_str(",\"doc\":");
+        json::write_escaped(&mut out, &h.doc);
+        out.push_str(",\"sim\":");
+        json::write_num(&mut out, h.sim);
+        out.push('}');
+    }
+    out.push_str("],\"estimates\":[");
+    for (i, e) in response.estimates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"engine\":");
+        json::write_escaped(&mut out, &e.engine);
+        out.push_str(",\"no_doc\":");
+        json::write_num(&mut out, e.usefulness.no_doc);
+        out.push_str(",\"avg_sim\":");
+        json::write_num(&mut out, e.usefulness.avg_sim);
+        out.push('}');
+    }
+    out.push_str("],\"per_engine\":[");
+    for (i, s) in response.per_engine_stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"engine\":");
+        json::write_escaped(&mut out, &s.engine);
+        out.push_str(&format!(",\"hits\":{},\"seconds\":", s.hits));
+        json::write_num(&mut out, s.seconds);
+        out.push_str(",\"outcome\":");
+        let outcome = match s.outcome {
+            seu_metasearch::DispatchOutcome::Completed => "completed",
+            seu_metasearch::DispatchOutcome::Failed => "failed",
+            seu_metasearch::DispatchOutcome::TimedOut => "timed_out",
+        };
+        json::write_escaped(&mut out, outcome);
+        out.push_str(",\"error\":");
+        match &s.error {
+            Some(e) => json::write_escaped(&mut out, &e.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}

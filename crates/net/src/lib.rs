@@ -1,0 +1,99 @@
+//! `seu-net`: the networked broker — remote engine transport, push
+//! invalidation, and an HTTP admin/metrics server.
+//!
+//! The paper's metasearch architecture (Meng et al., ICDE 1999 §1) is a
+//! broker *distinct from* the search engines it brokers: engines expose
+//! only compact representatives and per-query results, and the broker
+//! estimates usefulness from the representatives alone. Everything in
+//! `seu-metasearch` keeps that split as an in-process abstraction; this
+//! crate makes it literal with `std::net` TCP — no external
+//! networking stack.
+//!
+//! Three pieces:
+//!
+//! * **[`EngineServer`]** puts one [`SearchEngine`](seu_engine::SearchEngine)
+//!   on a socket, serving search / true-usefulness / snapshot requests
+//!   and pushing [invalidation notices](wire::Message::InvalidateNotice)
+//!   to subscribed brokers when its collection changes.
+//! * **[`RemoteEngine`]** is the broker-side client: it implements
+//!   [`RemoteTransport`](seu_metasearch::RemoteTransport), so
+//!   `Broker::register_remote` treats a process across the wire exactly
+//!   like a local engine — same planning, same estimates (byte-identical,
+//!   because snapshots ship full-precision f64 statistics), same
+//!   dispatch, with transport failures captured per-engine instead of
+//!   failing the query.
+//! * **[`AdminServer`]** is a minimal HTTP/1.1 server over a broker:
+//!   `GET /metrics` (Prometheus exposition of the process-global
+//!   [`seu_obs`] registry), `GET /healthz`, `GET /engines`, and
+//!   `POST /search`.
+//!
+//! The wire format is a length-prefixed binary framing ([`frame`]) with
+//! a small fixed message vocabulary ([`wire`]); every length read off
+//! the wire is validated before allocation, and malformed traffic
+//! surfaces as typed
+//! [`TransportError`](seu_metasearch::TransportError)s.
+//!
+//! # Loopback example
+//!
+//! ```
+//! use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
+//! use seu_metasearch::Broker;
+//! use seu_net::{EngineServer, RemoteEngine};
+//! use seu_core::SubrangeEstimator;
+//! use seu_text::Analyzer;
+//! use std::sync::Arc;
+//!
+//! let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+//! b.add_document("d0", "estimating search engine usefulness");
+//! let server = EngineServer::bind("demo", SearchEngine::new(b.build()), "127.0.0.1:0").unwrap();
+//!
+//! let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+//! let client = RemoteEngine::new(server.addr()).unwrap();
+//! let name = broker.register_remote(Arc::new(client)).unwrap();
+//! assert_eq!(name, "demo");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod http;
+mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{RemoteEngine, RemoteEngineConfig, Subscription};
+pub use http::{AdminServer, BrokerAdmin};
+pub use metrics::register_metrics;
+pub use server::EngineServer;
+
+use seu_core::UsefulnessEstimator;
+use seu_metasearch::{Broker, TransportError};
+use std::sync::{Arc, Weak};
+
+/// Registers a remote engine with `broker` **and** wires a push
+/// subscription so collection changes on the engine side reach the
+/// broker as [`Broker::apply_invalidation`] calls — no staleness sweep
+/// required. Returns the advertised engine name and the live
+/// [`Subscription`] (dropping it stops the push flow; the registration
+/// stays).
+///
+/// The subscription holds only a [`Weak`] broker reference, so it never
+/// keeps a dropped broker alive.
+pub fn register_and_subscribe<E>(
+    broker: &Arc<Broker<E>>,
+    client: RemoteEngine,
+) -> Result<(String, Subscription), TransportError>
+where
+    E: UsefulnessEstimator + Send + Sync + 'static,
+{
+    let name = broker.register_remote(Arc::new(client.clone()))?;
+    let weak: Weak<Broker<E>> = Arc::downgrade(broker);
+    let subscription = client.subscribe_with(move |name, fingerprint, _epoch| {
+        if let Some(broker) = weak.upgrade() {
+            let _ = broker.apply_invalidation(name, fingerprint);
+        }
+    })?;
+    Ok((name, subscription))
+}

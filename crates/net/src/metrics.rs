@@ -1,0 +1,69 @@
+//! The `net_*` instrument family: traffic, RPC latency, retries, and
+//! push-invalidation counters for the TCP transport and the HTTP admin
+//! server.
+//!
+//! Everything lives in the process-global [`seu_obs`] registry, so a
+//! `GET /metrics` scrape of the admin server exposes the broker's
+//! `broker_*` family and this crate's `net_*` family side by side.
+
+use std::sync::{Arc, OnceLock};
+
+/// Instrument handles cached once per process.
+pub(crate) struct NetMetrics {
+    /// Frame bytes written to sockets (header + payload), both sides.
+    pub(crate) bytes_sent: Arc<seu_obs::Counter>,
+    /// Frame bytes read from sockets (header + payload), both sides.
+    pub(crate) bytes_received: Arc<seu_obs::Counter>,
+    /// Frames written.
+    pub(crate) frames_sent: Arc<seu_obs::Counter>,
+    /// Frames read.
+    pub(crate) frames_received: Arc<seu_obs::Counter>,
+    /// Client-side wall-clock per remote call, connect to last byte.
+    pub(crate) rpc_latency: Arc<seu_obs::Histogram>,
+    /// Client call attempts that were retried after a transient failure.
+    pub(crate) client_retries: Arc<seu_obs::Counter>,
+    /// Client calls that ended in a deadline miss.
+    pub(crate) client_timeouts: Arc<seu_obs::Counter>,
+    /// Client calls that ended in any non-timeout transport failure.
+    pub(crate) client_failures: Arc<seu_obs::Counter>,
+    /// Invalidation notices pushed by engine servers.
+    pub(crate) push_notices_sent: Arc<seu_obs::Counter>,
+    /// Invalidation notices received by subscribed clients.
+    pub(crate) push_notices_received: Arc<seu_obs::Counter>,
+    /// Connections accepted by engine servers.
+    pub(crate) server_connections: Arc<seu_obs::Counter>,
+    /// Request frames served by engine servers.
+    pub(crate) server_requests: Arc<seu_obs::Counter>,
+    /// Live subscriber connections across all engine servers.
+    pub(crate) server_subscribers: Arc<seu_obs::Gauge>,
+    /// HTTP requests served by admin servers.
+    pub(crate) http_requests: Arc<seu_obs::Counter>,
+}
+
+pub(crate) fn metrics() -> &'static NetMetrics {
+    static METRICS: OnceLock<NetMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| NetMetrics {
+        bytes_sent: seu_obs::counter("net_bytes_sent_total"),
+        bytes_received: seu_obs::counter("net_bytes_received_total"),
+        frames_sent: seu_obs::counter("net_frames_sent_total"),
+        frames_received: seu_obs::counter("net_frames_received_total"),
+        rpc_latency: seu_obs::histogram("net_rpc_latency_seconds"),
+        client_retries: seu_obs::counter("net_client_retries_total"),
+        client_timeouts: seu_obs::counter("net_client_timeouts_total"),
+        client_failures: seu_obs::counter("net_client_failures_total"),
+        push_notices_sent: seu_obs::counter("net_push_notices_sent_total"),
+        push_notices_received: seu_obs::counter("net_push_notices_received_total"),
+        server_connections: seu_obs::counter("net_server_connections_total"),
+        server_requests: seu_obs::counter("net_server_requests_total"),
+        server_subscribers: seu_obs::gauge("net_server_subscribers"),
+        http_requests: seu_obs::counter("net_http_requests_total"),
+    })
+}
+
+/// Forces creation of the crate's instruments so snapshots and
+/// expositions include the whole `net_*` family — zero-valued if the
+/// process never touched a socket — instead of a family that appears
+/// only after the first frame moves.
+pub fn register_metrics() {
+    let _ = metrics();
+}

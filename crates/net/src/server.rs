@@ -1,0 +1,344 @@
+//! The engine side of the wire: a TCP server wrapping one
+//! [`SearchEngine`].
+//!
+//! [`EngineServer::bind`] puts an engine on a socket with a
+//! thread-per-connection accept loop. Two connection modes exist, chosen
+//! by the client's opening [`Message::Hello`]:
+//!
+//! * **request connections** (`subscribe: false`) serve the broker's
+//!   calls — search, true usefulness, snapshot fetch, ping — one
+//!   request/response pair per frame exchange;
+//! * **subscriber connections** (`subscribe: true`) are held open and
+//!   receive a pushed [`Message::InvalidateNotice`] whenever
+//!   [`EngineServer::replace_engine`] swaps the collection. This is what
+//!   lets a broker learn of collection changes without polling or
+//!   sweeping: staleness travels *from* the engine *to* the broker.
+//!
+//! The server never panics on a misbehaving peer: undecodable frames get
+//! a typed [`Message::Error`] reply (when the socket still writes) and
+//! the connection is dropped.
+
+use crate::frame::{read_frame, write_frame};
+use crate::metrics::metrics;
+use crate::wire::Message;
+use parking_lot::{Mutex, RwLock};
+use seu_engine::SearchEngine;
+use seu_metasearch::{EngineSnapshot, RemoteHit, TransportError};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Idle cap on request connections: a client that connects and then goes
+/// silent for this long is dropped rather than holding a thread forever.
+const REQUEST_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct Subscriber {
+    id: u64,
+    stream: TcpStream,
+}
+
+struct ServerState {
+    name: String,
+    engine: RwLock<Arc<SearchEngine>>,
+    epoch: AtomicU64,
+    subscribers: Mutex<Vec<Subscriber>>,
+    next_subscriber_id: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl ServerState {
+    /// Removes a subscriber by id; balanced gauge accounting even when
+    /// the reader thread and a failed broadcast race to remove the same
+    /// entry.
+    fn drop_subscriber(&self, id: u64) {
+        let mut subs = self.subscribers.lock();
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        if subs.len() < before {
+            metrics().server_subscribers.add(-1.0);
+        }
+    }
+}
+
+/// A [`SearchEngine`] served over TCP, with push invalidation to
+/// subscribed brokers.
+pub struct EngineServer {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl EngineServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `engine` under `name`.
+    pub fn bind(
+        name: impl Into<String>,
+        engine: SearchEngine,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<EngineServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            name: name.into(),
+            engine: RwLock::new(Arc::new(engine)),
+            epoch: AtomicU64::new(0),
+            subscribers: Mutex::new(Vec::new()),
+            next_subscriber_id: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("seu-net-accept-{}", state.name))
+            .spawn(move || accept_loop(listener, accept_state))?;
+        Ok(EngineServer {
+            state,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The advertised engine name.
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The server-side change epoch: how many times [`replace_engine`]
+    /// has swapped the collection.
+    ///
+    /// [`replace_engine`]: EngineServer::replace_engine
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Live subscriber connections.
+    pub fn subscriber_count(&self) -> usize {
+        self.state.subscribers.lock().len()
+    }
+
+    /// Swaps the served collection and pushes an
+    /// [`Message::InvalidateNotice`] with the new fingerprint to every
+    /// subscriber. Returns the number of subscribers notified.
+    pub fn replace_engine(&self, engine: SearchEngine) -> usize {
+        let fingerprint = engine.fingerprint();
+        *self.state.engine.write() = Arc::new(engine);
+        let epoch = self.state.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let notice = Message::InvalidateNotice {
+            name: self.state.name.clone(),
+            fingerprint,
+            epoch,
+        };
+        let (kind, payload) = notice.encode();
+        let mut notified = 0;
+        let mut dead = Vec::new();
+        {
+            let mut subs = self.state.subscribers.lock();
+            for sub in subs.iter_mut() {
+                match write_frame(&mut sub.stream, kind, &payload) {
+                    Ok(()) => {
+                        metrics().push_notices_sent.inc();
+                        notified += 1;
+                    }
+                    Err(_) => dead.push(sub.id),
+                }
+            }
+        }
+        for id in dead {
+            self.state.drop_subscriber(id);
+        }
+        notified
+    }
+
+    /// Stops accepting, closes every subscriber connection, and joins
+    /// the accept thread. In-flight request connections finish (or hit
+    /// the idle timeout) on their own detached threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.state.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let ids: Vec<u64> = {
+            let subs = self.state.subscribers.lock();
+            for sub in subs.iter() {
+                let _ = sub.stream.shutdown(Shutdown::Both);
+            }
+            subs.iter().map(|s| s.id).collect()
+        };
+        for id in ids {
+            self.state.drop_subscriber(id);
+        }
+    }
+}
+
+impl Drop for EngineServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for EngineServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineServer")
+            .field("name", &self.state.name)
+            .field("addr", &self.addr)
+            .field("epoch", &self.epoch())
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        metrics().server_connections.inc();
+        let conn_state = Arc::clone(&state);
+        let _ = std::thread::Builder::new()
+            .name(format!("seu-net-conn-{}", state.name))
+            .spawn(move || {
+                let _ = serve_connection(stream, conn_state);
+            });
+    }
+}
+
+/// Runs one connection to completion; errors just end the connection.
+fn serve_connection(mut stream: TcpStream, state: Arc<ServerState>) -> Result<(), TransportError> {
+    stream
+        .set_read_timeout(Some(REQUEST_IDLE_TIMEOUT))
+        .map_err(|e| crate::frame::io_error(&e, "setting read timeout"))?;
+    let hello = read_frame(&mut stream).and_then(|f| Message::decode(f.kind, &f.payload))?;
+    let subscribe = match hello {
+        Message::Hello { subscribe } => subscribe,
+        other => {
+            let (kind, payload) = Message::Error {
+                detail: format!("expected Hello, got {other:?}"),
+            }
+            .encode();
+            let _ = write_frame(&mut stream, kind, &payload);
+            return Ok(());
+        }
+    };
+    let (kind, payload) = Message::HelloAck {
+        name: state.name.clone(),
+    }
+    .encode();
+    if subscribe {
+        serve_subscriber(stream, state, kind, &payload)
+    } else {
+        write_frame(&mut stream, kind, &payload)?;
+        serve_requests(stream, state)
+    }
+}
+
+/// A subscriber connection carries no requests: register the write half
+/// for broadcasts and park reading until the peer hangs up. The ack is
+/// written under the subscribers lock, *after* registration, so a
+/// concurrent [`EngineServer::replace_engine`] can neither skip this
+/// subscriber nor push a notice ahead of the ack.
+fn serve_subscriber(
+    stream: TcpStream,
+    state: Arc<ServerState>,
+    ack_kind: u8,
+    ack_payload: &[u8],
+) -> Result<(), TransportError> {
+    let write_half = stream
+        .try_clone()
+        .map_err(|e| crate::frame::io_error(&e, "cloning subscriber stream"))?;
+    let id = state.next_subscriber_id.fetch_add(1, Ordering::SeqCst);
+    {
+        let mut subs = state.subscribers.lock();
+        subs.push(Subscriber {
+            id,
+            stream: write_half,
+        });
+        let sub = subs.last_mut().expect("just pushed");
+        if let Err(e) = write_frame(&mut sub.stream, ack_kind, ack_payload) {
+            subs.pop();
+            return Err(e);
+        }
+    }
+    metrics().server_subscribers.add(1.0);
+
+    let mut read_half = stream;
+    // Block (without the idle cap — subscriptions are long-lived) until
+    // the peer disconnects; any frame it does send is ignored.
+    let _ = read_half.set_read_timeout(None);
+    loop {
+        if read_frame(&mut read_half).is_err() {
+            break;
+        }
+    }
+    state.drop_subscriber(id);
+    Ok(())
+}
+
+fn serve_requests(mut stream: TcpStream, state: Arc<ServerState>) -> Result<(), TransportError> {
+    loop {
+        // EOF / reset / idle timeout: the client is done with us.
+        let frame = read_frame(&mut stream)?;
+        metrics().server_requests.inc();
+        let reply = match Message::decode(frame.kind, &frame.payload) {
+            Ok(request) => answer(&state, request),
+            Err(e) => Message::Error {
+                detail: format!("undecodable request: {e}"),
+            },
+        };
+        let fatal = matches!(reply, Message::Error { .. });
+        let (kind, payload) = reply.encode();
+        write_frame(&mut stream, kind, &payload)?;
+        if fatal {
+            return Ok(());
+        }
+    }
+}
+
+fn answer(state: &ServerState, request: Message) -> Message {
+    let engine = Arc::clone(&state.engine.read());
+    match request {
+        Message::SearchDocs { query, threshold } => {
+            let c = engine.collection();
+            let q = c.query_from_text(&query);
+            let hits = engine
+                .search_threshold(&q, threshold)
+                .into_iter()
+                .map(|h| RemoteHit {
+                    doc: c.doc(h.doc).name.clone(),
+                    sim: h.sim,
+                })
+                .collect();
+            Message::SearchResults { hits }
+        }
+        Message::Estimate { query, threshold } => {
+            let q = engine.collection().query_from_text(&query);
+            let u = engine.true_usefulness(&q, threshold);
+            Message::Usefulness {
+                no_doc: u.no_doc,
+                avg_sim: u.avg_sim,
+                max_sim: u.max_sim,
+            }
+        }
+        Message::GetRepresentative => Message::Representative {
+            snapshot: EngineSnapshot::of_engine(&state.name, &engine),
+        },
+        Message::Ping => Message::Pong,
+        other => Message::Error {
+            detail: format!("unexpected request {other:?}"),
+        },
+    }
+}

@@ -1,0 +1,544 @@
+//! The message layer: what travels inside frames.
+//!
+//! One [`Message`] per frame, discriminated by the frame's kind byte.
+//! The vocabulary is small and fixed — the five calls a broker makes of
+//! an engine, their answers, the push invalidation notice, and a typed
+//! error:
+//!
+//! | kind | message | direction |
+//! |------|---------|-----------|
+//! | 1 | [`Message::Hello`] | client → server (first frame) |
+//! | 2 | [`Message::HelloAck`] | server → client |
+//! | 3 | [`Message::SearchDocs`] | client → server |
+//! | 4 | [`Message::SearchResults`] | server → client |
+//! | 5 | [`Message::Estimate`] | client → server |
+//! | 6 | [`Message::Usefulness`] | server → client |
+//! | 7 | [`Message::GetRepresentative`] | client → server |
+//! | 8 | [`Message::Representative`] | server → client |
+//! | 9 | [`Message::InvalidateNotice`] | server → subscriber (pushed) |
+//! | 10 | [`Message::Ping`] | client → server |
+//! | 11 | [`Message::Pong`] | server → client |
+//! | 12 | [`Message::Error`] | server → client |
+//!
+//! Representatives travel as [`FrozenSummary::to_bytes_exact`] — full
+//! f64 statistics — because the whole point of shipping them is that
+//! the receiving broker's estimates are **byte-identical** to a local
+//! broker's. Every length field read off the wire is validated against
+//! the bytes actually remaining before it is trusted, mirroring the
+//! `FrozenSummary::from_bytes` hardening.
+
+use bytes::{Buf, BufMut, BytesMut};
+use seu_engine::{Fingerprint, TrueUsefulness, WeightingScheme};
+use seu_metasearch::{EngineSnapshot, RemoteHit, TransportError, TransportErrorKind};
+use seu_repr::FrozenSummary;
+use seu_text::AnalyzerConfig;
+
+/// One protocol message (see the module table for kinds and directions).
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Opens a connection: `subscribe` asks the server to keep this
+    /// connection open and push [`Message::InvalidateNotice`] frames on
+    /// collection changes instead of serving requests on it.
+    Hello {
+        /// Whether this connection is a push-invalidation subscription.
+        subscribe: bool,
+    },
+    /// The server's answer to [`Message::Hello`]: its advertised engine
+    /// name.
+    HelloAck {
+        /// The engine's registration name.
+        name: String,
+    },
+    /// Search request: the server analyzes the raw query text itself
+    /// (its analyzer configuration is part of the snapshot, so broker
+    /// and engine agree) and returns hits above the threshold.
+    SearchDocs {
+        /// Raw query text.
+        query: String,
+        /// Similarity threshold `T`.
+        threshold: f64,
+    },
+    /// Answer to [`Message::SearchDocs`]: named hits, best first.
+    SearchResults {
+        /// The hits.
+        hits: Vec<RemoteHit>,
+    },
+    /// Oracle request: the engine's exact usefulness for a query.
+    Estimate {
+        /// Raw query text.
+        query: String,
+        /// Similarity threshold `T`.
+        threshold: f64,
+    },
+    /// Answer to [`Message::Estimate`].
+    Usefulness {
+        /// `NoDoc(T, q, D)`.
+        no_doc: u64,
+        /// `AvgSim(T, q, D)`.
+        avg_sim: f64,
+        /// Largest similarity of any matching document.
+        max_sim: f64,
+    },
+    /// Snapshot request (no payload).
+    GetRepresentative,
+    /// Answer to [`Message::GetRepresentative`]: the engine's full
+    /// planning snapshot.
+    Representative {
+        /// The snapshot.
+        snapshot: EngineSnapshot,
+    },
+    /// Pushed to subscribers when the engine's collection changes: the
+    /// new content fingerprint and the server's monotonically increasing
+    /// change epoch.
+    InvalidateNotice {
+        /// The engine's registration name.
+        name: String,
+        /// Fingerprint of the collection now serving.
+        fingerprint: Fingerprint,
+        /// Server-side change epoch (0 = the collection the server
+        /// started with).
+        epoch: u64,
+    },
+    /// Liveness probe (no payload).
+    Ping,
+    /// Answer to [`Message::Ping`] (no payload).
+    Pong,
+    /// A typed error the server reports instead of an answer.
+    Error {
+        /// Human-readable context.
+        detail: String,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_HELLO_ACK: u8 = 2;
+const KIND_SEARCH_DOCS: u8 = 3;
+const KIND_SEARCH_RESULTS: u8 = 4;
+const KIND_ESTIMATE: u8 = 5;
+const KIND_USEFULNESS: u8 = 6;
+const KIND_GET_REPRESENTATIVE: u8 = 7;
+const KIND_REPRESENTATIVE: u8 = 8;
+const KIND_INVALIDATE_NOTICE: u8 = 9;
+const KIND_PING: u8 = 10;
+const KIND_PONG: u8 = 11;
+const KIND_ERROR: u8 = 12;
+
+fn protocol(detail: impl Into<String>) -> TransportError {
+    TransportError::new(TransportErrorKind::Protocol, detail)
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, TransportError> {
+    if buf.remaining() < 4 {
+        return Err(protocol("truncated string length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(protocol(format!(
+            "string of {len} bytes but only {} remain",
+            buf.remaining()
+        )));
+    }
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| protocol("string is not UTF-8"))
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, TransportError> {
+    if buf.remaining() < 8 {
+        return Err(protocol("truncated f64"));
+    }
+    Ok(buf.get_f64())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, TransportError> {
+    if buf.remaining() < 8 {
+        return Err(protocol("truncated u64"));
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, TransportError> {
+    if buf.remaining() < 4 {
+        return Err(protocol("truncated u32"));
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, TransportError> {
+    if buf.remaining() < 1 {
+        return Err(protocol("truncated u8"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn put_fingerprint(buf: &mut BytesMut, fp: Fingerprint) {
+    buf.put_u64(fp.n_docs);
+    buf.put_u64(fp.raw_bytes);
+    buf.put_u64(fp.hash);
+}
+
+fn get_fingerprint(buf: &mut &[u8]) -> Result<Fingerprint, TransportError> {
+    Ok(Fingerprint {
+        n_docs: get_u64(buf)?,
+        raw_bytes: get_u64(buf)?,
+        hash: get_u64(buf)?,
+    })
+}
+
+fn put_scheme(buf: &mut BytesMut, scheme: WeightingScheme) {
+    let (tag, slope) = match scheme {
+        WeightingScheme::CosineTf => (0u8, 0.0),
+        WeightingScheme::CosineLogTf => (1, 0.0),
+        WeightingScheme::CosineTfIdf => (2, 0.0),
+        WeightingScheme::PivotedLogTf { slope } => (3, slope),
+    };
+    buf.put_u8(tag);
+    buf.put_f64(slope);
+}
+
+fn get_scheme(buf: &mut &[u8]) -> Result<WeightingScheme, TransportError> {
+    let tag = get_u8(buf)?;
+    let slope = get_f64(buf)?;
+    match tag {
+        0 => Ok(WeightingScheme::CosineTf),
+        1 => Ok(WeightingScheme::CosineLogTf),
+        2 => Ok(WeightingScheme::CosineTfIdf),
+        3 => Ok(WeightingScheme::PivotedLogTf { slope }),
+        other => Err(protocol(format!("unknown weighting scheme tag {other}"))),
+    }
+}
+
+fn put_snapshot(buf: &mut BytesMut, s: &EngineSnapshot) {
+    put_string(buf, &s.name);
+    let analyzer = (s.analyzer.remove_stopwords as u8) | ((s.analyzer.stem as u8) << 1);
+    buf.put_u8(analyzer);
+    put_scheme(buf, s.scheme);
+    buf.put_u32(s.n_docs);
+    put_fingerprint(buf, s.fingerprint);
+    buf.put_u32(s.doc_freq.len() as u32);
+    for &df in &s.doc_freq {
+        buf.put_u32(df);
+    }
+    let summary = s.summary.to_bytes_exact();
+    buf.put_u32(summary.len() as u32);
+    buf.put_slice(&summary);
+}
+
+fn get_snapshot(buf: &mut &[u8]) -> Result<EngineSnapshot, TransportError> {
+    let name = get_string(buf)?;
+    let analyzer = get_u8(buf)?;
+    if analyzer > 0b11 {
+        return Err(protocol(format!("unknown analyzer bits {analyzer:#04b}")));
+    }
+    let analyzer = AnalyzerConfig {
+        remove_stopwords: analyzer & 1 != 0,
+        stem: analyzer & 2 != 0,
+    };
+    let scheme = get_scheme(buf)?;
+    let n_docs = get_u32(buf)?;
+    let fingerprint = get_fingerprint(buf)?;
+    let n_terms = get_u32(buf)? as usize;
+    if buf.remaining() / 4 < n_terms {
+        return Err(protocol(format!(
+            "doc_freq claims {n_terms} entries but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut doc_freq = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        doc_freq.push(buf.get_u32());
+    }
+    let summary_len = get_u32(buf)? as usize;
+    if buf.remaining() < summary_len {
+        return Err(protocol(format!(
+            "summary of {summary_len} bytes but only {} remain",
+            buf.remaining()
+        )));
+    }
+    let summary = FrozenSummary::from_bytes(&buf[..summary_len])
+        .ok_or_else(|| protocol("malformed frozen summary"))?;
+    buf.advance(summary_len);
+    let snapshot = EngineSnapshot {
+        name,
+        analyzer,
+        scheme,
+        n_docs,
+        doc_freq,
+        fingerprint,
+        summary,
+    };
+    if !snapshot.is_consistent() {
+        return Err(protocol(format!(
+            "snapshot for engine {:?} is internally inconsistent",
+            snapshot.name
+        )));
+    }
+    Ok(snapshot)
+}
+
+impl Message {
+    /// Encodes the message as `(frame kind, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut buf = BytesMut::new();
+        let kind = match self {
+            Message::Hello { subscribe } => {
+                buf.put_u8(*subscribe as u8);
+                KIND_HELLO
+            }
+            Message::HelloAck { name } => {
+                put_string(&mut buf, name);
+                KIND_HELLO_ACK
+            }
+            Message::SearchDocs { query, threshold } => {
+                put_string(&mut buf, query);
+                buf.put_f64(*threshold);
+                KIND_SEARCH_DOCS
+            }
+            Message::SearchResults { hits } => {
+                buf.put_u32(hits.len() as u32);
+                for h in hits {
+                    put_string(&mut buf, &h.doc);
+                    buf.put_f64(h.sim);
+                }
+                KIND_SEARCH_RESULTS
+            }
+            Message::Estimate { query, threshold } => {
+                put_string(&mut buf, query);
+                buf.put_f64(*threshold);
+                KIND_ESTIMATE
+            }
+            Message::Usefulness {
+                no_doc,
+                avg_sim,
+                max_sim,
+            } => {
+                buf.put_u64(*no_doc);
+                buf.put_f64(*avg_sim);
+                buf.put_f64(*max_sim);
+                KIND_USEFULNESS
+            }
+            Message::GetRepresentative => KIND_GET_REPRESENTATIVE,
+            Message::Representative { snapshot } => {
+                put_snapshot(&mut buf, snapshot);
+                KIND_REPRESENTATIVE
+            }
+            Message::InvalidateNotice {
+                name,
+                fingerprint,
+                epoch,
+            } => {
+                put_string(&mut buf, name);
+                put_fingerprint(&mut buf, *fingerprint);
+                buf.put_u64(*epoch);
+                KIND_INVALIDATE_NOTICE
+            }
+            Message::Ping => KIND_PING,
+            Message::Pong => KIND_PONG,
+            Message::Error { detail } => {
+                put_string(&mut buf, detail);
+                KIND_ERROR
+            }
+        };
+        (kind, buf.freeze().chunk().to_vec())
+    }
+
+    /// Decodes a frame's payload; typed protocol errors on anything
+    /// malformed (unknown kind, truncated field, trailing garbage).
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Message, TransportError> {
+        let mut buf = payload;
+        let message = match kind {
+            KIND_HELLO => Message::Hello {
+                subscribe: get_u8(&mut buf)? != 0,
+            },
+            KIND_HELLO_ACK => Message::HelloAck {
+                name: get_string(&mut buf)?,
+            },
+            KIND_SEARCH_DOCS => Message::SearchDocs {
+                query: get_string(&mut buf)?,
+                threshold: get_f64(&mut buf)?,
+            },
+            KIND_SEARCH_RESULTS => {
+                let n = get_u32(&mut buf)? as usize;
+                // Smallest hit record: 4-byte name length + 8-byte sim.
+                if buf.remaining() / 12 < n {
+                    return Err(protocol(format!(
+                        "result list claims {n} hits but only {} bytes remain",
+                        buf.remaining()
+                    )));
+                }
+                let mut hits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    hits.push(RemoteHit {
+                        doc: get_string(&mut buf)?,
+                        sim: get_f64(&mut buf)?,
+                    });
+                }
+                Message::SearchResults { hits }
+            }
+            KIND_ESTIMATE => Message::Estimate {
+                query: get_string(&mut buf)?,
+                threshold: get_f64(&mut buf)?,
+            },
+            KIND_USEFULNESS => Message::Usefulness {
+                no_doc: get_u64(&mut buf)?,
+                avg_sim: get_f64(&mut buf)?,
+                max_sim: get_f64(&mut buf)?,
+            },
+            KIND_GET_REPRESENTATIVE => Message::GetRepresentative,
+            KIND_REPRESENTATIVE => Message::Representative {
+                snapshot: get_snapshot(&mut buf)?,
+            },
+            KIND_INVALIDATE_NOTICE => Message::InvalidateNotice {
+                name: get_string(&mut buf)?,
+                fingerprint: get_fingerprint(&mut buf)?,
+                epoch: get_u64(&mut buf)?,
+            },
+            KIND_PING => Message::Ping,
+            KIND_PONG => Message::Pong,
+            KIND_ERROR => Message::Error {
+                detail: get_string(&mut buf)?,
+            },
+            other => return Err(protocol(format!("unknown message kind {other}"))),
+        };
+        if buf.remaining() > 0 {
+            return Err(protocol(format!(
+                "{} trailing bytes after message kind {kind}",
+                buf.remaining()
+            )));
+        }
+        Ok(message)
+    }
+
+    /// The `TrueUsefulness` a [`Message::Usefulness`] carries, if this
+    /// is one.
+    pub fn as_usefulness(&self) -> Option<TrueUsefulness> {
+        match *self {
+            Message::Usefulness {
+                no_doc,
+                avg_sim,
+                max_sim,
+            } => Some(TrueUsefulness {
+                no_doc,
+                avg_sim,
+                max_sim,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seu_engine::{CollectionBuilder, SearchEngine};
+    use seu_text::Analyzer;
+
+    fn round_trip(m: &Message) -> Message {
+        let (kind, payload) = m.encode();
+        Message::decode(kind, &payload).expect("round trip")
+    }
+
+    #[test]
+    fn scalar_messages_round_trip() {
+        match round_trip(&Message::Hello { subscribe: true }) {
+            Message::Hello { subscribe } => assert!(subscribe),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Message::SearchDocs {
+            query: "mushroom soup".into(),
+            threshold: 0.25,
+        }) {
+            Message::SearchDocs { query, threshold } => {
+                assert_eq!(query, "mushroom soup");
+                assert_eq!(threshold, 0.25);
+            }
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Message::Usefulness {
+            no_doc: 3,
+            avg_sim: 0.5,
+            max_sim: 0.75,
+        }) {
+            Message::Usefulness { no_doc, .. } => assert_eq!(no_doc, 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(round_trip(&Message::Ping), Message::Ping));
+        assert!(matches!(
+            round_trip(&Message::GetRepresentative),
+            Message::GetRepresentative
+        ));
+    }
+
+    #[test]
+    fn search_results_round_trip() {
+        let hits = vec![
+            RemoteHit {
+                doc: "d0".into(),
+                sim: 0.9,
+            },
+            RemoteHit {
+                doc: "d1".into(),
+                sim: 0.1,
+            },
+        ];
+        match round_trip(&Message::SearchResults { hits: hits.clone() }) {
+            Message::SearchResults { hits: decoded } => assert_eq!(decoded, hits),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_for_bit() {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        b.add_document("d0", "relational databases and query optimization");
+        b.add_document("d1", "transaction processing in databases");
+        let engine = SearchEngine::new(b.build());
+        let snapshot = EngineSnapshot::of_engine("dbs", &engine);
+        let decoded = match round_trip(&Message::Representative {
+            snapshot: snapshot.clone(),
+        }) {
+            Message::Representative { snapshot } => snapshot,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(decoded.name, snapshot.name);
+        assert_eq!(decoded.analyzer, snapshot.analyzer);
+        assert_eq!(decoded.n_docs, snapshot.n_docs);
+        assert_eq!(decoded.doc_freq, snapshot.doc_freq);
+        assert_eq!(decoded.fingerprint, snapshot.fingerprint);
+        assert_eq!(decoded.summary.vocab.len(), snapshot.summary.vocab.len());
+        for (id, term) in snapshot.summary.vocab.iter() {
+            assert_eq!(decoded.summary.vocab.term(id), term, "id order preserved");
+            let a = snapshot.summary.repr.get(id).unwrap();
+            let b = decoded.summary.repr.get(id).unwrap();
+            assert_eq!(a.p.to_bits(), b.p.to_bits(), "{term}");
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{term}");
+            assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits(), "{term}");
+            assert_eq!(a.max.to_bits(), b.max.to_bits(), "{term}");
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_protocol_errors() {
+        // Unknown kind.
+        let err = Message::decode(0xEE, &[]).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+        // Truncated string.
+        let err = Message::decode(KIND_HELLO_ACK, &[0, 0, 0, 9, b'x']).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+        // Trailing garbage.
+        let (kind, mut payload) = Message::Ping.encode();
+        payload.push(0);
+        let err = Message::decode(kind, &payload).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+        // Hit-count liar.
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        let err = Message::decode(KIND_SEARCH_RESULTS, buf.freeze().chunk()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+    }
+}

@@ -1,0 +1,225 @@
+//! Fault injection against the TCP transport: refused connections,
+//! mid-frame drops, stalled reads, and corrupted frames. Every failure
+//! must surface as a *typed* per-engine error — never a panic, never a
+//! poisoned broker.
+
+use seu_core::SubrangeEstimator;
+use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
+use seu_metasearch::{
+    Broker, DispatchOutcome, RemoteTransport, SearchRequest, SelectionPolicy, TransportErrorKind,
+};
+use seu_net::frame::{read_frame, write_frame};
+use seu_net::wire::Message;
+use seu_net::{EngineServer, RemoteEngine, RemoteEngineConfig};
+use seu_text::Analyzer;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn engine(texts: &[&str]) -> SearchEngine {
+    let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+    for (i, t) in texts.iter().enumerate() {
+        b.add_document(&format!("d{i}"), t);
+    }
+    SearchEngine::new(b.build())
+}
+
+/// No-retry client config so each fault maps to exactly one observed
+/// error, with a tight deadline so tests stay fast.
+fn strict() -> RemoteEngineConfig {
+    RemoteEngineConfig {
+        connect_timeout: Duration::from_millis(500),
+        call_timeout: Duration::from_millis(300),
+        retries: 0,
+        backoff: Duration::from_millis(1),
+    }
+}
+
+/// Binds an ephemeral port and runs `behavior` on the first accepted
+/// connection.
+fn fake_server(behavior: impl FnOnce(TcpStream) + Send + 'static) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        if let Ok((stream, _)) = listener.accept() {
+            behavior(stream);
+        }
+    });
+    addr
+}
+
+/// Answers the Hello handshake like a real engine server, then hands the
+/// stream to `then` for the sabotage.
+fn handshake_then(mut stream: TcpStream, then: impl FnOnce(TcpStream)) {
+    let hello = read_frame(&mut stream).unwrap();
+    assert!(matches!(
+        Message::decode(hello.kind, &hello.payload),
+        Ok(Message::Hello { .. })
+    ));
+    let (kind, payload) = Message::HelloAck {
+        name: "saboteur".into(),
+    }
+    .encode();
+    write_frame(&mut stream, kind, &payload).unwrap();
+    then(stream);
+}
+
+#[test]
+fn refused_connection_is_a_typed_refused_error() {
+    // Bind then immediately drop: the port is known-dead.
+    let addr = TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap();
+    let client = RemoteEngine::with_config(addr, strict()).unwrap();
+    let err = client.search("anything", 0.0).unwrap_err();
+    assert_eq!(err.kind, TransportErrorKind::Refused, "{err}");
+}
+
+#[test]
+fn mid_frame_drop_is_connection_lost() {
+    let addr = fake_server(|stream| {
+        handshake_then(stream, |mut s| {
+            let _ = read_frame(&mut s).unwrap();
+            // A header promising 64 payload bytes, followed by 5 — then
+            // the socket closes mid-frame.
+            let mut partial = Vec::new();
+            partial.extend_from_slice(&seu_net::frame::MAGIC.to_be_bytes());
+            partial.push(seu_net::frame::PROTOCOL_VERSION);
+            partial.push(4);
+            partial.extend_from_slice(&64u32.to_be_bytes());
+            partial.extend_from_slice(b"stub!");
+            s.write_all(&partial).unwrap();
+        });
+    });
+    let client = RemoteEngine::with_config(addr, strict()).unwrap();
+    let err = client.search("anything", 0.0).unwrap_err();
+    assert_eq!(err.kind, TransportErrorKind::ConnectionLost, "{err}");
+}
+
+#[test]
+fn stalled_read_hits_the_call_deadline() {
+    let addr = fake_server(|stream| {
+        handshake_then(stream, |s| {
+            // Accept the request and answer nothing until well past the
+            // client's deadline.
+            std::thread::sleep(Duration::from_secs(5));
+            drop(s);
+        });
+    });
+    let client = RemoteEngine::with_config(addr, strict()).unwrap();
+    let start = Instant::now();
+    let err = client.search("anything", 0.0).unwrap_err();
+    assert_eq!(err.kind, TransportErrorKind::Timeout, "{err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "deadline must bound the stall, took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn corrupted_frame_is_a_protocol_error() {
+    let addr = fake_server(|mut stream| {
+        let _ = read_frame(&mut stream).unwrap();
+        stream.write_all(b"HTTP/1.1 200 OK\r\n\r\n").unwrap();
+    });
+    let client = RemoteEngine::with_config(addr, strict()).unwrap();
+    let err = client.search("anything", 0.0).unwrap_err();
+    assert_eq!(err.kind, TransportErrorKind::Protocol, "{err}");
+}
+
+#[test]
+fn transient_failures_are_retried_and_hard_ones_are_not() {
+    // A server that drops the first connection cold, then serves the
+    // retry for real: the call must succeed on attempt two.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        if let Ok((first, _)) = listener.accept() {
+            drop(first);
+        }
+        if let Ok((stream, _)) = listener.accept() {
+            handshake_then(stream, |mut s| {
+                let _ = read_frame(&mut s).unwrap();
+                let (kind, payload) = Message::SearchResults { hits: vec![] }.encode();
+                write_frame(&mut s, kind, &payload).unwrap();
+            });
+        }
+    });
+    let retries = seu_obs::counter("net_client_retries_total");
+    let before = retries.get();
+    let client = RemoteEngine::with_config(
+        addr,
+        RemoteEngineConfig {
+            retries: 2,
+            ..strict()
+        },
+    )
+    .unwrap();
+    assert_eq!(client.search("anything", 0.0).unwrap(), vec![]);
+    assert!(retries.get() > before, "the retry counter must move");
+}
+
+/// The broker-level contract: a remote engine dying after registration
+/// turns into a per-engine `Failed` with a typed error; the local engine
+/// still answers, the pool is not poisoned, and the next query works.
+#[test]
+fn dead_remote_engine_degrades_to_a_typed_per_engine_failure() {
+    let server =
+        EngineServer::bind("doomed", engine(&["mushroom soup recipes"]), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    broker.register("survivor", engine(&["mushroom soup and stock"]));
+    broker
+        .register_remote(Arc::new(RemoteEngine::with_config(addr, strict()).unwrap()))
+        .unwrap();
+    server.shutdown();
+
+    for round in 0..2 {
+        let response = broker.execute(
+            &SearchRequest::new("mushroom soup")
+                .threshold(0.05)
+                .policy(SelectionPolicy::All),
+        );
+        assert!(
+            response.hits.iter().all(|h| h.engine == "survivor"),
+            "round {round}: {:?}",
+            response.hits
+        );
+        assert!(!response.hits.is_empty(), "round {round}");
+        let doomed = response
+            .per_engine_stats
+            .iter()
+            .find(|s| s.engine == "doomed")
+            .expect("doomed engine was dispatched");
+        assert_eq!(doomed.outcome, DispatchOutcome::Failed, "round {round}");
+        let error = doomed.error.as_ref().expect("typed error captured");
+        assert_eq!(error.kind, TransportErrorKind::Refused, "{error}");
+        let survivor = response
+            .per_engine_stats
+            .iter()
+            .find(|s| s.engine == "survivor")
+            .unwrap();
+        assert_eq!(survivor.outcome, DispatchOutcome::Completed);
+    }
+}
+
+/// A transport that stalls at snapshot-fetch time must fail registration
+/// with a typed error and leave the broker registry untouched.
+#[test]
+fn failed_registration_leaves_the_broker_empty() {
+    let addr = fake_server(|stream| {
+        handshake_then(stream, |s| {
+            std::thread::sleep(Duration::from_secs(5));
+            drop(s);
+        });
+    });
+    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    let err = broker
+        .register_remote(Arc::new(RemoteEngine::with_config(addr, strict()).unwrap()))
+        .unwrap_err();
+    assert_eq!(err.kind, TransportErrorKind::Timeout, "{err}");
+    assert!(broker.engine_statuses().is_empty());
+}

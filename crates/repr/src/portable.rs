@@ -108,13 +108,39 @@ pub struct FrozenSummary {
 }
 
 impl FrozenSummary {
+    /// Magic of the compact (f32 statistics) encoding — "SEUS".
+    const MAGIC_F32: u32 = 0x5345_5553;
+    /// Magic of the exact (f64 statistics) encoding — "SEUT". Version 2
+    /// of the same record layout: only the statistic width differs.
+    const MAGIC_F64: u32 = 0x5345_5554;
+
     /// Serializes the summary to a self-contained, string-keyed binary
     /// buffer — unlike [`Representative::to_bytes`], this carries the
     /// term strings, so the receiver needs no shared vocabulary.
+    /// Statistics are rounded to f32: half the size, and plenty for
+    /// file-based shipping. Use [`FrozenSummary::to_bytes_exact`] when
+    /// the receiver must reproduce estimates bit-for-bit.
     pub fn to_bytes(&self) -> bytes::Bytes {
+        self.encode(false)
+    }
+
+    /// Serializes like [`FrozenSummary::to_bytes`] but keeps every
+    /// statistic at full f64 precision, so a broker that receives the
+    /// summary over the network computes estimates **byte-identical** to
+    /// one that built the representative locally. [`FrozenSummary::from_bytes`]
+    /// reads both encodings, telling them apart by magic.
+    pub fn to_bytes_exact(&self) -> bytes::Bytes {
+        self.encode(true)
+    }
+
+    fn encode(&self, exact: bool) -> bytes::Bytes {
         use bytes::BufMut;
         let mut buf = bytes::BytesMut::new();
-        buf.put_u32(0x5345_5553); // "SEUS"
+        buf.put_u32(if exact {
+            Self::MAGIC_F64
+        } else {
+            Self::MAGIC_F32
+        });
         buf.put_u64(self.repr.n_docs());
         buf.put_u64(self.repr.collection_bytes());
         buf.put_u32(self.repr.distinct_terms() as u32);
@@ -122,30 +148,41 @@ impl FrozenSummary {
             let name = self.vocab.term(term).as_bytes();
             buf.put_u16(name.len() as u16);
             buf.put_slice(name);
-            buf.put_f32(s.p as f32);
-            buf.put_f32(s.mean as f32);
-            buf.put_f32(s.std_dev as f32);
-            buf.put_f32(s.max as f32);
+            if exact {
+                buf.put_f64(s.p);
+                buf.put_f64(s.mean);
+                buf.put_f64(s.std_dev);
+                buf.put_f64(s.max);
+            } else {
+                buf.put_f32(s.p as f32);
+                buf.put_f32(s.mean as f32);
+                buf.put_f32(s.std_dev as f32);
+                buf.put_f32(s.max as f32);
+            }
         }
         buf.freeze()
     }
 
     /// Smallest possible encoding of one term record: a 2-byte name
-    /// length (the name itself may be empty) plus four f32 statistics.
-    /// Bounds the up-front allocation `from_bytes` will make for a
-    /// claimed term count.
-    const MIN_TERM_RECORD_BYTES: usize = 2 + 16;
+    /// length (the name itself may be empty) plus four statistics of
+    /// `stat_bytes` each. Bounds the up-front allocation `from_bytes`
+    /// will make for a claimed term count.
+    const fn min_term_record_bytes(stat_bytes: usize) -> usize {
+        2 + 4 * stat_bytes
+    }
 
-    /// Deserializes [`FrozenSummary::to_bytes`]; `None` on malformed
-    /// input.
+    /// Deserializes [`FrozenSummary::to_bytes`] or
+    /// [`FrozenSummary::to_bytes_exact`]; `None` on malformed input.
     pub fn from_bytes(mut buf: impl bytes::Buf) -> Option<Self> {
         use crate::representative::TermStats;
         if buf.remaining() < 4 + 8 + 8 + 4 {
             return None;
         }
-        if buf.get_u32() != 0x5345_5553 {
-            return None;
-        }
+        let stat_bytes = match buf.get_u32() {
+            Self::MAGIC_F32 => 4,
+            Self::MAGIC_F64 => 8,
+            _ => return None,
+        };
         let n_docs = buf.get_u64();
         let collection_bytes = buf.get_u64();
         let n_terms = buf.get_u32() as usize;
@@ -154,25 +191,33 @@ impl FrozenSummary {
         // u32::MAX terms. Cap the pre-allocation by what the remaining
         // bytes could possibly encode; the parse loop still rejects the
         // buffer if it runs short.
-        let mut stats =
-            Vec::with_capacity(n_terms.min(buf.remaining() / Self::MIN_TERM_RECORD_BYTES));
+        let mut stats = Vec::with_capacity(
+            n_terms.min(buf.remaining() / Self::min_term_record_bytes(stat_bytes)),
+        );
         for _ in 0..n_terms {
             if buf.remaining() < 2 {
                 return None;
             }
             let len = buf.get_u16() as usize;
-            if buf.remaining() < len + 16 {
+            if buf.remaining() < len + 4 * stat_bytes {
                 return None;
             }
             let mut name = vec![0u8; len];
             buf.copy_to_slice(&mut name);
             let name = String::from_utf8(name).ok()?;
             vocab.intern(&name);
+            let mut stat = || {
+                if stat_bytes == 8 {
+                    buf.get_f64()
+                } else {
+                    buf.get_f32() as f64
+                }
+            };
             stats.push(TermStats {
-                p: buf.get_f32() as f64,
-                mean: buf.get_f32() as f64,
-                std_dev: buf.get_f32() as f64,
-                max: buf.get_f32() as f64,
+                p: stat(),
+                mean: stat(),
+                std_dev: stat(),
+                max: stat(),
             });
         }
         Some(FrozenSummary {
@@ -293,6 +338,27 @@ mod tests {
         assert!(FrozenSummary::from_bytes(&b"junk"[..]).is_none());
         let bytes = f.to_bytes();
         assert!(FrozenSummary::from_bytes(&bytes[..bytes.len() - 2]).is_none());
+    }
+
+    #[test]
+    fn exact_wire_format_round_trips_bit_for_bit() {
+        let c = collection(&["alpha beta", "alpha gamma gamma", "beta"]);
+        let f = PortableRepresentative::build(&c).freeze();
+        let exact = FrozenSummary::from_bytes(f.to_bytes_exact()).expect("valid buffer");
+        assert_eq!(exact.repr.n_docs(), f.repr.n_docs());
+        for (term, s) in f.repr.iter() {
+            let name = f.vocab.term(term);
+            let id2 = exact.vocab.get(name).expect("term survives");
+            let s2 = exact.repr.get(id2).expect("stats survive");
+            // Full f64 precision: bit-for-bit, not just approximately.
+            assert_eq!(s.p.to_bits(), s2.p.to_bits(), "{name}");
+            assert_eq!(s.mean.to_bits(), s2.mean.to_bits(), "{name}");
+            assert_eq!(s.std_dev.to_bits(), s2.std_dev.to_bits(), "{name}");
+            assert_eq!(s.max.to_bits(), s2.max.to_bits(), "{name}");
+        }
+        // Truncation is rejected for the exact encoding too.
+        let bytes = f.to_bytes_exact();
+        assert!(FrozenSummary::from_bytes(&bytes[..bytes.len() - 3]).is_none());
     }
 
     #[test]
