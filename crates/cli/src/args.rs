@@ -43,7 +43,7 @@ pub enum Command {
         /// Top-k mode instead of threshold mode.
         top_k: Option<usize>,
     },
-    /// `seu broker <engine.bin>... -q "..." [-t T]`
+    /// `seu broker <engine.bin>... -q "..." [-t T] [--shards N]`
     Broker {
         /// Persisted engine files.
         engines: Vec<PathBuf>,
@@ -51,8 +51,11 @@ pub enum Command {
         query: String,
         /// Similarity threshold.
         threshold: f64,
+        /// Registry shard count (1 = flat).
+        shards: usize,
     },
-    /// `seu serve <engine.bin>... [--remote <host:port>]... --listen <addr>`
+    /// `seu serve <engine.bin>... [--remote <host:port>]... --listen <addr>
+    /// [--shards N]`
     Serve {
         /// Persisted engine files to register locally.
         engines: Vec<PathBuf>,
@@ -61,6 +64,8 @@ pub enum Command {
         remotes: Vec<String>,
         /// Address the HTTP admin server binds (port 0 for ephemeral).
         listen: String,
+        /// Registry shard count (1 = flat).
+        shards: usize,
     },
     /// `seu serve-engine <engine.bin> --listen <addr> [--name <name>]`
     ServeEngine {
@@ -109,8 +114,8 @@ usage:
   seu repr <engine.bin> -o <repr.bin> [--quantize]
   seu estimate <repr.bin> -q <query> [-t <threshold>]
   seu search <engine.bin> -q <query> [-t <threshold>] [-k <top-k>]
-  seu broker <engine.bin>... -q <query> [-t <threshold>]
-  seu serve <engine.bin>... [--remote <host:port>]... --listen <addr>
+  seu broker <engine.bin>... -q <query> [-t <threshold>] [--shards <n>]
+  seu serve <engine.bin>... [--remote <host:port>]... --listen <addr> [--shards <n>]
   seu serve-engine <engine.bin> --listen <addr> [--name <name>]
   seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]
 global flags:
@@ -160,6 +165,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut listen: Option<String> = None;
     let mut remotes: Vec<String> = Vec::new();
     let mut name: Option<String> = None;
+    let mut shards = 1usize;
     let mut obs = ObsOptions::default();
 
     while let Some(arg) = cur.next().map(str::to_string) {
@@ -190,6 +196,14 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             "--listen" => listen = Some(cur.value_for("--listen")?),
             "--remote" => remotes.push(cur.value_for("--remote")?),
             "--name" => name = Some(cur.value_for("--name")?),
+            "--shards" => {
+                shards = cur
+                    .value_for("--shards")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--shards needs a positive integer".to_string())?;
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -240,6 +254,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                 engines: positionals,
                 query: need_query()?,
                 threshold,
+                shards,
             }
         }
         "serve" => {
@@ -250,6 +265,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                 engines: positionals,
                 remotes,
                 listen: listen.ok_or("missing --listen <addr>")?,
+                shards,
             }
         }
         "serve-engine" => Command::ServeEngine {
@@ -344,10 +360,24 @@ mod tests {
             .unwrap()
             .command
         {
-            Command::Broker { engines, .. } => assert_eq!(engines.len(), 3),
+            Command::Broker {
+                engines, shards, ..
+            } => {
+                assert_eq!(engines.len(), 3);
+                assert_eq!(shards, 1);
+            }
             other => panic!("{other:?}"),
         }
         assert!(p(&["broker", "-q", "x"]).unwrap_err().contains("engine"));
+        assert!(matches!(
+            p(&["broker", "a.bin", "-q", "x", "--shards", "8"])
+                .unwrap()
+                .command,
+            Command::Broker { shards: 8, .. }
+        ));
+        assert!(p(&["broker", "a.bin", "-q", "x", "--shards", "0"])
+            .unwrap_err()
+            .contains("positive"));
     }
 
     #[test]
@@ -396,8 +426,15 @@ mod tests {
                 engines: vec!["a.bin".into()],
                 remotes: vec!["127.0.0.1:4001".into(), "127.0.0.1:4002".into()],
                 listen: "127.0.0.1:8080".into(),
+                shards: 1,
             }
         );
+        assert!(matches!(
+            p(&["serve", "a.bin", "--listen", "l:0", "--shards", "16"])
+                .unwrap()
+                .command,
+            Command::Serve { shards: 16, .. }
+        ));
         // Remote-only brokers are legal; engine-less and remote-less is not.
         assert!(matches!(
             p(&["serve", "--remote", "h:1", "--listen", "l:0"])

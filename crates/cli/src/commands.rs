@@ -148,9 +148,12 @@ pub fn broker(
     engines: &[PathBuf],
     query_text: &str,
     threshold: f64,
+    shards: usize,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    let broker = Broker::builder(SubrangeEstimator::paper_six_subrange())
+        .shards(shards)
+        .build();
     for path in engines {
         let name = path
             .file_stem()
@@ -200,8 +203,13 @@ pub fn serve_start(
     engines: &[PathBuf],
     remotes: &[String],
     listen: &str,
+    shards: usize,
 ) -> Result<(seu_net::AdminServer, Vec<seu_net::Subscription>), String> {
-    let broker = std::sync::Arc::new(Broker::new(SubrangeEstimator::paper_six_subrange()));
+    let broker = std::sync::Arc::new(
+        Broker::builder(SubrangeEstimator::paper_six_subrange())
+            .shards(shards)
+            .build(),
+    );
     for path in engines {
         broker.register(&file_stem(path), load_engine(path)?);
     }
@@ -224,10 +232,11 @@ pub fn serve(
     engines: &[PathBuf],
     remotes: &[String],
     listen: &str,
+    shards: usize,
     out: &mut dyn Write,
 ) -> Result<(), String> {
     seu_net::register_metrics();
-    let (admin, _subscriptions) = serve_start(engines, remotes, listen)?;
+    let (admin, _subscriptions) = serve_start(engines, remotes, listen, shards)?;
     writeln!(
         out,
         "broker: {} local, {} remote; admin listening on http://{}",
@@ -382,16 +391,19 @@ mod tests {
         let msg = run_to_string(|out| search(&engine_file, "soup bread", 0.0, Some(1), out));
         assert!(msg.starts_with("1 hits"), "{msg}");
 
-        // Broker over one engine.
-        let msg = run_to_string(|out| {
-            broker(
-                std::slice::from_ref(&engine_file),
-                "mushroom soup",
-                0.2,
-                out,
-            )
-        });
-        assert!(msg.contains("selected: [\"cooking\"]"), "{msg}");
+        // Broker over one engine (sharded registries answer the same).
+        for shards in [1, 4] {
+            let msg = run_to_string(|out| {
+                broker(
+                    std::slice::from_ref(&engine_file),
+                    "mushroom soup",
+                    0.2,
+                    shards,
+                    out,
+                )
+            });
+            assert!(msg.contains("selected: [\"cooking\"]"), "{msg}");
+        }
 
         // Estimate works from the portable representative alone.
         let msg = run_to_string(|out| estimate(&repr_file, "soup", 0.1, out));

@@ -87,12 +87,14 @@ pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), Str
             engines,
             query,
             threshold,
-        } => commands::broker(engines, query, *threshold, out),
+            shards,
+        } => commands::broker(engines, query, *threshold, *shards, out),
         Command::Serve {
             engines,
             remotes,
             listen,
-        } => commands::serve(engines, remotes, listen, out),
+            shards,
+        } => commands::serve(engines, remotes, listen, *shards, out),
         Command::ServeEngine {
             engine,
             listen,

@@ -69,9 +69,14 @@ fn serve_session_registers_local_and_remote_engines() {
     let engine_server = serve_engine_start(&remote, None, "127.0.0.1:0").expect("engine serves");
     assert_eq!(engine_server.name(), "library");
 
-    let (admin, subscriptions) =
-        serve_start(&[local], &[engine_server.addr().to_string()], "127.0.0.1:0")
-            .expect("broker serves");
+    // A sharded registry behind the admin server behaves identically.
+    let (admin, subscriptions) = serve_start(
+        &[local],
+        &[engine_server.addr().to_string()],
+        "127.0.0.1:0",
+        4,
+    )
+    .expect("broker serves");
     assert_eq!(subscriptions.len(), 1);
     assert_eq!(engine_server.subscriber_count(), 1);
 
@@ -96,6 +101,6 @@ fn serve_session_registers_local_and_remote_engines() {
 
     // Bad remote addresses fail registration with a typed, contextual
     // error instead of a panic or a half-built broker.
-    let err = serve_start(&[], &["127.0.0.1:1".to_string()], "127.0.0.1:0").unwrap_err();
+    let err = serve_start(&[], &["127.0.0.1:1".to_string()], "127.0.0.1:0", 1).unwrap_err();
     assert!(err.contains("127.0.0.1:1"), "{err}");
 }

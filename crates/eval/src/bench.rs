@@ -31,12 +31,50 @@ use seu_obs::json;
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchPhase {
     /// Phase name (`build_databases`, `register`, `estimate`, `select`,
-    /// `search`, `plan`, `dispatch`).
+    /// `search`, `plan`, `dispatch`, and with `engines > 0` the
+    /// large-registry phases `large_build`, `large_register`,
+    /// `large_plan`, `large_execute`).
     pub name: &'static str,
     /// Wall-clock spent in the phase.
     pub seconds: f64,
     /// Work items processed (databases or queries).
     pub items: u64,
+}
+
+/// Configuration for [`run_broker_bench_config`]. The plain
+/// [`run_broker_bench`] / [`run_broker_bench_remote`] entry points are
+/// shorthands for the flat single-shard workload.
+#[derive(Debug, Clone)]
+pub struct BrokerBenchConfig {
+    /// RNG seed for corpus and query-log generation.
+    pub seed: u64,
+    /// Database size scale, as in [`seu_corpus::many_databases`].
+    pub docs_base: usize,
+    /// Query-log slice driven through each query phase.
+    pub n_queries: usize,
+    /// Serve every database over loopback TCP instead of in process.
+    pub remote: bool,
+    /// Registry shard count for every broker the bench builds
+    /// (1 = flat).
+    pub shards: usize,
+    /// When non-zero, a second broker is loaded with this many tiny
+    /// engines and timed separately (`large_*` phases) — the 10k-engine
+    /// registry scaling story.
+    pub engines: usize,
+}
+
+impl BrokerBenchConfig {
+    /// Flat, in-process, no large-registry phases.
+    pub fn new(seed: u64, docs_base: usize, n_queries: usize) -> Self {
+        BrokerBenchConfig {
+            seed,
+            docs_base,
+            n_queries,
+            remote: false,
+            shards: 1,
+            engines: 0,
+        }
+    }
 }
 
 /// The benchmark report: configuration, per-phase timings, and the
@@ -54,6 +92,10 @@ pub struct BrokerBenchReport {
     /// Whether databases were served over loopback TCP instead of
     /// registered in process.
     pub remote: bool,
+    /// Registry shard count the brokers ran with.
+    pub shards: usize,
+    /// Tiny engines loaded for the `large_*` phases (0 when skipped).
+    pub large_engines: usize,
     /// Timed phases, in execution order.
     pub phases: Vec<BenchPhase>,
     /// Counter increments attributable to this run (global counter
@@ -73,6 +115,8 @@ impl BrokerBenchReport {
         let _ = writeln!(out, "  \"databases\": {},", self.databases);
         let _ = writeln!(out, "  \"queries\": {},", self.queries);
         let _ = writeln!(out, "  \"remote\": {},", self.remote);
+        let _ = writeln!(out, "  \"shards\": {},", self.shards);
+        let _ = writeln!(out, "  \"large_engines\": {},", self.large_engines);
         out.push_str("  \"threshold\": ");
         json::write_num(&mut out, self.threshold);
         out.push_str(",\n  \"phases\": [\n");
@@ -112,13 +156,22 @@ impl BrokerBenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "broker bench{}: {} databases, {} queries, threshold {} (seed {})",
+            "broker bench{}: {} databases, {} queries, threshold {} (seed {}, {} shard{})",
             if self.remote { " (remote)" } else { "" },
             self.databases,
             self.queries,
             self.threshold,
-            self.seed
+            self.seed,
+            self.shards,
+            if self.shards == 1 { "" } else { "s" },
         );
+        if self.large_engines > 0 {
+            let _ = writeln!(
+                out,
+                "  large-registry phases: {} engines",
+                self.large_engines
+            );
+        }
         let _ = writeln!(out, "  {:<16} {:>10} {:>8}", "phase", "seconds", "items");
         for phase in &self.phases {
             let _ = writeln!(
@@ -135,7 +188,7 @@ impl BrokerBenchReport {
 /// as in [`seu_corpus::many_databases`] (the paper-scale run uses 120);
 /// `n_queries` caps the query-log slice driven through the broker.
 pub fn run_broker_bench(seed: u64, docs_base: usize, n_queries: usize) -> BrokerBenchReport {
-    run_broker_bench_with(seed, docs_base, n_queries, false)
+    run_broker_bench_config(&BrokerBenchConfig::new(seed, docs_base, n_queries))
 }
 
 /// [`run_broker_bench`] with every database behind its own loopback
@@ -144,15 +197,25 @@ pub fn run_broker_bench(seed: u64, docs_base: usize, n_queries: usize) -> Broker
 /// real frame round trips. The counter deltas then include the `net_*`
 /// family.
 pub fn run_broker_bench_remote(seed: u64, docs_base: usize, n_queries: usize) -> BrokerBenchReport {
-    run_broker_bench_with(seed, docs_base, n_queries, true)
+    run_broker_bench_config(&BrokerBenchConfig {
+        remote: true,
+        ..BrokerBenchConfig::new(seed, docs_base, n_queries)
+    })
 }
 
-fn run_broker_bench_with(
-    seed: u64,
-    docs_base: usize,
-    n_queries: usize,
-    remote: bool,
-) -> BrokerBenchReport {
+/// Runs the broker benchmark as described by `cfg`: optionally remote,
+/// optionally sharded, and — when `cfg.engines > 0` — with the
+/// large-registry phases that time a broker holding that many tiny
+/// engines (build, register, plan, execute), the workload the sharded
+/// registry exists for.
+pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
+    let BrokerBenchConfig {
+        seed,
+        docs_base,
+        n_queries,
+        remote,
+        ..
+    } = *cfg;
     let threshold = 0.15;
     let before = seu_obs::global().snapshot().counters;
     let mut phases = Vec::new();
@@ -175,7 +238,9 @@ fn run_broker_bench_with(
         .map(|q| q.join(" "))
         .collect();
 
-    let broker = Broker::new(SubrangeEstimator::paper_six_subrange());
+    let broker = Broker::builder(SubrangeEstimator::paper_six_subrange())
+        .shards(cfg.shards)
+        .build();
     let mut timed = |name: &'static str, items: u64, work: &mut dyn FnMut()| {
         let start = Instant::now();
         work();
@@ -249,6 +314,46 @@ fn run_broker_bench_with(
         }
     });
 
+    // Large-registry phases: a separate broker loaded with cfg.engines
+    // tiny collections. Registration and planning here are dominated by
+    // registry traversal, not per-document work — exactly what shard
+    // count changes.
+    if cfg.engines > 0 {
+        let large = Broker::builder(SubrangeEstimator::paper_six_subrange())
+            .shards(cfg.shards)
+            .build();
+        let mut tiny: Vec<(String, SearchEngine)> = Vec::with_capacity(cfg.engines);
+        timed("large_build", cfg.engines as u64, &mut || {
+            tiny = (0..cfg.engines).map(|i| tiny_engine(seed, i)).collect();
+        });
+        timed("large_register", cfg.engines as u64, &mut || {
+            for (name, engine) in tiny.drain(..) {
+                large.register(&name, engine);
+            }
+        });
+        // A handful of queries is enough: each plan walks all
+        // cfg.engines representatives.
+        let slice: Vec<&String> = queries.iter().take(4).collect();
+        timed("large_plan", slice.len() as u64, &mut || {
+            for q in &slice {
+                large.plan(
+                    &SearchRequest::new(*q)
+                        .threshold(threshold)
+                        .policy(SelectionPolicy::EstimatedUseful),
+                );
+            }
+        });
+        timed("large_execute", slice.len() as u64, &mut || {
+            for q in &slice {
+                large.execute(
+                    &SearchRequest::new(*q)
+                        .threshold(threshold)
+                        .policy(SelectionPolicy::EstimatedUseful),
+                );
+            }
+        });
+    }
+
     let after = seu_obs::global().snapshot().counters;
     let counters = after
         .into_iter()
@@ -264,9 +369,30 @@ fn run_broker_bench_with(
         queries: queries.len(),
         threshold,
         remote,
+        shards: cfg.shards.max(1),
+        large_engines: cfg.engines,
         phases,
         counters,
     }
+}
+
+/// A two-document engine for the large-registry phases. The vocabulary
+/// cycles through a small word pool so the shared vocabulary stays
+/// bounded while fingerprints stay distinct.
+fn tiny_engine(seed: u64, i: usize) -> (String, SearchEngine) {
+    const POOL: &[&str] = &[
+        "database", "index", "query", "vector", "ranking", "term", "network", "storage", "cache",
+        "shard", "merge", "filter",
+    ];
+    let a = POOL[(i + seed as usize) % POOL.len()];
+    let b = POOL[(i / POOL.len() + 1 + seed as usize) % POOL.len()];
+    let mut builder = seu_engine::CollectionBuilder::new(
+        seu_text::Analyzer::paper_default(),
+        seu_engine::WeightingScheme::CosineTf,
+    );
+    builder.add_document("d0", &format!("{a} {b} record {i}"));
+    builder.add_document("d1", &format!("{b} {a} entry {}", i / 2));
+    (format!("bulk-{i:05}"), SearchEngine::new(builder.build()))
 }
 
 #[cfg(test)]
@@ -346,6 +472,47 @@ mod tests {
         );
         let doc = json::parse(&report.to_json()).expect("remote bench JSON parses");
         assert_eq!(doc.get("remote"), Some(&json::Json::Bool(true)));
+    }
+
+    #[test]
+    fn large_registry_phases_appear_with_engines() {
+        let report = run_broker_bench_config(&BrokerBenchConfig {
+            shards: 4,
+            engines: 64,
+            ..BrokerBenchConfig::new(7, 6, 3)
+        });
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.large_engines, 64);
+        assert_eq!(
+            report.phases.iter().map(|p| p.name).collect::<Vec<_>>(),
+            [
+                "build_databases",
+                "register",
+                "estimate",
+                "select",
+                "search",
+                "plan",
+                "dispatch",
+                "large_build",
+                "large_register",
+                "large_plan",
+                "large_execute"
+            ]
+        );
+        let by = |name: &str| report.phases.iter().find(|p| p.name == name).unwrap();
+        assert_eq!(by("large_register").items, 64);
+        assert!(by("large_plan").items > 0);
+
+        let doc = json::parse(&report.to_json()).expect("sharded bench JSON parses");
+        assert_eq!(
+            doc.get("shards").and_then(json::Json::as_num),
+            Some(4.0),
+            "shards field"
+        );
+        assert_eq!(
+            doc.get("large_engines").and_then(json::Json::as_num),
+            Some(64.0)
+        );
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //!   --docs-base N       bench-broker documents-per-database base (default 120)
 //!   --queries N         bench-broker query count (default 400)
 //!   --remote            bench-broker serves every database over loopback TCP
+//!   --shards N          bench-broker registry shard count (default 1 = flat)
+//!   --engines N         bench-broker adds large-registry phases over N tiny engines
 //!   --stats             print a metrics snapshot after the run
 //!   --metrics-out PATH  write the metrics snapshot as JSON
 //! ```
@@ -50,6 +52,8 @@ fn main() {
     let mut docs_base = 120usize;
     let mut n_queries = 400usize;
     let mut remote = false;
+    let mut shards = 1usize;
+    let mut engines = 0usize;
     let mut stats = false;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
@@ -93,6 +97,21 @@ fn main() {
                     .unwrap_or_else(|| usage("--queries needs an integer"));
             }
             "--remote" => remote = true,
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage("--shards needs a positive integer"));
+            }
+            "--engines" => {
+                i += 1;
+                engines = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--engines needs an integer"));
+            }
             "--stats" => stats = true,
             "--metrics-out" => {
                 i += 1;
@@ -139,14 +158,25 @@ fn main() {
     // when it is the only command, instead of) dataset generation.
     if run("bench-broker") {
         eprintln!(
-            "running broker bench (seed {seed}{})...",
-            if remote { ", remote" } else { "" }
+            "running broker bench (seed {seed}{}{}{})...",
+            if remote { ", remote" } else { "" },
+            if shards > 1 {
+                format!(", {shards} shards")
+            } else {
+                String::new()
+            },
+            if engines > 0 {
+                format!(", {engines} bulk engines")
+            } else {
+                String::new()
+            }
         );
-        let report = if remote {
-            seu_eval::run_broker_bench_remote(seed, docs_base, n_queries)
-        } else {
-            seu_eval::run_broker_bench(seed, docs_base, n_queries)
-        };
+        let report = seu_eval::run_broker_bench_config(&seu_eval::BrokerBenchConfig {
+            remote,
+            shards,
+            engines,
+            ..seu_eval::BrokerBenchConfig::new(seed, docs_base, n_queries)
+        });
         print!("{}", report.to_text());
         let path = bench_out
             .clone()
@@ -293,8 +323,8 @@ fn usage(err: &str) -> ! {
          ablation-subranges|ablation-disjoint|ablation-grid|ranking|long-queries|\
          hierarchy|selection|gloss-bounds|dependence|binary|policies|weighting|\
          exact-percentiles|diagnostics|bench-broker|all] [--seed N] \
-         [--bench-out PATH] [--docs-base N] [--queries N] [--remote] [--stats] \
-         [--metrics-out PATH]"
+         [--bench-out PATH] [--docs-base N] [--queries N] [--remote] [--shards N] \
+         [--engines N] [--stats] [--metrics-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -26,7 +26,10 @@ pub mod ranking;
 pub mod runner;
 pub mod tables;
 
-pub use bench::{run_broker_bench, run_broker_bench_remote, BrokerBenchReport};
+pub use bench::{
+    run_broker_bench, run_broker_bench_config, run_broker_bench_remote, BrokerBenchConfig,
+    BrokerBenchReport,
+};
 pub use metrics::{MethodResult, ThresholdRow};
 pub use ranking::{rank_databases, RankingFixture, RankingResult};
 pub use runner::{evaluate, EvalConfig};

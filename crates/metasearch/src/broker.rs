@@ -17,7 +17,8 @@ use crate::merge::merge_results;
 use crate::plan::{PlannedEngine, QueryPlan, SharedAnalysis};
 use crate::pool::{JobStatus, WorkerPool};
 use crate::registry::{
-    EngineHandle, EngineStatus, RegisteredEngine, ReprProvenance, StalePlanError,
+    EngineHandle, EngineStatus, RegisteredEngine, RegistrySnapshot, ReprProvenance, Shard,
+    ShardedRegistry, StalePlanError,
 };
 use crate::remote::{RemoteMeta, RemoteTransport, TransportError, TransportErrorKind};
 use crate::request::{
@@ -30,9 +31,13 @@ use seu_core::{Usefulness, UsefulnessEstimator};
 use seu_engine::{Fingerprint, SearchEngine, TermMap};
 use seu_repr::Representative;
 use seu_text::{Analyzer, AnalyzerConfig, Vocabulary};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// A shard-sweep job for the worker pool, returning the `(registration
+/// sequence, name)` of every engine it refreshed.
+type SweepJob = Box<dyn FnOnce() -> Vec<(u64, String)> + Send>;
 
 /// One engine's dispatch job: its merged hits and its wall-clock, or the
 /// typed transport failure that produced neither.
@@ -131,6 +136,7 @@ pub struct MergedHit {
 /// ```
 pub struct BrokerBuilder<E> {
     estimator: E,
+    shards: usize,
     worker_threads: Option<usize>,
     pool_label: Option<String>,
 }
@@ -141,6 +147,18 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
     /// query executes.
     pub fn worker_threads(mut self, threads: usize) -> Self {
         self.worker_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Splits the registry across `n` independently locked shards
+    /// (engine ids route by [`crate::shard_for`]), so registration,
+    /// refresh, and push invalidation on one shard never block planning
+    /// over another. The default of 1 is the flat registry; raise it
+    /// for registries in the thousands of engines. Results are
+    /// bit-identical at any shard count (proven by the
+    /// `shard_conformance` suite). Values are clamped to at least 1.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
         self
     }
 
@@ -157,13 +175,25 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
 
     /// Builds the (empty) broker.
     pub fn build(self) -> Broker<E> {
+        // Per-shard gauges only exist for actually sharded brokers: a
+        // flat (1-shard) broker keeps the historical metric surface.
+        let shard_gauges = if self.shards > 1 {
+            (0..self.shards)
+                .map(|i| ShardGauges {
+                    engines: seu_obs::gauge(&format!("broker_registry_engines_shard_{i}")),
+                    bytes: seu_obs::gauge(&format!(
+                        "broker_representative_bytes_resident_shard_{i}"
+                    )),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Broker {
             estimator: self.estimator,
-            engines: RwLock::new(Vec::new()),
-            vocab: RwLock::new(Vocabulary::new()),
-            registry_epoch: AtomicU64::new(0),
-            gauge_engines: AtomicU64::new(0),
-            gauge_repr_bytes: AtomicU64::new(0),
+            registry: Arc::new(ShardedRegistry::new(self.shards)),
+            vocab: Arc::new(RwLock::new(Vocabulary::new())),
+            shard_gauges: Arc::new(shard_gauges),
             worker_threads: self.worker_threads,
             pool_label: self.pool_label,
             pool: OnceLock::new(),
@@ -206,21 +236,24 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
 /// ```
 pub struct Broker<E> {
     estimator: E,
-    engines: RwLock<Vec<RegisteredEngine>>,
+    /// The registry: N independently locked shards, each owning its
+    /// entries, its epoch counter, and its gauge bookkeeping. The
+    /// broker-wide registry epoch is derived as the sum of the shard
+    /// epochs — bumped under the owning shard's write lock on every
+    /// registration and per-engine lifecycle change (refresh,
+    /// representative update, engine replacement), never behind a
+    /// global lock. [`QueryPlan`] records the sum it was planned
+    /// against; a mismatch later means the plan is stale. `Arc` so
+    /// per-shard refresh sweeps can run as `'static` worker-pool jobs.
+    registry: Arc<ShardedRegistry>,
     /// Union vocabulary over every registered engine — the target of the
-    /// single query-analysis pass.
-    vocab: RwLock<Vocabulary>,
-    /// Broker-wide registry version: bumped on every registration and on
-    /// every per-engine lifecycle change (refresh, representative update,
-    /// engine replacement). [`QueryPlan`] records the value it was
-    /// planned against; a mismatch later means the plan is stale.
-    registry_epoch: AtomicU64,
-    /// This broker's current contribution to the process-wide
-    /// `broker_registry_engines` gauge (so several brokers sum instead of
-    /// clobbering each other, and `Drop` can retract it).
-    gauge_engines: AtomicU64,
-    /// Ditto for `broker_representative_bytes_resident`.
-    gauge_repr_bytes: AtomicU64,
+    /// single query-analysis pass. Locked *after* a shard's entries lock
+    /// everywhere both are held.
+    vocab: Arc<RwLock<Vocabulary>>,
+    /// Per-shard gauge handles (`broker_registry_engines_shard_<i>`,
+    /// `broker_representative_bytes_resident_shard_<i>`); empty for flat
+    /// (1-shard) brokers.
+    shard_gauges: Arc<Vec<ShardGauges>>,
     /// Builder override for the dispatch pool size.
     worker_threads: Option<usize>,
     /// Builder override for the dispatch pool's metric label.
@@ -229,13 +262,78 @@ pub struct Broker<E> {
     pool: OnceLock<WorkerPool>,
 }
 
+/// Per-shard registry gauge handles.
+struct ShardGauges {
+    engines: Arc<seu_obs::Gauge>,
+    bytes: Arc<seu_obs::Gauge>,
+}
+
+/// Re-publishes one shard's contribution to the registry gauges as a
+/// delta against what it last reported, so several live brokers (e.g.
+/// in one test binary) sum correctly, and so `Drop` can retract exactly
+/// what was published. Call with the shard's entries write lock held —
+/// publication must be atomic with the change it reports.
+fn publish_shard_gauges(
+    shard: &Shard,
+    shard_idx: usize,
+    entries: &[RegisteredEngine],
+    per_shard: &[ShardGauges],
+) {
+    let m = metrics();
+    let n = entries.len() as u64;
+    let bytes: u64 = entries.iter().map(|e| e.repr.bytes_resident()).sum();
+    let prev_n = shard.gauge_engines.swap(n, Ordering::SeqCst);
+    let prev_bytes = shard.gauge_repr_bytes.swap(bytes, Ordering::SeqCst);
+    let dn = n as f64 - prev_n as f64;
+    let dbytes = bytes as f64 - prev_bytes as f64;
+    m.registry_engines.add(dn);
+    m.representative_bytes.add(dbytes);
+    if let Some(g) = per_shard.get(shard_idx) {
+        g.engines.add(dn);
+        g.bytes.add(dbytes);
+    }
+}
+
+/// Sweeps one shard for stale entries and refreshes them, bumping the
+/// shard epoch once per refresh and republishing the shard's gauges.
+/// Returns `(registration seq, name)` of every engine refreshed. Free
+/// function (not a method) so multi-shard sweeps can run it as
+/// `'static` worker-pool jobs holding only `Arc` handles.
+fn sweep_shard(
+    registry: &ShardedRegistry,
+    idx: usize,
+    vocab: &RwLock<Vocabulary>,
+    gauges: &[ShardGauges],
+) -> Vec<(u64, String)> {
+    let shard = &registry.shards()[idx];
+    let mut entries = shard.entries.write();
+    let mut refreshed = Vec::new();
+    for e in entries.iter_mut() {
+        if e.is_stale() && e.try_refresh(&mut vocab.write()).is_ok() {
+            metrics().representative_refreshes.inc();
+            shard.epoch.fetch_add(1, Ordering::SeqCst);
+            refreshed.push((e.seq, e.name.clone()));
+        }
+    }
+    if !refreshed.is_empty() {
+        publish_shard_gauges(shard, idx, &entries, gauges);
+    }
+    refreshed
+}
+
 impl<E> Drop for Broker<E> {
     fn drop(&mut self) {
         let m = metrics();
-        let n = self.gauge_engines.swap(0, Ordering::SeqCst);
-        let bytes = self.gauge_repr_bytes.swap(0, Ordering::SeqCst);
-        m.registry_engines.add(-(n as f64));
-        m.representative_bytes.add(-(bytes as f64));
+        for (i, shard) in self.registry.shards().iter().enumerate() {
+            let n = shard.gauge_engines.swap(0, Ordering::SeqCst);
+            let bytes = shard.gauge_repr_bytes.swap(0, Ordering::SeqCst);
+            m.registry_engines.add(-(n as f64));
+            m.representative_bytes.add(-(bytes as f64));
+            if let Some(g) = self.shard_gauges.get(i) {
+                g.engines.add(-(n as f64));
+                g.bytes.add(-(bytes as f64));
+            }
+        }
     }
 }
 
@@ -249,6 +347,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     pub fn builder(estimator: E) -> BrokerBuilder<E> {
         BrokerBuilder {
             estimator,
+            shards: 1,
             worker_threads: None,
             pool_label: None,
         }
@@ -282,8 +381,10 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         self.register_inner(name, engine, repr, provenance);
     }
 
-    /// Shared registration path. Lock order: `engines` before `vocab`,
-    /// matching every lifecycle method that touches both.
+    /// Shared registration path. Lock order: the owning shard's
+    /// `entries` before `vocab`, matching every lifecycle method that
+    /// touches both. Only the routed shard is locked — registration in
+    /// one shard never blocks planning over another.
     fn register_inner(
         &self,
         name: &str,
@@ -291,19 +392,23 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         repr: Representative,
         provenance: ReprProvenance,
     ) {
-        let mut engines = self.engines.write();
+        let (idx, shard) = self.registry.shard_of(name);
+        let mut entries = shard.entries.write();
         let map = TermMap::build(&mut self.vocab.write(), engine.collection());
-        engines.push(RegisteredEngine {
+        let map_fingerprint = Some(engine.fingerprint());
+        entries.push(RegisteredEngine {
             name: name.to_string(),
+            seq: self.registry.next_seq(),
             handle: EngineHandle::Local(Arc::new(engine)),
             repr: Arc::new(repr),
             map,
+            map_fingerprint,
             epoch: 0,
             provenance,
             pending_invalidation: false,
         });
-        self.registry_epoch.fetch_add(1, Ordering::SeqCst);
-        self.update_registry_gauges(&engines);
+        shard.epoch.fetch_add(1, Ordering::SeqCst);
+        publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
     }
 
     /// Registers an engine that lives in another process, reached through
@@ -334,19 +439,22 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         }
         let meta = RemoteMeta::from_snapshot(&snapshot);
         let name = snapshot.name.clone();
-        let mut engines = self.engines.write();
+        let (idx, shard) = self.registry.shard_of(&name);
+        let mut entries = shard.entries.write();
         let map = TermMap::from_vocab(&mut self.vocab.write(), &meta.vocab);
-        engines.push(RegisteredEngine {
+        entries.push(RegisteredEngine {
             name: name.clone(),
+            seq: self.registry.next_seq(),
             handle: EngineHandle::Remote { transport, meta },
             repr: Arc::new(snapshot.summary.repr),
             map,
+            map_fingerprint: None,
             epoch: 0,
             provenance: ReprProvenance::Remote(snapshot.fingerprint),
             pending_invalidation: false,
         });
-        self.registry_epoch.fetch_add(1, Ordering::SeqCst);
-        self.update_registry_gauges(&engines);
+        shard.epoch.fetch_add(1, Ordering::SeqCst);
+        publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
         Ok(name)
     }
 
@@ -373,50 +481,47 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         fingerprint: Fingerprint,
     ) -> Result<bool, TransportError> {
         let m = metrics();
-        let mut engines = self.engines.write();
-        let Some(i) = engines.iter().position(|e| e.name == name) else {
+        let (idx, shard) = self.registry.shard_of(name);
+        let mut entries = shard.entries.write();
+        let Some(i) = entries.iter().position(|e| e.name == name) else {
             return Ok(false);
         };
         m.push_invalidations.inc();
-        if engines[i].provenance.matches(fingerprint) && !engines[i].pending_invalidation {
+        if entries[i].provenance.matches(fingerprint) && !entries[i].pending_invalidation {
             // The notice describes the snapshot the registry already
             // holds (e.g. a redelivery); nothing to refetch.
             return Ok(true);
         }
-        engines[i].try_refresh(&mut self.vocab.write())?;
+        entries[i].try_refresh(&mut self.vocab.write())?;
         m.representative_refreshes.inc();
-        self.registry_epoch.fetch_add(1, Ordering::SeqCst);
-        self.update_registry_gauges(&engines);
+        shard.epoch.fetch_add(1, Ordering::SeqCst);
+        publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
         Ok(true)
-    }
-
-    /// Re-publishes this broker's contribution to the process-wide
-    /// registry gauges as a delta against what it last reported, so
-    /// several live brokers (e.g. in one test binary) sum correctly.
-    /// Call with the `engines` write lock held.
-    fn update_registry_gauges(&self, engines: &[RegisteredEngine]) {
-        let m = metrics();
-        let n = engines.len() as u64;
-        let bytes: u64 = engines.iter().map(|e| e.repr.bytes_resident()).sum();
-        let prev_n = self.gauge_engines.swap(n, Ordering::SeqCst);
-        let prev_bytes = self.gauge_repr_bytes.swap(bytes, Ordering::SeqCst);
-        m.registry_engines.add(n as f64 - prev_n as f64);
-        m.representative_bytes.add(bytes as f64 - prev_bytes as f64);
     }
 
     /// Number of registered engines.
     pub fn len(&self) -> usize {
-        self.engines.read().len()
+        self.registry.len()
     }
 
     /// Whether no engine is registered.
     pub fn is_empty(&self) -> bool {
-        self.engines.read().is_empty()
+        self.len() == 0
+    }
+
+    /// The number of registry shards (1 for a flat broker).
+    pub fn shards(&self) -> usize {
+        self.registry.n_shards()
     }
 
     /// Registered engine names, in registration order.
     pub fn engine_names(&self) -> Vec<String> {
-        self.engines.read().iter().map(|e| e.name.clone()).collect()
+        let mut named: Vec<(u64, String)> = Vec::new();
+        for shard in self.registry.shards() {
+            named.extend(shard.entries.read().iter().map(|e| (e.seq, e.name.clone())));
+        }
+        named.sort_unstable_by_key(|&(seq, _)| seq);
+        named.into_iter().map(|(_, name)| name).collect()
     }
 
     /// Shared handles to the registered **local** engines, in
@@ -424,11 +529,18 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// summaries). Remote engines are skipped: their collections are not
     /// resident in this process.
     pub fn engines(&self) -> Vec<Arc<SearchEngine>> {
-        self.engines
-            .read()
-            .iter()
-            .filter_map(|e| e.handle.local().cloned())
-            .collect()
+        let mut handles: Vec<(u64, Arc<SearchEngine>)> = Vec::new();
+        for shard in self.registry.shards() {
+            handles.extend(
+                shard
+                    .entries
+                    .read()
+                    .iter()
+                    .filter_map(|e| e.handle.local().cloned().map(|h| (e.seq, h))),
+            );
+        }
+        handles.sort_unstable_by_key(|&(seq, _)| seq);
+        handles.into_iter().map(|(_, h)| h).collect()
     }
 
     /// The dispatch pool, created at first use: `worker_threads` from the
@@ -439,7 +551,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                 let cores = std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1);
-                cores.min(self.engines.read().len().max(1))
+                cores.min(self.len().max(1))
             });
             match &self.pool_label {
                 Some(label) => WorkerPool::named(label, threads),
@@ -468,15 +580,16 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// engine has that name or a remote refetch failed (the entry is
     /// then marked stale for the next sweep).
     pub fn refresh_representative(&self, name: &str) -> bool {
-        let mut engines = self.engines.write();
-        match engines.iter_mut().find(|e| e.name == name) {
+        let (idx, shard) = self.registry.shard_of(name);
+        let mut entries = shard.entries.write();
+        match entries.iter_mut().find(|e| e.name == name) {
             Some(e) => {
                 if e.try_refresh(&mut self.vocab.write()).is_err() {
                     return false;
                 }
                 metrics().representative_refreshes.inc();
-                self.registry_epoch.fetch_add(1, Ordering::SeqCst);
-                self.update_registry_gauges(&engines);
+                shard.epoch.fetch_add(1, Ordering::SeqCst);
+                publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
                 true
             }
             None => false,
@@ -490,16 +603,17 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// the engine is remote (remote entries receive whole snapshots via
     /// push invalidation or [`Broker::refresh_representative`]).
     pub fn update_representative(&self, name: &str, repr: Representative) -> bool {
-        let mut engines = self.engines.write();
-        match engines
+        let (idx, shard) = self.registry.shard_of(name);
+        let mut entries = shard.entries.write();
+        match entries
             .iter_mut()
             .find(|e| e.name == name && !e.handle.is_remote())
         {
             Some(e) => {
                 e.install_shipped(&mut self.vocab.write(), repr);
                 metrics().representative_refreshes.inc();
-                self.registry_epoch.fetch_add(1, Ordering::SeqCst);
-                self.update_registry_gauges(&engines);
+                shard.epoch.fetch_add(1, Ordering::SeqCst);
+                publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
                 true
             }
             None => false,
@@ -518,15 +632,16 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// snapshot lives in its own process; it announces changes with push
     /// invalidation instead).
     pub fn replace_engine(&self, name: &str, engine: SearchEngine) -> bool {
-        let mut engines = self.engines.write();
-        match engines
+        let (_, shard) = self.registry.shard_of(name);
+        let mut entries = shard.entries.write();
+        match entries
             .iter_mut()
             .find(|e| e.name == name && !e.handle.is_remote())
         {
             Some(e) => {
                 e.handle = EngineHandle::Local(Arc::new(engine));
                 e.epoch += 1;
-                self.registry_epoch.fetch_add(1, Ordering::SeqCst);
+                shard.epoch.fetch_add(1, Ordering::SeqCst);
                 true
             }
             None => false,
@@ -542,55 +657,98 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// A remote refetch that fails leaves its entry stale for the next
     /// sweep. Returns the names of the engines it refreshed, in
     /// registration order.
+    ///
+    /// Sharded brokers sweep each shard as an independent worker-pool
+    /// job: shards refresh concurrently, and a slow shard (e.g. one
+    /// full of remote refetches) only holds its own lock while the
+    /// others are already serving plans again.
     pub fn refresh_if_stale(&self) -> Vec<String> {
-        let mut engines = self.engines.write();
-        let mut refreshed = Vec::new();
-        for e in engines.iter_mut() {
-            if e.is_stale() && e.try_refresh(&mut self.vocab.write()).is_ok() {
-                metrics().representative_refreshes.inc();
-                self.registry_epoch.fetch_add(1, Ordering::SeqCst);
-                refreshed.push(e.name.clone());
+        let mut refreshed: Vec<(u64, String)> = Vec::new();
+        if self.registry.n_shards() == 1 {
+            refreshed = sweep_shard(&self.registry, 0, &self.vocab, &self.shard_gauges);
+        } else {
+            let jobs: Vec<SweepJob> = (0..self.registry.n_shards())
+                .map(|i| {
+                    let registry = Arc::clone(&self.registry);
+                    let vocab = Arc::clone(&self.vocab);
+                    let gauges = Arc::clone(&self.shard_gauges);
+                    Box::new(move || sweep_shard(&registry, i, &vocab, &gauges)) as SweepJob
+                })
+                .collect();
+            for status in self.pool().run_collect(jobs, None) {
+                if let Some(mut names) = status.into_done() {
+                    refreshed.append(&mut names);
+                }
             }
         }
-        if !refreshed.is_empty() {
-            self.update_registry_gauges(&engines);
-        }
-        refreshed
+        refreshed.sort_unstable_by_key(|&(seq, _)| seq);
+        refreshed.into_iter().map(|(_, name)| name).collect()
     }
 
     /// Whether the named engine's representative is stale (its
     /// collection fingerprint no longer matches). `None` if no engine
     /// has that name.
     pub fn is_stale(&self, name: &str) -> Option<bool> {
-        self.engines
+        let (_, shard) = self.registry.shard_of(name);
+        shard
+            .entries
             .read()
             .iter()
             .find(|e| e.name == name)
             .map(|e| e.is_stale())
     }
 
-    /// Per-engine lifecycle status, in registration order.
+    /// Per-engine lifecycle status, in registration order. One snapshot
+    /// per shard — see [`Broker::registry_snapshot`] for the epoch cut
+    /// that comes with it.
     pub fn engine_statuses(&self) -> Vec<EngineStatus> {
-        self.engines
-            .read()
-            .iter()
-            .map(|e| EngineStatus {
-                name: e.name.clone(),
-                epoch: e.epoch,
-                stale: e.is_stale(),
-                repr_terms: e.repr.distinct_terms(),
-                repr_bytes: e.repr.bytes_resident(),
-                remote: e.handle.is_remote(),
-                endpoint: e.handle.endpoint(),
-            })
-            .collect()
+        self.registry_snapshot().statuses
     }
 
-    /// The current registry epoch. Plans made at an older epoch are
+    /// Per-engine lifecycle statuses together with the epoch cut they
+    /// were captured at. Each shard contributes its statuses *and* its
+    /// epoch from under a single read-lock acquisition (one lock
+    /// round-trip per shard, not per engine), so within every shard the
+    /// statuses and the epoch describe the same instant — the
+    /// consistency contract [`RegistrySnapshot`] documents.
+    pub fn registry_snapshot(&self) -> RegistrySnapshot {
+        let mut tagged: Vec<(u64, EngineStatus)> = Vec::new();
+        let mut shard_epochs = Vec::with_capacity(self.registry.n_shards());
+        for (idx, shard) in self.registry.shards().iter().enumerate() {
+            let entries = shard.entries.read();
+            // Read under the same guard as the entries: the pair is a
+            // consistent cut of this shard.
+            shard_epochs.push(shard.epoch.load(Ordering::SeqCst));
+            tagged.extend(entries.iter().map(|e| {
+                (
+                    e.seq,
+                    EngineStatus {
+                        name: e.name.clone(),
+                        shard: idx,
+                        epoch: e.epoch,
+                        stale: e.is_stale(),
+                        repr_terms: e.repr.distinct_terms(),
+                        repr_bytes: e.repr.bytes_resident(),
+                        remote: e.handle.is_remote(),
+                        endpoint: e.handle.endpoint(),
+                    },
+                )
+            }));
+        }
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
+        RegistrySnapshot {
+            statuses: tagged.into_iter().map(|(_, s)| s).collect(),
+            epoch: shard_epochs.iter().sum(),
+            shard_epochs,
+        }
+    }
+
+    /// The current registry epoch — the sum of the per-shard epochs,
+    /// derived without a global lock. Plans made at an older epoch are
     /// stale: their term translations and estimates may no longer
     /// describe the registered representatives.
     pub fn registry_epoch(&self) -> u64 {
-        self.registry_epoch.load(Ordering::SeqCst)
+        self.registry.epoch()
     }
 
     /// Analyzes a query text once per distinct analyzer configuration
@@ -599,9 +757,21 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// term space without further string processing, and can be reused
     /// across thresholds.
     pub fn analyze(&self, query_text: &str) -> SharedAnalysis {
+        // Distinct configs in exact registration order (first occurrence
+        // wins), regardless of which shard each engine landed in.
+        let mut tagged: Vec<(u64, AnalyzerConfig)> = Vec::new();
+        for shard in self.registry.shards() {
+            tagged.extend(
+                shard
+                    .entries
+                    .read()
+                    .iter()
+                    .map(|e| (e.seq, e.handle.analyzer_config())),
+            );
+        }
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
         let mut configs: Vec<AnalyzerConfig> = Vec::new();
-        for e in self.engines.read().iter() {
-            let config = e.handle.analyzer_config();
+        for (_, config) in tagged {
             if !configs.contains(&config) {
                 configs.push(config);
             }
@@ -627,22 +797,45 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let timer = m.plan_latency.start_timer();
         // Epoch is read before analysis: a refresh landing mid-plan makes
         // the plan detectably stale rather than silently half-updated.
-        let epoch = self.registry_epoch.load(Ordering::SeqCst);
+        let epoch = self.registry.epoch();
         let analysis = self.analyze(&req.query);
-        let engines = self.engines.read();
-        m.estimates.add(engines.len() as u64);
-        let planned: Vec<PlannedEngine> = engines
-            .iter()
-            .map(|e| {
+        // One shard's read lock at a time: a lifecycle event on shard A
+        // (refresh, registration, invalidation) never blocks planning
+        // over shard B. Per-engine estimates are independent, so only
+        // the presentation order matters — entries are tagged with
+        // their registration seq and sorted afterwards, giving exactly
+        // the order a flat registry would have produced (selection
+        // tie-breaks and merge order depend on it).
+        let mut tagged: Vec<(u64, PlannedEngine)> = Vec::new();
+        for shard in self.registry.shards() {
+            let entries = shard.entries.read();
+            m.estimates.add(entries.len() as u64);
+            tagged.extend(entries.iter().map(|e| {
                 let query = match &e.handle {
                     EngineHandle::Local(engine) => {
                         let collection = engine.collection();
-                        match analysis.tf_for(collection.analyzer_config()) {
-                            Some(tf) => collection.query_from_shared(tf, &e.map),
+                        // The term map is only valid against the exact
+                        // collection it was built from. replace_engine
+                        // swaps the collection without rebuilding the
+                        // map, so until a refresh reconciles them the
+                        // map's local ids may be out of range (or mean
+                        // different terms) in the live collection, and
+                        // the representative still describes the old
+                        // one — no query vector can be consistent with
+                        // both. A mid-propagation entry therefore
+                        // contributes nothing (empty query, zero
+                        // estimate, zero hits) until the sweep
+                        // reconciles it, instead of panicking inside
+                        // query weighting or estimating through
+                        // mismatched term ids.
+                        let aligned = e.map_fingerprint == Some(engine.fingerprint());
+                        match (aligned, analysis.tf_for(collection.analyzer_config())) {
+                            (true, Some(tf)) => collection.query_from_shared(tf, &e.map),
                             // An engine with a config the analysis pass
                             // did not cover (registered concurrently):
                             // analyze directly.
-                            None => collection.query_from_text(&req.query),
+                            (true, None) => collection.query_from_text(&req.query),
+                            (false, _) => collection.query_from_tf(Vec::new()),
                         }
                     }
                     EngineHandle::Remote { meta, .. } => match analysis.tf_for(meta.analyzer) {
@@ -651,16 +844,20 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                     },
                 };
                 let usefulness = self.estimator.estimate(&e.repr, &query, req.threshold);
-                PlannedEngine {
-                    name: e.name.clone(),
-                    usefulness,
-                    query,
-                    repr: e.repr.clone(),
-                    handle: e.handle.clone(),
-                }
-            })
-            .collect();
-        drop(engines);
+                (
+                    e.seq,
+                    PlannedEngine {
+                        name: e.name.clone(),
+                        usefulness,
+                        query,
+                        repr: e.repr.clone(),
+                        handle: e.handle.clone(),
+                    },
+                )
+            }));
+        }
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
+        let planned: Vec<PlannedEngine> = tagged.into_iter().map(|(_, e)| e).collect();
         let us: Vec<Usefulness> = planned.iter().map(|e| e.usefulness).collect();
         let selected = req.policy.select(&us);
         timer.stop();
@@ -686,7 +883,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         plan: &QueryPlan,
         threshold: f64,
     ) -> Result<Vec<EngineEstimate>, StalePlanError> {
-        let registry_epoch = self.registry_epoch.load(Ordering::SeqCst);
+        let registry_epoch = self.registry.epoch();
         if plan.epoch != registry_epoch {
             metrics().stale_plans.inc();
             return Err(StalePlanError {
@@ -737,7 +934,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let m = metrics();
         let timer = m.query_latency.start_timer();
         let mut plan = self.plan(req);
-        if plan.epoch != self.registry_epoch.load(Ordering::SeqCst) {
+        if plan.epoch != self.registry.epoch() {
             m.stale_plans.inc();
             plan = self.plan(req);
         }
@@ -759,7 +956,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     ) -> Result<SearchResponse, StalePlanError> {
         let m = metrics();
         let timer = m.query_latency.start_timer();
-        let registry_epoch = self.registry_epoch.load(Ordering::SeqCst);
+        let registry_epoch = self.registry.epoch();
         let resp = if plan.epoch != registry_epoch {
             m.stale_plans.inc();
             match req.stale_mode {
@@ -956,21 +1153,28 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// remote engine answers over its transport; one whose transport
     /// fails is treated as not useful.
     pub fn oracle_select(&self, query_text: &str, threshold: f64) -> Vec<String> {
-        let engines = self.engines.read();
-        engines
-            .iter()
-            .filter(|e| match &e.handle {
-                EngineHandle::Local(engine) => {
-                    let query = engine.collection().query_from_text(query_text);
-                    engine.true_usefulness(&query, threshold).no_doc >= 1
-                }
-                EngineHandle::Remote { transport, .. } => transport
-                    .true_usefulness(query_text, threshold)
-                    .map(|u| u.no_doc >= 1)
-                    .unwrap_or(false),
-            })
-            .map(|e| e.name.clone())
-            .collect()
+        let mut useful: Vec<(u64, String)> = Vec::new();
+        for shard in self.registry.shards() {
+            useful.extend(
+                shard
+                    .entries
+                    .read()
+                    .iter()
+                    .filter(|e| match &e.handle {
+                        EngineHandle::Local(engine) => {
+                            let query = engine.collection().query_from_text(query_text);
+                            engine.true_usefulness(&query, threshold).no_doc >= 1
+                        }
+                        EngineHandle::Remote { transport, .. } => transport
+                            .true_usefulness(query_text, threshold)
+                            .map(|u| u.no_doc >= 1)
+                            .unwrap_or(false),
+                    })
+                    .map(|e| (e.seq, e.name.clone())),
+            );
+        }
+        useful.sort_unstable_by_key(|&(seq, _)| seq);
+        useful.into_iter().map(|(_, name)| name).collect()
     }
 }
 

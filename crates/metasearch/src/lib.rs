@@ -50,7 +50,7 @@ pub use hierarchy::SuperBroker;
 pub use merge::merge_results;
 pub use plan::{PlannedEngine, QueryPlan, SharedAnalysis};
 pub use pool::{JobStatus, PoolClosed, WorkerPool};
-pub use registry::{EngineStatus, StalePlanError};
+pub use registry::{shard_for, EngineStatus, RegistrySnapshot, StalePlanError};
 pub use remote::{
     EngineSnapshot, RemoteHit, RemoteMeta, RemoteTransport, TransportError, TransportErrorKind,
 };

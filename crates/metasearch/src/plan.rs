@@ -13,6 +13,14 @@
 //! afterwards, and it can be re-estimated at other thresholds without
 //! re-analysis ([`Broker::reestimate`]).
 //!
+//! With a sharded registry the planner visits shards one read lock at a
+//! time — never holding two shard locks at once — and then restores
+//! exact registration order by each entry's global sequence number, so
+//! the plan (and everything order-sensitive downstream of it: selection
+//! tie-breaks, merge order) is bit-identical to a flat single-shard
+//! broker's. The plan's `epoch` is the broker-global epoch, i.e. the
+//! sum of the per-shard epochs read during the same walk.
+//!
 //! [`Broker::plan`]: crate::Broker::plan
 //! [`Broker::reestimate`]: crate::Broker::reestimate
 

@@ -13,6 +13,12 @@
 //! engine neither kills its worker nor poisons the query — the caller
 //! sees [`JobStatus::Panicked`] for that job and results from everyone
 //! else.
+//!
+//! Besides per-query dispatch, the pool runs the broker's *shard sweep*
+//! fan-out: with a sharded registry, `refresh_if_stale` submits one job
+//! per shard through [`WorkerPool::run_collect`], so a slow refresh on
+//! one shard never serializes the sweep of the others (and never blocks
+//! queries, which only need that one shard's write lock).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -24,14 +24,149 @@
 //! vocabulary. Terms added to a collection after registration therefore
 //! reach the global vocabulary and every subsequent plan, instead of
 //! being silently dropped from query translation.
+//!
+//! # Sharding
+//!
+//! At 10k+ engines a single registry lock turns every lifecycle event
+//! into a broker-wide stall: one engine's refresh blocks every query's
+//! plan. [`ShardedRegistry`] splits the entries across N independently
+//! locked shards, routed by [`shard_for`] (a pure FNV-1a hash of the
+//! engine id, so the assignment is stable across restarts and
+//! re-sharding with the same shard count moves nothing). Each shard
+//! carries its own epoch counter, bumped under that shard's write lock;
+//! the broker-global epoch is **derived** as the sum of the shard
+//! epochs, so no global lock exists anywhere in the lifecycle. Entries
+//! carry a global registration sequence number so cross-shard views
+//! (planning, statuses, oracle selection) can be presented in exact
+//! registration order — the order selection tie-breaks and result
+//! merging depend on, which is what makes a sharded broker bit-identical
+//! to a flat one.
 
 use crate::remote::{
     EngineSnapshot, RemoteMeta, RemoteTransport, TransportError, TransportErrorKind,
 };
+use parking_lot::RwLock;
 use seu_engine::{Fingerprint, SearchEngine, TermMap};
 use seu_repr::Representative;
 use seu_text::{AnalyzerConfig, Vocabulary};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// FNV-1a offset basis (same constants as
+/// [`seu_engine::Fingerprint`]'s content hash).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Routes an engine id to a shard: FNV-1a over the id's bytes, modulo
+/// the shard count.
+///
+/// The function is pure — no per-process salt, no randomized hasher —
+/// so the same id maps to the same shard in every process and across
+/// restarts, and re-sharding a registry to the *same* shard count is a
+/// no-op (no engine moves). Ids spread uniformly: over any reasonably
+/// sized id population each shard receives its expected share within a
+/// few percent (property-tested in `tests/shard_routing.rs`).
+pub fn shard_for(engine_id: &str, n_shards: usize) -> usize {
+    let mut h = FNV_OFFSET;
+    for b in engine_id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % n_shards.max(1) as u64) as usize
+}
+
+/// One independently locked slice of the registry.
+///
+/// Epoch discipline: `epoch` is bumped (`SeqCst`) **while holding the
+/// `entries` write lock**, exactly once per registration and once per
+/// entry change. Two consequences:
+///
+/// * reading `epoch` under the `entries` read lock observes a
+///   consistent cut of this shard — the entries and the epoch belong to
+///   the same moment;
+/// * within any such cut, `epoch == entries.len() + Σ entry.epoch`
+///   (each registration contributes 1 with the entry starting at epoch
+///   0; each subsequent entry-epoch bump pairs with one shard bump).
+///   [`RegistrySnapshot`] exposes the pieces so tests can assert the
+///   invariant under concurrency.
+pub(crate) struct Shard {
+    pub(crate) entries: RwLock<Vec<RegisteredEngine>>,
+    /// This shard's lifecycle version; see the struct docs for the
+    /// bump discipline.
+    pub(crate) epoch: AtomicU64,
+    /// This shard's last-published contribution to the engine-count
+    /// gauges, so republication is a delta (several brokers sum) and
+    /// `Drop` can retract it.
+    pub(crate) gauge_engines: AtomicU64,
+    /// Ditto for representative resident bytes.
+    pub(crate) gauge_repr_bytes: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            entries: RwLock::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+            gauge_engines: AtomicU64::new(0),
+            gauge_repr_bytes: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The broker's registry: N independently locked shards plus the global
+/// registration sequence counter.
+pub(crate) struct ShardedRegistry {
+    shards: Vec<Shard>,
+    /// Next registration sequence number. Sequence numbers give every
+    /// entry a place in one broker-wide registration order without any
+    /// cross-shard lock.
+    seq: AtomicU64,
+}
+
+impl ShardedRegistry {
+    pub(crate) fn new(n_shards: usize) -> ShardedRegistry {
+        ShardedRegistry {
+            shards: (0..n_shards.max(1)).map(|_| Shard::new()).collect(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The shard (index and reference) an engine id routes to.
+    pub(crate) fn shard_of(&self, engine_id: &str) -> (usize, &Shard) {
+        let i = shard_for(engine_id, self.shards.len());
+        (i, &self.shards[i])
+    }
+
+    /// The broker-global registry epoch, derived as the sum of the
+    /// shard epochs — no global lock. Each term is monotonic, so the
+    /// sum is monotonic; a plan that records the sum goes stale the
+    /// moment any shard changes.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.epoch.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// Claims the next registration sequence number.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Total registered engines (takes each shard's read lock briefly).
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.read().len()).sum()
+    }
+}
 
 /// What the registry knows about the collection a representative
 /// summarized — the baseline a staleness check compares against.
@@ -123,11 +258,23 @@ impl EngineHandle {
 /// the global→local term translation, and the lifecycle bookkeeping.
 pub(crate) struct RegisteredEngine {
     pub(crate) name: String,
+    /// Broker-wide registration sequence number: cross-shard views sort
+    /// by it to recover exact registration order.
+    pub(crate) seq: u64,
     pub(crate) handle: EngineHandle,
     pub(crate) repr: Arc<Representative>,
     /// Broker-global → engine-local term translation; rebuilt together
     /// with the representative, never independently of it.
     pub(crate) map: TermMap,
+    /// For local engines: the full fingerprint of the collection `map`
+    /// was built from. [`Broker::replace_engine`](crate::Broker) swaps
+    /// the collection *without* rebuilding the map (metadata
+    /// propagation is infrequent by design), so planning must check
+    /// this before translating through `map` — the old map's local term
+    /// ids may be out of range (or denote different terms) in the new
+    /// collection. `None` for remote entries, whose map and metadata
+    /// always move together.
+    pub(crate) map_fingerprint: Option<Fingerprint>,
     /// Per-engine version, starting at 0 and bumped on every refresh,
     /// representative update, or engine replacement.
     pub(crate) epoch: u64,
@@ -208,6 +355,7 @@ impl RegisteredEngine {
         }
         let meta = RemoteMeta::from_snapshot(snapshot);
         self.map = TermMap::from_vocab(global_vocab, &meta.vocab);
+        self.map_fingerprint = None;
         self.repr = Arc::new(snapshot.summary.repr.clone());
         self.provenance = ReprProvenance::Remote(snapshot.fingerprint);
         if let EngineHandle::Remote { meta: m, .. } = &mut self.handle {
@@ -242,6 +390,7 @@ impl RegisteredEngine {
             .expect("install targets local engines; remote entries use install_remote")
             .clone();
         self.map = TermMap::build(global_vocab, engine.collection());
+        self.map_fingerprint = Some(engine.fingerprint());
         self.repr = Arc::new(repr);
         self.provenance = provenance;
         self.epoch += 1;
@@ -254,6 +403,8 @@ impl RegisteredEngine {
 pub struct EngineStatus {
     /// Engine name (registration key).
     pub name: String,
+    /// The registry shard the engine routes to (see [`shard_for`]).
+    pub shard: usize,
     /// Per-engine epoch: how many times this entry has changed since
     /// registration.
     pub epoch: u64,
@@ -268,6 +419,26 @@ pub struct EngineStatus {
     pub remote: bool,
     /// The remote endpoint, when the engine is remote.
     pub endpoint: Option<String>,
+}
+
+/// A consistent cut of the registry's lifecycle state, as reported by
+/// [`Broker::registry_snapshot`](crate::Broker::registry_snapshot).
+///
+/// Each shard contributes its statuses and its epoch from under a
+/// single read-lock acquisition, so per shard the pair is a consistent
+/// cut and the invariant
+/// `shard_epochs[i] == |statuses with shard == i| + Σ their epochs`
+/// holds even while other threads mutate the registry. (A torn
+/// implementation that re-locked per engine could observe an entry
+/// epoch bump without the matching shard bump and violate it.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Per-engine statuses, in registration order.
+    pub statuses: Vec<EngineStatus>,
+    /// The broker-global epoch at the cut (sum of `shard_epochs`).
+    pub epoch: u64,
+    /// Each shard's epoch at its cut.
+    pub shard_epochs: Vec<u64>,
 }
 
 /// A plan was made against an older registry state than the broker
@@ -330,6 +501,33 @@ mod tests {
         let p = ReprProvenance::Local(fp);
         assert!(p.matches(fp));
         assert!(!p.matches(Fingerprint { hash: 8, ..fp }));
+    }
+
+    #[test]
+    fn shard_routing_is_pure_and_in_range() {
+        for n in [1usize, 2, 4, 16, 31] {
+            for id in ["", "cooking", "databases", "engine-9999"] {
+                let s = shard_for(id, n);
+                assert!(s < n, "shard_for({id:?}, {n}) = {s}");
+                assert_eq!(s, shard_for(id, n), "routing must be deterministic");
+            }
+        }
+        // One shard degenerates to the flat registry.
+        assert_eq!(shard_for("anything", 1), 0);
+        // Zero shards is clamped rather than dividing by zero.
+        assert_eq!(shard_for("anything", 0), 0);
+    }
+
+    #[test]
+    fn sharded_registry_epoch_sums_shards() {
+        let r = ShardedRegistry::new(4);
+        assert_eq!(r.epoch(), 0);
+        r.shards()[1].epoch.fetch_add(3, Ordering::SeqCst);
+        r.shards()[3].epoch.fetch_add(2, Ordering::SeqCst);
+        assert_eq!(r.epoch(), 5);
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.next_seq(), 0);
+        assert_eq!(r.next_seq(), 1);
     }
 
     #[test]

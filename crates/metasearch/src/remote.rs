@@ -22,6 +22,13 @@
 //! ([`RemoteTransport`] keeps `seu-metasearch` free of any networking);
 //! tests implement the trait in-process.
 //!
+//! Remote entries shard by engine name exactly like local ones, and a
+//! snapshot refetch replaces representative, term map, and weighting
+//! statistics in one write — so a remote entry's planning metadata is
+//! always internally consistent and never hits the mid-propagation
+//! sidelining that protects locally replaced engines (see
+//! `Broker::plan`).
+//!
 //! Failures are **typed**: every call returns a [`TransportError`] whose
 //! [`TransportErrorKind`] distinguishes refused connections, deadline
 //! misses, connections lost mid-frame, protocol violations, and errors

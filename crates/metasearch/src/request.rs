@@ -20,6 +20,11 @@ use std::time::Duration;
 /// What [`Broker::execute_plan`] does when the supplied plan was made
 /// against an older registry epoch than the broker currently holds.
 ///
+/// The registry epoch is the sum of the per-shard epochs, so *any*
+/// lifecycle event on *any* shard — registration, refresh, push
+/// invalidation — makes outstanding plans stale; shard boundaries never
+/// hide a change from the staleness check.
+///
 /// [`Broker::execute_plan`]: crate::Broker::execute_plan
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StaleMode {

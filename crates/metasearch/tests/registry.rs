@@ -165,6 +165,109 @@ fn engine_statuses_track_epochs() {
     assert_eq!(by("databases").epoch, 0);
 }
 
+/// Regression: `replace_engine` swaps the collection without rebuilding
+/// the term map, so a plan made *after* the swap (epoch-fresh, nothing
+/// to replan) used to translate query terms through a map whose local
+/// ids could be out of range in the new, smaller vocabulary — an index
+/// panic inside query weighting. Planning must detect the misaligned
+/// map and sideline the entry (no query vector is consistent with both
+/// the old representative and the new collection) until a refresh
+/// reconciles them.
+#[test]
+fn plan_survives_replacement_with_smaller_vocabulary() {
+    let b = broker();
+    // The replacement has a far smaller vocabulary than the original,
+    // so old local term ids point past the new doc_freq table.
+    assert!(b.replace_engine("cooking", engine_from(&["soup"])));
+
+    let req = SearchRequest::new("mushroom soup with cream sourdough")
+        .threshold(0.0)
+        .policy(SelectionPolicy::All);
+    let resp = b.execute(&req); // must not panic
+    assert!(resp.is_complete(), "{:?}", resp.per_engine_stats);
+    // Mid-propagation the entry contributes nothing — not a panic, not
+    // an estimate derived from mismatched term ids.
+    assert!(
+        resp.hits.iter().all(|h| h.engine != "cooking"),
+        "{:?}",
+        resp.hits
+    );
+
+    // After the sweep reconciles map and collection, the replacement's
+    // surviving document is retrievable again.
+    assert_eq!(b.refresh_if_stale(), vec!["cooking".to_string()]);
+    let fresh = b.execute(&req);
+    assert!(
+        fresh.hits.iter().any(|h| h.engine == "cooking"),
+        "{:?}",
+        fresh.hits
+    );
+}
+
+/// `registry_snapshot` must capture each shard's statuses and epoch
+/// under one lock acquisition. The invariant — per shard, epoch equals
+/// registrations plus the sum of entry epochs — only survives
+/// concurrent mutation if the cut is consistent; re-locking per engine
+/// would tear it.
+#[test]
+fn registry_snapshot_is_consistent_epoch_cut() {
+    use std::sync::Arc;
+
+    let b = Arc::new(
+        Broker::builder(SubrangeEstimator::paper_six_subrange())
+            .shards(4)
+            .build(),
+    );
+    let names: Vec<String> = (0..16).map(|i| format!("db-{i}")).collect();
+    for name in &names {
+        b.register(name, engine_from(&["alpha beta gamma", "delta epsilon"]));
+    }
+
+    std::thread::scope(|scope| {
+        for t in 0..3usize {
+            let b = Arc::clone(&b);
+            let names = &names;
+            scope.spawn(move || {
+                for k in 0..80 {
+                    let name = &names[(t * 31 + k * 7) % names.len()];
+                    if k % 3 == 0 {
+                        assert!(b.replace_engine(name, engine_from(&["zeta eta theta"])));
+                    } else {
+                        assert!(b.refresh_representative(name));
+                    }
+                }
+            });
+        }
+        let b = Arc::clone(&b);
+        scope.spawn(move || {
+            let mut last_epoch = 0;
+            for _ in 0..300 {
+                let snap = b.registry_snapshot();
+                assert!(snap.epoch >= last_epoch, "epoch regressed");
+                last_epoch = snap.epoch;
+                assert_eq!(snap.epoch, snap.shard_epochs.iter().sum::<u64>());
+                for (i, &shard_epoch) in snap.shard_epochs.iter().enumerate() {
+                    let in_shard: Vec<_> = snap.statuses.iter().filter(|s| s.shard == i).collect();
+                    let expected =
+                        in_shard.len() as u64 + in_shard.iter().map(|s| s.epoch).sum::<u64>();
+                    assert_eq!(
+                        shard_epoch,
+                        expected,
+                        "shard {i}: torn status snapshot ({} entries)",
+                        in_shard.len()
+                    );
+                }
+            }
+        });
+    });
+
+    // Statuses keep exact registration order even across shards.
+    let snap = b.registry_snapshot();
+    let status_names: Vec<_> = snap.statuses.iter().map(|s| s.name.clone()).collect();
+    assert_eq!(status_names, names);
+    assert_eq!(b.engine_statuses(), snap.statuses);
+}
+
 /// Shipped representatives carry no content hash, so staleness for them
 /// is judged on totals; an update with matching totals stays fresh.
 #[test]

@@ -1,0 +1,144 @@
+//! Property tests for the shard-routing function.
+//!
+//! `shard_for` is the load-bearing contract of the sharded registry: it
+//! must be a pure function of the engine id and the shard count (so a
+//! broker restart, a different registration order, or a different
+//! machine all route an engine to the same shard), and it must spread
+//! realistic id populations evenly enough that no shard's lock becomes
+//! a de-facto global lock.
+
+use proptest::prelude::*;
+use seu_core::SubrangeEstimator;
+use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
+use seu_metasearch::{shard_for, Broker};
+use seu_text::Analyzer;
+
+/// Golden values pin the hash itself, not just its properties: a change
+/// to the FNV constants or the byte order would re-route every engine
+/// on upgrade, silently invalidating any state keyed by shard index.
+#[test]
+fn routing_matches_pinned_golden_values() {
+    for (id, by_count) in [
+        ("engine-000", [0usize, 2, 6, 38]),
+        ("cooking", [0, 3, 7, 55]),
+        ("databases", [0, 1, 1, 17]),
+        ("web-042", [0, 2, 14, 14]),
+        ("", [0, 1, 5, 37]),
+    ] {
+        for (n, want) in [1usize, 4, 16, 64].into_iter().zip(by_count) {
+            assert_eq!(shard_for(id, n), want, "shard_for({id:?}, {n})");
+        }
+    }
+}
+
+fn tiny_engine(seed: usize) -> SearchEngine {
+    let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+    b.add_document("doc0", &format!("alpha beta term{}", seed % 7));
+    SearchEngine::new(b.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pure and stable: recomputing the route for the same id and shard
+    /// count always yields the same in-range shard, and the route never
+    /// depends on anything but those two inputs.
+    #[test]
+    fn routing_is_pure_and_in_range(
+        id in "[a-z0-9_.-]{0,24}",
+        n_shards in prop::sample::select(vec![1usize, 2, 3, 4, 8, 16, 64, 1024]),
+    ) {
+        let first = shard_for(&id, n_shards);
+        prop_assert!(first < n_shards, "route {first} out of range for {n_shards} shards");
+        // Recompute several times: a pure function cannot drift.
+        for _ in 0..3 {
+            prop_assert_eq!(shard_for(&id, n_shards), first);
+        }
+        // Zero shards clamps to one rather than dividing by zero.
+        prop_assert_eq!(shard_for(&id, 0), 0);
+    }
+}
+
+proptest! {
+    // Uniformity is statistical: fewer, larger cases beat many small
+    // ones. 8192 ids across <=16 shards puts the +/-20% band at more
+    // than 4 standard deviations of a uniform multinomial, so a failure
+    // means skew, not sampling noise.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Uniform within +/-20%: for a large random id population every
+    /// shard's share stays within 20% of the ideal `ids / n_shards`.
+    #[test]
+    fn routing_is_uniform_within_20_percent(
+        ids in prop::collection::vec("[a-z0-9-]{4,24}", 8192usize..8193),
+        n_shards in prop::sample::select(vec![4usize, 8, 16]),
+    ) {
+        let unique: std::collections::HashSet<&str> = ids.iter().map(|s| s.as_str()).collect();
+        prop_assume!(unique.len() >= 1000);
+
+        let mut counts = vec![0usize; n_shards];
+        for id in &unique {
+            counts[shard_for(id, n_shards)] += 1;
+        }
+        let ideal = unique.len() as f64 / n_shards as f64;
+        for (shard, &count) in counts.iter().enumerate() {
+            let deviation = (count as f64 - ideal).abs() / ideal;
+            prop_assert!(
+                deviation <= 0.20,
+                "shard {shard} holds {count} of {} ids (ideal {ideal:.1}, off by {:.1}%)",
+                unique.len(),
+                deviation * 100.0
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Re-sharding to the same count is a no-op: two brokers built
+    /// independently with the same shard count place every engine on
+    /// the same shard, regardless of registration order.
+    #[test]
+    fn same_count_reshard_is_a_noop(
+        ids in prop::collection::vec("[a-z]{3,12}", 4usize..12),
+        n_shards in prop::sample::select(vec![2usize, 4, 16]),
+    ) {
+        let mut names: Vec<String> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| format!("{id}-{i}"))
+            .collect();
+
+        let a = Broker::builder(SubrangeEstimator::paper_six_subrange())
+            .shards(n_shards)
+            .build();
+        for (i, name) in names.iter().enumerate() {
+            a.register(name, tiny_engine(i));
+        }
+
+        // The second broker registers in reverse order: placement must
+        // depend on the id alone.
+        let b = Broker::builder(SubrangeEstimator::paper_six_subrange())
+            .shards(n_shards)
+            .build();
+        for (i, name) in names.iter().enumerate().rev() {
+            b.register(name, tiny_engine(i));
+        }
+
+        let shard_of = |broker: &Broker<SubrangeEstimator>, name: &str| {
+            broker
+                .engine_statuses()
+                .into_iter()
+                .find(|s| s.name == name)
+                .map(|s| s.shard)
+                .unwrap()
+        };
+        names.sort();
+        for name in &names {
+            let placed = shard_of(&a, name);
+            prop_assert_eq!(placed, shard_of(&b, name));
+            prop_assert_eq!(placed, shard_for(name, n_shards));
+        }
+    }
+}
