@@ -96,6 +96,13 @@ pub struct ObsOptions {
     pub stats: bool,
     /// Write the metrics snapshot as JSON to this path.
     pub metrics_out: Option<PathBuf>,
+    /// Append slow-query log lines to this file instead of stderr.
+    pub trace_out: Option<PathBuf>,
+    /// Slow-query threshold in milliseconds (default 500).
+    pub slow_ms: Option<u64>,
+    /// Trace sampling: keep one trace per this many requests
+    /// (0 = never, 1 = every request; default 64).
+    pub trace_sample: Option<u64>,
 }
 
 /// A parsed command plus the flags that apply to all of them.
@@ -120,7 +127,10 @@ usage:
   seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]
 global flags:
   --stats               print a metrics snapshot after the command
-  --metrics-out <path>  write the metrics snapshot as JSON";
+  --metrics-out <path>  write the metrics snapshot as JSON
+  --trace-out <path>    append slow-query log lines to this file (default stderr)
+  --slow-ms <n>         slow-query threshold in milliseconds (default 500)
+  --trace-sample <n>    keep one trace per <n> requests (0 = never, 1 = all; default 64)";
 
 struct Cursor {
     args: Vec<String>,
@@ -174,6 +184,23 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             "--stats" => obs.stats = true,
             "--metrics-out" => {
                 obs.metrics_out = Some(PathBuf::from(cur.value_for("--metrics-out")?));
+            }
+            "--trace-out" => {
+                obs.trace_out = Some(PathBuf::from(cur.value_for("--trace-out")?));
+            }
+            "--slow-ms" => {
+                obs.slow_ms = Some(
+                    cur.value_for("--slow-ms")?
+                        .parse()
+                        .map_err(|_| "--slow-ms needs an integer".to_string())?,
+                );
+            }
+            "--trace-sample" => {
+                obs.trace_sample = Some(
+                    cur.value_for("--trace-sample")?
+                        .parse()
+                        .map_err(|_| "--trace-sample needs an integer".to_string())?,
+                );
             }
             "-q" | "--query" => query = Some(cur.value_for("-q")?),
             "-t" | "--threshold" => {
@@ -496,6 +523,35 @@ mod tests {
         assert!(p(&["search", "e.bin", "-q", "x", "--metrics-out"])
             .unwrap_err()
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let inv = p(&[
+            "serve",
+            "a.bin",
+            "--listen",
+            "l:0",
+            "--trace-out",
+            "slow.log",
+            "--slow-ms",
+            "250",
+            "--trace-sample",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(inv.obs.trace_out, Some("slow.log".into()));
+        assert_eq!(inv.obs.slow_ms, Some(250));
+        assert_eq!(inv.obs.trace_sample, Some(1));
+
+        // Defaults stay unset so the tracer's own defaults apply.
+        let inv = p(&["search", "e.bin", "-q", "soup"]).unwrap();
+        assert_eq!(inv.obs.trace_out, None);
+        assert_eq!(inv.obs.slow_ms, None);
+        assert_eq!(inv.obs.trace_sample, None);
+        assert!(p(&["search", "e.bin", "-q", "x", "--slow-ms", "abc"])
+            .unwrap_err()
+            .contains("integer"));
     }
 
     #[test]

@@ -26,14 +26,39 @@ pub use args::{parse, Command, Invocation, ObsOptions};
 
 use std::io;
 
-/// Runs a parsed invocation: the command itself, then the observability
-/// flags (`--stats` prints a snapshot, `--metrics-out` writes it as
-/// JSON). Metrics are emitted even when the command fails, so a crash
-/// still leaves its counters behind.
+/// Runs a parsed invocation: tracing flags are applied first (they
+/// configure the process-global tracer the broker reports into), then
+/// the command itself, then the observability flags (`--stats` prints a
+/// snapshot, `--metrics-out` writes it as JSON). Metrics are emitted
+/// even when the command fails, so a crash still leaves its counters
+/// behind.
 pub fn run(invocation: &Invocation, out: &mut dyn io::Write) -> Result<(), String> {
+    configure_tracing(&invocation.obs)?;
     let result = run_command(&invocation.command, out);
     emit_metrics(&invocation.obs, out)?;
     result
+}
+
+/// Applies `--trace-sample`, `--slow-ms`, and `--trace-out` to the
+/// process-global tracer. Unset flags leave the tracer's defaults
+/// (sample 1-in-64, slow at 500ms, slow-query lines to stderr).
+fn configure_tracing(obs: &ObsOptions) -> Result<(), String> {
+    let tracer = seu_obs::tracer();
+    if let Some(rate) = obs.trace_sample {
+        tracer.set_sample_rate(rate);
+    }
+    if let Some(ms) = obs.slow_ms {
+        tracer.set_slow_threshold(std::time::Duration::from_millis(ms));
+    }
+    if let Some(path) = &obs.trace_out {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("opening {}: {e}", path.display()))?;
+        tracer.set_slow_log_file(Some(file));
+    }
+    Ok(())
 }
 
 fn emit_metrics(obs: &ObsOptions, out: &mut dyn io::Write) -> Result<(), String> {

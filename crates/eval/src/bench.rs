@@ -61,6 +61,11 @@ pub struct BrokerBenchConfig {
     /// engines and timed separately (`large_*` phases) — the 10k-engine
     /// registry scaling story.
     pub engines: usize,
+    /// Measure tracing overhead: re-run the dispatch workload with
+    /// sampling off (`dispatch_untraced`) and at the default 1-in-64
+    /// rate (`dispatch_sampled`), reporting the percentage difference
+    /// as `trace_overhead_pct`.
+    pub trace_sample: bool,
 }
 
 impl BrokerBenchConfig {
@@ -73,6 +78,7 @@ impl BrokerBenchConfig {
             remote: false,
             shards: 1,
             engines: 0,
+            trace_sample: false,
         }
     }
 }
@@ -96,6 +102,10 @@ pub struct BrokerBenchReport {
     pub shards: usize,
     /// Tiny engines loaded for the `large_*` phases (0 when skipped).
     pub large_engines: usize,
+    /// Dispatch overhead of default 1-in-64 trace sampling relative to
+    /// sampling off, in percent (`None` unless the config asked for the
+    /// `trace_sample` phases).
+    pub trace_overhead_pct: Option<f64>,
     /// Timed phases, in execution order.
     pub phases: Vec<BenchPhase>,
     /// Counter increments attributable to this run (global counter
@@ -117,6 +127,14 @@ impl BrokerBenchReport {
         let _ = writeln!(out, "  \"remote\": {},", self.remote);
         let _ = writeln!(out, "  \"shards\": {},", self.shards);
         let _ = writeln!(out, "  \"large_engines\": {},", self.large_engines);
+        match self.trace_overhead_pct {
+            Some(pct) => {
+                out.push_str("  \"trace_overhead_pct\": ");
+                json::write_num(&mut out, pct);
+                out.push_str(",\n");
+            }
+            None => out.push_str("  \"trace_overhead_pct\": null,\n"),
+        }
         out.push_str("  \"threshold\": ");
         json::write_num(&mut out, self.threshold);
         out.push_str(",\n  \"phases\": [\n");
@@ -171,6 +189,9 @@ impl BrokerBenchReport {
                 "  large-registry phases: {} engines",
                 self.large_engines
             );
+        }
+        if let Some(pct) = self.trace_overhead_pct {
+            let _ = writeln!(out, "  trace sampling overhead: {pct:+.2}% on dispatch");
         }
         let _ = writeln!(out, "  {:<16} {:>10} {:>8}", "phase", "seconds", "items");
         for phase in &self.phases {
@@ -241,14 +262,16 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
     let broker = Broker::builder(SubrangeEstimator::paper_six_subrange())
         .shards(cfg.shards)
         .build();
-    let mut timed = |name: &'static str, items: u64, work: &mut dyn FnMut()| {
+    let mut timed = |name: &'static str, items: u64, work: &mut dyn FnMut()| -> f64 {
         let start = Instant::now();
         work();
+        let seconds = start.elapsed().as_secs_f64();
         phases.push(BenchPhase {
             name,
-            seconds: start.elapsed().as_secs_f64(),
+            seconds,
             items,
         });
+        seconds
     };
     // In remote mode every database gets its own loopback engine server;
     // the servers must outlive the query phases, so they are held here.
@@ -314,6 +337,57 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         }
     });
 
+    // Tracing-overhead phases: the same dispatch workload with head
+    // sampling forced off, then at the default 1-in-64 rate. The two
+    // modes share the warmed broker, so the delta isolates the tracing
+    // layer itself (id allocation, sampling decision, span recording).
+    // The workload is milliseconds long, so a single pair of runs is
+    // dominated by scheduler jitter; each mode runs four times
+    // interleaved and the minimums are compared — noise only ever adds
+    // time, so the min is the best estimate of the true floor.
+    let mut trace_overhead_pct = None;
+    if cfg.trace_sample {
+        let tracer = seu_obs::tracer();
+        let saved_rate = tracer.sample_rate();
+        let mut dispatch_all = || {
+            for q in &queries {
+                broker.execute(
+                    &SearchRequest::new(q)
+                        .threshold(threshold)
+                        .policy(SelectionPolicy::EstimatedUseful),
+                );
+            }
+        };
+        let mut best_untraced = f64::INFINITY;
+        let mut best_sampled = f64::INFINITY;
+        for _ in 0..3 {
+            tracer.set_sample_rate(0);
+            let start = Instant::now();
+            dispatch_all();
+            best_untraced = best_untraced.min(start.elapsed().as_secs_f64());
+            tracer.set_sample_rate(seu_obs::trace::DEFAULT_SAMPLE_RATE);
+            let start = Instant::now();
+            dispatch_all();
+            best_sampled = best_sampled.min(start.elapsed().as_secs_f64());
+        }
+        tracer.set_sample_rate(0);
+        best_untraced = best_untraced.min(timed(
+            "dispatch_untraced",
+            queries.len() as u64,
+            &mut dispatch_all,
+        ));
+        tracer.set_sample_rate(seu_obs::trace::DEFAULT_SAMPLE_RATE);
+        best_sampled = best_sampled.min(timed(
+            "dispatch_sampled",
+            queries.len() as u64,
+            &mut dispatch_all,
+        ));
+        tracer.set_sample_rate(saved_rate);
+        if best_untraced > 0.0 {
+            trace_overhead_pct = Some((best_sampled - best_untraced) / best_untraced * 100.0);
+        }
+    }
+
     // Large-registry phases: a separate broker loaded with cfg.engines
     // tiny collections. Registration and planning here are dominated by
     // registry traversal, not per-document work — exactly what shard
@@ -371,6 +445,7 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         remote,
         shards: cfg.shards.max(1),
         large_engines: cfg.engines,
+        trace_overhead_pct,
         phases,
         counters,
     }
@@ -513,6 +588,45 @@ mod tests {
             doc.get("large_engines").and_then(json::Json::as_num),
             Some(64.0)
         );
+    }
+
+    #[test]
+    fn trace_sample_phases_measure_overhead() {
+        let report = run_broker_bench_config(&BrokerBenchConfig {
+            trace_sample: true,
+            ..BrokerBenchConfig::new(7, 6, 3)
+        });
+        assert_eq!(
+            report.phases.iter().map(|p| p.name).collect::<Vec<_>>(),
+            [
+                "build_databases",
+                "register",
+                "estimate",
+                "select",
+                "search",
+                "plan",
+                "dispatch",
+                "dispatch_untraced",
+                "dispatch_sampled"
+            ]
+        );
+        let pct = report.trace_overhead_pct.expect("overhead measured");
+        assert!(pct.is_finite(), "{pct}");
+
+        let doc = json::parse(&report.to_json()).expect("trace bench JSON parses");
+        assert!(
+            doc.get("trace_overhead_pct")
+                .and_then(json::Json::as_num)
+                .is_some(),
+            "overhead lands in the JSON report"
+        );
+
+        // Without the flag the field is explicit null and the phase
+        // list is untouched.
+        let plain = run_broker_bench(7, 6, 3);
+        assert_eq!(plain.trace_overhead_pct, None);
+        let doc = json::parse(&plain.to_json()).expect("plain bench JSON parses");
+        assert_eq!(doc.get("trace_overhead_pct"), Some(&json::Json::Null));
     }
 
     #[test]

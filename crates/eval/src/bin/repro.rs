@@ -36,6 +36,7 @@
 //!   --remote            bench-broker serves every database over loopback TCP
 //!   --shards N          bench-broker registry shard count (default 1 = flat)
 //!   --engines N         bench-broker adds large-registry phases over N tiny engines
+//!   --trace-sample      bench-broker measures dispatch overhead of default trace sampling
 //!   --stats             print a metrics snapshot after the run
 //!   --metrics-out PATH  write the metrics snapshot as JSON
 //! ```
@@ -54,6 +55,7 @@ fn main() {
     let mut remote = false;
     let mut shards = 1usize;
     let mut engines = 0usize;
+    let mut trace_sample = false;
     let mut stats = false;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
@@ -112,6 +114,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--engines needs an integer"));
             }
+            "--trace-sample" => trace_sample = true,
             "--stats" => stats = true,
             "--metrics-out" => {
                 i += 1;
@@ -175,6 +178,7 @@ fn main() {
             remote,
             shards,
             engines,
+            trace_sample,
             ..seu_eval::BrokerBenchConfig::new(seed, docs_base, n_queries)
         });
         print!("{}", report.to_text());
@@ -324,7 +328,7 @@ fn usage(err: &str) -> ! {
          hierarchy|selection|gloss-bounds|dependence|binary|policies|weighting|\
          exact-percentiles|diagnostics|bench-broker|all] [--seed N] \
          [--bench-out PATH] [--docs-base N] [--queries N] [--remote] [--shards N] \
-         [--engines N] [--stats] [--metrics-out PATH]"
+         [--engines N] [--trace-sample] [--stats] [--metrics-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

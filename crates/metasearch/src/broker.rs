@@ -29,6 +29,7 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use seu_core::{Usefulness, UsefulnessEstimator};
 use seu_engine::{Fingerprint, SearchEngine, TermMap};
+use seu_obs::{SpanRecord, TraceHandle};
 use seu_repr::Representative;
 use seu_text::{Analyzer, AnalyzerConfig, Vocabulary};
 use std::sync::atomic::Ordering;
@@ -793,12 +794,24 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// usefulness estimate per engine, and the policy's invocation set.
     /// No engine is contacted.
     pub fn plan(&self, req: &SearchRequest) -> QueryPlan {
+        self.plan_traced(req, &TraceHandle::disabled())
+    }
+
+    /// [`Broker::plan`] with span recording into an active trace:
+    /// one `plan` span with `analyze`, per-shard `shard_walk`, and
+    /// `select` children.
+    pub fn plan_traced(&self, req: &SearchRequest, trace: &TraceHandle) -> QueryPlan {
         let m = metrics();
         let timer = m.plan_latency.start_timer();
+        let mut plan_span = trace.span("plan");
+        let plan_span_id = plan_span.id();
         // Epoch is read before analysis: a refresh landing mid-plan makes
         // the plan detectably stale rather than silently half-updated.
         let epoch = self.registry.epoch();
-        let analysis = self.analyze(&req.query);
+        let analysis = {
+            let _span = trace.child_span("analyze", plan_span_id);
+            self.analyze(&req.query)
+        };
         // One shard's read lock at a time: a lifecycle event on shard A
         // (refresh, registration, invalidation) never blocks planning
         // over shard B. Per-engine estimates are independent, so only
@@ -807,8 +820,11 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         // the order a flat registry would have produced (selection
         // tie-breaks and merge order depend on it).
         let mut tagged: Vec<(u64, PlannedEngine)> = Vec::new();
-        for shard in self.registry.shards() {
+        for (shard_idx, shard) in self.registry.shards().iter().enumerate() {
             let entries = shard.entries.read();
+            let mut shard_span = trace.child_span("shard_walk", plan_span_id);
+            shard_span.attr("shard", shard_idx);
+            shard_span.attr("engines", entries.len());
             m.estimates.add(entries.len() as u64);
             tagged.extend(entries.iter().map(|e| {
                 let query = match &e.handle {
@@ -859,7 +875,15 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         tagged.sort_unstable_by_key(|&(seq, _)| seq);
         let planned: Vec<PlannedEngine> = tagged.into_iter().map(|(_, e)| e).collect();
         let us: Vec<Usefulness> = planned.iter().map(|e| e.usefulness).collect();
-        let selected = req.policy.select(&us);
+        let selected = {
+            let mut span = trace.child_span("select", plan_span_id);
+            span.attr("considered", planned.len());
+            let selected = req.policy.select(&us);
+            span.attr("selected", selected.len());
+            selected
+        };
+        plan_span.attr("epoch", epoch);
+        plan_span.finish();
         timer.stop();
         QueryPlan {
             query: req.query.clone(),
@@ -883,9 +907,25 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         plan: &QueryPlan,
         threshold: f64,
     ) -> Result<Vec<EngineEstimate>, StalePlanError> {
+        self.try_reestimate_traced(plan, threshold, &TraceHandle::disabled())
+    }
+
+    /// [`Broker::try_reestimate`] with span recording into an active
+    /// trace: one `reestimate` span carrying the threshold, engine
+    /// count, and whether the plan was rejected as stale.
+    pub fn try_reestimate_traced(
+        &self,
+        plan: &QueryPlan,
+        threshold: f64,
+        trace: &TraceHandle,
+    ) -> Result<Vec<EngineEstimate>, StalePlanError> {
+        let mut span = trace.span("reestimate");
+        span.attr("threshold", threshold);
+        span.attr("engines", plan.engines.len());
         let registry_epoch = self.registry.epoch();
         if plan.epoch != registry_epoch {
             metrics().stale_plans.inc();
+            span.attr("stale", "true");
             return Err(StalePlanError {
                 plan_epoch: plan.epoch,
                 registry_epoch,
@@ -933,14 +973,111 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     pub fn execute(&self, req: &SearchRequest) -> SearchResponse {
         let m = metrics();
         let timer = m.query_latency.start_timer();
-        let mut plan = self.plan(req);
+        let mut active = seu_obs::tracer().start_trace("search", req.explain);
+        active.root_attr("query", &req.query);
+        active.root_attr("threshold", req.threshold);
+        let trace = active.handle();
+        let mut plan = self.plan_traced(req, &trace);
         if plan.epoch != self.registry.epoch() {
             m.stale_plans.inc();
-            plan = self.plan(req);
+            plan = self.plan_traced(req, &trace);
         }
-        let resp = self.dispatch(req, &plan);
+        let mut resp = self.dispatch_traced(req, &plan, &trace);
         timer.stop();
+        resp.trace = self.finish_trace(active, req, &resp);
         resp
+    }
+
+    /// Closes a request's trace: back-fills coarse per-engine spans for
+    /// slow-but-unsampled traces, emits the slow-query log line when the
+    /// request ran over budget, and returns the finished trace when the
+    /// request asked for it (`explain`).
+    fn finish_trace(
+        &self,
+        mut active: seu_obs::ActiveTrace,
+        req: &SearchRequest,
+        resp: &SearchResponse,
+    ) -> Option<Arc<seu_obs::FinishedTrace>> {
+        let tracer = seu_obs::tracer();
+        let elapsed = active.elapsed();
+        let slow = tracer.is_slow(elapsed);
+        active.root_attr("hits", resp.hits.len());
+        active.root_attr("complete", resp.is_complete());
+        if slow && !active.is_sampled() {
+            // The head sampler skipped this request, so no fine-grained
+            // spans were recorded — synthesize one coarse span per
+            // engine from the dispatch stats so the retained slow trace
+            // still shows where the time went. Start offsets are
+            // unknown at this point; only the durations are meaningful.
+            let root = active.root_span();
+            let handle = active.handle();
+            handle.adopt_spans(resp.per_engine_stats.iter().map(|s| SpanRecord {
+                id: seu_obs::SpanId(0),
+                parent: root,
+                name: format!("dispatch:{}", s.engine),
+                start_unix_ns: 0,
+                duration_ns: (s.seconds * 1e9) as u64,
+                attrs: vec![
+                    ("engine".to_string(), s.engine.clone()),
+                    ("hits".to_string(), s.hits.to_string()),
+                    ("outcome".to_string(), format!("{:?}", s.outcome)),
+                    ("synthesized".to_string(), "true".to_string()),
+                ],
+            }));
+        }
+        let trace_id = active.trace_id();
+        let finished = active.finish();
+        if slow {
+            self.emit_slow_query_line(trace_id, req, resp, elapsed);
+        }
+        if req.explain {
+            finished
+        } else {
+            None
+        }
+    }
+
+    /// One structured line per over-budget request: total latency plus
+    /// the per-engine breakdown, to the tracer's slow-query sink
+    /// (stderr or the `--trace-out` file).
+    fn emit_slow_query_line(
+        &self,
+        trace_id: seu_obs::TraceId,
+        req: &SearchRequest,
+        resp: &SearchResponse,
+        elapsed: std::time::Duration,
+    ) {
+        use std::fmt::Write as _;
+        let mut line = String::from("{\"event\": \"slow_query\", \"trace_id\": \"");
+        let _ = write!(line, "{}", trace_id.to_hex());
+        line.push_str("\", \"query\": ");
+        seu_obs::json::write_escaped(&mut line, &req.query);
+        let _ = write!(
+            line,
+            ", \"threshold\": {}, \"duration_ms\": {:.3}, \"hits\": {}, \"engines\": [",
+            req.threshold,
+            elapsed.as_secs_f64() * 1e3,
+            resp.hits.len()
+        );
+        for (i, s) in resp.per_engine_stats.iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            line.push_str("{\"engine\": ");
+            seu_obs::json::write_escaped(&mut line, &s.engine);
+            let outcome = match s.outcome {
+                crate::DispatchOutcome::Completed => "completed",
+                crate::DispatchOutcome::Failed => "failed",
+                crate::DispatchOutcome::TimedOut => "timed_out",
+            };
+            let _ = write!(
+                line,
+                ", \"seconds\": {:.6}, \"hits\": {}, \"outcome\": \"{outcome}\"}}",
+                s.seconds, s.hits
+            );
+        }
+        line.push_str("]}");
+        seu_obs::tracer().slow_log_line(&line);
     }
 
     /// Executes an externally supplied plan — e.g. one the caller
@@ -981,8 +1118,26 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// Dispatches a plan's invocation set over the worker pool and merges
     /// the results. The accounting half of [`Broker::execute`].
     fn dispatch(&self, req: &SearchRequest, plan: &QueryPlan) -> SearchResponse {
+        self.dispatch_traced(req, plan, &TraceHandle::disabled())
+    }
+
+    /// [`Broker::dispatch`] with span recording: one `dispatch` span
+    /// with a `dispatch:<engine>` child per invoked engine (carrying the
+    /// queue-wait measured from submission to job start, separate from
+    /// the span's own run time) and a `merge` child. Remote engines are
+    /// called with the trace context so their server-side spans come
+    /// back over the wire and join the same tree.
+    fn dispatch_traced(
+        &self,
+        req: &SearchRequest,
+        plan: &QueryPlan,
+        trace: &TraceHandle,
+    ) -> SearchResponse {
         let m = metrics();
         let dispatch_timer = m.dispatch_latency.start_timer();
+        let mut dispatch_span = trace.span("dispatch");
+        dispatch_span.attr("engines", plan.selected.len());
+        let dispatch_span_id = dispatch_span.id();
         let threshold = req.threshold;
         let jobs: Vec<DispatchJob> = plan
             .selected
@@ -990,11 +1145,21 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             .map(|&i| {
                 let e = &plan.engines[i];
                 let name = e.name.clone();
+                let trace = trace.clone();
+                let enqueued = Instant::now();
                 match &e.handle {
                     EngineHandle::Local(engine) => {
                         let engine = engine.clone();
                         let query = e.query.clone();
                         Box::new(move || {
+                            let mut span =
+                                trace.child_span(&format!("dispatch:{name}"), dispatch_span_id);
+                            span.attr("engine", &name);
+                            span.attr("kind", "local");
+                            span.attr(
+                                "queue_wait_s",
+                                format!("{:.6}", enqueued.elapsed().as_secs_f64()),
+                            );
                             let start = Instant::now();
                             let hits: Vec<MergedHit> = engine
                                 .search_threshold(&query, threshold)
@@ -1005,6 +1170,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                                     sim: h.sim,
                                 })
                                 .collect();
+                            span.attr("hits", hits.len());
                             Ok((hits, start.elapsed().as_secs_f64()))
                         }) as DispatchJob
                     }
@@ -1012,9 +1178,21 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                         let transport = transport.clone();
                         let text = plan.query.clone();
                         Box::new(move || {
+                            let mut span =
+                                trace.child_span(&format!("dispatch:{name}"), dispatch_span_id);
+                            span.attr("engine", &name);
+                            span.attr("kind", "remote");
+                            span.attr("endpoint", transport.endpoint());
+                            span.attr(
+                                "queue_wait_s",
+                                format!("{:.6}", enqueued.elapsed().as_secs_f64()),
+                            );
                             let start = Instant::now();
-                            let hits: Vec<MergedHit> = transport
-                                .search(&text, threshold)?
+                            let ctx = trace.context(span.id());
+                            let (remote_hits, remote_spans) =
+                                transport.search_traced(&text, threshold, &ctx)?;
+                            trace.adopt_spans(remote_spans);
+                            let hits: Vec<MergedHit> = remote_hits
                                 .into_iter()
                                 .map(|h| MergedHit {
                                     engine: name.clone(),
@@ -1022,6 +1200,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                                     sim: h.sim,
                                 })
                                 .collect();
+                            span.attr("hits", hits.len());
                             Ok((hits, start.elapsed().as_secs_f64()))
                         }) as DispatchJob
                     }
@@ -1069,10 +1248,20 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             });
             per_engine.push(hits);
         }
-        let mut merged = merge_results(per_engine);
+        let mut merged = {
+            let mut span = trace.child_span("merge", dispatch_span_id);
+            span.attr(
+                "sources",
+                per_engine.iter().filter(|h| !h.is_empty()).count(),
+            );
+            let merged = merge_results(per_engine);
+            span.attr("hits", merged.len());
+            merged
+        };
         if let Some(k) = req.top_k {
             merged.truncate(k);
         }
+        dispatch_span.finish();
         dispatch_timer.stop();
 
         m.queries.inc();
@@ -1089,6 +1278,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                 Vec::new()
             },
             per_engine_stats,
+            trace: None,
         }
     }
 
@@ -1434,5 +1624,77 @@ mod tests {
         let (threads, peak) = b.pool_stats();
         assert_eq!(threads, 2);
         assert!((1..=2).contains(&peak), "{peak}");
+    }
+
+    #[test]
+    fn explain_returns_connected_span_tree() {
+        let b = broker();
+        let resp = b.execute(
+            &SearchRequest::new("databases")
+                .policy(SelectionPolicy::All)
+                .explain(true),
+        );
+        let trace = resp.trace.as_ref().expect("explain forces a trace");
+        assert!(trace.sampled);
+        assert_eq!(trace.spans[0].name, "search");
+        assert_eq!(trace.spans[0].parent, seu_obs::SpanId(0));
+        let root = trace.spans[0].id;
+        // The request pipeline's phases are all present.
+        for phase in ["plan", "analyze", "select", "dispatch", "merge"] {
+            assert!(
+                trace.spans.iter().any(|s| s.name == phase),
+                "missing span {phase:?}"
+            );
+        }
+        assert!(trace.spans.iter().any(|s| s.name == "shard_walk"));
+        // One dispatch child per selected engine, carrying the
+        // queue-wait attribute.
+        let dispatch = trace.spans.iter().find(|s| s.name == "dispatch").unwrap();
+        assert_eq!(dispatch.parent, root);
+        let engine_spans: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("dispatch:"))
+            .collect();
+        assert_eq!(engine_spans.len(), 3);
+        for s in &engine_spans {
+            assert_eq!(s.parent, dispatch.id);
+            assert!(s.attrs.iter().any(|(k, _)| k == "queue_wait_s"));
+        }
+        // Every non-root span's parent exists: the tree is connected.
+        for s in &trace.spans[1..] {
+            assert!(
+                trace.spans.iter().any(|p| p.id == s.parent),
+                "orphan span {:?}",
+                s.name
+            );
+        }
+        // The trace is queryable from the store afterwards.
+        let stored = seu_obs::tracer().store().get(trace.trace_id).unwrap();
+        assert_eq!(stored.trace_id, trace.trace_id);
+    }
+
+    #[test]
+    fn unexplained_query_returns_no_trace() {
+        let b = broker();
+        let resp = b.execute(&SearchRequest::new("databases").policy(SelectionPolicy::All));
+        assert!(resp.trace.is_none());
+    }
+
+    #[test]
+    fn traced_reestimate_records_span() {
+        let b = broker();
+        let plan = b.plan(&SearchRequest::new("soup").policy(SelectionPolicy::All));
+        let trace = seu_obs::tracer().start_trace("reestimate_test", true);
+        let handle = trace.handle();
+        let ests = b.try_reestimate_traced(&plan, 0.2, &handle).unwrap();
+        assert_eq!(ests.len(), 3);
+        let finished = trace.finish().unwrap();
+        let span = finished
+            .spans
+            .iter()
+            .find(|s| s.name == "reestimate")
+            .unwrap();
+        assert!(span.attrs.iter().any(|(k, v)| k == "engines" && v == "3"));
     }
 }

@@ -41,6 +41,8 @@ struct PoolMetrics {
     workers: Arc<seu_obs::Gauge>,
     queue_depth: Arc<seu_obs::Gauge>,
     jobs: Arc<seu_obs::Counter>,
+    job_seconds: Arc<seu_obs::Histogram>,
+    queue_wait_seconds: Arc<seu_obs::Histogram>,
 }
 
 fn metrics() -> &'static PoolMetrics {
@@ -49,7 +51,25 @@ fn metrics() -> &'static PoolMetrics {
         workers: seu_obs::gauge("broker_pool_workers"),
         queue_depth: seu_obs::gauge("broker_pool_queue_depth"),
         jobs: seu_obs::counter("broker_pool_jobs_total"),
+        job_seconds: seu_obs::histogram("broker_pool_job_seconds"),
+        queue_wait_seconds: seu_obs::histogram("broker_pool_queue_wait_seconds"),
     })
+}
+
+/// Runs `job` under `catch_unwind`, observing its wall-clock duration
+/// into `hist` **exactly once**. The timer is created outside the
+/// unwind boundary and stopped explicitly after `catch_unwind` returns:
+/// a panicking job unwinds only up to the boundary, so the timer is
+/// never dropped mid-unwind (which would record) *and* stopped again
+/// afterwards (which would double-count).
+fn run_job_timed<T>(
+    job: Box<dyn FnOnce() -> T + Send + 'static>,
+    hist: &Arc<seu_obs::Histogram>,
+) -> Option<T> {
+    let timer = hist.start_timer();
+    let result = catch_unwind(AssertUnwindSafe(job)).ok();
+    timer.stop();
+    result
 }
 
 /// Forces creation of the pool's instruments so snapshots include the
@@ -238,8 +258,12 @@ impl WorkerPool {
         let mut rejected: Vec<usize> = Vec::new();
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
+            let enqueued = Instant::now();
             let submitted = self.submit(Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(job)).ok();
+                let m = metrics();
+                m.queue_wait_seconds
+                    .observe(enqueued.elapsed().as_secs_f64());
+                let result = run_job_timed(job, &m.job_seconds);
                 let _ = tx.send((i, result));
             }));
             if submitted.is_err() {
@@ -428,6 +452,37 @@ mod tests {
         let snap = seu_obs::global().snapshot();
         assert_eq!(snap.gauges["broker_pool_alias_test_a_workers"], 0.0);
         assert_eq!(snap.gauges["broker_pool_alias_test_b_workers"], 0.0);
+    }
+
+    #[test]
+    fn panicking_job_records_duration_exactly_once() {
+        // Deterministic: a private histogram sees only this job, so the
+        // exactly-once property is provable even while sibling tests
+        // hammer the global `broker_pool_job_seconds`.
+        let hist = Arc::new(seu_obs::Histogram::new());
+        let result: Option<u32> = run_job_timed(Box::new(|| panic!("engine exploded")), &hist);
+        assert!(result.is_none());
+        assert_eq!(hist.count(), 1, "panic unwind must not double-record");
+
+        let ok = run_job_timed(Box::new(|| 5u32), &hist);
+        assert_eq!(ok, Some(5));
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn pool_jobs_feed_duration_and_queue_wait_histograms() {
+        let job_seconds = seu_obs::histogram("broker_pool_job_seconds");
+        let queue_wait = seu_obs::histogram("broker_pool_queue_wait_seconds");
+        let before_jobs = job_seconds.count();
+        let before_wait = queue_wait.count();
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        let results = pool.run_collect(jobs, None);
+        assert_eq!(results[1], JobStatus::Panicked);
+        // Every job (including the panicking one) recorded once.
+        assert!(job_seconds.count() >= before_jobs + 3);
+        assert!(queue_wait.count() >= before_wait + 3);
     }
 
     #[test]

@@ -178,6 +178,24 @@ pub trait RemoteTransport: Send + Sync + std::fmt::Debug {
     /// with similarity above `threshold`, best first.
     fn search(&self, query_text: &str, threshold: f64) -> Result<Vec<RemoteHit>, TransportError>;
 
+    /// Searches while propagating trace context, returning the hits plus
+    /// any spans the remote side recorded under `ctx` (empty when the
+    /// transport does not support tracing). The default implementation
+    /// ignores the context and delegates to [`RemoteTransport::search`],
+    /// so in-process transports keep working unchanged; seu-net's client
+    /// overrides it to carry the context over the wire and to fall back
+    /// transparently when the peer predates the traced message kind.
+    fn search_traced(
+        &self,
+        query_text: &str,
+        threshold: f64,
+        ctx: &seu_obs::TraceContext,
+    ) -> Result<(Vec<RemoteHit>, Vec<seu_obs::SpanRecord>), TransportError> {
+        let _ = ctx;
+        self.search(query_text, threshold)
+            .map(|hits| (hits, Vec::new()))
+    }
+
     /// The engine's exact usefulness for a query at a threshold — the
     /// oracle the evaluation compares estimates against.
     fn true_usefulness(

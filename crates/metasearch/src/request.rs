@@ -74,6 +74,10 @@ pub struct SearchRequest {
     /// What to do when an externally supplied plan turns out stale
     /// (see [`StaleMode`]).
     pub stale_mode: StaleMode,
+    /// Whether to force-sample a trace for this request and return the
+    /// finished span tree in [`SearchResponse::trace`] (the HTTP
+    /// `explain` option).
+    pub explain: bool,
 }
 
 impl SearchRequest {
@@ -89,6 +93,7 @@ impl SearchRequest {
             timeout: None,
             with_estimates: false,
             stale_mode: StaleMode::Replan,
+            explain: false,
         }
     }
 
@@ -125,6 +130,12 @@ impl SearchRequest {
     /// Sets the stale-plan handling mode.
     pub fn stale_mode(mut self, mode: StaleMode) -> Self {
         self.stale_mode = mode;
+        self
+    }
+
+    /// Forces trace sampling and returns the span tree in the response.
+    pub fn explain(mut self, yes: bool) -> Self {
+        self.explain = yes;
         self
     }
 }
@@ -178,6 +189,10 @@ pub struct SearchResponse {
     /// Per selected engine: hit count, latency, and outcome, in
     /// invocation order.
     pub per_engine_stats: Vec<EngineDispatchStats>,
+    /// The finished span tree, present when the request set
+    /// [`SearchRequest::explain`] (or the head sampler retained the
+    /// trace and it finished slow — see `seu_obs::trace`).
+    pub trace: Option<std::sync::Arc<seu_obs::FinishedTrace>>,
 }
 
 impl SearchResponse {
@@ -211,6 +226,7 @@ mod tests {
         assert_eq!(req.timeout, None);
         assert!(!req.with_estimates);
         assert_eq!(req.stale_mode, StaleMode::Replan);
+        assert!(!req.explain);
 
         let req = req
             .threshold(0.3)
@@ -218,7 +234,9 @@ mod tests {
             .top_k(5)
             .timeout(Duration::from_secs(1))
             .with_estimates(true)
-            .stale_mode(StaleMode::Error);
+            .stale_mode(StaleMode::Error)
+            .explain(true);
+        assert!(req.explain);
         assert_eq!(req.threshold, 0.3);
         assert_eq!(req.policy, SelectionPolicy::All);
         assert_eq!(req.top_k, Some(5));
@@ -248,6 +266,7 @@ mod tests {
                     error: None,
                 },
             ],
+            trace: None,
         };
         assert_eq!(resp.selected(), vec!["a".to_string(), "b".to_string()]);
         assert!(!resp.is_complete());

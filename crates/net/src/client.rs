@@ -22,6 +22,8 @@ use seu_metasearch::{
     EngineSnapshot, RemoteHit, RemoteTransport, TransportError, TransportErrorKind,
 };
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -57,6 +59,9 @@ impl Default for RemoteEngineConfig {
 pub struct RemoteEngine {
     addr: SocketAddr,
     config: RemoteEngineConfig,
+    /// Set once a peer rejects the traced search kind; shared across
+    /// clones so the whole broker stops re-probing a legacy engine.
+    peer_lacks_tracing: Arc<AtomicBool>,
 }
 
 impl RemoteEngine {
@@ -79,7 +84,11 @@ impl RemoteEngine {
             .ok_or_else(|| {
                 TransportError::new(TransportErrorKind::Refused, "address resolved to nothing")
             })?;
-        Ok(RemoteEngine { addr, config })
+        Ok(RemoteEngine {
+            addr,
+            config,
+            peer_lacks_tracing: Arc::new(AtomicBool::new(false)),
+        })
     }
 
     /// Opens a connection and completes the Hello handshake, returning
@@ -268,6 +277,43 @@ impl RemoteTransport for RemoteEngine {
         })? {
             Message::SearchResults { hits } => Ok(hits),
             other => Err(unexpected("SearchResults", &other)),
+        }
+    }
+
+    fn search_traced(
+        &self,
+        query_text: &str,
+        threshold: f64,
+        ctx: &seu_obs::TraceContext,
+    ) -> Result<(Vec<RemoteHit>, Vec<seu_obs::SpanRecord>), TransportError> {
+        // Unsampled requests go over the wire exactly as before the
+        // traced kind existed: byte-identical frames, no span shipping.
+        // Ditto once a peer has rejected the kind — remembered across
+        // clones so a legacy engine is probed at most once.
+        if !ctx.sampled || self.peer_lacks_tracing.load(Ordering::Relaxed) {
+            return self
+                .search(query_text, threshold)
+                .map(|hits| (hits, Vec::new()));
+        }
+        let request = Message::TracedSearchDocs {
+            query: query_text.to_string(),
+            threshold,
+            trace_id: ctx.trace_id.0,
+            parent_span: ctx.parent_span.0,
+            sampled: ctx.sampled,
+        };
+        match self.call(&request) {
+            Ok(Message::TracedSearchResults { hits, spans }) => Ok((hits, spans)),
+            Ok(other) => Err(unexpected("TracedSearchResults", &other)),
+            Err(e) if e.kind == TransportErrorKind::Remote => {
+                // An old server answers an unknown kind with Error.
+                // Remember and fall back to the plain message.
+                self.peer_lacks_tracing.store(true, Ordering::Relaxed);
+                metrics().client_trace_fallbacks.inc();
+                self.search(query_text, threshold)
+                    .map(|hits| (hits, Vec::new()))
+            }
+            Err(e) => Err(e),
         }
     }
 

@@ -8,15 +8,19 @@
 //! | route | reply |
 //! |-------|-------|
 //! | `GET /metrics` | the process-global [`seu_obs`] registry in Prometheus text exposition |
-//! | `GET /healthz` | `ok` |
+//! | `GET /healthz` | JSON health: registry epoch, shard count, engine count |
 //! | `GET /engines` | JSON array of the broker's [`EngineStatus`] rows |
 //! | `POST /search` | executes a JSON search request against the broker |
+//! | `GET /traces` | JSON array of retained trace summaries, newest first |
+//! | `GET /traces/<id>` | one retained trace as a full span tree (16-hex trace id) |
 //!
 //! `POST /search` takes `{"query": "...", "threshold": 0.2, "top_k": 10,
-//! "all": true}` (only `query` required; `all` selects every engine
-//! instead of the estimated-useful policy) and answers with merged hits,
-//! per-engine estimates, and per-engine dispatch stats — including the
-//! typed transport error when a remote engine failed.
+//! "all": true, "explain": true}` (only `query` required; `all` selects
+//! every engine instead of the estimated-useful policy) and answers with
+//! merged hits, per-engine estimates, and per-engine dispatch stats —
+//! including the typed transport error when a remote engine failed. With
+//! `explain` the request is force-sampled and the reply carries the
+//! complete span tree inline under `"trace"`.
 //!
 //! The server is decoupled from the broker's estimator type through the
 //! object-safe [`BrokerAdmin`] trait, blanket-implemented for every
@@ -24,7 +28,9 @@
 
 use crate::metrics::metrics;
 use seu_core::UsefulnessEstimator;
-use seu_metasearch::{Broker, EngineStatus, SearchRequest, SearchResponse, SelectionPolicy};
+use seu_metasearch::{
+    Broker, EngineStatus, RegistrySnapshot, SearchRequest, SearchResponse, SelectionPolicy,
+};
 use seu_obs::json::{self, Json};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -48,6 +54,8 @@ pub trait BrokerAdmin: Send + Sync {
     fn engine_statuses(&self) -> Vec<EngineStatus>;
     /// Plans, selects, dispatches, and merges one request.
     fn search(&self, request: &SearchRequest) -> SearchResponse;
+    /// A consistent epoch cut of the registry, for health reporting.
+    fn registry_snapshot(&self) -> RegistrySnapshot;
 }
 
 impl<E: UsefulnessEstimator + Send + Sync> BrokerAdmin for Broker<E> {
@@ -57,6 +65,10 @@ impl<E: UsefulnessEstimator + Send + Sync> BrokerAdmin for Broker<E> {
 
     fn search(&self, request: &SearchRequest) -> SearchResponse {
         self.execute(request)
+    }
+
+    fn registry_snapshot(&self) -> RegistrySnapshot {
+        Broker::registry_snapshot(self)
     }
 }
 
@@ -214,7 +226,24 @@ fn serve_one(mut stream: TcpStream, broker: &dyn BrokerAdmin) -> std::io::Result
                 &exposition,
             )
         }
-        ("GET", "/healthz") => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        ("GET", "/healthz") => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &healthz_json(&broker.registry_snapshot()),
+        ),
+        ("GET", "/traces") => respond(&mut stream, "200 OK", "application/json", &traces_json()),
+        ("GET", path) if path.starts_with("/traces/") => {
+            match lookup_trace(&path["/traces/".len()..]) {
+                Some(body) => respond(&mut stream, "200 OK", "application/json", &body),
+                None => respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "application/json",
+                    "{\"error\":\"no such trace\"}",
+                ),
+            }
+        }
         ("GET", "/engines") => respond(
             &mut stream,
             "200 OK",
@@ -265,7 +294,37 @@ fn parse_search(body: &[u8]) -> Result<SearchRequest, String> {
     if value.get("all") == Some(&Json::Bool(true)) {
         request = request.policy(SelectionPolicy::All);
     }
+    if value.get("explain") == Some(&Json::Bool(true)) {
+        request = request.explain(true);
+    }
     Ok(request)
+}
+
+fn healthz_json(snapshot: &RegistrySnapshot) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"registry_epoch\":{},\"shards\":{},\"engines\":{}}}",
+        snapshot.epoch,
+        snapshot.shard_epochs.len(),
+        snapshot.statuses.len()
+    )
+}
+
+fn traces_json() -> String {
+    let mut out = String::from("[");
+    for (i, trace) in seu_obs::tracer().store().recent().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&trace.summary_json());
+    }
+    out.push(']');
+    out
+}
+
+fn lookup_trace(hex: &str) -> Option<String> {
+    let id = seu_obs::TraceId::from_hex(hex)?;
+    let trace = seu_obs::tracer().store().get(id)?;
+    Some(trace.to_json())
 }
 
 fn engines_json(statuses: &[EngineStatus]) -> String {
@@ -341,6 +400,11 @@ fn search_json(response: &SearchResponse) -> String {
         }
         out.push('}');
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(trace) = &response.trace {
+        out.push_str(",\"trace\":");
+        trace.write_json(&mut out);
+    }
+    out.push('}');
     out
 }

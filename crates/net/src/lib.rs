@@ -24,8 +24,9 @@
 //!   failing the query.
 //! * **[`AdminServer`]** is a minimal HTTP/1.1 server over a broker:
 //!   `GET /metrics` (Prometheus exposition of the process-global
-//!   [`seu_obs`] registry), `GET /healthz`, `GET /engines`, and
-//!   `POST /search`.
+//!   [`seu_obs`] registry), `GET /healthz`, `GET /engines`,
+//!   `POST /search` (with an inline span tree under `"explain"`), and
+//!   `GET /traces` for retained request traces.
 //!
 //! The wire format is a length-prefixed binary framing ([`frame`]) with
 //! a small fixed message vocabulary ([`wire`]); every length read off

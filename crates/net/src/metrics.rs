@@ -38,6 +38,11 @@ pub(crate) struct NetMetrics {
     pub(crate) server_subscribers: Arc<seu_obs::Gauge>,
     /// HTTP requests served by admin servers.
     pub(crate) http_requests: Arc<seu_obs::Counter>,
+    /// Traced searches that fell back to the plain message because the
+    /// peer predates the traced kind.
+    pub(crate) client_trace_fallbacks: Arc<seu_obs::Counter>,
+    /// Traced searches served by engine servers (spans shipped back).
+    pub(crate) server_traced_searches: Arc<seu_obs::Counter>,
 }
 
 pub(crate) fn metrics() -> &'static NetMetrics {
@@ -57,6 +62,8 @@ pub(crate) fn metrics() -> &'static NetMetrics {
         server_requests: seu_obs::counter("net_server_requests_total"),
         server_subscribers: seu_obs::gauge("net_server_subscribers"),
         http_requests: seu_obs::counter("net_http_requests_total"),
+        client_trace_fallbacks: seu_obs::counter("net_client_trace_fallbacks_total"),
+        server_traced_searches: seu_obs::counter("net_server_traced_searches_total"),
     })
 }
 

@@ -324,6 +324,48 @@ fn answer(state: &ServerState, request: Message) -> Message {
                 .collect();
             Message::SearchResults { hits }
         }
+        Message::TracedSearchDocs {
+            query,
+            threshold,
+            trace_id,
+            parent_span,
+            sampled,
+        } => {
+            metrics().server_traced_searches.inc();
+            let started = std::time::Instant::now();
+            let start_unix_ns = seu_obs::unix_now_ns();
+            let c = engine.collection();
+            let q = c.query_from_text(&query);
+            let hits: Vec<RemoteHit> = engine
+                .search_threshold(&q, threshold)
+                .into_iter()
+                .map(|h| RemoteHit {
+                    doc: c.doc(h.doc).name.clone(),
+                    sim: h.sim,
+                })
+                .collect();
+            // Author the server-side span by hand: there is no tracer on
+            // this side, just an id minted into the caller's trace. The
+            // caller grafts it under its dispatch span via the parent
+            // link carried in the request.
+            let spans = if sampled {
+                vec![seu_obs::SpanRecord {
+                    id: seu_obs::new_span_id(),
+                    parent: seu_obs::SpanId(parent_span),
+                    name: "remote_search".to_string(),
+                    start_unix_ns,
+                    duration_ns: started.elapsed().as_nanos() as u64,
+                    attrs: vec![
+                        ("engine".to_string(), state.name.clone()),
+                        ("hits".to_string(), hits.len().to_string()),
+                        ("trace_id".to_string(), seu_obs::TraceId(trace_id).to_hex()),
+                    ],
+                }]
+            } else {
+                Vec::new()
+            };
+            Message::TracedSearchResults { hits, spans }
+        }
         Message::Estimate { query, threshold } => {
             let q = engine.collection().query_from_text(&query);
             let u = engine.true_usefulness(&q, threshold);

@@ -19,6 +19,17 @@
 //! | 10 | [`Message::Ping`] | client → server |
 //! | 11 | [`Message::Pong`] | server → client |
 //! | 12 | [`Message::Error`] | server → client |
+//! | 13 | [`Message::TracedSearchDocs`] | client → server |
+//! | 14 | [`Message::TracedSearchResults`] | server → client |
+//!
+//! Kinds 13/14 carry distributed-trace context
+//! (`trace_id`/`parent_span_id`/`sampled`) alongside a search and bring
+//! the server-side spans back with the hits. They are **additive**: a
+//! client only sends kind 13 when its trace is sampled, and peers that
+//! predate the kind answer it with [`Message::Error`] (their decoder
+//! rejects unknown kinds), which the client treats as "legacy peer" and
+//! transparently retries as a plain [`Message::SearchDocs`] — so mixed
+//! fleets interop and the untraced path stays byte-identical.
 //!
 //! Representatives travel as [`FrozenSummary::to_bytes_exact`] — full
 //! f64 statistics — because the whole point of shipping them is that
@@ -108,6 +119,29 @@ pub enum Message {
         /// Human-readable context.
         detail: String,
     },
+    /// [`Message::SearchDocs`] carrying the caller's trace context, so
+    /// the server's spans join the caller's trace.
+    TracedSearchDocs {
+        /// Raw query text.
+        query: String,
+        /// Similarity threshold `T`.
+        threshold: f64,
+        /// The caller's trace id.
+        trace_id: u64,
+        /// The caller-side span the server's work nests under.
+        parent_span: u64,
+        /// The caller's head sampling decision.
+        sampled: bool,
+    },
+    /// Answer to [`Message::TracedSearchDocs`]: the hits plus the spans
+    /// the server recorded under the propagated context.
+    TracedSearchResults {
+        /// The hits, best first.
+        hits: Vec<RemoteHit>,
+        /// Server-side spans, parented (transitively) under the
+        /// request's `parent_span`.
+        spans: Vec<seu_obs::SpanRecord>,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -122,6 +156,8 @@ const KIND_INVALIDATE_NOTICE: u8 = 9;
 const KIND_PING: u8 = 10;
 const KIND_PONG: u8 = 11;
 const KIND_ERROR: u8 = 12;
+const KIND_TRACED_SEARCH_DOCS: u8 = 13;
+const KIND_TRACED_SEARCH_RESULTS: u8 = 14;
 
 fn protocol(detail: impl Into<String>) -> TransportError {
     TransportError::new(TransportErrorKind::Protocol, detail)
@@ -281,6 +317,92 @@ fn get_snapshot(buf: &mut &[u8]) -> Result<EngineSnapshot, TransportError> {
     Ok(snapshot)
 }
 
+fn put_hits(buf: &mut BytesMut, hits: &[RemoteHit]) {
+    buf.put_u32(hits.len() as u32);
+    for h in hits {
+        put_string(buf, &h.doc);
+        buf.put_f64(h.sim);
+    }
+}
+
+fn get_hits(buf: &mut &[u8]) -> Result<Vec<RemoteHit>, TransportError> {
+    let n = get_u32(buf)? as usize;
+    // Smallest hit record: 4-byte name length + 8-byte sim.
+    if buf.remaining() / 12 < n {
+        return Err(protocol(format!(
+            "result list claims {n} hits but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut hits = Vec::with_capacity(n);
+    for _ in 0..n {
+        hits.push(RemoteHit {
+            doc: get_string(buf)?,
+            sim: get_f64(buf)?,
+        });
+    }
+    Ok(hits)
+}
+
+fn put_spans(buf: &mut BytesMut, spans: &[seu_obs::SpanRecord]) {
+    buf.put_u32(spans.len() as u32);
+    for s in spans {
+        buf.put_u64(s.id.0);
+        buf.put_u64(s.parent.0);
+        put_string(buf, &s.name);
+        buf.put_u64(s.start_unix_ns);
+        buf.put_u64(s.duration_ns);
+        buf.put_u32(s.attrs.len() as u32);
+        for (k, v) in &s.attrs {
+            put_string(buf, k);
+            put_string(buf, v);
+        }
+    }
+}
+
+fn get_spans(buf: &mut &[u8]) -> Result<Vec<seu_obs::SpanRecord>, TransportError> {
+    let n = get_u32(buf)? as usize;
+    // Smallest span record: two 8-byte ids, 4-byte name length, two
+    // 8-byte times, 4-byte attr count.
+    if buf.remaining() / 40 < n {
+        return Err(protocol(format!(
+            "span list claims {n} spans but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = seu_obs::SpanId(get_u64(buf)?);
+        let parent = seu_obs::SpanId(get_u64(buf)?);
+        let name = get_string(buf)?;
+        let start_unix_ns = get_u64(buf)?;
+        let duration_ns = get_u64(buf)?;
+        let n_attrs = get_u32(buf)? as usize;
+        // Smallest attribute: two 4-byte length prefixes.
+        if buf.remaining() / 8 < n_attrs {
+            return Err(protocol(format!(
+                "span claims {n_attrs} attrs but only {} bytes remain",
+                buf.remaining()
+            )));
+        }
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let k = get_string(buf)?;
+            let v = get_string(buf)?;
+            attrs.push((k, v));
+        }
+        spans.push(seu_obs::SpanRecord {
+            id,
+            parent,
+            name,
+            start_unix_ns,
+            duration_ns,
+            attrs,
+        });
+    }
+    Ok(spans)
+}
+
 impl Message {
     /// Encodes the message as `(frame kind, payload)`.
     pub fn encode(&self) -> (u8, Vec<u8>) {
@@ -300,11 +422,7 @@ impl Message {
                 KIND_SEARCH_DOCS
             }
             Message::SearchResults { hits } => {
-                buf.put_u32(hits.len() as u32);
-                for h in hits {
-                    put_string(&mut buf, &h.doc);
-                    buf.put_f64(h.sim);
-                }
+                put_hits(&mut buf, hits);
                 KIND_SEARCH_RESULTS
             }
             Message::Estimate { query, threshold } => {
@@ -343,6 +461,25 @@ impl Message {
                 put_string(&mut buf, detail);
                 KIND_ERROR
             }
+            Message::TracedSearchDocs {
+                query,
+                threshold,
+                trace_id,
+                parent_span,
+                sampled,
+            } => {
+                put_string(&mut buf, query);
+                buf.put_f64(*threshold);
+                buf.put_u64(*trace_id);
+                buf.put_u64(*parent_span);
+                buf.put_u8(*sampled as u8);
+                KIND_TRACED_SEARCH_DOCS
+            }
+            Message::TracedSearchResults { hits, spans } => {
+                put_hits(&mut buf, hits);
+                put_spans(&mut buf, spans);
+                KIND_TRACED_SEARCH_RESULTS
+            }
         };
         (kind, buf.freeze().chunk().to_vec())
     }
@@ -362,24 +499,9 @@ impl Message {
                 query: get_string(&mut buf)?,
                 threshold: get_f64(&mut buf)?,
             },
-            KIND_SEARCH_RESULTS => {
-                let n = get_u32(&mut buf)? as usize;
-                // Smallest hit record: 4-byte name length + 8-byte sim.
-                if buf.remaining() / 12 < n {
-                    return Err(protocol(format!(
-                        "result list claims {n} hits but only {} bytes remain",
-                        buf.remaining()
-                    )));
-                }
-                let mut hits = Vec::with_capacity(n);
-                for _ in 0..n {
-                    hits.push(RemoteHit {
-                        doc: get_string(&mut buf)?,
-                        sim: get_f64(&mut buf)?,
-                    });
-                }
-                Message::SearchResults { hits }
-            }
+            KIND_SEARCH_RESULTS => Message::SearchResults {
+                hits: get_hits(&mut buf)?,
+            },
             KIND_ESTIMATE => Message::Estimate {
                 query: get_string(&mut buf)?,
                 threshold: get_f64(&mut buf)?,
@@ -402,6 +524,17 @@ impl Message {
             KIND_PONG => Message::Pong,
             KIND_ERROR => Message::Error {
                 detail: get_string(&mut buf)?,
+            },
+            KIND_TRACED_SEARCH_DOCS => Message::TracedSearchDocs {
+                query: get_string(&mut buf)?,
+                threshold: get_f64(&mut buf)?,
+                trace_id: get_u64(&mut buf)?,
+                parent_span: get_u64(&mut buf)?,
+                sampled: get_u8(&mut buf)? != 0,
+            },
+            KIND_TRACED_SEARCH_RESULTS => Message::TracedSearchResults {
+                hits: get_hits(&mut buf)?,
+                spans: get_spans(&mut buf)?,
             },
             other => return Err(protocol(format!("unknown message kind {other}"))),
         };
@@ -520,6 +653,83 @@ mod tests {
             assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits(), "{term}");
             assert_eq!(a.max.to_bits(), b.max.to_bits(), "{term}");
         }
+    }
+
+    #[test]
+    fn traced_search_messages_round_trip() {
+        match round_trip(&Message::TracedSearchDocs {
+            query: "mushroom soup".into(),
+            threshold: 0.25,
+            trace_id: 0xdead_beef,
+            parent_span: 42,
+            sampled: true,
+        }) {
+            Message::TracedSearchDocs {
+                query,
+                threshold,
+                trace_id,
+                parent_span,
+                sampled,
+            } => {
+                assert_eq!(query, "mushroom soup");
+                assert_eq!(threshold, 0.25);
+                assert_eq!(trace_id, 0xdead_beef);
+                assert_eq!(parent_span, 42);
+                assert!(sampled);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let spans = vec![seu_obs::SpanRecord {
+            id: seu_obs::SpanId(7),
+            parent: seu_obs::SpanId(42),
+            name: "remote_search".into(),
+            start_unix_ns: 1_000,
+            duration_ns: 2_000,
+            attrs: vec![("engine".into(), "dbs".into()), ("hits".into(), "1".into())],
+        }];
+        let hits = vec![RemoteHit {
+            doc: "d0".into(),
+            sim: 0.9,
+        }];
+        match round_trip(&Message::TracedSearchResults {
+            hits: hits.clone(),
+            spans: spans.clone(),
+        }) {
+            Message::TracedSearchResults { hits: h, spans: s } => {
+                assert_eq!(h, hits);
+                assert_eq!(s, spans);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_span_list_liar_is_a_protocol_error() {
+        // A span-count liar must fail before allocating.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0); // zero hits
+        buf.put_u32(u32::MAX); // span-count liar
+        let err = Message::decode(KIND_TRACED_SEARCH_RESULTS, buf.freeze().chunk()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+    }
+
+    #[test]
+    fn old_decoder_rejects_traced_kind_as_unknown() {
+        // What a pre-tracing peer does with kind 13: its decoder has no
+        // arm for it, so the request surfaces as a Protocol error (and
+        // the server answers Message::Error). The fallback in
+        // RemoteEngine::search_traced depends on this behaviour.
+        let (kind, payload) = Message::TracedSearchDocs {
+            query: "q".into(),
+            threshold: 0.0,
+            trace_id: 1,
+            parent_span: 2,
+            sampled: true,
+        }
+        .encode();
+        assert_eq!(kind, 13);
+        assert!(payload.len() > 8);
     }
 
     #[test]

@@ -218,7 +218,26 @@ fn admin_server_serves_health_engines_search_and_metrics() {
 
     let (status, body) = http_get(admin.addr(), "/healthz");
     assert!(status.contains("200"), "{status}");
-    assert_eq!(body, "ok\n");
+    let health = json::parse(&body).expect("healthz JSON parses");
+    assert_eq!(
+        health.get("status").and_then(json::Json::as_str),
+        Some("ok")
+    );
+    assert_eq!(
+        health.get("engines").and_then(json::Json::as_num),
+        Some(2.0)
+    );
+    assert!(
+        health.get("shards").and_then(json::Json::as_num).unwrap() >= 1.0,
+        "{body}"
+    );
+    assert!(
+        health
+            .get("registry_epoch")
+            .and_then(json::Json::as_num)
+            .is_some(),
+        "{body}"
+    );
 
     let (status, body) = http_get(admin.addr(), "/engines");
     assert!(status.contains("200"), "{status}");

@@ -1,0 +1,251 @@
+//! End-to-end trace propagation over the wire: an explained search
+//! against a broker mixing local and remote engines must produce one
+//! connected span tree whose remote-engine spans were authored on the
+//! server side and carry the same trace id — and a legacy peer that
+//! predates the traced message kind must degrade to the plain protocol
+//! without failing the query.
+
+use seu_core::SubrangeEstimator;
+use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
+use seu_metasearch::{Broker, EngineSnapshot, RemoteHit, SearchRequest, SelectionPolicy};
+use seu_net::frame::{read_frame, write_frame};
+use seu_net::wire::Message;
+use seu_net::{EngineServer, RemoteEngine};
+use seu_text::Analyzer;
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+
+fn engine(texts: &[&str]) -> SearchEngine {
+    let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+    for (i, t) in texts.iter().enumerate() {
+        b.add_document(&format!("d{i}"), t);
+    }
+    SearchEngine::new(b.build())
+}
+
+const DB0: &[&str] = &[
+    "relational databases and query optimization",
+    "indexing structures for text retrieval",
+];
+const DB1: &[&str] = &[
+    "neural networks for image recognition",
+    "databases of labelled images",
+];
+const DB2: &[&str] = &[
+    "mushroom foraging in autumn forests",
+    "identifying poisonous mushrooms in databases",
+];
+
+fn broker() -> Broker<SubrangeEstimator> {
+    Broker::new(SubrangeEstimator::paper_six_subrange())
+}
+
+/// The tentpole acceptance test: one explained request through a mixed
+/// local/remote broker yields a single connected span tree, and every
+/// server-authored remote span carries the request's trace id.
+#[test]
+fn explained_mixed_search_yields_one_connected_trace() {
+    let s1 = EngineServer::bind("db1", engine(DB1), "127.0.0.1:0").unwrap();
+    let s2 = EngineServer::bind("db2", engine(DB2), "127.0.0.1:0").unwrap();
+    let b = broker();
+    b.register("db0", engine(DB0));
+    for server in [&s1, &s2] {
+        b.register_remote(Arc::new(RemoteEngine::new(server.addr()).unwrap()))
+            .unwrap();
+    }
+
+    let request = SearchRequest::new("databases")
+        .threshold(0.01)
+        .policy(SelectionPolicy::All)
+        .explain(true);
+    let response = b.execute(&request);
+    assert!(response.is_complete(), "{:?}", response.per_engine_stats);
+
+    let trace = response.trace.as_ref().expect("explain returns a trace");
+    assert!(trace.sampled, "explain forces sampling");
+
+    // One connected tree: every span's parent is another span in the
+    // trace (or the root), reachable from the root.
+    let ids: HashSet<u64> = trace
+        .spans
+        .iter()
+        .map(|s| s.id.0)
+        .chain(std::iter::once(trace.root_span.0))
+        .collect();
+    for span in &trace.spans {
+        if span.id == trace.root_span {
+            continue;
+        }
+        assert!(
+            ids.contains(&span.parent.0),
+            "orphan span {:?} (parent {:016x})",
+            span.name,
+            span.parent.0
+        );
+    }
+
+    // The remote engines' spans were authored server-side and shipped
+    // back: same trace id end-to-end, parented under their dispatch
+    // spans.
+    let remote_spans: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "remote_search")
+        .collect();
+    assert_eq!(remote_spans.len(), 2, "one span per remote engine");
+    let mut engines_seen = HashSet::new();
+    for span in &remote_spans {
+        let attr = |k: &str| {
+            span.attrs
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(
+            attr("trace_id"),
+            Some(trace.trace_id.to_hex().as_str()),
+            "remote span must carry the caller's trace id"
+        );
+        engines_seen.insert(attr("engine").unwrap_or_default().to_string());
+        let parent = trace
+            .spans
+            .iter()
+            .find(|s| s.id == span.parent)
+            .expect("remote span parents into the caller's tree");
+        assert!(
+            parent.name.starts_with("dispatch:"),
+            "remote span hangs under its dispatch span, not {:?}",
+            parent.name
+        );
+    }
+    assert_eq!(
+        engines_seen,
+        HashSet::from(["db1".to_string(), "db2".to_string()])
+    );
+
+    // The local engine's dispatch span exists too — same tree.
+    assert!(
+        trace.spans.iter().any(|s| s.name == "dispatch:db0"),
+        "local dispatch span present"
+    );
+
+    // And the trace is retained in the store, addressable by id.
+    let stored = seu_obs::tracer()
+        .store()
+        .get(trace.trace_id)
+        .expect("explained trace retained in the store");
+    assert_eq!(stored.trace_id, trace.trace_id);
+}
+
+/// A stub engine speaking the pre-trace protocol: answers Hello,
+/// GetRepresentative, Ping, and plain SearchDocs, and replies with a
+/// typed Error to any message kind it does not know — exactly what an
+/// old `serve_requests` loop does with an undecodable frame.
+fn legacy_engine_server(name: &'static str, texts: &'static [&'static str]) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let engine = engine(texts);
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            let Ok(frame) = read_frame(&mut stream) else {
+                continue;
+            };
+            if !matches!(
+                Message::decode(frame.kind, &frame.payload),
+                Ok(Message::Hello { .. })
+            ) {
+                continue;
+            }
+            let (kind, payload) = Message::HelloAck {
+                name: name.to_string(),
+            }
+            .encode();
+            if write_frame(&mut stream, kind, &payload).is_err() {
+                continue;
+            }
+            while let Ok(frame) = read_frame(&mut stream) {
+                // A legacy decoder knows nothing of kinds > 12.
+                let reply = if frame.kind > 12 {
+                    Message::Error {
+                        detail: format!("undecodable request: unknown message kind {}", frame.kind),
+                    }
+                } else {
+                    match Message::decode(frame.kind, &frame.payload) {
+                        Ok(Message::SearchDocs { query, threshold }) => {
+                            let c = engine.collection();
+                            let q = c.query_from_text(&query);
+                            let hits = engine
+                                .search_threshold(&q, threshold)
+                                .into_iter()
+                                .map(|h| RemoteHit {
+                                    doc: c.doc(h.doc).name.clone(),
+                                    sim: h.sim,
+                                })
+                                .collect();
+                            Message::SearchResults { hits }
+                        }
+                        Ok(Message::GetRepresentative) => Message::Representative {
+                            snapshot: EngineSnapshot::of_engine(name, &engine),
+                        },
+                        Ok(Message::Ping) => Message::Pong,
+                        _ => Message::Error {
+                            detail: "unexpected request".to_string(),
+                        },
+                    }
+                };
+                let fatal = matches!(reply, Message::Error { .. });
+                let (kind, payload) = reply.encode();
+                if write_frame(&mut stream, kind, &payload).is_err() || fatal {
+                    break;
+                }
+            }
+        }
+    });
+    addr
+}
+
+/// Old peers must still interop: the first traced search against a
+/// legacy engine falls back to the plain message (query still answered,
+/// no remote spans), and the fallback is remembered so later sampled
+/// searches skip the probe entirely.
+#[test]
+fn legacy_peer_falls_back_to_plain_search() {
+    let addr = legacy_engine_server("oldies", DB2);
+    let b = broker();
+    b.register("db0", engine(DB0));
+    let client = RemoteEngine::new(addr).unwrap();
+    assert_eq!(b.register_remote(Arc::new(client)).unwrap(), "oldies");
+
+    let fallbacks = seu_obs::counter("net_client_trace_fallbacks_total");
+    let before = fallbacks.get();
+
+    let request = SearchRequest::new("poisonous mushrooms in databases")
+        .threshold(0.01)
+        .policy(SelectionPolicy::All)
+        .explain(true);
+    let response = b.execute(&request);
+    assert!(response.is_complete(), "{:?}", response.per_engine_stats);
+    assert!(
+        response.hits.iter().any(|h| h.engine == "oldies"),
+        "legacy engine still answers: {:?}",
+        response.hits
+    );
+    assert_eq!(fallbacks.get(), before + 1, "exactly one probe fallback");
+
+    let trace = response.trace.as_ref().expect("trace still produced");
+    assert!(
+        trace.spans.iter().all(|s| s.name != "remote_search"),
+        "no server-authored spans from a legacy peer"
+    );
+    assert!(
+        trace.spans.iter().any(|s| s.name == "dispatch:oldies"),
+        "the client-side dispatch span still covers the legacy engine"
+    );
+
+    // Second explained search: the fallback is memoized, no new probe.
+    let response = b.execute(&request);
+    assert!(response.is_complete());
+    assert_eq!(fallbacks.get(), before + 1, "fallback probed at most once");
+}

@@ -24,10 +24,15 @@ pub mod json;
 mod metrics;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, SpanTimer, DEFAULT_BUCKETS};
 pub use registry::{counter, gauge, global, histogram, histogram_with_buckets, MetricsRegistry};
-pub use snapshot::{HistogramSnapshot, Snapshot};
+pub use snapshot::{sanitize_label_name, sanitize_metric_name, HistogramSnapshot, Snapshot};
+pub use trace::{
+    new_span_id, tracer, unix_now_ns, ActiveTrace, FinishedTrace, SpanGuard, SpanId, SpanRecord,
+    TraceContext, TraceHandle, TraceId, TraceStore, Tracer,
+};
 
 /// Bucket bounds for size-like histograms (result-set sizes, polynomial
 /// term counts): powers of two from 1 to 65536.

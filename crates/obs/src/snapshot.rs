@@ -171,16 +171,20 @@ impl Snapshot {
     }
 
     /// Renders Prometheus text exposition format (untyped timestamps,
-    /// cumulative `_bucket` series, `_sum` and `_count`).
+    /// cumulative `_bucket` series, `_sum` and `_count`). Metric names
+    /// are sanitized to the Prometheus grammar on the way out.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
+            let name = sanitize_metric_name(name);
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
         }
         for (name, value) in &self.gauges {
+            let name = sanitize_metric_name(name);
             let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
         }
         for (name, h) in &self.histograms {
+            let name = sanitize_metric_name(name);
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
             for (bound, count) in &h.buckets {
@@ -235,6 +239,42 @@ impl Snapshot {
         }
         out
     }
+}
+
+/// Rewrites `name` into the Prometheus metric-name grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_` and a
+/// leading digit gains a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    sanitize(name, true)
+}
+
+/// Rewrites `name` into the Prometheus label-name grammar
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`): like metric names, but `:` is not
+/// allowed either.
+pub fn sanitize_label_name(name: &str) -> String {
+    sanitize(name, false)
+}
+
+fn sanitize(name: &str, allow_colon: bool) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphabetic()
+            || c == '_'
+            || (allow_colon && c == ':')
+            || (i > 0 && c.is_ascii_digit());
+        if valid {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -301,5 +341,109 @@ mod tests {
         let text = sample().to_text();
         assert!(text.contains("queries_total"));
         assert!(text.contains("p95="));
+    }
+
+    #[test]
+    fn prometheus_sanitizes_metric_names() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("seu.broker/queries-total".into(), 1);
+        snap.gauges.insert("0weird gauge".into(), 2.0);
+        snap.histograms.insert(
+            "lätency—seconds".into(),
+            HistogramSnapshot {
+                count: 0,
+                sum: 0.0,
+                max: 0.0,
+                p50: None,
+                p95: None,
+                p99: None,
+                buckets: vec![(Some(1.0), 0), (None, 0)],
+            },
+        );
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE seu_broker_queries_total counter"));
+        assert!(text.contains("seu_broker_queries_total 1"));
+        assert!(text.contains("# TYPE _0weird_gauge gauge"));
+        assert!(text.contains("l_tency_seconds_bucket{le=\"+Inf\"} 0"));
+        // No raw invalid characters survive anywhere in the exposition.
+        assert!(!text.contains('.') || !text.contains('/'));
+        for line in text.lines() {
+            let name = line.strip_prefix("# TYPE ").unwrap_or(line);
+            let metric = name.split([' ', '{']).next().unwrap();
+            assert!(
+                metric
+                    .chars()
+                    .enumerate()
+                    .all(|(i, c)| c.is_ascii_alphabetic()
+                        || c == '_'
+                        || c == ':'
+                        || (i > 0 && c.is_ascii_digit())),
+                "invalid exposition name {metric:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitize_edge_cases() {
+        assert_eq!(
+            sanitize_metric_name("already_fine_total"),
+            "already_fine_total"
+        );
+        assert_eq!(sanitize_metric_name("ns:metric"), "ns:metric");
+        assert_eq!(sanitize_label_name("ns:metric"), "ns_metric");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_label_name("le gume"), "le_gume");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn inf_bucket_is_cumulative_total_even_with_overflow() {
+        let mut snap = Snapshot::default();
+        snap.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                count: 7,
+                sum: 99.0,
+                max: 50.0,
+                p50: Some(1.0),
+                p95: Some(50.0),
+                p99: Some(50.0),
+                buckets: vec![(Some(1.0), 4), (Some(2.0), 0), (None, 3)],
+            },
+        );
+        let text = snap.to_prometheus();
+        assert!(text.contains("h_bucket{le=\"1\"} 4"));
+        assert!(text.contains("h_bucket{le=\"2\"} 4"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 7"));
+        assert!(text.contains("h_count 7"));
+    }
+
+    #[test]
+    fn zero_observation_histogram_renders_everywhere() {
+        let mut snap = Snapshot::default();
+        snap.histograms.insert(
+            "empty_seconds".into(),
+            HistogramSnapshot {
+                count: 0,
+                sum: 0.0,
+                max: 0.0,
+                p50: None,
+                p95: None,
+                p99: None,
+                buckets: vec![(Some(0.1), 0), (None, 0)],
+            },
+        );
+        // Prometheus: series exist with zero counts, +Inf included.
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("empty_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(prom.contains("empty_seconds_count 0"));
+        // Text: quantiles collapse to the (empty) marker.
+        assert!(snap.to_text().contains("(empty)"));
+        // JSON: percentiles are null and survive a round trip as None.
+        let json = snap.to_json();
+        assert!(json.contains("\"p50\": null"));
+        let parsed = Snapshot::from_json(&json).unwrap();
+        assert_eq!(parsed.histograms["empty_seconds"].p50, None);
+        assert_eq!(parsed, snap);
     }
 }
