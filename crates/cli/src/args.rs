@@ -43,7 +43,7 @@ pub enum Command {
         /// Top-k mode instead of threshold mode.
         top_k: Option<usize>,
     },
-    /// `seu broker <engine.bin>... -q "..." [-t T] [--shards N]`
+    /// `seu broker <engine.bin>... -q "..." [-t T] [--shards N] [--no-cache]`
     Broker {
         /// Persisted engine files.
         engines: Vec<PathBuf>,
@@ -53,9 +53,11 @@ pub enum Command {
         threshold: f64,
         /// Registry shard count (1 = flat).
         shards: usize,
+        /// Run the broker without its query cache.
+        no_cache: bool,
     },
     /// `seu serve <engine.bin>... [--remote <host:port>]... --listen <addr>
-    /// [--shards N]`
+    /// [--shards N] [--no-cache]`
     Serve {
         /// Persisted engine files to register locally.
         engines: Vec<PathBuf>,
@@ -66,6 +68,8 @@ pub enum Command {
         listen: String,
         /// Registry shard count (1 = flat).
         shards: usize,
+        /// Run the broker without its query cache.
+        no_cache: bool,
     },
     /// `seu serve-engine <engine.bin> --listen <addr> [--name <name>]`
     ServeEngine {
@@ -121,8 +125,8 @@ usage:
   seu repr <engine.bin> -o <repr.bin> [--quantize]
   seu estimate <repr.bin> -q <query> [-t <threshold>]
   seu search <engine.bin> -q <query> [-t <threshold>] [-k <top-k>]
-  seu broker <engine.bin>... -q <query> [-t <threshold>] [--shards <n>]
-  seu serve <engine.bin>... [--remote <host:port>]... --listen <addr> [--shards <n>]
+  seu broker <engine.bin>... -q <query> [-t <threshold>] [--shards <n>] [--no-cache]
+  seu serve <engine.bin>... [--remote <host:port>]... --listen <addr> [--shards <n>] [--no-cache]
   seu serve-engine <engine.bin> --listen <addr> [--name <name>]
   seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]
 global flags:
@@ -176,6 +180,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut remotes: Vec<String> = Vec::new();
     let mut name: Option<String> = None;
     let mut shards = 1usize;
+    let mut no_cache = false;
     let mut obs = ObsOptions::default();
 
     while let Some(arg) = cur.next().map(str::to_string) {
@@ -220,6 +225,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             "--quantize" => quantize = true,
             "--repr-dir" => repr_dir = Some(PathBuf::from(cur.value_for("--repr-dir")?)),
             "--stale-only" => stale_only = true,
+            "--no-cache" => no_cache = true,
             "--listen" => listen = Some(cur.value_for("--listen")?),
             "--remote" => remotes.push(cur.value_for("--remote")?),
             "--name" => name = Some(cur.value_for("--name")?),
@@ -282,6 +288,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                 query: need_query()?,
                 threshold,
                 shards,
+                no_cache,
             }
         }
         "serve" => {
@@ -293,6 +300,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                 remotes,
                 listen: listen.ok_or("missing --listen <addr>")?,
                 shards,
+                no_cache,
             }
         }
         "serve-engine" => Command::ServeEngine {
@@ -405,6 +413,12 @@ mod tests {
         assert!(p(&["broker", "a.bin", "-q", "x", "--shards", "0"])
             .unwrap_err()
             .contains("positive"));
+        assert!(matches!(
+            p(&["broker", "a.bin", "-q", "x", "--no-cache"])
+                .unwrap()
+                .command,
+            Command::Broker { no_cache: true, .. }
+        ));
     }
 
     #[test]
@@ -454,6 +468,7 @@ mod tests {
                 remotes: vec!["127.0.0.1:4001".into(), "127.0.0.1:4002".into()],
                 listen: "127.0.0.1:8080".into(),
                 shards: 1,
+                no_cache: false,
             }
         );
         assert!(matches!(
@@ -461,6 +476,12 @@ mod tests {
                 .unwrap()
                 .command,
             Command::Serve { shards: 16, .. }
+        ));
+        assert!(matches!(
+            p(&["serve", "a.bin", "--listen", "l:0", "--no-cache"])
+                .unwrap()
+                .command,
+            Command::Serve { no_cache: true, .. }
         ));
         // Remote-only brokers are legal; engine-less and remote-less is not.
         assert!(matches!(

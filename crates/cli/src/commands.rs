@@ -149,11 +149,14 @@ pub fn broker(
     query_text: &str,
     threshold: f64,
     shards: usize,
+    no_cache: bool,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    let broker = Broker::builder(SubrangeEstimator::paper_six_subrange())
-        .shards(shards)
-        .build();
+    let mut builder = Broker::builder(SubrangeEstimator::paper_six_subrange()).shards(shards);
+    if no_cache {
+        builder = builder.cache_bytes(0);
+    }
+    let broker = builder.build();
     for path in engines {
         let name = path
             .file_stem()
@@ -204,12 +207,13 @@ pub fn serve_start(
     remotes: &[String],
     listen: &str,
     shards: usize,
+    no_cache: bool,
 ) -> Result<(seu_net::AdminServer, Vec<seu_net::Subscription>), String> {
-    let broker = std::sync::Arc::new(
-        Broker::builder(SubrangeEstimator::paper_six_subrange())
-            .shards(shards)
-            .build(),
-    );
+    let mut builder = Broker::builder(SubrangeEstimator::paper_six_subrange()).shards(shards);
+    if no_cache {
+        builder = builder.cache_bytes(0);
+    }
+    let broker = std::sync::Arc::new(builder.build());
     for path in engines {
         broker.register(&file_stem(path), load_engine(path)?);
     }
@@ -233,10 +237,11 @@ pub fn serve(
     remotes: &[String],
     listen: &str,
     shards: usize,
+    no_cache: bool,
     out: &mut dyn Write,
 ) -> Result<(), String> {
     seu_net::register_metrics();
-    let (admin, _subscriptions) = serve_start(engines, remotes, listen, shards)?;
+    let (admin, _subscriptions) = serve_start(engines, remotes, listen, shards, no_cache)?;
     writeln!(
         out,
         "broker: {} local, {} remote; admin listening on http://{}",
@@ -399,6 +404,7 @@ mod tests {
                     "mushroom soup",
                     0.2,
                     shards,
+                    false,
                     out,
                 )
             });

@@ -113,13 +113,15 @@ pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), Str
             query,
             threshold,
             shards,
-        } => commands::broker(engines, query, *threshold, *shards, out),
+            no_cache,
+        } => commands::broker(engines, query, *threshold, *shards, *no_cache, out),
         Command::Serve {
             engines,
             remotes,
             listen,
             shards,
-        } => commands::serve(engines, remotes, listen, *shards, out),
+            no_cache,
+        } => commands::serve(engines, remotes, listen, *shards, *no_cache, out),
         Command::ServeEngine {
             engine,
             listen,

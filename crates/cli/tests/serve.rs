@@ -75,6 +75,7 @@ fn serve_session_registers_local_and_remote_engines() {
         &[engine_server.addr().to_string()],
         "127.0.0.1:0",
         4,
+        false,
     )
     .expect("broker serves");
     assert_eq!(subscriptions.len(), 1);
@@ -101,6 +102,6 @@ fn serve_session_registers_local_and_remote_engines() {
 
     // Bad remote addresses fail registration with a typed, contextual
     // error instead of a panic or a half-built broker.
-    let err = serve_start(&[], &["127.0.0.1:1".to_string()], "127.0.0.1:0", 1).unwrap_err();
+    let err = serve_start(&[], &["127.0.0.1:1".to_string()], "127.0.0.1:0", 1, false).unwrap_err();
     assert!(err.contains("127.0.0.1:1"), "{err}");
 }

@@ -66,6 +66,16 @@ pub struct BrokerBenchConfig {
     /// rate (`dispatch_sampled`), reporting the percentage difference
     /// as `trace_overhead_pct`.
     pub trace_sample: bool,
+    /// When set, run the Zipf-traffic cache phases: a seeded Zipf(s)
+    /// stream over the query pool is executed twice on a dedicated
+    /// cache-enabled broker — once forcing the cold path (`zipf_cold`,
+    /// `CacheMode::Bypass`) and once through the cache (`zipf_cached`) —
+    /// reporting `zipf_hit_rate` and `hot_query_speedup`.
+    pub zipf: Option<f64>,
+    /// Disable the query cache on the Zipf broker (the `--no-cache`
+    /// baseline): the `zipf_cached` phase then runs cold too, so hit
+    /// rate reads 0 and the speedup collapses to ~1.
+    pub no_cache: bool,
 }
 
 impl BrokerBenchConfig {
@@ -79,6 +89,8 @@ impl BrokerBenchConfig {
             shards: 1,
             engines: 0,
             trace_sample: false,
+            zipf: None,
+            no_cache: false,
         }
     }
 }
@@ -106,6 +118,16 @@ pub struct BrokerBenchReport {
     /// sampling off, in percent (`None` unless the config asked for the
     /// `trace_sample` phases).
     pub trace_overhead_pct: Option<f64>,
+    /// Zipf exponent of the cache phases (`None` when they were
+    /// skipped).
+    pub zipf: Option<f64>,
+    /// Query-cache hit rate over the `zipf_cached` phase (hits /
+    /// lookups; `None` without the Zipf phases).
+    pub zipf_hit_rate: Option<f64>,
+    /// Wall-clock ratio `zipf_cold / zipf_cached` — how much faster the
+    /// skewed stream runs with the cache on (`None` without the Zipf
+    /// phases).
+    pub hot_query_speedup: Option<f64>,
     /// Timed phases, in execution order.
     pub phases: Vec<BenchPhase>,
     /// Counter increments attributable to this run (global counter
@@ -134,6 +156,22 @@ impl BrokerBenchReport {
                 out.push_str(",\n");
             }
             None => out.push_str("  \"trace_overhead_pct\": null,\n"),
+        }
+        for (name, value) in [
+            ("zipf", self.zipf),
+            ("zipf_hit_rate", self.zipf_hit_rate),
+            ("hot_query_speedup", self.hot_query_speedup),
+        ] {
+            match value {
+                Some(v) => {
+                    let _ = write!(out, "  \"{name}\": ");
+                    json::write_num(&mut out, v);
+                    out.push_str(",\n");
+                }
+                None => {
+                    let _ = writeln!(out, "  \"{name}\": null,");
+                }
+            }
         }
         out.push_str("  \"threshold\": ");
         json::write_num(&mut out, self.threshold);
@@ -192,6 +230,14 @@ impl BrokerBenchReport {
         }
         if let Some(pct) = self.trace_overhead_pct {
             let _ = writeln!(out, "  trace sampling overhead: {pct:+.2}% on dispatch");
+        }
+        if let Some(s) = self.zipf {
+            let _ = writeln!(
+                out,
+                "  zipf(s={s}) cache phases: hit rate {:.1}%, hot-query speedup {:.2}x",
+                self.zipf_hit_rate.unwrap_or(0.0) * 100.0,
+                self.hot_query_speedup.unwrap_or(1.0),
+            );
         }
         let _ = writeln!(out, "  {:<16} {:>10} {:>8}", "phase", "seconds", "items");
         for phase in &self.phases {
@@ -259,8 +305,13 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         .map(|q| q.join(" "))
         .collect();
 
+    // The per-phase broker runs with the query cache disabled so every
+    // phase measures the cold pipeline (estimate/select/search/plan/
+    // dispatch repeat the same queries — a cache would let later phases
+    // coast on earlier ones). The cache gets its own phases below.
     let broker = Broker::builder(SubrangeEstimator::paper_six_subrange())
         .shards(cfg.shards)
+        .cache_bytes(0)
         .build();
     let mut timed = |name: &'static str, items: u64, work: &mut dyn FnMut()| -> f64 {
         let start = Instant::now();
@@ -324,6 +375,7 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
                 &SearchRequest::new(q)
                     .threshold(threshold)
                     .policy(SelectionPolicy::EstimatedUseful),
+                None,
             );
         }
     });
@@ -395,6 +447,7 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
     if cfg.engines > 0 {
         let large = Broker::builder(SubrangeEstimator::paper_six_subrange())
             .shards(cfg.shards)
+            .cache_bytes(0)
             .build();
         let mut tiny: Vec<(String, SearchEngine)> = Vec::with_capacity(cfg.engines);
         timed("large_build", cfg.engines as u64, &mut || {
@@ -414,6 +467,7 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
                     &SearchRequest::new(*q)
                         .threshold(threshold)
                         .policy(SelectionPolicy::EstimatedUseful),
+                    None,
                 );
             }
         });
@@ -425,6 +479,88 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
                         .policy(SelectionPolicy::EstimatedUseful),
                 );
             }
+        });
+    }
+
+    // Zipf-traffic cache phases: a dedicated broker (cache on unless
+    // --no-cache) serves the same seeded Zipf stream twice. The cold
+    // pass forces `CacheMode::Bypass` per request, the cached pass runs
+    // the default read-write mode; their wall-clock ratio is the
+    // hot-query speedup, and the hit rate comes from the broker's own
+    // cache counters (delta around the cached pass). The stream is 4x
+    // the pool, so even a perfectly cold first touch of every pool
+    // entry leaves a 75% ceiling for the hit rate.
+    let mut zipf_hit_rate = None;
+    let mut hot_query_speedup = None;
+    if let Some(s) = cfg.zipf {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use seu_corpus::ZipfSampler;
+        use seu_metasearch::CacheMode;
+
+        let mut zipf_builder =
+            Broker::builder(SubrangeEstimator::paper_six_subrange()).shards(cfg.shards);
+        if cfg.no_cache {
+            zipf_builder = zipf_builder.cache_bytes(0);
+        }
+        let zbroker = zipf_builder.build();
+        timed("zipf_setup", n_databases as u64, &mut || {
+            if remote {
+                for server in &servers {
+                    let client =
+                        seu_net::RemoteEngine::new(server.addr()).expect("resolving loopback");
+                    zbroker
+                        .register_remote(std::sync::Arc::new(client))
+                        .expect("registering a loopback engine");
+                }
+            } else {
+                // The generator is deterministic, so this rebuilds the
+                // exact databases the main broker consumed.
+                for (name, coll) in seu_corpus::many_databases(seed, docs_base) {
+                    zbroker.register(&name, SearchEngine::new(coll));
+                }
+            }
+        });
+        let sampler = ZipfSampler::new(queries.len().max(1), s);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a1f);
+        let stream: Vec<&String> = (0..queries.len() * 4)
+            .map(|_| &queries[sampler.sample(&mut rng)])
+            .collect();
+        let request = |q: &str, mode: CacheMode| {
+            SearchRequest::new(q)
+                .threshold(threshold)
+                .policy(SelectionPolicy::EstimatedUseful)
+                .cache(mode)
+        };
+        let cold_seconds = timed("zipf_cold", stream.len() as u64, &mut || {
+            for q in &stream {
+                zbroker.execute(&request(q, CacheMode::Bypass));
+            }
+        });
+        // Hit rate is request-level: the share of the cached pass served
+        // from any cache tier (first touches of each pool entry are the
+        // unavoidable misses — the 4x stream caps them at 25%).
+        let mut served = 0u64;
+        let cached_seconds = timed("zipf_cached", stream.len() as u64, &mut || {
+            for q in &stream {
+                if zbroker
+                    .execute(&request(q, CacheMode::ReadWrite))
+                    .served_from
+                    .is_some()
+                {
+                    served += 1;
+                }
+            }
+        });
+        zipf_hit_rate = Some(if stream.is_empty() {
+            0.0
+        } else {
+            served as f64 / stream.len() as f64
+        });
+        hot_query_speedup = Some(if cached_seconds > 0.0 {
+            cold_seconds / cached_seconds
+        } else {
+            1.0
         });
     }
 
@@ -446,6 +582,9 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         shards: cfg.shards.max(1),
         large_engines: cfg.engines,
         trace_overhead_pct,
+        zipf: cfg.zipf,
+        zipf_hit_rate,
+        hot_query_speedup,
         phases,
         counters,
     }
@@ -627,6 +766,52 @@ mod tests {
         assert_eq!(plain.trace_overhead_pct, None);
         let doc = json::parse(&plain.to_json()).expect("plain bench JSON parses");
         assert_eq!(doc.get("trace_overhead_pct"), Some(&json::Json::Null));
+    }
+
+    #[test]
+    fn zipf_phases_measure_hit_rate_and_speedup() {
+        let report = run_broker_bench_config(&BrokerBenchConfig {
+            zipf: Some(1.1),
+            ..BrokerBenchConfig::new(7, 6, 8)
+        });
+        let names: Vec<_> = report.phases.iter().map(|p| p.name).collect();
+        assert!(
+            names.ends_with(&["zipf_setup", "zipf_cold", "zipf_cached"]),
+            "{names:?}"
+        );
+        let hit_rate = report.zipf_hit_rate.expect("hit rate measured");
+        assert!(
+            (0.0..=1.0).contains(&hit_rate) && hit_rate > 0.0,
+            "a Zipfian repeat stream against a warm cache must hit: {hit_rate}"
+        );
+        let speedup = report.hot_query_speedup.expect("speedup measured");
+        assert!(speedup.is_finite() && speedup > 0.0, "{speedup}");
+
+        let doc = json::parse(&report.to_json()).expect("zipf bench JSON parses");
+        for field in ["zipf", "zipf_hit_rate", "hot_query_speedup"] {
+            assert!(
+                doc.get(field).and_then(json::Json::as_num).is_some(),
+                "{field} lands in the JSON report"
+            );
+        }
+
+        // --no-cache: same phases, but the cached pass runs cold, so
+        // nothing is ever served.
+        let cold = run_broker_bench_config(&BrokerBenchConfig {
+            zipf: Some(1.1),
+            no_cache: true,
+            ..BrokerBenchConfig::new(7, 6, 8)
+        });
+        assert_eq!(cold.zipf_hit_rate, Some(0.0));
+
+        // Without --zipf the fields are explicit nulls and the phase
+        // list is untouched.
+        let plain = run_broker_bench(7, 6, 3);
+        assert_eq!(plain.zipf_hit_rate, None);
+        let doc = json::parse(&plain.to_json()).expect("plain bench JSON parses");
+        assert_eq!(doc.get("zipf"), Some(&json::Json::Null));
+        assert_eq!(doc.get("zipf_hit_rate"), Some(&json::Json::Null));
+        assert_eq!(doc.get("hot_query_speedup"), Some(&json::Json::Null));
     }
 
     #[test]

@@ -37,6 +37,8 @@
 //!   --shards N          bench-broker registry shard count (default 1 = flat)
 //!   --engines N         bench-broker adds large-registry phases over N tiny engines
 //!   --trace-sample      bench-broker measures dispatch overhead of default trace sampling
+//!   --zipf S            bench-broker adds Zipf(S) cache phases (hit rate + hot-query speedup)
+//!   --no-cache          bench-broker runs the Zipf phases with the query cache disabled
 //!   --stats             print a metrics snapshot after the run
 //!   --metrics-out PATH  write the metrics snapshot as JSON
 //! ```
@@ -56,6 +58,8 @@ fn main() {
     let mut shards = 1usize;
     let mut engines = 0usize;
     let mut trace_sample = false;
+    let mut zipf: Option<f64> = None;
+    let mut no_cache = false;
     let mut stats = false;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
@@ -115,6 +119,16 @@ fn main() {
                     .unwrap_or_else(|| usage("--engines needs an integer"));
             }
             "--trace-sample" => trace_sample = true,
+            "--zipf" => {
+                i += 1;
+                zipf = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&s: &f64| s.is_finite() && s >= 0.0)
+                        .unwrap_or_else(|| usage("--zipf needs a non-negative exponent")),
+                );
+            }
+            "--no-cache" => no_cache = true,
             "--stats" => stats = true,
             "--metrics-out" => {
                 i += 1;
@@ -179,6 +193,8 @@ fn main() {
             shards,
             engines,
             trace_sample,
+            zipf,
+            no_cache,
             ..seu_eval::BrokerBenchConfig::new(seed, docs_base, n_queries)
         });
         print!("{}", report.to_text());
@@ -328,7 +344,8 @@ fn usage(err: &str) -> ! {
          hierarchy|selection|gloss-bounds|dependence|binary|policies|weighting|\
          exact-percentiles|diagnostics|bench-broker|all] [--seed N] \
          [--bench-out PATH] [--docs-base N] [--queries N] [--remote] [--shards N] \
-         [--engines N] [--trace-sample] [--stats] [--metrics-out PATH]"
+         [--engines N] [--trace-sample] [--zipf S] [--no-cache] [--stats] \
+         [--metrics-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

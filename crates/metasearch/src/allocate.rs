@@ -40,7 +40,10 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// positive similarity, everything they are expected to hold is
     /// allocated (the allocation sums to less than `k_total`).
     pub fn allocate_documents(&self, query_text: &str, k_total: u64) -> Vec<Allocation> {
-        let plan = self.plan(&SearchRequest::new(query_text).policy(SelectionPolicy::All));
+        let plan = self.plan(
+            &SearchRequest::new(query_text).policy(SelectionPolicy::All),
+            None,
+        );
         self.allocate_planned(&plan, k_total)
     }
 
@@ -144,7 +147,10 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         query_text: &str,
         k_total: u64,
     ) -> Vec<crate::broker::MergedHit> {
-        let plan = self.plan(&SearchRequest::new(query_text).policy(SelectionPolicy::All));
+        let plan = self.plan(
+            &SearchRequest::new(query_text).policy(SelectionPolicy::All),
+            None,
+        );
         let allocation = self.allocate_planned(&plan, k_total);
         let per_engine: Vec<Vec<crate::broker::MergedHit>> = plan
             .engines()
@@ -167,8 +173,8 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                 // failed transport contributes nothing, like a failed
                 // dispatch.
                 EngineHandle::Remote { transport, .. } => transport
-                    .search(&plan.query, 0.0)
-                    .map(|hits| {
+                    .search(&plan.query, 0.0, None)
+                    .map(|(hits, _spans)| {
                         hits.into_iter()
                             .take(a.k as usize)
                             .map(|h| crate::broker::MergedHit {

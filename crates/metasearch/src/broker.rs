@@ -13,6 +13,9 @@
 //! [`Broker::select`], [`Broker::search`]) remain as thin wrappers over
 //! the same implementation.
 
+use crate::cache::{
+    CacheKey, CachePolicy, CacheStats, CacheTier, CachedResponse, CachedValue, QueryCache,
+};
 use crate::merge::merge_results;
 use crate::plan::{PlannedEngine, QueryPlan, SharedAnalysis};
 use crate::pool::{JobStatus, WorkerPool};
@@ -102,7 +105,12 @@ fn metrics() -> &'static BrokerMetrics {
 pub fn register_metrics() {
     let _ = metrics();
     crate::pool::register_metrics();
+    crate::cache::register_metrics();
 }
+
+/// Default query-cache byte budget (32 MiB); `cache_bytes(0)` disables
+/// the cache entirely.
+pub const DEFAULT_CACHE_BYTES: usize = 32 << 20;
 
 /// One engine's estimate for a query, as reported by the broker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -140,6 +148,8 @@ pub struct BrokerBuilder<E> {
     shards: usize,
     worker_threads: Option<usize>,
     pool_label: Option<String>,
+    cache_bytes: usize,
+    cache_policy: CachePolicy,
 }
 
 impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
@@ -174,6 +184,22 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
         self
     }
 
+    /// Sets the query cache's approximate resident-byte budget
+    /// (default [`DEFAULT_CACHE_BYTES`]). `0` disables the cache: every
+    /// request runs the full cold pipeline, as before the cache
+    /// existed.
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the cache's admission/eviction policy (default
+    /// [`CachePolicy::SegmentedLru`]).
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
     /// Builds the (empty) broker.
     pub fn build(self) -> Broker<E> {
         // Per-shard gauges only exist for actually sharded brokers: a
@@ -198,6 +224,8 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
             worker_threads: self.worker_threads,
             pool_label: self.pool_label,
             pool: OnceLock::new(),
+            cache: (self.cache_bytes > 0)
+                .then(|| QueryCache::new(self.cache_bytes, self.cache_policy)),
         }
     }
 }
@@ -223,7 +251,7 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
 /// let req = SearchRequest::new("mushroom soup")
 ///     .threshold(0.2)
 ///     .with_estimates(true);
-/// let plan = broker.plan(&req);
+/// let plan = broker.plan(&req, None);
 /// assert_eq!(plan.selected_names(), vec!["cooking".to_string()]);
 /// let resp = broker.execute(&req);
 /// assert_eq!(resp.hits[0].doc, "d0");
@@ -261,6 +289,10 @@ pub struct Broker<E> {
     pool_label: Option<String>,
     /// The dispatch pool, sized lazily at first execution.
     pool: OnceLock<WorkerPool>,
+    /// The query cache (`None` when built with `cache_bytes(0)`). Keys
+    /// embed the registry epoch, so staleness falls out of the existing
+    /// epoch machinery — see [`crate::cache`] for the design.
+    cache: Option<QueryCache>,
 }
 
 /// Per-shard registry gauge handles.
@@ -351,6 +383,34 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             shards: 1,
             worker_threads: None,
             pool_label: None,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            cache_policy: CachePolicy::default(),
+        }
+    }
+
+    /// The query cache's live stats (`None` when the cache is disabled
+    /// via `cache_bytes(0)`).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The cache to use for a request: `None` when the cache is
+    /// disabled, the request bypasses it, or the request wants an
+    /// `explain` trace (whose span tree must describe real work).
+    fn cache_for(&self, req: &SearchRequest) -> Option<&QueryCache> {
+        if req.explain || !req.cache.reads() {
+            return None;
+        }
+        self.cache.as_ref()
+    }
+
+    /// Eagerly reclaims cache entries made stale by a lifecycle event.
+    /// Correctness never depends on this — keys embed their epoch, so a
+    /// stale entry already misses every lookup — it only returns the
+    /// dead entries' bytes to the budget immediately.
+    fn purge_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.purge_stale(self.registry.epoch());
         }
     }
 
@@ -410,6 +470,8 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         });
         shard.epoch.fetch_add(1, Ordering::SeqCst);
         publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+        drop(entries);
+        self.purge_cache();
     }
 
     /// Registers an engine that lives in another process, reached through
@@ -456,6 +518,8 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         });
         shard.epoch.fetch_add(1, Ordering::SeqCst);
         publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+        drop(entries);
+        self.purge_cache();
         Ok(name)
     }
 
@@ -497,6 +561,10 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         m.representative_refreshes.inc();
         shard.epoch.fetch_add(1, Ordering::SeqCst);
         publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+        // The push half of cache invalidation: entries keyed at the
+        // pre-notice epoch are dropped eagerly, not just unreachable.
+        drop(entries);
+        self.purge_cache();
         Ok(true)
     }
 
@@ -591,6 +659,8 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                 metrics().representative_refreshes.inc();
                 shard.epoch.fetch_add(1, Ordering::SeqCst);
                 publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+                drop(entries);
+                self.purge_cache();
                 true
             }
             None => false,
@@ -615,6 +685,8 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                 metrics().representative_refreshes.inc();
                 shard.epoch.fetch_add(1, Ordering::SeqCst);
                 publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+                drop(entries);
+                self.purge_cache();
                 true
             }
             None => false,
@@ -643,6 +715,13 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                 e.handle = EngineHandle::Local(Arc::new(engine));
                 e.epoch += 1;
                 shard.epoch.fetch_add(1, Ordering::SeqCst);
+                // The epoch bump at the same instant as the swap also
+                // closes the cache's mid-replacement window: plans and
+                // results cached against the sidelined engine are keyed
+                // at the pre-swap epoch, so they can never be served —
+                // and the purge reclaims them immediately.
+                drop(entries);
+                self.purge_cache();
                 true
             }
             None => false,
@@ -683,6 +762,9 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             }
         }
         refreshed.sort_unstable_by_key(|&(seq, _)| seq);
+        if !refreshed.is_empty() {
+            self.purge_cache();
+        }
         refreshed.into_iter().map(|(_, name)| name).collect()
     }
 
@@ -793,25 +875,79 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// Plans a request: one shared analysis pass, a query vector and a
     /// usefulness estimate per engine, and the policy's invocation set.
     /// No engine is contacted.
-    pub fn plan(&self, req: &SearchRequest) -> QueryPlan {
-        self.plan_traced(req, &TraceHandle::disabled())
+    ///
+    /// Passing `Some(trace)` records spans into the active trace: one
+    /// `plan` span with `analyze`, per-shard `shard_walk`, and `select`
+    /// children.
+    ///
+    /// Unless the request bypasses the cache, the plan is served from
+    /// (and inserted into) the plan tier of the query cache, and the
+    /// analysis pass from the analysis tier — so a threshold sweep over
+    /// the same query text re-estimates from the cached analysis
+    /// instead of re-tokenizing (see [`crate::cache`]).
+    pub fn plan(&self, req: &SearchRequest, trace: Option<&TraceHandle>) -> QueryPlan {
+        self.plan_cached(req, trace).0
     }
 
-    /// [`Broker::plan`] with span recording into an active trace:
-    /// one `plan` span with `analyze`, per-shard `shard_walk`, and
-    /// `select` children.
+    /// Deprecated alias for [`Broker::plan`] with a trace.
+    #[deprecated(note = "use `plan(req, Some(trace))`")]
     pub fn plan_traced(&self, req: &SearchRequest, trace: &TraceHandle) -> QueryPlan {
+        self.plan(req, Some(trace))
+    }
+
+    /// [`Broker::plan`], also reporting which cache tier (if any) the
+    /// planning work came from: `Some(Plan)` for a plan-tier hit,
+    /// `Some(Analysis)` when only the analysis was reused, `None` for a
+    /// fully cold plan.
+    fn plan_cached(
+        &self,
+        req: &SearchRequest,
+        trace: Option<&TraceHandle>,
+    ) -> (QueryPlan, Option<CacheTier>) {
+        let disabled = TraceHandle::disabled();
+        let trace = trace.unwrap_or(&disabled);
         let m = metrics();
         let timer = m.plan_latency.start_timer();
         let mut plan_span = trace.span("plan");
         let plan_span_id = plan_span.id();
         // Epoch is read before analysis: a refresh landing mid-plan makes
         // the plan detectably stale rather than silently half-updated.
+        // Cache keys carry this same epoch, so a cached value is only
+        // ever served for the registry state it was computed against.
         let epoch = self.registry.epoch();
-        let analysis = {
-            let _span = trace.child_span("analyze", plan_span_id);
-            self.analyze(&req.query)
-        };
+        let cache = self.cache_for(req);
+        if let Some(c) = cache {
+            if let Some(CachedValue::Plan(p)) = c.get(&CacheKey::plan(req, epoch)) {
+                plan_span.attr("cache", "hit");
+                plan_span.attr("epoch", epoch);
+                plan_span.finish();
+                timer.stop();
+                return ((*p).clone(), Some(CacheTier::Plan));
+            }
+        }
+        let mut analysis_hit = false;
+        let analysis: Arc<SharedAnalysis> =
+            match cache.and_then(|c| c.get(&CacheKey::analysis(&req.query, epoch))) {
+                Some(CachedValue::Analysis(a)) => {
+                    analysis_hit = true;
+                    a
+                }
+                _ => {
+                    let a = {
+                        let _span = trace.child_span("analyze", plan_span_id);
+                        Arc::new(self.analyze(&req.query))
+                    };
+                    if req.cache.writes() {
+                        if let Some(c) = cache {
+                            c.insert(
+                                CacheKey::analysis(&req.query, epoch),
+                                CachedValue::Analysis(Arc::clone(&a)),
+                            );
+                        }
+                    }
+                    a
+                }
+            };
         // One shard's read lock at a time: a lifecycle event on shard A
         // (refresh, registration, invalidation) never blocks planning
         // over shard B. Per-engine estimates are independent, so only
@@ -883,16 +1019,28 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             selected
         };
         plan_span.attr("epoch", epoch);
+        if analysis_hit {
+            plan_span.attr("cache", "analysis_hit");
+        }
         plan_span.finish();
         timer.stop();
-        QueryPlan {
+        let plan = QueryPlan {
             query: req.query.clone(),
             threshold: req.threshold,
             policy: req.policy,
             epoch,
             engines: planned,
             selected,
+        };
+        if req.cache.writes() {
+            if let Some(c) = cache {
+                c.insert(
+                    CacheKey::plan(req, epoch),
+                    CachedValue::Plan(Arc::new(plan.clone())),
+                );
+            }
         }
+        (plan, analysis_hit.then_some(CacheTier::Analysis))
     }
 
     /// Re-estimates a plan's engines at a different threshold without
@@ -902,23 +1050,20 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// changed since the plan was made: the plan's representatives and
     /// term translations may no longer describe the registered engines,
     /// so estimates from them could not be compared against fresh ones.
+    ///
+    /// Passing `Some(trace)` records one `reestimate` span carrying the
+    /// threshold, engine count, and whether the plan was rejected as
+    /// stale. Threshold sweeps that obtained their plan via
+    /// [`Broker::plan`] share the cached plan across the sweep: every
+    /// per-threshold call here reuses the one analysis and shard walk.
     pub fn try_reestimate(
         &self,
         plan: &QueryPlan,
         threshold: f64,
+        trace: Option<&TraceHandle>,
     ) -> Result<Vec<EngineEstimate>, StalePlanError> {
-        self.try_reestimate_traced(plan, threshold, &TraceHandle::disabled())
-    }
-
-    /// [`Broker::try_reestimate`] with span recording into an active
-    /// trace: one `reestimate` span carrying the threshold, engine
-    /// count, and whether the plan was rejected as stale.
-    pub fn try_reestimate_traced(
-        &self,
-        plan: &QueryPlan,
-        threshold: f64,
-        trace: &TraceHandle,
-    ) -> Result<Vec<EngineEstimate>, StalePlanError> {
+        let disabled = TraceHandle::disabled();
+        let trace = trace.unwrap_or(&disabled);
         let mut span = trace.span("reestimate");
         span.attr("threshold", threshold);
         span.attr("engines", plan.engines.len());
@@ -942,19 +1087,31 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             .collect())
     }
 
+    /// Deprecated alias for [`Broker::try_reestimate`] with a trace.
+    #[deprecated(note = "use `try_reestimate(plan, threshold, Some(trace))`")]
+    pub fn try_reestimate_traced(
+        &self,
+        plan: &QueryPlan,
+        threshold: f64,
+        trace: &TraceHandle,
+    ) -> Result<Vec<EngineEstimate>, StalePlanError> {
+        self.try_reestimate(plan, threshold, Some(trace))
+    }
+
     /// Re-estimates a plan's engines at a different threshold,
     /// transparently replanning from the plan's recorded query text if
     /// the registry has changed since the plan was made (counted by
     /// `broker_stale_plans_total`). Callers that must not silently switch
     /// registries mid-sweep use [`Broker::try_reestimate`].
     pub fn reestimate(&self, plan: &QueryPlan, threshold: f64) -> Vec<EngineEstimate> {
-        match self.try_reestimate(plan, threshold) {
+        match self.try_reestimate(plan, threshold, None) {
             Ok(estimates) => estimates,
             Err(_) => self
                 .plan(
                     &SearchRequest::new(plan.query.clone())
                         .threshold(threshold)
                         .policy(plan.policy),
+                    None,
                 )
                 .estimates(),
         }
@@ -970,6 +1127,14 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// [`DispatchOutcome::TimedOut`]. If a representative refresh lands
     /// between planning and dispatch, the request is replanned once
     /// (counted by `broker_stale_plans_total`).
+    ///
+    /// Unless the request bypasses the cache, a complete merged response
+    /// cached at the current registry epoch is served directly
+    /// (`served_from: Some(Results)`, bit-identical to the cold
+    /// execution that populated it); otherwise planning goes through the
+    /// plan/analysis tiers and a complete response is written back for
+    /// the next hit. `explain` requests always run cold so their span
+    /// trees describe real work.
     pub fn execute(&self, req: &SearchRequest) -> SearchResponse {
         let m = metrics();
         let timer = m.query_latency.start_timer();
@@ -977,12 +1142,44 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         active.root_attr("query", &req.query);
         active.root_attr("threshold", req.threshold);
         let trace = active.handle();
-        let mut plan = self.plan_traced(req, &trace);
+        if let Some(c) = self.cache_for(req) {
+            let epoch = self.registry.epoch();
+            if let Some(CachedValue::Results(r)) = c.get(&CacheKey::results(req, epoch)) {
+                m.queries.inc();
+                let mut resp = SearchResponse {
+                    hits: r.hits.clone(),
+                    estimates: r.estimates.clone(),
+                    per_engine_stats: r.per_engine_stats.clone(),
+                    trace: None,
+                    served_from: Some(CacheTier::Results),
+                };
+                timer.stop();
+                resp.trace = self.finish_trace(active, req, &resp);
+                return resp;
+            }
+        }
+        let (mut plan, mut tier) = self.plan_cached(req, Some(&trace));
         if plan.epoch != self.registry.epoch() {
             m.stale_plans.inc();
-            plan = self.plan_traced(req, &trace);
+            (plan, tier) = self.plan_cached(req, Some(&trace));
         }
         let mut resp = self.dispatch_traced(req, &plan, &trace);
+        resp.served_from = tier;
+        // Only complete responses are cached: a response missing an
+        // engine's hits (timeout, failure) must not be replayed after
+        // the engine recovers.
+        if req.cache.writes() && resp.is_complete() {
+            if let Some(c) = self.cache_for(req) {
+                c.insert(
+                    CacheKey::results(req, plan.epoch),
+                    CachedValue::Results(Arc::new(CachedResponse {
+                        hits: resp.hits.clone(),
+                        estimates: resp.estimates.clone(),
+                        per_engine_stats: resp.per_engine_stats.clone(),
+                    })),
+                );
+            }
+        }
         timer.stop();
         resp.trace = self.finish_trace(active, req, &resp);
         resp
@@ -1104,8 +1301,10 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                     });
                 }
                 StaleMode::Replan => {
-                    let fresh = self.plan(req);
-                    self.dispatch(req, &fresh)
+                    let (fresh, tier) = self.plan_cached(req, None);
+                    let mut resp = self.dispatch(req, &fresh);
+                    resp.served_from = tier;
+                    resp
                 }
             }
         } else {
@@ -1190,7 +1389,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                             let start = Instant::now();
                             let ctx = trace.context(span.id());
                             let (remote_hits, remote_spans) =
-                                transport.search_traced(&text, threshold, &ctx)?;
+                                transport.search(&text, threshold, Some(&ctx))?;
                             trace.adopt_spans(remote_spans);
                             let hits: Vec<MergedHit> = remote_hits
                                 .into_iter()
@@ -1279,6 +1478,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             },
             per_engine_stats,
             trace: None,
+            served_from: None,
         }
     }
 
@@ -1292,6 +1492,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             &SearchRequest::new(query_text)
                 .threshold(threshold)
                 .policy(SelectionPolicy::All),
+            None,
         )
         .estimates()
     }
@@ -1308,6 +1509,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             &SearchRequest::new(query_text)
                 .threshold(threshold)
                 .policy(policy),
+            None,
         );
         let selected = plan.selected_names();
         m.selects.inc();
@@ -1515,7 +1717,7 @@ mod tests {
         let req = SearchRequest::new("databases processing")
             .threshold(0.05)
             .policy(SelectionPolicy::TopK(2));
-        let plan = b.plan(&req);
+        let plan = b.plan(&req, None);
         assert_eq!(plan.len(), 3);
         assert_eq!(
             plan.estimates(),
@@ -1582,7 +1784,10 @@ mod tests {
     #[test]
     fn reestimate_sweeps_thresholds_without_reanalysis() {
         let b = broker();
-        let plan = b.plan(&SearchRequest::new("soup").policy(SelectionPolicy::All));
+        let plan = b.plan(
+            &SearchRequest::new("soup").policy(SelectionPolicy::All),
+            None,
+        );
         for t in [0.0, 0.1, 0.3, 0.9] {
             assert_eq!(b.reestimate(&plan, t), b.estimate_all("soup", t), "t={t}");
         }
@@ -1606,7 +1811,10 @@ mod tests {
         assert_eq!(analysis.configs(), 2);
         // The stemmed engine resolves both stems; the plain engine only
         // the literal surface form.
-        let plan = b.plan(&SearchRequest::new("indexes scanning").policy(SelectionPolicy::All));
+        let plan = b.plan(
+            &SearchRequest::new("indexes scanning").policy(SelectionPolicy::All),
+            None,
+        );
         let by =
             |n: &str| &plan.engines()[plan.engines().iter().position(|e| e.name == n).unwrap()];
         assert_eq!(by("plain").query().len(), 1);
@@ -1684,10 +1892,13 @@ mod tests {
     #[test]
     fn traced_reestimate_records_span() {
         let b = broker();
-        let plan = b.plan(&SearchRequest::new("soup").policy(SelectionPolicy::All));
+        let plan = b.plan(
+            &SearchRequest::new("soup").policy(SelectionPolicy::All),
+            None,
+        );
         let trace = seu_obs::tracer().start_trace("reestimate_test", true);
         let handle = trace.handle();
-        let ests = b.try_reestimate_traced(&plan, 0.2, &handle).unwrap();
+        let ests = b.try_reestimate(&plan, 0.2, Some(&handle)).unwrap();
         assert_eq!(ests.len(), 3);
         let finished = trace.finish().unwrap();
         let span = finished

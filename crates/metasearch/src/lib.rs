@@ -35,6 +35,7 @@
 
 pub mod allocate;
 pub mod broker;
+pub mod cache;
 pub mod hierarchy;
 pub mod merge;
 pub mod plan;
@@ -46,6 +47,7 @@ pub mod selection;
 
 pub use allocate::Allocation;
 pub use broker::{Broker, BrokerBuilder, EngineEstimate, MergedHit};
+pub use cache::{CacheKey, CacheMode, CachePolicy, CacheStats, CacheTier};
 pub use hierarchy::SuperBroker;
 pub use merge::merge_results;
 pub use plan::{PlannedEngine, QueryPlan, SharedAnalysis};

@@ -176,24 +176,30 @@ pub trait RemoteTransport: Send + Sync + std::fmt::Debug {
     /// Searches the remote engine: it analyzes `query_text` with its own
     /// (identical) analyzer configuration and returns every document
     /// with similarity above `threshold`, best first.
-    fn search(&self, query_text: &str, threshold: f64) -> Result<Vec<RemoteHit>, TransportError>;
-
-    /// Searches while propagating trace context, returning the hits plus
-    /// any spans the remote side recorded under `ctx` (empty when the
-    /// transport does not support tracing). The default implementation
-    /// ignores the context and delegates to [`RemoteTransport::search`],
-    /// so in-process transports keep working unchanged; seu-net's client
-    /// overrides it to carry the context over the wire and to fall back
+    ///
+    /// Passing `Some(ctx)` propagates trace context; the returned spans
+    /// are whatever the remote side recorded under `ctx` (empty when
+    /// `ctx` is `None` or the transport does not support tracing — an
+    /// implementation is free to ignore the context entirely). seu-net's
+    /// client carries the context over the wire and falls back
     /// transparently when the peer predates the traced message kind.
+    fn search(
+        &self,
+        query_text: &str,
+        threshold: f64,
+        ctx: Option<&seu_obs::TraceContext>,
+    ) -> Result<(Vec<RemoteHit>, Vec<seu_obs::SpanRecord>), TransportError>;
+
+    /// Deprecated alias for [`RemoteTransport::search`] with a trace
+    /// context.
+    #[deprecated(note = "use `search(query_text, threshold, Some(ctx))`")]
     fn search_traced(
         &self,
         query_text: &str,
         threshold: f64,
         ctx: &seu_obs::TraceContext,
     ) -> Result<(Vec<RemoteHit>, Vec<seu_obs::SpanRecord>), TransportError> {
-        let _ = ctx;
-        self.search(query_text, threshold)
-            .map(|hits| (hits, Vec::new()))
+        self.search(query_text, threshold, Some(ctx))
     }
 
     /// The engine's exact usefulness for a query at a threshold — the

@@ -13,6 +13,7 @@
 //! [`QueryPlan`]: crate::QueryPlan
 
 use crate::broker::{EngineEstimate, MergedHit};
+use crate::cache::{CacheMode, CacheTier};
 use crate::remote::TransportError;
 use crate::selection::SelectionPolicy;
 use std::time::Duration;
@@ -78,6 +79,10 @@ pub struct SearchRequest {
     /// finished span tree in [`SearchResponse::trace`] (the HTTP
     /// `explain` option).
     pub explain: bool,
+    /// How this request interacts with the broker's query cache
+    /// (default [`CacheMode::ReadWrite`]). `explain` requests always
+    /// run cold regardless, so their span trees describe real work.
+    pub cache: CacheMode,
 }
 
 impl SearchRequest {
@@ -94,6 +99,7 @@ impl SearchRequest {
             with_estimates: false,
             stale_mode: StaleMode::Replan,
             explain: false,
+            cache: CacheMode::ReadWrite,
         }
     }
 
@@ -136,6 +142,13 @@ impl SearchRequest {
     /// Forces trace sampling and returns the span tree in the response.
     pub fn explain(mut self, yes: bool) -> Self {
         self.explain = yes;
+        self
+    }
+
+    /// Sets how the request interacts with the broker's query cache
+    /// ([`CacheMode::Bypass`] forces the cold path end to end).
+    pub fn cache(mut self, mode: CacheMode) -> Self {
+        self.cache = mode;
         self
     }
 }
@@ -193,6 +206,14 @@ pub struct SearchResponse {
     /// [`SearchRequest::explain`] (or the head sampler retained the
     /// trace and it finished slow — see `seu_obs::trace`).
     pub trace: Option<std::sync::Arc<seu_obs::FinishedTrace>>,
+    /// Which cache tier (if any) this response was served from: `None`
+    /// for a fully cold execution, [`CacheTier::Analysis`] /
+    /// [`CacheTier::Plan`] when planning reused cached work before a
+    /// real dispatch, [`CacheTier::Results`] when the merged response
+    /// itself was served. Pure provenance — hits, estimates, and
+    /// [`SearchResponse::is_complete`] are bit-identical between a
+    /// cached response and the cold execution that populated it.
+    pub served_from: Option<CacheTier>,
 }
 
 impl SearchResponse {
@@ -227,6 +248,7 @@ mod tests {
         assert!(!req.with_estimates);
         assert_eq!(req.stale_mode, StaleMode::Replan);
         assert!(!req.explain);
+        assert_eq!(req.cache, CacheMode::ReadWrite);
 
         let req = req
             .threshold(0.3)
@@ -235,8 +257,10 @@ mod tests {
             .timeout(Duration::from_secs(1))
             .with_estimates(true)
             .stale_mode(StaleMode::Error)
-            .explain(true);
+            .explain(true)
+            .cache(CacheMode::Bypass);
         assert!(req.explain);
+        assert_eq!(req.cache, CacheMode::Bypass);
         assert_eq!(req.threshold, 0.3);
         assert_eq!(req.policy, SelectionPolicy::All);
         assert_eq!(req.top_k, Some(5));
@@ -267,6 +291,7 @@ mod tests {
                 },
             ],
             trace: None,
+            served_from: None,
         };
         assert_eq!(resp.selected(), vec!["a".to_string(), "b".to_string()]);
         assert!(!resp.is_complete());

@@ -151,13 +151,26 @@ fn query_analysis_runs_once_per_request() {
         "16 same-config engines should share one analysis pass"
     );
 
-    // The legacy wrappers inherit the guarantee: select + search used to
-    // analyze twice per engine each; now each call is one pass.
+    // The legacy wrappers inherit the guarantee, and the query cache
+    // tightens it further: the analysis tier is keyed on (query, epoch)
+    // alone, so select() reuses the analysis the execute above cached
+    // even at a different threshold/policy, and search() then reuses
+    // select()'s whole plan — zero fresh analyses.
     let before = seu_obs::global().snapshot();
     let _ = broker.select("analysis topic", 0.1, SelectionPolicy::EstimatedUseful);
     let _ = broker.search("analysis topic", 0.1, SelectionPolicy::EstimatedUseful);
     let after = seu_obs::global().snapshot();
-    assert_eq!(analyses(&after) - analyses(&before), 2);
+    assert_eq!(analyses(&after) - analyses(&before), 0);
+
+    // Forcing the cold path restores one analysis pass per request.
+    let before = seu_obs::global().snapshot();
+    let _ = broker.execute(
+        &SearchRequest::new("analysis topic")
+            .threshold(0.1)
+            .cache(seu_metasearch::CacheMode::Bypass),
+    );
+    let after = seu_obs::global().snapshot();
+    assert_eq!(analyses(&after) - analyses(&before), 1);
 }
 
 /// Failure and timeout accounting surfaces in the metrics the response

@@ -94,28 +94,31 @@ fn explicit_refresh_rebuilds_term_map() {
         "cooking",
         engine_from(&["mushroom soup", "porcini everywhere"]),
     ));
-    let stale = b.plan(&SearchRequest::new("porcini").threshold(0.05));
+    let stale = b.plan(&SearchRequest::new("porcini").threshold(0.05), None);
     assert!(stale.selected_names().is_empty(), "{stale:?}");
 
     assert!(b.refresh_representative("cooking"));
-    let fresh = b.plan(&SearchRequest::new("porcini").threshold(0.05));
+    let fresh = b.plan(&SearchRequest::new("porcini").threshold(0.05), None);
     assert_eq!(fresh.selected_names(), vec!["cooking".to_string()]);
 }
 
 #[test]
 fn epoch_mismatch_is_detected_and_typed() {
     let b = broker();
-    let plan = b.plan(&SearchRequest::new("soup").policy(SelectionPolicy::All));
+    let plan = b.plan(
+        &SearchRequest::new("soup").policy(SelectionPolicy::All),
+        None,
+    );
     let epoch_before = b.registry_epoch();
     assert_eq!(plan.epoch, epoch_before);
 
     // Nothing changed: strict re-estimation succeeds.
-    assert!(b.try_reestimate(&plan, 0.1).is_ok());
+    assert!(b.try_reestimate(&plan, 0.1, None).is_ok());
 
     // A refresh bumps the registry: the outstanding plan is stale.
     assert!(b.refresh_representative("cooking"));
     assert_eq!(b.registry_epoch(), epoch_before + 1);
-    let err = b.try_reestimate(&plan, 0.1).unwrap_err();
+    let err = b.try_reestimate(&plan, 0.1, None).unwrap_err();
     assert_eq!(err.plan_epoch, epoch_before);
     assert_eq!(err.registry_epoch, epoch_before + 1);
 
@@ -127,7 +130,7 @@ fn epoch_mismatch_is_detected_and_typed() {
 fn execute_plan_honors_stale_mode() {
     let b = broker();
     let req = SearchRequest::new("soup").threshold(0.1);
-    let plan = b.plan(&req);
+    let plan = b.plan(&req, None);
 
     // Fresh plan: both modes execute.
     assert!(b.execute_plan(&req, &plan).is_ok());

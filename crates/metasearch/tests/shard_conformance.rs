@@ -209,7 +209,7 @@ fn assert_conformance(
                     "{label}, shards={}, query={query:?}, policy={policy:?}, t={threshold}",
                     sharded.shards()
                 );
-                assert_plans_identical(&flat.plan(&req), &sharded.plan(&req), &ctx);
+                assert_plans_identical(&flat.plan(&req, None), &sharded.plan(&req, None), &ctx);
                 assert_hits_identical(&flat.execute(&req).hits, &sharded.execute(&req).hits, &ctx);
             }
         }
@@ -358,7 +358,7 @@ fn stress_interleaves_lifecycle_across_shards() {
                     // Held plans must either execute or fail with the
                     // *typed* staleness error — never a wrong answer and
                     // never a poisoned pool.
-                    let plan = b.plan(&req);
+                    let plan = b.plan(&req, None);
                     match b.execute_plan(&req.clone().stale_mode(StaleMode::Error), &plan) {
                         Ok(resp) => assert!(resp.is_complete()),
                         Err(e) => assert!(

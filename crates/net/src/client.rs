@@ -270,31 +270,28 @@ impl RemoteTransport for RemoteEngine {
         self.addr.to_string()
     }
 
-    fn search(&self, query_text: &str, threshold: f64) -> Result<Vec<RemoteHit>, TransportError> {
-        match self.call(&Message::SearchDocs {
-            query: query_text.to_string(),
-            threshold,
-        })? {
-            Message::SearchResults { hits } => Ok(hits),
-            other => Err(unexpected("SearchResults", &other)),
-        }
-    }
-
-    fn search_traced(
+    fn search(
         &self,
         query_text: &str,
         threshold: f64,
-        ctx: &seu_obs::TraceContext,
+        ctx: Option<&seu_obs::TraceContext>,
     ) -> Result<(Vec<RemoteHit>, Vec<seu_obs::SpanRecord>), TransportError> {
-        // Unsampled requests go over the wire exactly as before the
-        // traced kind existed: byte-identical frames, no span shipping.
-        // Ditto once a peer has rejected the kind — remembered across
-        // clones so a legacy engine is probed at most once.
-        if !ctx.sampled || self.peer_lacks_tracing.load(Ordering::Relaxed) {
-            return self
-                .search(query_text, threshold)
-                .map(|hits| (hits, Vec::new()));
-        }
+        // Untraced and unsampled requests go over the wire exactly as
+        // before the traced kind existed: byte-identical frames, no span
+        // shipping. Ditto once a peer has rejected the kind — remembered
+        // across clones so a legacy engine is probed at most once.
+        let ctx = match ctx {
+            Some(ctx) if ctx.sampled && !self.peer_lacks_tracing.load(Ordering::Relaxed) => ctx,
+            _ => {
+                return match self.call(&Message::SearchDocs {
+                    query: query_text.to_string(),
+                    threshold,
+                })? {
+                    Message::SearchResults { hits } => Ok((hits, Vec::new())),
+                    other => Err(unexpected("SearchResults", &other)),
+                };
+            }
+        };
         let request = Message::TracedSearchDocs {
             query: query_text.to_string(),
             threshold,
@@ -310,8 +307,7 @@ impl RemoteTransport for RemoteEngine {
                 // Remember and fall back to the plain message.
                 self.peer_lacks_tracing.store(true, Ordering::Relaxed);
                 metrics().client_trace_fallbacks.inc();
-                self.search(query_text, threshold)
-                    .map(|hits| (hits, Vec::new()))
+                self.search(query_text, threshold, None)
             }
             Err(e) => Err(e),
         }

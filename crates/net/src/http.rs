@@ -8,19 +8,22 @@
 //! | route | reply |
 //! |-------|-------|
 //! | `GET /metrics` | the process-global [`seu_obs`] registry in Prometheus text exposition |
-//! | `GET /healthz` | JSON health: registry epoch, shard count, engine count |
+//! | `GET /healthz` | JSON health: registry epoch, shard count, engine count, query-cache stats |
 //! | `GET /engines` | JSON array of the broker's [`EngineStatus`] rows |
 //! | `POST /search` | executes a JSON search request against the broker |
 //! | `GET /traces` | JSON array of retained trace summaries, newest first |
 //! | `GET /traces/<id>` | one retained trace as a full span tree (16-hex trace id) |
 //!
 //! `POST /search` takes `{"query": "...", "threshold": 0.2, "top_k": 10,
-//! "all": true, "explain": true}` (only `query` required; `all` selects
-//! every engine instead of the estimated-useful policy) and answers with
-//! merged hits, per-engine estimates, and per-engine dispatch stats —
-//! including the typed transport error when a remote engine failed. With
-//! `explain` the request is force-sampled and the reply carries the
-//! complete span tree inline under `"trace"`.
+//! "all": true, "explain": true, "cache": "read_write"}` (only `query`
+//! required; `all` selects every engine instead of the estimated-useful
+//! policy; `cache` is one of `"read_write"`, `"read_only"`, `"bypass"`)
+//! and answers with merged hits, per-engine estimates, per-engine
+//! dispatch stats — including the typed transport error when a remote
+//! engine failed — and `"served_from"` (`"analysis"`, `"plan"`,
+//! `"results"`, or `null` for a cold execution). With `explain` the
+//! request is force-sampled and the reply carries the complete span tree
+//! inline under `"trace"`.
 //!
 //! The server is decoupled from the broker's estimator type through the
 //! object-safe [`BrokerAdmin`] trait, blanket-implemented for every
@@ -29,7 +32,8 @@
 use crate::metrics::metrics;
 use seu_core::UsefulnessEstimator;
 use seu_metasearch::{
-    Broker, EngineStatus, RegistrySnapshot, SearchRequest, SearchResponse, SelectionPolicy,
+    Broker, CacheMode, CacheStats, EngineStatus, RegistrySnapshot, SearchRequest, SearchResponse,
+    SelectionPolicy,
 };
 use seu_obs::json::{self, Json};
 use std::io::{Read, Write};
@@ -56,6 +60,9 @@ pub trait BrokerAdmin: Send + Sync {
     fn search(&self, request: &SearchRequest) -> SearchResponse;
     /// A consistent epoch cut of the registry, for health reporting.
     fn registry_snapshot(&self) -> RegistrySnapshot;
+    /// A point-in-time view of the query cache, `None` when the broker
+    /// runs without one (for the `/healthz` `cache` block).
+    fn cache_stats(&self) -> Option<CacheStats>;
 }
 
 impl<E: UsefulnessEstimator + Send + Sync> BrokerAdmin for Broker<E> {
@@ -69,6 +76,10 @@ impl<E: UsefulnessEstimator + Send + Sync> BrokerAdmin for Broker<E> {
 
     fn registry_snapshot(&self) -> RegistrySnapshot {
         Broker::registry_snapshot(self)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Broker::cache_stats(self)
     }
 }
 
@@ -230,7 +241,7 @@ fn serve_one(mut stream: TcpStream, broker: &dyn BrokerAdmin) -> std::io::Result
             &mut stream,
             "200 OK",
             "application/json",
-            &healthz_json(&broker.registry_snapshot()),
+            &healthz_json(&broker.registry_snapshot(), broker.cache_stats().as_ref()),
         ),
         ("GET", "/traces") => respond(&mut stream, "200 OK", "application/json", &traces_json()),
         ("GET", path) if path.starts_with("/traces/") => {
@@ -297,16 +308,45 @@ fn parse_search(body: &[u8]) -> Result<SearchRequest, String> {
     if value.get("explain") == Some(&Json::Bool(true)) {
         request = request.explain(true);
     }
+    if let Some(mode) = value.get("cache").and_then(Json::as_str) {
+        request = request.cache(match mode {
+            "read_write" => CacheMode::ReadWrite,
+            "read_only" => CacheMode::ReadOnly,
+            "bypass" => CacheMode::Bypass,
+            other => return Err(format!("unknown cache mode {other:?}")),
+        });
+    }
     Ok(request)
 }
 
-fn healthz_json(snapshot: &RegistrySnapshot) -> String {
-    format!(
-        "{{\"status\":\"ok\",\"registry_epoch\":{},\"shards\":{},\"engines\":{}}}",
+fn healthz_json(snapshot: &RegistrySnapshot, cache: Option<&CacheStats>) -> String {
+    let mut out = format!(
+        "{{\"status\":\"ok\",\"registry_epoch\":{},\"shards\":{},\"engines\":{},\"cache\":",
         snapshot.epoch,
         snapshot.shard_epochs.len(),
         snapshot.statuses.len()
-    )
+    );
+    match cache {
+        Some(c) => {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"policy\":\"{}\",\"budget_bytes\":{},\"bytes_resident\":{},\
+                     \"entries\":{},\"hits\":{},\"misses\":{},\"stale_evictions\":{}}}",
+                    c.policy.name(),
+                    c.budget_bytes,
+                    c.bytes_resident,
+                    c.entries,
+                    c.hits,
+                    c.misses,
+                    c.stale_evictions
+                ),
+            );
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
 }
 
 fn traces_json() -> String {
@@ -400,7 +440,11 @@ fn search_json(response: &SearchResponse) -> String {
         }
         out.push('}');
     }
-    out.push(']');
+    out.push_str("],\"served_from\":");
+    match response.served_from {
+        Some(tier) => json::write_escaped(&mut out, tier.name()),
+        None => out.push_str("null"),
+    }
     if let Some(trace) = &response.trace {
         out.push_str(",\"trace\":");
         trace.write_json(&mut out);

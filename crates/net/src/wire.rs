@@ -719,7 +719,7 @@ mod tests {
         // What a pre-tracing peer does with kind 13: its decoder has no
         // arm for it, so the request surfaces as a Protocol error (and
         // the server answers Message::Error). The fallback in
-        // RemoteEngine::search_traced depends on this behaviour.
+        // RemoteEngine::search (traced path) depends on this behaviour.
         let (kind, payload) = Message::TracedSearchDocs {
             query: "q".into(),
             threshold: 0.0,

@@ -73,7 +73,7 @@ fn refused_connection_is_a_typed_refused_error() {
         .local_addr()
         .unwrap();
     let client = RemoteEngine::with_config(addr, strict()).unwrap();
-    let err = client.search("anything", 0.0).unwrap_err();
+    let err = client.search("anything", 0.0, None).unwrap_err();
     assert_eq!(err.kind, TransportErrorKind::Refused, "{err}");
 }
 
@@ -94,7 +94,7 @@ fn mid_frame_drop_is_connection_lost() {
         });
     });
     let client = RemoteEngine::with_config(addr, strict()).unwrap();
-    let err = client.search("anything", 0.0).unwrap_err();
+    let err = client.search("anything", 0.0, None).unwrap_err();
     assert_eq!(err.kind, TransportErrorKind::ConnectionLost, "{err}");
 }
 
@@ -110,7 +110,7 @@ fn stalled_read_hits_the_call_deadline() {
     });
     let client = RemoteEngine::with_config(addr, strict()).unwrap();
     let start = Instant::now();
-    let err = client.search("anything", 0.0).unwrap_err();
+    let err = client.search("anything", 0.0, None).unwrap_err();
     assert_eq!(err.kind, TransportErrorKind::Timeout, "{err}");
     assert!(
         start.elapsed() < Duration::from_secs(3),
@@ -126,7 +126,7 @@ fn corrupted_frame_is_a_protocol_error() {
         stream.write_all(b"HTTP/1.1 200 OK\r\n\r\n").unwrap();
     });
     let client = RemoteEngine::with_config(addr, strict()).unwrap();
-    let err = client.search("anything", 0.0).unwrap_err();
+    let err = client.search("anything", 0.0, None).unwrap_err();
     assert_eq!(err.kind, TransportErrorKind::Protocol, "{err}");
 }
 
@@ -158,7 +158,7 @@ fn transient_failures_are_retried_and_hard_ones_are_not() {
         },
     )
     .unwrap();
-    assert_eq!(client.search("anything", 0.0).unwrap(), vec![]);
+    assert_eq!(client.search("anything", 0.0, None).unwrap().0, vec![]);
     assert!(retries.get() > before, "the retry counter must move");
 }
 

@@ -173,6 +173,70 @@ fn push_invalidation_refreshes_the_broker_without_a_sweep() {
     assert_eq!(server.subscriber_count(), 0);
 }
 
+/// The query cache must never serve a response cached before a pushed
+/// `InvalidateNotice`. The push refreshes the representative through
+/// the subscription's reader thread, which bumps the registry epoch —
+/// and the epoch lives in every cache key, so the warm entry simply
+/// stops matching.
+#[test]
+fn cache_hit_is_never_served_across_a_pushed_invalidation() {
+    use seu_metasearch::CacheTier;
+
+    let server = EngineServer::bind("news", engine(DB0), "127.0.0.1:0").unwrap();
+    let broker = Arc::new(broker());
+    let (_, subscription) =
+        register_and_subscribe(&broker, RemoteEngine::new(server.addr()).unwrap()).unwrap();
+
+    let request = SearchRequest::new("query optimization in databases")
+        .threshold(0.05)
+        .policy(SelectionPolicy::All)
+        .with_estimates(true);
+    let warm = broker.execute(&request);
+    assert!(!warm.hits.is_empty(), "old collection must answer");
+    assert_eq!(
+        broker.execute(&request).served_from,
+        Some(CacheTier::Results),
+        "repeat must be served from the results tier"
+    );
+
+    let epoch_before = broker.registry_epoch();
+    assert_eq!(server.replace_engine(engine(DB2)), 1);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while broker.registry_epoch() == epoch_before {
+        assert!(
+            Instant::now() < deadline,
+            "push invalidation never reached the broker"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The entry cached at the old epoch is unreachable: the response is
+    // cold and matches a local broker over the *new* collection bit for
+    // bit (the old hits are gone).
+    let after = broker.execute(&request);
+    assert_eq!(
+        after.served_from, None,
+        "stale response served across a pushed invalidation"
+    );
+    let reference = broker_with("news", engine(DB2)).execute(&request);
+    assert_eq!(after.hits.len(), reference.hits.len());
+    for (w, g) in reference.hits.iter().zip(&after.hits) {
+        assert_eq!((&w.engine, &w.doc), (&g.engine, &g.doc));
+        assert_eq!(w.sim.to_bits(), g.sim.to_bits());
+    }
+    for (w, g) in reference.estimates.iter().zip(&after.estimates) {
+        assert_eq!(w.usefulness.no_doc.to_bits(), g.usefulness.no_doc.to_bits());
+    }
+
+    // And the cache re-warms at the post-push epoch.
+    assert_eq!(
+        broker.execute(&request).served_from,
+        Some(CacheTier::Results)
+    );
+
+    subscription.close();
+}
+
 fn broker_with(name: &str, e: SearchEngine) -> Broker<SubrangeEstimator> {
     let b = broker();
     b.register(name, e);

@@ -116,7 +116,7 @@ fn sharded_broker_survives_push_invalidation_storm() {
                         .threshold(0.0)
                         .policy(SelectionPolicy::All)
                         .stale_mode(StaleMode::Error);
-                    let plan = broker.plan(&req);
+                    let plan = broker.plan(&req, None);
                     // Every tenth round, advance the registry between
                     // plan and execute on purpose: the strict path MUST
                     // surface the typed error, deterministically.
