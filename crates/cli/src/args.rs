@@ -71,7 +71,8 @@ pub enum Command {
         /// Run the broker without its query cache.
         no_cache: bool,
     },
-    /// `seu serve-engine <engine.bin> --listen <addr> [--name <name>]`
+    /// `seu serve-engine <engine.bin> --listen <addr> [--name <name>]
+    /// [--threaded] [--workers N]`
     ServeEngine {
         /// Persisted engine file to serve.
         engine: PathBuf,
@@ -79,6 +80,11 @@ pub enum Command {
         listen: String,
         /// Advertised engine name (defaults to the file stem).
         name: Option<String>,
+        /// Serve with the legacy thread-per-connection scheduler instead
+        /// of the event loop.
+        threaded: bool,
+        /// Event-loop worker threads (0 = auto).
+        workers: usize,
     },
     /// `seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]`
     Refresh {
@@ -127,7 +133,7 @@ usage:
   seu search <engine.bin> -q <query> [-t <threshold>] [-k <top-k>]
   seu broker <engine.bin>... -q <query> [-t <threshold>] [--shards <n>] [--no-cache]
   seu serve <engine.bin>... [--remote <host:port>]... --listen <addr> [--shards <n>] [--no-cache]
-  seu serve-engine <engine.bin> --listen <addr> [--name <name>]
+  seu serve-engine <engine.bin> --listen <addr> [--name <name>] [--threaded] [--workers <n>]
   seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]
 global flags:
   --stats               print a metrics snapshot after the command
@@ -181,6 +187,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut name: Option<String> = None;
     let mut shards = 1usize;
     let mut no_cache = false;
+    let mut threaded = false;
+    let mut workers = 0usize;
     let mut obs = ObsOptions::default();
 
     while let Some(arg) = cur.next().map(str::to_string) {
@@ -236,6 +244,13 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                     .ok()
                     .filter(|&n| n > 0)
                     .ok_or_else(|| "--shards needs a positive integer".to_string())?;
+            }
+            "--threaded" => threaded = true,
+            "--workers" => {
+                workers = cur
+                    .value_for("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}"));
@@ -307,6 +322,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             engine: one_positional("engine file")?,
             listen: listen.ok_or("missing --listen <addr>")?,
             name,
+            threaded,
+            workers,
         },
         "refresh" => {
             if positionals.is_empty() {
@@ -506,6 +523,8 @@ mod tests {
                 engine: "a.bin".into(),
                 listen: "127.0.0.1:0".into(),
                 name: None,
+                threaded: false,
+                workers: 0,
             }
         );
         assert!(matches!(
@@ -513,6 +532,24 @@ mod tests {
                 .unwrap()
                 .command,
             Command::ServeEngine { name: Some(n), .. } if n == "news"
+        ));
+        assert!(matches!(
+            p(&[
+                "serve-engine",
+                "a.bin",
+                "--listen",
+                "l:0",
+                "--threaded",
+                "--workers",
+                "3"
+            ])
+            .unwrap()
+            .command,
+            Command::ServeEngine {
+                threaded: true,
+                workers: 3,
+                ..
+            }
         ));
         assert!(p(&["serve-engine", "a.bin"])
             .unwrap_err()

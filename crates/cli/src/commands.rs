@@ -254,16 +254,27 @@ pub fn serve(
     park_forever()
 }
 
-/// Builds the engine server for `seu serve-engine` without blocking.
+/// Builds the engine server for `seu serve-engine` without blocking,
+/// with the default (event-loop) scheduling.
 pub fn serve_engine_start(
     engine_path: &Path,
     name: Option<&str>,
     listen: &str,
 ) -> Result<seu_net::EngineServer, String> {
+    serve_engine_start_with(engine_path, name, listen, seu_net::ServerConfig::default())
+}
+
+/// [`serve_engine_start`] with explicit server scheduling.
+pub fn serve_engine_start_with(
+    engine_path: &Path,
+    name: Option<&str>,
+    listen: &str,
+    config: seu_net::ServerConfig,
+) -> Result<seu_net::EngineServer, String> {
     let name = name
         .map(str::to_string)
         .unwrap_or_else(|| file_stem(engine_path));
-    seu_net::EngineServer::bind(name, load_engine(engine_path)?, listen)
+    seu_net::EngineServer::bind_with(name, load_engine(engine_path)?, listen, config)
         .map_err(|e| io_err(&format!("binding {listen}"), e))
 }
 
@@ -273,15 +284,20 @@ pub fn serve_engine(
     engine_path: &Path,
     name: Option<&str>,
     listen: &str,
+    config: seu_net::ServerConfig,
     out: &mut dyn Write,
 ) -> Result<(), String> {
     seu_net::register_metrics();
-    let server = serve_engine_start(engine_path, name, listen)?;
+    let server = serve_engine_start_with(engine_path, name, listen, config)?;
     writeln!(
         out,
-        "engine {} listening on {}",
+        "engine {} listening on {} ({})",
         server.name(),
-        server.addr()
+        server.addr(),
+        match config.mode {
+            seu_net::ServerMode::EventLoop => "event loop",
+            seu_net::ServerMode::ThreadPerConnection => "thread per connection",
+        }
     )
     .and_then(|()| out.flush())
     .map_err(|e| io_err("writing output", e))?;

@@ -126,7 +126,20 @@ pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), Str
             engine,
             listen,
             name,
-        } => commands::serve_engine(engine, name.as_deref(), listen, out),
+            threaded,
+            workers,
+        } => {
+            let config = seu_net::ServerConfig {
+                mode: if *threaded {
+                    seu_net::ServerMode::ThreadPerConnection
+                } else {
+                    seu_net::ServerMode::EventLoop
+                },
+                workers: *workers,
+                ..seu_net::ServerConfig::default()
+            };
+            commands::serve_engine(engine, name.as_deref(), listen, config, out)
+        }
         Command::Refresh {
             engines,
             repr_dir,

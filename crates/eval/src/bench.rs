@@ -76,6 +76,13 @@ pub struct BrokerBenchConfig {
     /// baseline): the `zipf_cached` phase then runs cold too, so hit
     /// rate reads 0 and the speedup collapses to ~1.
     pub no_cache: bool,
+    /// Remote-only concurrency axis: for each entry `n`, hammer one
+    /// loopback engine with `n` client threads through both schedulers —
+    /// the event-loop server with the multiplexing connection pool
+    /// (`mux_cN` phase) and the thread-per-connection server with a
+    /// connection-per-call client (`threaded_cN` phase) — and report
+    /// both throughputs as a [`ConcurrencyPoint`]. Empty skips the axis.
+    pub concurrency: Vec<usize>,
 }
 
 impl BrokerBenchConfig {
@@ -91,8 +98,23 @@ impl BrokerBenchConfig {
             trace_sample: false,
             zipf: None,
             no_cache: false,
+            concurrency: Vec::new(),
         }
     }
+}
+
+/// One point on the remote concurrency axis: requests per second through
+/// each scheduler at a given client-thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcurrencyPoint {
+    /// Concurrent client threads driving the workload.
+    pub clients: usize,
+    /// Throughput through the event-loop server with the multiplexing
+    /// connection pool (successful requests / wall-clock seconds).
+    pub multiplexed_rps: f64,
+    /// Throughput through the thread-per-connection server with a
+    /// connection-per-call client.
+    pub threaded_rps: f64,
 }
 
 /// The benchmark report: configuration, per-phase timings, and the
@@ -128,6 +150,9 @@ pub struct BrokerBenchReport {
     /// skewed stream runs with the cache on (`None` without the Zipf
     /// phases).
     pub hot_query_speedup: Option<f64>,
+    /// Remote concurrency-axis results, one per configured client count
+    /// (empty when the axis was skipped).
+    pub concurrency: Vec<ConcurrencyPoint>,
     /// Timed phases, in execution order.
     pub phases: Vec<BenchPhase>,
     /// Counter increments attributable to this run (global counter
@@ -173,6 +198,18 @@ impl BrokerBenchReport {
                 }
             }
         }
+        out.push_str("  \"concurrency\": [");
+        for (i, p) in self.concurrency.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{{\"clients\": {}, \"multiplexed_rps\": ", p.clients);
+            json::write_num(&mut out, p.multiplexed_rps);
+            out.push_str(", \"threaded_rps\": ");
+            json::write_num(&mut out, p.threaded_rps);
+            out.push('}');
+        }
+        out.push_str("],\n");
         out.push_str("  \"threshold\": ");
         json::write_num(&mut out, self.threshold);
         out.push_str(",\n  \"phases\": [\n");
@@ -237,6 +274,13 @@ impl BrokerBenchReport {
                 "  zipf(s={s}) cache phases: hit rate {:.1}%, hot-query speedup {:.2}x",
                 self.zipf_hit_rate.unwrap_or(0.0) * 100.0,
                 self.hot_query_speedup.unwrap_or(1.0),
+            );
+        }
+        for p in &self.concurrency {
+            let _ = writeln!(
+                out,
+                "  concurrency {:>4} clients: multiplexed {:>9.1} req/s, thread-per-conn {:>9.1} req/s",
+                p.clients, p.multiplexed_rps, p.threaded_rps
             );
         }
         let _ = writeln!(out, "  {:<16} {:>10} {:>8}", "phase", "seconds", "items");
@@ -343,6 +387,23 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
                     .register_remote(std::sync::Arc::new(client))
                     .expect("registering a loopback engine");
             }
+        });
+        // The batched-estimate win in isolation: the same oracle slice
+        // asked one request per query versus one frame for all of them.
+        let oracle =
+            seu_net::RemoteEngine::new(servers[0].addr()).expect("resolving loopback oracle");
+        let oracle_queries: Vec<String> = queries.iter().take(16).cloned().collect();
+        timed("oracle_per_query", oracle_queries.len() as u64, &mut || {
+            for q in &oracle_queries {
+                let _ = seu_metasearch::RemoteTransport::true_usefulness(&oracle, q, threshold);
+            }
+        });
+        timed("oracle_batched", oracle_queries.len() as u64, &mut || {
+            let _ = seu_metasearch::RemoteTransport::true_usefulness_batch(
+                &oracle,
+                &oracle_queries,
+                threshold,
+            );
         });
     } else {
         timed("register", n_databases as u64, &mut || {
@@ -482,6 +543,73 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         });
     }
 
+    // Remote concurrency axis: the same single-engine request hammer
+    // through both schedulers at each configured client count. The
+    // multiplexed side shares one pooled client across every thread
+    // (frames interleave on few connections); the baseline pairs the
+    // thread-per-connection server with a connection-per-call client —
+    // the pre-pool deployment. Phase names are leaked once per point;
+    // the axis is a handful of values, not a hot path.
+    let mut concurrency_points: Vec<ConcurrencyPoint> = Vec::new();
+    if remote && !cfg.concurrency.is_empty() {
+        let first_collection = || {
+            seu_corpus::many_databases(seed, docs_base)
+                .into_iter()
+                .next()
+                .expect("the generator yields at least one database")
+                .1
+        };
+        let mux_server = seu_net::EngineServer::bind(
+            "bench-mux",
+            SearchEngine::new(first_collection()),
+            "127.0.0.1:0",
+        )
+        .expect("binding the event-loop bench server");
+        let threaded_server = seu_net::EngineServer::bind_with(
+            "bench-threaded",
+            SearchEngine::new(first_collection()),
+            "127.0.0.1:0",
+            seu_net::ServerConfig {
+                mode: seu_net::ServerMode::ThreadPerConnection,
+                ..seu_net::ServerConfig::default()
+            },
+        )
+        .expect("binding the thread-per-connection bench server");
+        let mux_client =
+            seu_net::RemoteEngine::new(mux_server.addr()).expect("resolving the mux server");
+        let threaded_client = seu_net::RemoteEngine::new(threaded_server.addr())
+            .expect("resolving the threaded server")
+            .connection_per_call(true);
+        for &n in &cfg.concurrency {
+            let clients = n.max(1);
+            let total = (clients * 16).max(256);
+            let mux_name: &'static str = Box::leak(format!("mux_c{clients}").into_boxed_str());
+            let threaded_name: &'static str =
+                Box::leak(format!("threaded_c{clients}").into_boxed_str());
+            let mut mux_ok = 0u64;
+            let mux_seconds = timed(mux_name, total as u64, &mut || {
+                mux_ok = hammer(&mux_client, clients, total, &queries, threshold);
+            });
+            let mut threaded_ok = 0u64;
+            let threaded_seconds = timed(threaded_name, total as u64, &mut || {
+                threaded_ok = hammer(&threaded_client, clients, total, &queries, threshold);
+            });
+            concurrency_points.push(ConcurrencyPoint {
+                clients,
+                multiplexed_rps: if mux_seconds > 0.0 {
+                    mux_ok as f64 / mux_seconds
+                } else {
+                    0.0
+                },
+                threaded_rps: if threaded_seconds > 0.0 {
+                    threaded_ok as f64 / threaded_seconds
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+
     // Zipf-traffic cache phases: a dedicated broker (cache on unless
     // --no-cache) serves the same seeded Zipf stream twice. The cold
     // pass forces `CacheMode::Bypass` per request, the cached pass runs
@@ -585,9 +713,44 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         zipf: cfg.zipf,
         zipf_hit_rate,
         hot_query_speedup,
+        concurrency: concurrency_points,
         phases,
         counters,
     }
+}
+
+/// Drives `total` searches through `client` from `clients` threads and
+/// returns how many succeeded.
+fn hammer(
+    client: &seu_net::RemoteEngine,
+    clients: usize,
+    total: usize,
+    queries: &[String],
+    threshold: f64,
+) -> u64 {
+    use seu_metasearch::RemoteTransport;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    let share = total / clients + usize::from(t < total % clients);
+                    for i in 0..share {
+                        let q = &queries[(t + i * clients) % queries.len()];
+                        if client.search(q, threshold, None).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench client thread"))
+            .sum()
+    })
 }
 
 /// A two-document engine for the large-registry phases. The vocabulary
@@ -667,12 +830,20 @@ mod tests {
                 "build_databases",
                 "serve",
                 "register",
+                "oracle_per_query",
+                "oracle_batched",
                 "estimate",
                 "select",
                 "search",
                 "plan",
                 "dispatch"
             ]
+        );
+        // The batched oracle phase answers all its queries in one frame.
+        assert!(
+            report.counters.get("net_server_batch_requests_total") >= Some(&1),
+            "oracle_batched must hit the batch endpoint: {:?}",
+            report.counters.get("net_server_batch_requests_total")
         );
         // Registration alone moves one snapshot per database over the
         // wire; search/dispatch add a frame exchange per (query,
@@ -812,6 +983,52 @@ mod tests {
         assert_eq!(doc.get("zipf"), Some(&json::Json::Null));
         assert_eq!(doc.get("zipf_hit_rate"), Some(&json::Json::Null));
         assert_eq!(doc.get("hot_query_speedup"), Some(&json::Json::Null));
+    }
+
+    #[test]
+    fn concurrency_axis_reports_both_schedulers() {
+        let report = run_broker_bench_config(&BrokerBenchConfig {
+            remote: true,
+            concurrency: vec![2],
+            ..BrokerBenchConfig::new(7, 6, 3)
+        });
+        let names: Vec<_> = report.phases.iter().map(|p| p.name).collect();
+        assert!(
+            names.contains(&"mux_c2") && names.contains(&"threaded_c2"),
+            "{names:?}"
+        );
+        assert_eq!(report.concurrency.len(), 1);
+        let point = report.concurrency[0];
+        assert_eq!(point.clients, 2);
+        assert!(
+            point.multiplexed_rps > 0.0 && point.threaded_rps > 0.0,
+            "both schedulers must complete requests: {point:?}"
+        );
+        let doc = json::parse(&report.to_json()).expect("concurrency bench JSON parses");
+        let axis = doc
+            .get("concurrency")
+            .and_then(|c| c.as_arr())
+            .expect("concurrency array");
+        assert_eq!(axis.len(), 1);
+        assert_eq!(
+            axis[0].get("clients").and_then(json::Json::as_num),
+            Some(2.0)
+        );
+        assert!(axis[0]
+            .get("multiplexed_rps")
+            .and_then(json::Json::as_num)
+            .is_some());
+
+        // Without the axis the array is present but empty.
+        let plain = run_broker_bench(7, 6, 3);
+        assert!(plain.concurrency.is_empty());
+        let doc = json::parse(&plain.to_json()).expect("plain bench JSON parses");
+        assert_eq!(
+            doc.get("concurrency")
+                .and_then(|c| c.as_arr())
+                .map(|a| a.len()),
+            Some(0)
+        );
     }
 
     #[test]

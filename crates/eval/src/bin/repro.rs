@@ -39,6 +39,8 @@
 //!   --trace-sample      bench-broker measures dispatch overhead of default trace sampling
 //!   --zipf S            bench-broker adds Zipf(S) cache phases (hit rate + hot-query speedup)
 //!   --no-cache          bench-broker runs the Zipf phases with the query cache disabled
+//!   --concurrency LIST  bench-broker (remote) client-count axis, e.g. 1,16,256: multiplexed
+//!                       pool vs thread-per-connection throughput at each count
 //!   --stats             print a metrics snapshot after the run
 //!   --metrics-out PATH  write the metrics snapshot as JSON
 //! ```
@@ -60,6 +62,7 @@ fn main() {
     let mut trace_sample = false;
     let mut zipf: Option<f64> = None;
     let mut no_cache = false;
+    let mut concurrency: Vec<usize> = Vec::new();
     let mut stats = false;
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
@@ -129,6 +132,25 @@ fn main() {
                 );
             }
             "--no-cache" => no_cache = true,
+            "--concurrency" => {
+                i += 1;
+                concurrency = args
+                    .get(i)
+                    .map(|list| {
+                        list.split(',')
+                            .map(|n| {
+                                n.trim()
+                                    .parse()
+                                    .ok()
+                                    .filter(|&n: &usize| n > 0)
+                                    .unwrap_or_else(|| {
+                                        usage("--concurrency needs positive integers")
+                                    })
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_else(|| usage("--concurrency needs a comma-separated list"));
+            }
             "--stats" => stats = true,
             "--metrics-out" => {
                 i += 1;
@@ -195,6 +217,7 @@ fn main() {
             trace_sample,
             zipf,
             no_cache,
+            concurrency: concurrency.clone(),
             ..seu_eval::BrokerBenchConfig::new(seed, docs_base, n_queries)
         });
         print!("{}", report.to_text());
@@ -344,8 +367,8 @@ fn usage(err: &str) -> ! {
          hierarchy|selection|gloss-bounds|dependence|binary|policies|weighting|\
          exact-percentiles|diagnostics|bench-broker|all] [--seed N] \
          [--bench-out PATH] [--docs-base N] [--queries N] [--remote] [--shards N] \
-         [--engines N] [--trace-sample] [--zipf S] [--no-cache] [--stats] \
-         [--metrics-out PATH]"
+         [--engines N] [--trace-sample] [--zipf S] [--no-cache] \
+         [--concurrency N,N,...] [--stats] [--metrics-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -28,7 +28,7 @@ pub mod tables;
 
 pub use bench::{
     run_broker_bench, run_broker_bench_config, run_broker_bench_remote, BrokerBenchConfig,
-    BrokerBenchReport,
+    BrokerBenchReport, ConcurrencyPoint,
 };
 pub use metrics::{MethodResult, ThresholdRow};
 pub use ranking::{rank_databases, RankingFixture, RankingResult};

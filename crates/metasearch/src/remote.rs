@@ -210,6 +210,22 @@ pub trait RemoteTransport: Send + Sync + std::fmt::Debug {
         threshold: f64,
     ) -> Result<TrueUsefulness, TransportError>;
 
+    /// [`Self::true_usefulness`] for many queries at once, answers in
+    /// request order. The default loops the per-query call; transports
+    /// with a wire-level batch (the `seu-net` TCP client sends one
+    /// `EstimateBatch` frame) override it to amortize round trips on
+    /// oracle sweeps.
+    fn true_usefulness_batch(
+        &self,
+        queries: &[String],
+        threshold: f64,
+    ) -> Result<Vec<TrueUsefulness>, TransportError> {
+        queries
+            .iter()
+            .map(|q| self.true_usefulness(q, threshold))
+            .collect()
+    }
+
     /// Fetches the engine's current snapshot (representative, vocabulary,
     /// weighting statistics).
     fn fetch_snapshot(&self) -> Result<EngineSnapshot, TransportError>;

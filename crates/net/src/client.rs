@@ -2,43 +2,70 @@
 //! implementing [`RemoteTransport`] so a broker can register an engine
 //! living in another process with `Broker::register_remote`.
 //!
-//! The client is connection-per-call: every call connects (bounded by
-//! [`RemoteEngineConfig::connect_timeout`]), handshakes, exchanges one
-//! request/response pair under [`RemoteEngineConfig::call_timeout`], and
-//! closes. That keeps failure handling trivially per-call — no shared
-//! connection to poison — at the price of a loopback-cheap handshake.
+//! The client keeps a small **connection pool** shared by every clone
+//! of the same `RemoteEngine`. Each pooled connection is multiplexed:
+//! requests are stamped with a fresh correlation id, a dedicated reader
+//! thread routes reply frames back to their callers by id, and many
+//! calls are in flight on one socket at once (up to a pipeline depth
+//! per connection; more connections are dialed on demand up to the pool
+//! cap). Per-request deadlines are enforced by the waiting caller — a
+//! condvar wait bounded by [`RemoteEngineConfig::call_timeout`] — not
+//! by socket-level read timeouts, so one slow request never delays the
+//! replies interleaved behind it.
 //!
-//! Retries are bounded and **transient-only**: refused connections and
-//! connections lost mid-exchange are retried with exponential backoff;
+//! Peers that do not echo correlation ids (handshake ack comes back
+//! with `corr = 0`) are served **sequentially**: one exchange at a time
+//! per connection, replies matched positionally. That keeps old-style
+//! single-frame servers and test fakes working unchanged.
+//!
+//! Dialing resolves every address the name maps to and tries each in
+//! order (IPv4/IPv6 dual-stack hosts fall through to the next address
+//! on connect failure). Retries are bounded and **transient-only**:
+//! refused connections and connections lost mid-exchange are retried
+//! with exponential backoff capped at [`RemoteEngine::max_backoff`];
 //! deadline misses, protocol violations, and remote-reported errors are
 //! not (a timeout retried is a deadline doubled, and a protocol error
-//! will not get better by asking again).
+//! will not get better by asking again). A call that fails with a lost
+//! connection on a *reused* pooled connection is transparently retried
+//! once on a freshly dialed one — a stale pooled socket is a fact of
+//! pooling, not a remote failure — before the retry policy is charged.
 
-use crate::frame::{io_error, read_frame, write_frame};
+use crate::frame::{io_error, read_frame, write_frame, write_frame_corr};
 use crate::metrics::metrics;
 use crate::wire::Message;
 use seu_engine::{Fingerprint, TrueUsefulness};
 use seu_metasearch::{
     EngineSnapshot, RemoteHit, RemoteTransport, TransportError, TransportErrorKind,
 };
+use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// In-flight requests one multiplexed connection carries before the
+/// pool prefers dialing another.
+const PIPELINE_DEPTH: usize = 32;
+
+/// Default pool size per remote engine.
+const DEFAULT_MAX_CONNS: usize = 8;
+
+/// Default ceiling on the exponential retry backoff.
+const DEFAULT_MAX_BACKOFF: Duration = Duration::from_secs(2);
 
 /// Timeouts and retry policy for a [`RemoteEngine`].
 #[derive(Debug, Clone, Copy)]
 pub struct RemoteEngineConfig {
     /// Deadline for establishing a connection.
     pub connect_timeout: Duration,
-    /// Per-call deadline applied to every read and write on the
-    /// connection once established.
+    /// Per-call deadline from sending the request to seeing its reply.
     pub call_timeout: Duration,
     /// Additional attempts after a transient failure (refused or
     /// connection lost — never timeouts or protocol errors).
     pub retries: u32,
-    /// Backoff before the first retry; doubles per subsequent retry.
+    /// Backoff before the first retry; doubles per subsequent retry,
+    /// capped at [`RemoteEngine::max_backoff`].
     pub backoff: Duration,
 }
 
@@ -53,15 +80,260 @@ impl Default for RemoteEngineConfig {
     }
 }
 
+/// The growth `backoff * 2^attempt`, saturating, clamped to `cap`.
+fn backoff_delay(base: Duration, attempt: u32, cap: Duration) -> Duration {
+    base.saturating_mul(2u32.saturating_pow(attempt)).min(cap)
+}
+
+/// A slot one waiting caller watches: `None` until the reader thread
+/// (or a connection-death sweep) fills it.
+type ReplySlot = Option<Result<Message, TransportError>>;
+
+/// One pooled connection: a locked writer half, a reader thread routing
+/// replies into `pending` by correlation id, and bookkeeping for the
+/// pool's load balancing.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, ReplySlot>>,
+    cv: Condvar,
+    /// Whether the peer echoes correlation ids (negotiated at
+    /// handshake: we send a nonzero id on Hello; a multiplex-capable
+    /// server echoes it on the ack, anything else comes back 0).
+    mux: bool,
+    /// Serializes exchanges on non-mux connections (one in flight).
+    serial: Mutex<()>,
+    alive: AtomicBool,
+    in_flight: AtomicUsize,
+}
+
+impl Conn {
+    fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+        if let Ok(w) = self.writer.lock() {
+            let _ = w.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The shared state behind every clone of one [`RemoteEngine`].
+struct Pool {
+    addrs: Vec<SocketAddr>,
+    config: RemoteEngineConfig,
+    max_backoff: Duration,
+    max_conns: usize,
+    /// Baseline mode: a fresh connection per call, no pooling or
+    /// multiplexing (the pre-pool behavior, kept for benchmarking).
+    per_call: bool,
+    next_corr: AtomicU64,
+    conns: Mutex<Vec<Arc<Conn>>>,
+}
+
+impl Pool {
+    fn new(addrs: Vec<SocketAddr>, config: RemoteEngineConfig) -> Pool {
+        Pool {
+            addrs,
+            config,
+            max_backoff: DEFAULT_MAX_BACKOFF,
+            max_conns: DEFAULT_MAX_CONNS,
+            per_call: false,
+            next_corr: AtomicU64::new(1),
+            conns: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Connects to the first address that answers, falling through the
+    /// rest of the resolved set on failure.
+    fn connect_any(&self) -> Result<TcpStream, TransportError> {
+        let mut last: Option<TransportError> = None;
+        for addr in &self.addrs {
+            match TcpStream::connect_timeout(addr, self.config.connect_timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = Some(io_error(&e, &format!("connecting to {addr}"))),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            TransportError::new(TransportErrorKind::Refused, "address resolved to nothing")
+        }))
+    }
+
+    /// Dials, handshakes (negotiating correlation-id support), and
+    /// spawns the reader thread for a new pooled connection.
+    fn dial(&self) -> Result<Arc<Conn>, TransportError> {
+        let mut stream = self.connect_any()?;
+        stream
+            .set_read_timeout(Some(self.config.call_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.config.call_timeout)))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|e| io_error(&e, "configuring socket"))?;
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (kind, payload) = Message::Hello { subscribe: false }.encode();
+        write_frame_corr(&mut stream, corr, kind, &payload)?;
+        let ack = read_frame(&mut stream)?;
+        let mux = ack.corr == corr;
+        match Message::decode(ack.kind, &ack.payload)? {
+            Message::HelloAck { .. } => {}
+            other => return Err(unexpected("HelloAck", &other)),
+        }
+        // The reader thread blocks until a frame arrives; deadlines are
+        // enforced by the waiting callers instead.
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| io_error(&e, "configuring socket"))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| io_error(&e, "cloning pooled stream"))?;
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            mux,
+            serial: Mutex::new(()),
+            alive: AtomicBool::new(true),
+            in_flight: AtomicUsize::new(0),
+        });
+        let for_reader = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name("seu-net-reader".to_string())
+            .spawn(move || reader_loop(for_reader, read_half))
+            .map_err(|e| io_error(&e, "spawning reader thread"))?;
+        metrics().client_connects.inc();
+        Ok(conn)
+    }
+
+    /// Picks a connection for one call: a multiplexed connection with
+    /// spare pipeline depth, an idle sequential one, a freshly dialed
+    /// one while under the cap, or (saturated) the least loaded. The
+    /// returned flag says whether the connection was dialed for this
+    /// call — reused connections get one transparent redial on a lost
+    /// connection, fresh ones do not.
+    fn acquire(&self) -> Result<(Arc<Conn>, bool), TransportError> {
+        let mut conns = lock_unpoisoned(&self.conns);
+        conns.retain(|c| c.alive.load(Ordering::Acquire));
+        let mut best: Option<&Arc<Conn>> = None;
+        for c in conns.iter().filter(|c| c.mux) {
+            let load = c.in_flight.load(Ordering::Relaxed);
+            if load < PIPELINE_DEPTH
+                && best.is_none_or(|b| load < b.in_flight.load(Ordering::Relaxed))
+            {
+                best = Some(c);
+            }
+        }
+        if let Some(c) = best {
+            return Ok((Arc::clone(c), false));
+        }
+        if let Some(c) = conns
+            .iter()
+            .find(|c| !c.mux && c.in_flight.load(Ordering::Relaxed) == 0)
+        {
+            return Ok((Arc::clone(c), false));
+        }
+        if conns.len() < self.max_conns {
+            let conn = self.dial()?;
+            conns.push(Arc::clone(&conn));
+            return Ok((conn, true));
+        }
+        let c = conns
+            .iter()
+            .min_by_key(|c| c.in_flight.load(Ordering::Relaxed))
+            .expect("pool cap is at least one");
+        Ok((Arc::clone(c), false))
+    }
+
+    /// Dials a replacement connection and registers it with the pool
+    /// (the stale-connection retry path).
+    fn redial(&self) -> Result<Arc<Conn>, TransportError> {
+        let conn = self.dial()?;
+        lock_unpoisoned(&self.conns).push(Arc::clone(&conn));
+        Ok(conn)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Shut the sockets down so the detached reader threads see EOF
+        // and exit rather than blocking forever on their cloned halves.
+        for conn in lock_unpoisoned(&self.conns).iter() {
+            conn.kill();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("addrs", &self.addrs)
+            .field("max_conns", &self.max_conns)
+            .field("per_call", &self.per_call)
+            .finish()
+    }
+}
+
+/// Routes reply frames to their waiting callers until the connection
+/// dies, then fails every still-pending request with the death reason.
+fn reader_loop(conn: Arc<Conn>, mut stream: TcpStream) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(frame) => {
+                let result = Message::decode(frame.kind, &frame.payload);
+                let fatal_decode = result.is_err();
+                {
+                    let mut pending = lock_unpoisoned(&conn.pending);
+                    let target = if pending.contains_key(&frame.corr) {
+                        Some(frame.corr)
+                    } else if !conn.mux && pending.len() == 1 {
+                        // Sequential peers do not echo ids: the single
+                        // outstanding request owns every reply.
+                        pending.keys().next().copied()
+                    } else {
+                        None
+                    };
+                    match target {
+                        Some(corr) => {
+                            pending.insert(corr, Some(result));
+                        }
+                        None => metrics().client_late_replies.inc(),
+                    }
+                }
+                conn.cv.notify_all();
+                if fatal_decode {
+                    // Framing survived but the payload is garbage; the
+                    // stream can no longer be trusted.
+                    conn.kill();
+                    return;
+                }
+            }
+            Err(e) => {
+                conn.alive.store(false, Ordering::Release);
+                {
+                    let mut pending = lock_unpoisoned(&conn.pending);
+                    for slot in pending.values_mut() {
+                        if slot.is_none() {
+                            *slot = Some(Err(e.clone()));
+                        }
+                    }
+                }
+                conn.cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
 /// A TCP client for one [`EngineServer`](crate::EngineServer), usable as
-/// the transport behind a broker's remote engine registration.
+/// the transport behind a broker's remote engine registration. Clones
+/// share one connection pool.
 #[derive(Debug, Clone)]
 pub struct RemoteEngine {
-    addr: SocketAddr,
-    config: RemoteEngineConfig,
+    pool: Arc<Pool>,
     /// Set once a peer rejects the traced search kind; shared across
     /// clones so the whole broker stops re-probing a legacy engine.
     peer_lacks_tracing: Arc<AtomicBool>,
+    /// Ditto for the batched estimate kind.
+    peer_lacks_batch: Arc<AtomicBool>,
 }
 
 impl RemoteEngine {
@@ -72,33 +344,70 @@ impl RemoteEngine {
         RemoteEngine::with_config(addr, RemoteEngineConfig::default())
     }
 
-    /// Creates a client with explicit timeouts and retry policy.
+    /// Creates a client with explicit timeouts and retry policy. Every
+    /// address `addr` resolves to is kept; connects fall through the
+    /// list in order.
     pub fn with_config(
         addr: impl ToSocketAddrs,
         config: RemoteEngineConfig,
     ) -> Result<RemoteEngine, TransportError> {
-        let addr = addr
+        let addrs: Vec<SocketAddr> = addr
             .to_socket_addrs()
             .map_err(|e| io_error(&e, "resolving engine address"))?
-            .next()
-            .ok_or_else(|| {
-                TransportError::new(TransportErrorKind::Refused, "address resolved to nothing")
-            })?;
+            .collect();
+        if addrs.is_empty() {
+            return Err(TransportError::new(
+                TransportErrorKind::Refused,
+                "address resolved to nothing",
+            ));
+        }
         Ok(RemoteEngine {
-            addr,
-            config,
+            pool: Arc::new(Pool::new(addrs, config)),
             peer_lacks_tracing: Arc::new(AtomicBool::new(false)),
+            peer_lacks_batch: Arc::new(AtomicBool::new(false)),
         })
     }
 
+    fn tweak(self, f: impl FnOnce(&mut Pool)) -> RemoteEngine {
+        let mut pool = Pool::new(self.pool.addrs.clone(), self.pool.config);
+        pool.max_backoff = self.pool.max_backoff;
+        pool.max_conns = self.pool.max_conns;
+        pool.per_call = self.pool.per_call;
+        f(&mut pool);
+        RemoteEngine {
+            pool: Arc::new(pool),
+            peer_lacks_tracing: self.peer_lacks_tracing,
+            peer_lacks_batch: self.peer_lacks_batch,
+        }
+    }
+
+    /// Caps the exponential retry backoff (default 2 s): with `n`
+    /// retries configured, the worst-case sleep is `min(backoff * 2^n,
+    /// cap)` per retry rather than an unbounded doubling.
+    pub fn max_backoff(self, cap: Duration) -> RemoteEngine {
+        self.tweak(|p| p.max_backoff = cap)
+    }
+
+    /// Sets the connection-pool cap (default 8, minimum 1).
+    pub fn pool_connections(self, n: usize) -> RemoteEngine {
+        self.tweak(|p| p.max_conns = n.max(1))
+    }
+
+    /// Selects the pre-pool baseline: a fresh connection, handshake,
+    /// and teardown per call. Kept selectable so benchmarks can compare
+    /// the multiplexed path against it.
+    pub fn connection_per_call(self, yes: bool) -> RemoteEngine {
+        self.tweak(|p| p.per_call = yes)
+    }
+
     /// Opens a connection and completes the Hello handshake, returning
-    /// the stream and the engine's advertised name.
+    /// the stream and the engine's advertised name (subscription and
+    /// per-call paths; pooled calls use [`Pool::dial`]).
     fn handshake(&self, subscribe: bool) -> Result<(TcpStream, String), TransportError> {
-        let mut stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
-            .map_err(|e| io_error(&e, &format!("connecting to {}", self.addr)))?;
+        let mut stream = self.pool.connect_any()?;
         stream
-            .set_read_timeout(Some(self.config.call_timeout))
-            .and_then(|()| stream.set_write_timeout(Some(self.config.call_timeout)))
+            .set_read_timeout(Some(self.pool.config.call_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.pool.config.call_timeout)))
             .and_then(|()| stream.set_nodelay(true))
             .map_err(|e| io_error(&e, "configuring socket"))?;
         let (kind, payload) = Message::Hello { subscribe }.encode();
@@ -106,20 +415,106 @@ impl RemoteEngine {
         let ack = read_frame(&mut stream).and_then(|f| Message::decode(f.kind, &f.payload))?;
         match ack {
             Message::HelloAck { name } => Ok((stream, name)),
-            other => Err(TransportError::new(
-                TransportErrorKind::Protocol,
-                format!("expected HelloAck, got {other:?}"),
-            )),
+            other => Err(unexpected("HelloAck", &other)),
         }
     }
 
-    /// One attempt: connect, handshake, send `request`, read the reply.
-    fn call_once(&self, request: &Message) -> Result<Message, TransportError> {
+    /// One attempt over a dedicated connection (baseline mode).
+    fn call_once_fresh(&self, request: &Message) -> Result<Message, TransportError> {
         let (mut stream, _) = self.handshake(false)?;
         let (kind, payload) = request.encode();
         write_frame(&mut stream, kind, &payload)?;
         let reply = read_frame(&mut stream).and_then(|f| Message::decode(f.kind, &f.payload))?;
         let _ = stream.shutdown(Shutdown::Both);
+        Ok(reply)
+    }
+
+    /// Sends `request` on `conn` and waits for its reply, bounded by
+    /// the call timeout.
+    fn exchange(&self, conn: &Conn, request: &Message) -> Result<Message, TransportError> {
+        // Non-mux peers match replies positionally: hold the exchange
+        // serial for the whole send-and-wait.
+        let _serial = if conn.mux {
+            None
+        } else {
+            Some(lock_unpoisoned(&conn.serial))
+        };
+        let corr = self.pool.next_corr.fetch_add(1, Ordering::Relaxed);
+        lock_unpoisoned(&conn.pending).insert(corr, None);
+        let (kind, payload) = request.encode();
+        let sent = {
+            let mut writer = lock_unpoisoned(&conn.writer);
+            write_frame_corr(&mut *writer, corr, kind, &payload)
+        };
+        if let Err(e) = sent {
+            lock_unpoisoned(&conn.pending).remove(&corr);
+            // A partial frame may be on the wire; nothing after it can
+            // be trusted.
+            conn.kill();
+            return Err(e);
+        }
+        if !conn.alive.load(Ordering::Acquire) {
+            // The reader may have swept `pending` before our slot
+            // existed; do not wait a full timeout to learn that.
+            lock_unpoisoned(&conn.pending).remove(&corr);
+            return Err(TransportError::new(
+                TransportErrorKind::ConnectionLost,
+                "connection died before the request was sent",
+            ));
+        }
+        let deadline = Instant::now() + self.pool.config.call_timeout;
+        let mut pending = lock_unpoisoned(&conn.pending);
+        loop {
+            if let Some(result) = pending.get_mut(&corr).and_then(|slot| slot.take()) {
+                pending.remove(&corr);
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                pending.remove(&corr);
+                drop(pending);
+                if !conn.mux {
+                    // A sequential peer still owes a reply; the stream
+                    // is desynchronized for any future exchange.
+                    conn.kill();
+                }
+                return Err(TransportError::new(
+                    TransportErrorKind::Timeout,
+                    format!(
+                        "no reply within {:?} (corr {corr})",
+                        self.pool.config.call_timeout
+                    ),
+                ));
+            }
+            pending = match conn.cv.wait_timeout(pending, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(e) => e.into_inner().0,
+            };
+        }
+    }
+
+    /// One attempt: acquire a pooled connection and exchange on it. A
+    /// lost connection on a *reused* pooled socket is retried once on a
+    /// fresh dial before surfacing.
+    fn call_once(&self, request: &Message) -> Result<Message, TransportError> {
+        let reply = if self.pool.per_call {
+            self.call_once_fresh(request)?
+        } else {
+            let (conn, fresh) = self.pool.acquire()?;
+            conn.in_flight.fetch_add(1, Ordering::Relaxed);
+            let first = self.exchange(&conn, request);
+            conn.in_flight.fetch_sub(1, Ordering::Relaxed);
+            match first {
+                Err(e) if !fresh && e.kind == TransportErrorKind::ConnectionLost => {
+                    let conn = self.pool.redial()?;
+                    conn.in_flight.fetch_add(1, Ordering::Relaxed);
+                    let second = self.exchange(&conn, request);
+                    conn.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    second?
+                }
+                other => other?,
+            }
+        };
         match reply {
             Message::Error { detail } => {
                 Err(TransportError::new(TransportErrorKind::Remote, detail))
@@ -129,29 +524,35 @@ impl RemoteEngine {
     }
 
     /// Sends `request` with the configured retry policy, recording
-    /// latency and failure metrics.
+    /// latency and failure metrics. The latency histogram times each
+    /// attempt individually — backoff sleeps are not wire time.
     fn call(&self, request: &Message) -> Result<Message, TransportError> {
         let m = metrics();
-        let timer = m.rpc_latency.start_timer();
         let mut attempt = 0;
         let result = loop {
-            match self.call_once(request) {
+            let timer = m.rpc_latency.start_timer();
+            let outcome = self.call_once(request);
+            timer.stop();
+            match outcome {
                 Ok(reply) => break Ok(reply),
                 Err(e) => {
                     let transient = matches!(
                         e.kind,
                         TransportErrorKind::Refused | TransportErrorKind::ConnectionLost
                     );
-                    if !transient || attempt >= self.config.retries {
+                    if !transient || attempt >= self.pool.config.retries {
                         break Err(e);
                     }
                     m.client_retries.inc();
-                    std::thread::sleep(self.config.backoff * 2u32.saturating_pow(attempt));
+                    std::thread::sleep(backoff_delay(
+                        self.pool.config.backoff,
+                        attempt,
+                        self.pool.max_backoff,
+                    ));
                     attempt += 1;
                 }
             }
         };
-        timer.stop();
         if let Err(e) = &result {
             if e.kind == TransportErrorKind::Timeout {
                 m.client_timeouts.inc();
@@ -162,7 +563,8 @@ impl RemoteEngine {
         result
     }
 
-    /// Liveness probe: a full connect/handshake/Ping round trip.
+    /// Liveness probe: a full request/reply round trip (on a pooled
+    /// connection, or its own connection in baseline mode).
     pub fn ping(&self) -> Result<(), TransportError> {
         match self.call(&Message::Ping)? {
             Message::Pong => Ok(()),
@@ -267,7 +669,7 @@ fn unexpected(wanted: &str, got: &Message) -> TransportError {
 
 impl RemoteTransport for RemoteEngine {
     fn endpoint(&self) -> String {
-        self.addr.to_string()
+        self.pool.addrs[0].to_string()
     }
 
     fn search(
@@ -325,6 +727,50 @@ impl RemoteTransport for RemoteEngine {
         reply
             .as_usefulness()
             .ok_or_else(|| unexpected("Usefulness", &reply))
+    }
+
+    fn true_usefulness_batch(
+        &self,
+        queries: &[String],
+        threshold: f64,
+    ) -> Result<Vec<TrueUsefulness>, TransportError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let per_query = || -> Result<Vec<TrueUsefulness>, TransportError> {
+            queries
+                .iter()
+                .map(|q| self.true_usefulness(q, threshold))
+                .collect()
+        };
+        if self.peer_lacks_batch.load(Ordering::Relaxed) {
+            return per_query();
+        }
+        match self.call(&Message::EstimateBatch {
+            queries: queries.to_vec(),
+            threshold,
+        }) {
+            Ok(Message::UsefulnessBatch { results }) if results.len() == queries.len() => {
+                Ok(results)
+            }
+            Ok(Message::UsefulnessBatch { results }) => Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!(
+                    "batch of {} queries answered with {} results",
+                    queries.len(),
+                    results.len()
+                ),
+            )),
+            Ok(other) => Err(unexpected("UsefulnessBatch", &other)),
+            Err(e) if e.kind == TransportErrorKind::Remote => {
+                // An old server answers the batch kind with Error; fall
+                // back to per-query estimates and remember.
+                self.peer_lacks_batch.store(true, Ordering::Relaxed);
+                metrics().client_batch_fallbacks.inc();
+                per_query()
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn fetch_snapshot(&self) -> Result<EngineSnapshot, TransportError> {

@@ -45,8 +45,10 @@ use std::time::Duration;
 
 /// Largest request head (request line + headers) accepted.
 const MAX_HEAD_BYTES: usize = 8 << 10;
-/// Largest request body accepted.
-const MAX_BODY_BYTES: usize = 1 << 20;
+/// Largest request body accepted: the same 32 MiB cap the binary frame
+/// layer enforces, checked against the declared `Content-Length`
+/// *before* any buffer is allocated, so a liar header costs nothing.
+const MAX_BODY_BYTES: usize = crate::frame::MAX_FRAME_BYTES;
 /// Socket deadline for reading a request and writing its response.
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
 
@@ -164,40 +166,50 @@ struct Request {
     body: Vec<u8>,
 }
 
-/// Reads one HTTP request; `None` when the peer sent nothing valid
-/// within the caps.
-fn read_request(stream: &mut TcpStream) -> Option<Request> {
+/// Why [`read_request`] produced no request.
+enum ReadError {
+    /// Malformed, truncated, or over the head cap → `400`.
+    Invalid,
+    /// Declared `Content-Length` over [`MAX_BODY_BYTES`] → `413`. The
+    /// body is never allocated or read.
+    BodyTooLarge,
+}
+
+/// Reads one HTTP request within the caps.
+fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
     while !head.ends_with(b"\r\n\r\n") {
         if head.len() >= MAX_HEAD_BYTES {
-            return None;
+            return Err(ReadError::Invalid);
         }
         match stream.read(&mut byte) {
             Ok(1) => head.push(byte[0]),
-            _ => return None,
+            _ => return Err(ReadError::Invalid),
         }
     }
     let head = String::from_utf8_lossy(&head);
     let mut lines = head.split("\r\n");
-    let mut request_line = lines.next()?.split_whitespace();
-    let method = request_line.next()?.to_string();
-    let path = request_line.next()?.to_string();
+    let mut request_line = lines.next().ok_or(ReadError::Invalid)?.split_whitespace();
+    let method = request_line.next().ok_or(ReadError::Invalid)?.to_string();
+    let path = request_line.next().ok_or(ReadError::Invalid)?.to_string();
     let mut content_length = 0usize;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value.trim().parse().ok()?;
+            content_length = value.trim().parse().map_err(|_| ReadError::Invalid)?;
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return None;
+        return Err(ReadError::BodyTooLarge);
     }
     let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body).ok()?;
-    Some(Request { method, path, body })
+    stream
+        .read_exact(&mut body)
+        .map_err(|_| ReadError::Invalid)?;
+    Ok(Request { method, path, body })
 }
 
 fn respond(
@@ -218,13 +230,24 @@ fn respond(
 fn serve_one(mut stream: TcpStream, broker: &dyn BrokerAdmin) -> std::io::Result<()> {
     let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
     let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
-    let Some(request) = read_request(&mut stream) else {
-        return respond(
-            &mut stream,
-            "400 Bad Request",
-            "text/plain",
-            "bad request\n",
-        );
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(ReadError::Invalid) => {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                "bad request\n",
+            );
+        }
+        Err(ReadError::BodyTooLarge) => {
+            return respond(
+                &mut stream,
+                "413 Payload Too Large",
+                "text/plain",
+                "body exceeds 33554432 bytes\n",
+            );
+        }
     };
     metrics().http_requests.inc();
     match (request.method.as_str(), request.path.as_str()) {

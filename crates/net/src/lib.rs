@@ -12,16 +12,21 @@
 //! Three pieces:
 //!
 //! * **[`EngineServer`]** puts one [`SearchEngine`](seu_engine::SearchEngine)
-//!   on a socket, serving search / true-usefulness / snapshot requests
-//!   and pushing [invalidation notices](wire::Message::InvalidateNotice)
-//!   to subscribed brokers when its collection changes.
+//!   on a socket behind a readiness event loop (one poll thread plus a
+//!   small worker pool; [`ServerMode::ThreadPerConnection`] keeps the
+//!   old scheduler as a baseline), serving search / true-usefulness
+//!   (single or batched) / snapshot requests and pushing
+//!   [invalidation notices](wire::Message::InvalidateNotice) to
+//!   subscribed brokers when its collection changes.
 //! * **[`RemoteEngine`]** is the broker-side client: it implements
 //!   [`RemoteTransport`](seu_metasearch::RemoteTransport), so
 //!   `Broker::register_remote` treats a process across the wire exactly
 //!   like a local engine — same planning, same estimates (byte-identical,
 //!   because snapshots ship full-precision f64 statistics), same
 //!   dispatch, with transport failures captured per-engine instead of
-//!   failing the query.
+//!   failing the query. Clones share a connection pool, and because
+//!   every frame carries a correlation id, one connection pipelines
+//!   many concurrent requests.
 //! * **[`AdminServer`]** is a minimal HTTP/1.1 server over a broker:
 //!   `GET /metrics` (Prometheus exposition of the process-global
 //!   [`seu_obs`] registry), `GET /healthz`, `GET /engines`,
@@ -62,12 +67,13 @@ pub mod frame;
 pub mod http;
 mod metrics;
 pub mod server;
+mod timer;
 pub mod wire;
 
 pub use client::{RemoteEngine, RemoteEngineConfig, Subscription};
 pub use http::{AdminServer, BrokerAdmin};
 pub use metrics::register_metrics;
-pub use server::EngineServer;
+pub use server::{EngineServer, ServerConfig, ServerMode};
 
 use seu_core::UsefulnessEstimator;
 use seu_metasearch::{Broker, TransportError};

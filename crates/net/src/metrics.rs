@@ -18,7 +18,9 @@ pub(crate) struct NetMetrics {
     pub(crate) frames_sent: Arc<seu_obs::Counter>,
     /// Frames read.
     pub(crate) frames_received: Arc<seu_obs::Counter>,
-    /// Client-side wall-clock per remote call, connect to last byte.
+    /// Client-side wall-clock per remote call **attempt** (send to
+    /// reply). Backoff sleeps between retries are excluded so the
+    /// histogram measures the wire, not the retry policy.
     pub(crate) rpc_latency: Arc<seu_obs::Histogram>,
     /// Client call attempts that were retried after a transient failure.
     pub(crate) client_retries: Arc<seu_obs::Counter>,
@@ -43,6 +45,21 @@ pub(crate) struct NetMetrics {
     pub(crate) client_trace_fallbacks: Arc<seu_obs::Counter>,
     /// Traced searches served by engine servers (spans shipped back).
     pub(crate) server_traced_searches: Arc<seu_obs::Counter>,
+    /// Pooled connections dialed (TCP connect + handshake completed).
+    pub(crate) client_connects: Arc<seu_obs::Counter>,
+    /// Reply frames whose correlation id matched no waiting request
+    /// (the request already timed out, or the peer misbehaved).
+    pub(crate) client_late_replies: Arc<seu_obs::Counter>,
+    /// Batched estimate calls that fell back to per-query requests
+    /// because the peer predates the batch kind.
+    pub(crate) client_batch_fallbacks: Arc<seu_obs::Counter>,
+    /// Batched estimate requests served by engine servers.
+    pub(crate) server_batch_requests: Arc<seu_obs::Counter>,
+    /// Requests the server dropped because their deadline passed before
+    /// a worker finished them.
+    pub(crate) server_deadline_drops: Arc<seu_obs::Counter>,
+    /// Live connections owned by event-loop servers (all kinds).
+    pub(crate) server_active_connections: Arc<seu_obs::Gauge>,
 }
 
 pub(crate) fn metrics() -> &'static NetMetrics {
@@ -64,6 +81,12 @@ pub(crate) fn metrics() -> &'static NetMetrics {
         http_requests: seu_obs::counter("net_http_requests_total"),
         client_trace_fallbacks: seu_obs::counter("net_client_trace_fallbacks_total"),
         server_traced_searches: seu_obs::counter("net_server_traced_searches_total"),
+        client_connects: seu_obs::counter("net_client_connects_total"),
+        client_late_replies: seu_obs::counter("net_client_late_replies_total"),
+        client_batch_fallbacks: seu_obs::counter("net_client_batch_fallbacks_total"),
+        server_batch_requests: seu_obs::counter("net_server_batch_requests_total"),
+        server_deadline_drops: seu_obs::counter("net_server_request_deadline_drops_total"),
+        server_active_connections: seu_obs::gauge("net_server_active_connections"),
     })
 }
 

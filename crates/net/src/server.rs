@@ -1,13 +1,26 @@
 //! The engine side of the wire: a TCP server wrapping one
 //! [`SearchEngine`].
 //!
-//! [`EngineServer::bind`] puts an engine on a socket with a
-//! thread-per-connection accept loop. Two connection modes exist, chosen
-//! by the client's opening [`Message::Hello`]:
+//! [`EngineServer::bind`] puts an engine on a socket behind a
+//! **readiness event loop**: one thread owns the nonblocking listener
+//! and every connection, parsing frames incrementally out of
+//! per-connection read buffers and flushing replies from write buffers,
+//! while a small worker pool computes the answers. Because replies
+//! carry the request's correlation id, one connection can have many
+//! requests in flight and the replies go out in completion order — a
+//! slow search does not block the pings and estimates pipelined behind
+//! it. Deadlines (connection idle, per-request compute) live in a
+//! timer wheel rather than socket-level read timeouts.
+//! [`EngineServer::bind_with`] selects the legacy thread-per-connection
+//! scheduler instead ([`ServerMode::ThreadPerConnection`]), kept as a
+//! comparison baseline.
+//!
+//! Two connection modes exist, chosen by the client's opening
+//! [`Message::Hello`]:
 //!
 //! * **request connections** (`subscribe: false`) serve the broker's
-//!   calls — search, true usefulness, snapshot fetch, ping — one
-//!   request/response pair per frame exchange;
+//!   calls — search, true usefulness (single or batched), snapshot
+//!   fetch, ping — any number in flight per connection;
 //! * **subscriber connections** (`subscribe: true`) are held open and
 //!   receive a pushed [`Message::InvalidateNotice`] whenever
 //!   [`EngineServer::replace_engine`] swaps the collection. This is what
@@ -18,21 +31,73 @@
 //! a typed [`Message::Error`] reply (when the socket still writes) and
 //! the connection is dropped.
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{encode_frame_into, parse_frame, read_frame, write_frame, write_frame_corr};
 use crate::metrics::metrics;
+use crate::timer::TimerWheel;
 use crate::wire::Message;
 use parking_lot::{Mutex, RwLock};
 use seu_engine::SearchEngine;
 use seu_metasearch::{EngineSnapshot, RemoteHit, TransportError};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Idle cap on request connections: a client that connects and then goes
-/// silent for this long is dropped rather than holding a thread forever.
+/// silent for this long is dropped rather than holding server state
+/// forever. Subscriber connections are exempt.
 const REQUEST_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Event-loop sleep bounds when no connection has traffic: start fine,
+/// double up to the cap so an idle server costs microloops, not a core.
+const IDLE_SLEEP_MIN: Duration = Duration::from_micros(250);
+const IDLE_SLEEP_MAX: Duration = Duration::from_millis(2);
+
+/// Write-buffer cap per connection; a subscriber that stops reading
+/// while broadcasts pile up is dropped at this point instead of growing
+/// the buffer without bound.
+const MAX_WRITE_BUFFER: usize = 64 << 20;
+
+/// How an [`EngineServer`] schedules its connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// One readiness event loop owns every connection; a worker pool
+    /// computes replies; requests multiplex per connection. The default.
+    EventLoop,
+    /// One thread per connection, one request in flight at a time (the
+    /// pre-event-loop scheduler, kept as a benchmark baseline).
+    ThreadPerConnection,
+}
+
+/// Tuning for [`EngineServer::bind_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Connection scheduler.
+    pub mode: ServerMode,
+    /// Worker threads computing replies in event-loop mode; 0 picks
+    /// `available_parallelism` clamped to [2, 8].
+    pub workers: usize,
+    /// Idle cap on request connections.
+    pub idle_timeout: Duration,
+    /// Server-side deadline on one in-flight request: past it, the
+    /// requester gets a typed error and the eventual result is dropped.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            mode: ServerMode::EventLoop,
+            workers: 0,
+            idle_timeout: REQUEST_IDLE_TIMEOUT,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
 
 struct Subscriber {
     id: u64,
@@ -43,15 +108,58 @@ struct ServerState {
     name: String,
     engine: RwLock<Arc<SearchEngine>>,
     epoch: AtomicU64,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    /// Threaded mode: registered subscriber write halves.
     subscribers: Mutex<Vec<Subscriber>>,
     next_subscriber_id: AtomicU64,
-    shutting_down: AtomicBool,
+    /// Event mode: live subscriber count (incremented *before* the ack
+    /// is queued, so a client that has its ack is already counted).
+    event_subscribers: AtomicUsize,
+    /// Event mode: pending broadcast frames, drained by the loop.
+    broadcasts: Mutex<Vec<(u8, Vec<u8>)>>,
+    wake: Wake,
+}
+
+/// Wakes the event loop out of its idle sleep (new completion,
+/// broadcast, or shutdown).
+struct Wake {
+    flag: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl Wake {
+    fn new() -> Wake {
+        Wake {
+            flag: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn notify(&self) {
+        let mut flag = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        *flag = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps up to `timeout` unless a notification is (or arrives)
+    /// pending; consumes the pending flag.
+    fn wait(&self, timeout: Duration) {
+        let mut flag = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        if !*flag {
+            flag = match self.cv.wait_timeout(flag, timeout) {
+                Ok((g, _)) => g,
+                Err(e) => e.into_inner().0,
+            };
+        }
+        *flag = false;
+    }
 }
 
 impl ServerState {
-    /// Removes a subscriber by id; balanced gauge accounting even when
-    /// the reader thread and a failed broadcast race to remove the same
-    /// entry.
+    /// Removes a subscriber by id (threaded mode); balanced gauge
+    /// accounting even when the reader thread and a failed broadcast
+    /// race to remove the same entry.
     fn drop_subscriber(&self, id: u64) {
         let mut subs = self.subscribers.lock();
         let before = subs.len();
@@ -67,16 +175,27 @@ impl ServerState {
 pub struct EngineServer {
     state: Arc<ServerState>,
     addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    thread: Option<JoinHandle<()>>,
 }
 
 impl EngineServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `engine` under `name`.
+    /// serving `engine` under `name` with the default (event-loop)
+    /// configuration.
     pub fn bind(
         name: impl Into<String>,
         engine: SearchEngine,
         addr: impl ToSocketAddrs,
+    ) -> std::io::Result<EngineServer> {
+        EngineServer::bind_with(name, engine, addr, ServerConfig::default())
+    }
+
+    /// [`EngineServer::bind`] with explicit scheduling and deadlines.
+    pub fn bind_with(
+        name: impl Into<String>,
+        engine: SearchEngine,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
     ) -> std::io::Result<EngineServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -84,18 +203,27 @@ impl EngineServer {
             name: name.into(),
             engine: RwLock::new(Arc::new(engine)),
             epoch: AtomicU64::new(0),
+            config,
+            shutting_down: AtomicBool::new(false),
             subscribers: Mutex::new(Vec::new()),
             next_subscriber_id: AtomicU64::new(0),
-            shutting_down: AtomicBool::new(false),
+            event_subscribers: AtomicUsize::new(0),
+            broadcasts: Mutex::new(Vec::new()),
+            wake: Wake::new(),
         });
-        let accept_state = Arc::clone(&state);
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("seu-net-accept-{}", state.name))
-            .spawn(move || accept_loop(listener, accept_state))?;
+        let thread_state = Arc::clone(&state);
+        let thread = match config.mode {
+            ServerMode::EventLoop => std::thread::Builder::new()
+                .name(format!("seu-net-loop-{}", state.name))
+                .spawn(move || event_loop(listener, thread_state))?,
+            ServerMode::ThreadPerConnection => std::thread::Builder::new()
+                .name(format!("seu-net-accept-{}", state.name))
+                .spawn(move || accept_loop(listener, thread_state))?,
+        };
         Ok(EngineServer {
             state,
             addr,
-            accept_thread: Some(accept_thread),
+            thread: Some(thread),
         })
     }
 
@@ -119,12 +247,18 @@ impl EngineServer {
 
     /// Live subscriber connections.
     pub fn subscriber_count(&self) -> usize {
-        self.state.subscribers.lock().len()
+        match self.state.config.mode {
+            ServerMode::EventLoop => self.state.event_subscribers.load(Ordering::SeqCst),
+            ServerMode::ThreadPerConnection => self.state.subscribers.lock().len(),
+        }
     }
 
     /// Swaps the served collection and pushes an
     /// [`Message::InvalidateNotice`] with the new fingerprint to every
-    /// subscriber. Returns the number of subscribers notified.
+    /// subscriber. Returns the number of subscribers the notice goes to
+    /// (in event-loop mode delivery is asynchronous: the count is of
+    /// registered subscribers at the swap, each of which either receives
+    /// the notice or is detected dead and dropped).
     pub fn replace_engine(&self, engine: SearchEngine) -> usize {
         let fingerprint = engine.fingerprint();
         *self.state.engine.write() = Arc::new(engine);
@@ -135,29 +269,38 @@ impl EngineServer {
             epoch,
         };
         let (kind, payload) = notice.encode();
-        let mut notified = 0;
-        let mut dead = Vec::new();
-        {
-            let mut subs = self.state.subscribers.lock();
-            for sub in subs.iter_mut() {
-                match write_frame(&mut sub.stream, kind, &payload) {
-                    Ok(()) => {
-                        metrics().push_notices_sent.inc();
-                        notified += 1;
+        match self.state.config.mode {
+            ServerMode::EventLoop => {
+                let notified = self.state.event_subscribers.load(Ordering::SeqCst);
+                self.state.broadcasts.lock().push((kind, payload));
+                self.state.wake.notify();
+                notified
+            }
+            ServerMode::ThreadPerConnection => {
+                let mut notified = 0;
+                let mut dead = Vec::new();
+                {
+                    let mut subs = self.state.subscribers.lock();
+                    for sub in subs.iter_mut() {
+                        match write_frame(&mut sub.stream, kind, &payload) {
+                            Ok(()) => {
+                                metrics().push_notices_sent.inc();
+                                notified += 1;
+                            }
+                            Err(_) => dead.push(sub.id),
+                        }
                     }
-                    Err(_) => dead.push(sub.id),
                 }
+                for id in dead {
+                    self.state.drop_subscriber(id);
+                }
+                notified
             }
         }
-        for id in dead {
-            self.state.drop_subscriber(id);
-        }
-        notified
     }
 
-    /// Stops accepting, closes every subscriber connection, and joins
-    /// the accept thread. In-flight request connections finish (or hit
-    /// the idle timeout) on their own detached threads.
+    /// Stops accepting, closes every connection, and joins the serving
+    /// thread (the event loop also joins its workers).
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -166,9 +309,11 @@ impl EngineServer {
         if self.state.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the accept loop so it observes the flag.
+        // Wake whichever loop is serving: the event loop sleeps on the
+        // condvar, the threaded accept loop blocks in accept().
+        self.state.wake.notify();
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
         let ids: Vec<u64> = {
@@ -195,11 +340,513 @@ impl std::fmt::Debug for EngineServer {
         f.debug_struct("EngineServer")
             .field("name", &self.state.name)
             .field("addr", &self.addr)
+            .field("mode", &self.state.config.mode)
             .field("epoch", &self.epoch())
             .field("subscribers", &self.subscriber_count())
             .finish()
     }
 }
+
+// ---------------------------------------------------------------------
+// Event-loop scheduler
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnKind {
+    /// Accepted but no Hello yet.
+    Handshake,
+    Request,
+    Subscriber,
+}
+
+struct EventConn {
+    stream: TcpStream,
+    kind: ConnKind,
+    /// Guards against a completed job landing on a recycled slot.
+    gen: u64,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Flushed prefix of `wbuf`.
+    wstart: usize,
+    last_activity: Instant,
+    /// Flush the write buffer, then close.
+    closing: bool,
+    dead: bool,
+}
+
+impl EventConn {
+    fn enqueue(&mut self, corr: u64, message: &Message) {
+        let (kind, payload) = message.encode();
+        encode_frame_into(&mut self.wbuf, corr, kind, &payload);
+    }
+}
+
+/// Deadlines the timer wheel tracks for the loop.
+enum Deadline {
+    ConnIdle { slot: usize, gen: u64 },
+    Request { slot: usize, gen: u64, corr: u64 },
+}
+
+/// A request handed to the worker pool.
+struct Job {
+    slot: usize,
+    gen: u64,
+    corr: u64,
+    request: Message,
+}
+
+/// A computed reply on its way back to the loop.
+struct Done {
+    slot: usize,
+    gen: u64,
+    corr: u64,
+    reply: Message,
+}
+
+fn conn_mut(conns: &mut [Option<EventConn>], slot: usize, gen: u64) -> Option<&mut EventConn> {
+    conns
+        .get_mut(slot)
+        .and_then(|c| c.as_mut())
+        .filter(|c| c.gen == gen && !c.dead)
+}
+
+fn event_loop(listener: TcpListener, state: Arc<ServerState>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let workers = if state.config.workers > 0 {
+        state.config.workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8)
+    };
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Arc::new(std::sync::Mutex::new(job_rx));
+    let completions: Arc<std::sync::Mutex<Vec<Done>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let worker_threads: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let rx = Arc::clone(&job_rx);
+            let done = Arc::clone(&completions);
+            let st = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("seu-net-worker-{}-{i}", st.name))
+                .spawn(move || worker_loop(rx, done, st))
+                .expect("spawning worker thread")
+        })
+        .collect();
+
+    let mut conns: Vec<Option<EventConn>> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+    let mut next_gen: u64 = 1;
+    let mut wheel: TimerWheel<Deadline> = TimerWheel::new(Duration::from_millis(25), 512);
+    let mut req_deadlines: HashMap<(usize, u64, u64), crate::timer::TimerKey> = HashMap::new();
+    let mut expired: Vec<Deadline> = Vec::new();
+    let mut idle_sleep = IDLE_SLEEP_MIN;
+    let m = metrics();
+
+    loop {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut activity = false;
+        let now = Instant::now();
+
+        // New connections.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    activity = true;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    m.server_connections.inc();
+                    m.server_active_connections.add(1.0);
+                    let gen = next_gen;
+                    next_gen += 1;
+                    let conn = EventConn {
+                        stream,
+                        kind: ConnKind::Handshake,
+                        gen,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        wstart: 0,
+                        last_activity: now,
+                        closing: false,
+                        dead: false,
+                    };
+                    let slot = match free_slots.pop() {
+                        Some(s) => {
+                            conns[s] = Some(conn);
+                            s
+                        }
+                        None => {
+                            conns.push(Some(conn));
+                            conns.len() - 1
+                        }
+                    };
+                    wheel.insert(
+                        now,
+                        state.config.idle_timeout,
+                        Deadline::ConnIdle { slot, gen },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Finished jobs → write buffers (unless their deadline already
+        // fired, in which case the requester was told and moved on).
+        let done: Vec<Done> = {
+            let mut lock = completions.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *lock)
+        };
+        for d in done {
+            activity = true;
+            match req_deadlines.remove(&(d.slot, d.gen, d.corr)) {
+                Some(key) => {
+                    wheel.cancel(key);
+                }
+                None => continue,
+            }
+            if let Some(conn) = conn_mut(&mut conns, d.slot, d.gen) {
+                let fatal = matches!(d.reply, Message::Error { .. });
+                conn.enqueue(d.corr, &d.reply);
+                if fatal {
+                    conn.closing = true;
+                }
+            }
+        }
+
+        // Pending broadcasts → every subscriber's write buffer.
+        let notices: Vec<(u8, Vec<u8>)> = {
+            let mut lock = state.broadcasts.lock();
+            std::mem::take(&mut *lock)
+        };
+        for (kind, payload) in &notices {
+            activity = true;
+            for conn in conns.iter_mut().flatten() {
+                if conn.kind == ConnKind::Subscriber && !conn.dead && !conn.closing {
+                    encode_frame_into(&mut conn.wbuf, 0, *kind, payload);
+                    m.push_notices_sent.inc();
+                }
+            }
+        }
+
+        // Readable data → frames → inline replies or worker jobs.
+        for (slot, entry) in conns.iter_mut().enumerate() {
+            let Some(conn) = entry.as_mut() else {
+                continue;
+            };
+            if conn.dead || conn.closing {
+                continue;
+            }
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        // Peer closed; flush anything already queued.
+                        conn.closing = true;
+                        activity = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&buf[..n]);
+                        conn.last_activity = now;
+                        activity = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.dead {
+                continue;
+            }
+            // Drain complete frames from the read buffer.
+            let mut consumed = 0;
+            loop {
+                match parse_frame(&conn.rbuf[consumed..], crate::frame::MAX_FRAME_BYTES) {
+                    Ok(Some((frame, used))) => {
+                        consumed += used;
+                        handle_frame(
+                            &state,
+                            conn,
+                            slot,
+                            frame,
+                            &job_tx,
+                            &mut wheel,
+                            &mut req_deadlines,
+                            now,
+                        );
+                        if conn.closing || conn.dead {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        conn.enqueue(
+                            0,
+                            &Message::Error {
+                                detail: format!("invalid frame: {e}"),
+                            },
+                        );
+                        conn.closing = true;
+                        break;
+                    }
+                }
+            }
+            if consumed > 0 {
+                conn.rbuf.drain(..consumed);
+            }
+        }
+
+        // Deadlines.
+        wheel.advance(now, &mut expired);
+        for deadline in expired.drain(..) {
+            match deadline {
+                Deadline::ConnIdle { slot, gen } => {
+                    if let Some(conn) = conn_mut(&mut conns, slot, gen) {
+                        if conn.kind == ConnKind::Subscriber {
+                            continue; // long-lived by design
+                        }
+                        let idle = now.saturating_duration_since(conn.last_activity);
+                        if idle >= state.config.idle_timeout {
+                            conn.dead = true;
+                            activity = true;
+                        } else {
+                            wheel.insert(
+                                now,
+                                state.config.idle_timeout - idle,
+                                Deadline::ConnIdle { slot, gen },
+                            );
+                        }
+                    }
+                }
+                Deadline::Request { slot, gen, corr } => {
+                    if req_deadlines.remove(&(slot, gen, corr)).is_some() {
+                        m.server_deadline_drops.inc();
+                        if let Some(conn) = conn_mut(&mut conns, slot, gen) {
+                            conn.enqueue(
+                                corr,
+                                &Message::Error {
+                                    detail: format!(
+                                        "request deadline ({:?}) exceeded",
+                                        state.config.request_timeout
+                                    ),
+                                },
+                            );
+                            activity = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Flush write buffers; reap finished and dead connections.
+        for (slot, entry) in conns.iter_mut().enumerate() {
+            let Some(conn) = entry.as_mut() else {
+                continue;
+            };
+            if !conn.dead && conn.wstart < conn.wbuf.len() {
+                loop {
+                    match conn.stream.write(&conn.wbuf[conn.wstart..]) {
+                        Ok(0) => {
+                            conn.dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.wstart += n;
+                            activity = true;
+                            if conn.wstart == conn.wbuf.len() {
+                                conn.wbuf.clear();
+                                conn.wstart = 0;
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            conn.dead = true;
+                            break;
+                        }
+                    }
+                }
+                if conn.wbuf.len() - conn.wstart > MAX_WRITE_BUFFER {
+                    conn.dead = true; // slow consumer
+                }
+            }
+            if conn.closing && conn.wstart >= conn.wbuf.len() {
+                conn.dead = true;
+            }
+            if conn.dead {
+                if conn.kind == ConnKind::Subscriber {
+                    state.event_subscribers.fetch_sub(1, Ordering::SeqCst);
+                    m.server_subscribers.add(-1.0);
+                }
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                m.server_active_connections.add(-1.0);
+                *entry = None;
+                free_slots.push(slot);
+                activity = true;
+            }
+        }
+
+        if activity {
+            idle_sleep = IDLE_SLEEP_MIN;
+        } else {
+            state.wake.wait(idle_sleep);
+            idle_sleep = (idle_sleep * 2).min(IDLE_SLEEP_MAX);
+        }
+    }
+
+    // Shutdown: close every connection, then drain the worker pool.
+    for conn in conns.iter_mut().flatten() {
+        if conn.kind == ConnKind::Subscriber {
+            state.event_subscribers.fetch_sub(1, Ordering::SeqCst);
+            metrics().server_subscribers.add(-1.0);
+        }
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        metrics().server_active_connections.add(-1.0);
+    }
+    drop(job_tx);
+    for t in worker_threads {
+        let _ = t.join();
+    }
+}
+
+/// Routes one parsed frame: handshake transitions, inline pongs, or a
+/// job for the worker pool (with its deadline armed).
+#[allow(clippy::too_many_arguments)]
+fn handle_frame(
+    state: &Arc<ServerState>,
+    conn: &mut EventConn,
+    slot: usize,
+    frame: crate::frame::Frame,
+    job_tx: &mpsc::Sender<Job>,
+    wheel: &mut TimerWheel<Deadline>,
+    req_deadlines: &mut HashMap<(usize, u64, u64), crate::timer::TimerKey>,
+    now: Instant,
+) {
+    let m = metrics();
+    match conn.kind {
+        ConnKind::Handshake => {
+            match Message::decode(frame.kind, &frame.payload) {
+                Ok(Message::Hello { subscribe }) => {
+                    if subscribe {
+                        conn.kind = ConnKind::Subscriber;
+                        // Count first, ack second: a client holding its
+                        // ack is guaranteed to be in the next
+                        // replace_engine's subscriber count.
+                        state.event_subscribers.fetch_add(1, Ordering::SeqCst);
+                        m.server_subscribers.add(1.0);
+                    } else {
+                        conn.kind = ConnKind::Request;
+                    }
+                    // Echoing the correlation id doubles as capability
+                    // negotiation: a nonzero echo tells the client this
+                    // server multiplexes.
+                    conn.enqueue(
+                        frame.corr,
+                        &Message::HelloAck {
+                            name: state.name.clone(),
+                        },
+                    );
+                }
+                Ok(other) => {
+                    conn.enqueue(
+                        frame.corr,
+                        &Message::Error {
+                            detail: format!("expected Hello, got {other:?}"),
+                        },
+                    );
+                    conn.closing = true;
+                }
+                Err(e) => {
+                    conn.enqueue(
+                        frame.corr,
+                        &Message::Error {
+                            detail: format!("undecodable request: {e}"),
+                        },
+                    );
+                    conn.closing = true;
+                }
+            }
+        }
+        ConnKind::Request => {
+            m.server_requests.inc();
+            match Message::decode(frame.kind, &frame.payload) {
+                Ok(Message::Ping) => conn.enqueue(frame.corr, &Message::Pong),
+                Ok(request) => {
+                    let key = wheel.insert(
+                        now,
+                        state.config.request_timeout,
+                        Deadline::Request {
+                            slot,
+                            gen: conn.gen,
+                            corr: frame.corr,
+                        },
+                    );
+                    req_deadlines.insert((slot, conn.gen, frame.corr), key);
+                    let _ = job_tx.send(Job {
+                        slot,
+                        gen: conn.gen,
+                        corr: frame.corr,
+                        request,
+                    });
+                }
+                Err(e) => {
+                    conn.enqueue(
+                        frame.corr,
+                        &Message::Error {
+                            detail: format!("undecodable request: {e}"),
+                        },
+                    );
+                    conn.closing = true;
+                }
+            }
+        }
+        // Subscribers carry no requests; stray frames are ignored.
+        ConnKind::Subscriber => {}
+    }
+}
+
+fn worker_loop(
+    job_rx: Arc<std::sync::Mutex<mpsc::Receiver<Job>>>,
+    completions: Arc<std::sync::Mutex<Vec<Done>>>,
+    state: Arc<ServerState>,
+) {
+    loop {
+        // Holding the lock across recv serializes the *wait*, not the
+        // work: the holder releases as soon as a job arrives.
+        let job = {
+            let rx = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        let Ok(job) = job else { return };
+        let reply = answer(&state, job.request);
+        completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Done {
+                slot: job.slot,
+                gen: job.gen,
+                corr: job.corr,
+                reply,
+            });
+        state.wake.notify();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-per-connection scheduler (benchmark baseline)
+// ---------------------------------------------------------------------
 
 fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     for stream in listener.incoming() {
@@ -220,28 +867,34 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
 /// Runs one connection to completion; errors just end the connection.
 fn serve_connection(mut stream: TcpStream, state: Arc<ServerState>) -> Result<(), TransportError> {
     stream
-        .set_read_timeout(Some(REQUEST_IDLE_TIMEOUT))
+        .set_read_timeout(Some(state.config.idle_timeout))
         .map_err(|e| crate::frame::io_error(&e, "setting read timeout"))?;
-    let hello = read_frame(&mut stream).and_then(|f| Message::decode(f.kind, &f.payload))?;
-    let subscribe = match hello {
-        Message::Hello { subscribe } => subscribe,
-        other => {
+    let hello = read_frame(&mut stream)?;
+    let hello_corr = hello.corr;
+    let subscribe = match Message::decode(hello.kind, &hello.payload) {
+        Ok(Message::Hello { subscribe }) => subscribe,
+        Ok(other) => {
             let (kind, payload) = Message::Error {
                 detail: format!("expected Hello, got {other:?}"),
             }
             .encode();
-            let _ = write_frame(&mut stream, kind, &payload);
+            let _ = write_frame_corr(&mut stream, hello_corr, kind, &payload);
             return Ok(());
         }
+        Err(e) => return Err(e),
     };
     let (kind, payload) = Message::HelloAck {
         name: state.name.clone(),
     }
     .encode();
     if subscribe {
-        serve_subscriber(stream, state, kind, &payload)
+        serve_subscriber(stream, state, hello_corr, kind, &payload)
     } else {
-        write_frame(&mut stream, kind, &payload)?;
+        // Requests are answered strictly in arrival order on this
+        // scheduler, so echoing the id is still a correct multiplexing
+        // contract: pipelined replies come back in request order with
+        // matching ids.
+        write_frame_corr(&mut stream, hello_corr, kind, &payload)?;
         serve_requests(stream, state)
     }
 }
@@ -254,6 +907,7 @@ fn serve_connection(mut stream: TcpStream, state: Arc<ServerState>) -> Result<()
 fn serve_subscriber(
     stream: TcpStream,
     state: Arc<ServerState>,
+    ack_corr: u64,
     ack_kind: u8,
     ack_payload: &[u8],
 ) -> Result<(), TransportError> {
@@ -268,7 +922,7 @@ fn serve_subscriber(
             stream: write_half,
         });
         let sub = subs.last_mut().expect("just pushed");
-        if let Err(e) = write_frame(&mut sub.stream, ack_kind, ack_payload) {
+        if let Err(e) = write_frame_corr(&mut sub.stream, ack_corr, ack_kind, ack_payload) {
             subs.pop();
             return Err(e);
         }
@@ -301,7 +955,7 @@ fn serve_requests(mut stream: TcpStream, state: Arc<ServerState>) -> Result<(), 
         };
         let fatal = matches!(reply, Message::Error { .. });
         let (kind, payload) = reply.encode();
-        write_frame(&mut stream, kind, &payload)?;
+        write_frame_corr(&mut stream, frame.corr, kind, &payload)?;
         if fatal {
             return Ok(());
         }
@@ -374,6 +1028,18 @@ fn answer(state: &ServerState, request: Message) -> Message {
                 avg_sim: u.avg_sim,
                 max_sim: u.max_sim,
             }
+        }
+        Message::EstimateBatch { queries, threshold } => {
+            metrics().server_batch_requests.inc();
+            let c = engine.collection();
+            let results = queries
+                .iter()
+                .map(|query| {
+                    let q = c.query_from_text(query);
+                    engine.true_usefulness(&q, threshold)
+                })
+                .collect();
+            Message::UsefulnessBatch { results }
         }
         Message::GetRepresentative => Message::Representative {
             snapshot: EngineSnapshot::of_engine(&state.name, &engine),

@@ -1,0 +1,187 @@
+//! A hashed timer wheel for the server's readiness event loop.
+//!
+//! The event loop needs two kinds of deadlines — per-connection idle
+//! timeouts and per-request compute deadlines — without a sorted
+//! structure or one OS timer per entry. A classic timer wheel gives
+//! O(1) insert and cancel: time is quantized into ticks, each tick
+//! hashes to one of `slots.len()` buckets, and [`TimerWheel::advance`]
+//! only touches the buckets the cursor passes over. Entries whose
+//! absolute deadline tick lies a full revolution (or more) ahead stay
+//! in their bucket until the cursor has wrapped far enough — the
+//! absolute tick comparison stands in for the usual "rounds remaining"
+//! counter.
+//!
+//! The wheel is deliberately coarse: a deadline may fire up to one tick
+//! late (and never early, because insertion rounds the deadline up).
+//! For 25 ms ticks against multi-second timeouts that slack is noise.
+
+use std::time::{Duration, Instant};
+
+struct Entry<T> {
+    id: u64,
+    deadline_tick: u64,
+    value: T,
+}
+
+/// Handle returned by [`TimerWheel::insert`]; lets the owner cancel the
+/// timer in O(bucket) when the awaited event happens first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TimerKey {
+    id: u64,
+    slot: usize,
+}
+
+pub(crate) struct TimerWheel<T> {
+    slots: Vec<Vec<Entry<T>>>,
+    tick: Duration,
+    origin: Instant,
+    /// Next tick index [`advance`] will process.
+    cursor: u64,
+    next_id: u64,
+    len: usize,
+}
+
+impl<T> TimerWheel<T> {
+    pub fn new(tick: Duration, slots: usize) -> Self {
+        assert!(tick > Duration::ZERO && slots > 0);
+        let origin = Instant::now();
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick,
+            origin,
+            cursor: 0,
+            next_id: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_index(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.origin);
+        (elapsed.as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Arms a timer `after` from `now`. The deadline is rounded **up**
+    /// to the next tick boundary so it can never fire early.
+    pub fn insert(&mut self, now: Instant, after: Duration, value: T) -> TimerKey {
+        let deadline_tick = self.tick_index(now + after) + 1;
+        let slot = (deadline_tick % self.slots.len() as u64) as usize;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots[slot].push(Entry {
+            id,
+            deadline_tick,
+            value,
+        });
+        self.len += 1;
+        TimerKey { id, slot }
+    }
+
+    /// Disarms a timer, returning its value if it had not fired yet.
+    pub fn cancel(&mut self, key: TimerKey) -> Option<T> {
+        let bucket = &mut self.slots[key.slot];
+        let at = bucket.iter().position(|e| e.id == key.id)?;
+        self.len -= 1;
+        Some(bucket.swap_remove(at).value)
+    }
+
+    /// Collects every timer whose deadline is at or before `now` into
+    /// `expired`, sweeping only the buckets between the last call and
+    /// `now` (capped at one full revolution — beyond that every bucket
+    /// has been visited once already).
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<T>) {
+        let target = self.tick_index(now);
+        if target < self.cursor {
+            return;
+        }
+        let nslots = self.slots.len() as u64;
+        let steps = (target - self.cursor + 1).min(nslots);
+        let mut tick = target + 1 - steps;
+        while tick <= target {
+            let bucket = &mut self.slots[(tick % nslots) as usize];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].deadline_tick <= target {
+                    expired.push(bucket.swap_remove(i).value);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            tick += 1;
+        }
+        self.cursor = target + 1;
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn fires_at_or_after_deadline_never_before() {
+        let mut wheel: TimerWheel<&str> = TimerWheel::new(ms(10), 8);
+        let t0 = Instant::now();
+        wheel.insert(t0, ms(35), "a");
+        let mut out = Vec::new();
+        wheel.advance(t0 + ms(30), &mut out);
+        assert!(out.is_empty(), "fired {out:?} before the deadline");
+        wheel.advance(t0 + ms(60), &mut out);
+        assert_eq!(out, ["a"]);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(ms(10), 8);
+        let t0 = Instant::now();
+        let keep = wheel.insert(t0, ms(20), 1);
+        let drop = wheel.insert(t0, ms(20), 2);
+        assert_eq!(wheel.cancel(drop), Some(2));
+        assert_eq!(wheel.cancel(drop), None, "double cancel");
+        let mut out = Vec::new();
+        wheel.advance(t0 + ms(200), &mut out);
+        assert_eq!(out, [1]);
+        assert_eq!(wheel.cancel(keep), None, "already fired");
+    }
+
+    #[test]
+    fn deadlines_beyond_one_revolution_wait_for_the_wrap() {
+        // 8 slots x 10ms = 80ms per revolution; a 250ms timer hashes to
+        // a bucket the cursor passes three times before it matures.
+        let mut wheel: TimerWheel<&str> = TimerWheel::new(ms(10), 8);
+        let t0 = Instant::now();
+        wheel.insert(t0, ms(250), "slow");
+        let mut out = Vec::new();
+        for step in 1..=24 {
+            wheel.advance(t0 + ms(step * 10), &mut out);
+            assert!(out.is_empty(), "fired after only {}ms", step * 10);
+        }
+        wheel.advance(t0 + ms(270), &mut out);
+        assert_eq!(out, ["slow"]);
+    }
+
+    #[test]
+    fn large_gap_sweeps_every_bucket_once() {
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(ms(1), 4);
+        let t0 = Instant::now();
+        for i in 0..32 {
+            wheel.insert(t0, ms(i), i as u32);
+        }
+        // One advance far past every deadline must drain all 32 even
+        // though the cursor skipped thousands of ticks.
+        let mut out = Vec::new();
+        wheel.advance(t0 + ms(10_000), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, (0..32).collect::<Vec<u32>>());
+        assert_eq!(wheel.len(), 0);
+    }
+}

@@ -21,6 +21,8 @@
 //! | 12 | [`Message::Error`] | server → client |
 //! | 13 | [`Message::TracedSearchDocs`] | client → server |
 //! | 14 | [`Message::TracedSearchResults`] | server → client |
+//! | 15 | [`Message::EstimateBatch`] | client → server |
+//! | 16 | [`Message::UsefulnessBatch`] | server → client |
 //!
 //! Kinds 13/14 carry distributed-trace context
 //! (`trace_id`/`parent_span_id`/`sampled`) alongside a search and bring
@@ -142,6 +144,23 @@ pub enum Message {
         /// request's `parent_span`.
         spans: Vec<seu_obs::SpanRecord>,
     },
+    /// Batched oracle request: many queries in one frame, so a broker
+    /// sweep over its query pool costs one round trip per engine
+    /// instead of one per (engine, query). Peers that predate the kind
+    /// answer it with [`Message::Error`]; the client falls back to
+    /// per-query [`Message::Estimate`] calls.
+    EstimateBatch {
+        /// Raw query texts, in the order answers are expected.
+        queries: Vec<String>,
+        /// Similarity threshold `T`, shared by the whole batch.
+        threshold: f64,
+    },
+    /// Answer to [`Message::EstimateBatch`]: one usefulness triple per
+    /// query, in request order.
+    UsefulnessBatch {
+        /// `(NoDoc, AvgSim, max similarity)` per query.
+        results: Vec<TrueUsefulness>,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -158,6 +177,8 @@ const KIND_PONG: u8 = 11;
 const KIND_ERROR: u8 = 12;
 const KIND_TRACED_SEARCH_DOCS: u8 = 13;
 const KIND_TRACED_SEARCH_RESULTS: u8 = 14;
+const KIND_ESTIMATE_BATCH: u8 = 15;
+const KIND_USEFULNESS_BATCH: u8 = 16;
 
 fn protocol(detail: impl Into<String>) -> TransportError {
     TransportError::new(TransportErrorKind::Protocol, detail)
@@ -480,6 +501,23 @@ impl Message {
                 put_spans(&mut buf, spans);
                 KIND_TRACED_SEARCH_RESULTS
             }
+            Message::EstimateBatch { queries, threshold } => {
+                buf.put_u32(queries.len() as u32);
+                for query in queries {
+                    put_string(&mut buf, query);
+                }
+                buf.put_f64(*threshold);
+                KIND_ESTIMATE_BATCH
+            }
+            Message::UsefulnessBatch { results } => {
+                buf.put_u32(results.len() as u32);
+                for r in results {
+                    buf.put_u64(r.no_doc);
+                    buf.put_f64(r.avg_sim);
+                    buf.put_f64(r.max_sim);
+                }
+                KIND_USEFULNESS_BATCH
+            }
         };
         (kind, buf.freeze().chunk().to_vec())
     }
@@ -536,6 +574,50 @@ impl Message {
                 hits: get_hits(&mut buf)?,
                 spans: get_spans(&mut buf)?,
             },
+            KIND_ESTIMATE_BATCH => {
+                if buf.remaining() < 4 {
+                    return Err(protocol("truncated batch count"));
+                }
+                let count = buf.get_u32() as usize;
+                // Each query costs at least its 4-byte length prefix, so
+                // a count the remaining bytes cannot hold is a lie.
+                if count > buf.remaining() / 4 {
+                    return Err(protocol(format!(
+                        "batch claims {count} queries but only {} bytes remain",
+                        buf.remaining()
+                    )));
+                }
+                let mut queries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    queries.push(get_string(&mut buf)?);
+                }
+                Message::EstimateBatch {
+                    queries,
+                    threshold: get_f64(&mut buf)?,
+                }
+            }
+            KIND_USEFULNESS_BATCH => {
+                if buf.remaining() < 4 {
+                    return Err(protocol("truncated batch count"));
+                }
+                let count = buf.get_u32() as usize;
+                // 24 bytes per triple (u64 + f64 + f64).
+                if count > buf.remaining() / 24 {
+                    return Err(protocol(format!(
+                        "batch claims {count} results but only {} bytes remain",
+                        buf.remaining()
+                    )));
+                }
+                let mut results = Vec::with_capacity(count);
+                for _ in 0..count {
+                    results.push(TrueUsefulness {
+                        no_doc: get_u64(&mut buf)?,
+                        avg_sim: get_f64(&mut buf)?,
+                        max_sim: get_f64(&mut buf)?,
+                    });
+                }
+                Message::UsefulnessBatch { results }
+            }
             other => return Err(protocol(format!("unknown message kind {other}"))),
         };
         if buf.remaining() > 0 {
@@ -730,6 +812,68 @@ mod tests {
         .encode();
         assert_eq!(kind, 13);
         assert!(payload.len() > 8);
+    }
+
+    #[test]
+    fn estimate_batch_round_trips_in_order() {
+        let queries: Vec<String> = (0..5).map(|i| format!("query number {i}")).collect();
+        match round_trip(&Message::EstimateBatch {
+            queries: queries.clone(),
+            threshold: 0.15,
+        }) {
+            Message::EstimateBatch {
+                queries: q,
+                threshold,
+            } => {
+                assert_eq!(q, queries);
+                assert_eq!(threshold, 0.15);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let results: Vec<TrueUsefulness> = (0..5)
+            .map(|i| TrueUsefulness {
+                no_doc: i,
+                avg_sim: 0.1 * i as f64,
+                max_sim: 0.2 * i as f64,
+            })
+            .collect();
+        match round_trip(&Message::UsefulnessBatch {
+            results: results.clone(),
+        }) {
+            Message::UsefulnessBatch { results: r } => {
+                assert_eq!(r.len(), results.len());
+                for (a, b) in r.iter().zip(&results) {
+                    assert_eq!(a.no_doc, b.no_doc);
+                    assert_eq!(a.avg_sim.to_bits(), b.avg_sim.to_bits());
+                    assert_eq!(a.max_sim.to_bits(), b.max_sim.to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        // Empty batches are legal and round-trip.
+        match round_trip(&Message::EstimateBatch {
+            queries: vec![],
+            threshold: 0.0,
+        }) {
+            Message::EstimateBatch { queries, .. } => assert!(queries.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_count_liars_are_protocol_errors() {
+        // A query-count liar must fail before allocating.
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        buf.put_f64(0.15);
+        let err = Message::decode(KIND_ESTIMATE_BATCH, buf.freeze().chunk()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+        // Same for the result-count on the answer.
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        let err = Message::decode(KIND_USEFULNESS_BATCH, buf.freeze().chunk()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
     }
 
     #[test]

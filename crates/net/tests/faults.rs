@@ -206,6 +206,157 @@ fn dead_remote_engine_degrades_to_a_typed_per_engine_failure() {
     }
 }
 
+/// An HTTP client declaring a body over the 32 MiB frame cap must get a
+/// `413` without the server allocating (or reading) the body; a sane
+/// request on a fresh connection still works afterwards.
+#[test]
+fn oversized_http_body_is_rejected_with_413_before_allocation() {
+    use std::io::{BufRead, BufReader};
+
+    let broker: Arc<Broker<SubrangeEstimator>> =
+        Arc::new(Broker::new(SubrangeEstimator::paper_six_subrange()));
+    broker.register("local", engine(&["mushroom soup recipes"]));
+    let admin = seu_net::AdminServer::bind(broker, "127.0.0.1:0").unwrap();
+
+    let mut stream = TcpStream::connect(admin.addr()).unwrap();
+    // 33 MiB declared, zero bytes actually sent: a liar header must be
+    // refused from the Content-Length alone.
+    stream
+        .write_all(
+            b"POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 34603008\r\n\
+              Content-Type: application/json\r\n\r\n",
+        )
+        .unwrap();
+    let mut status = String::new();
+    BufReader::new(&stream).read_line(&mut status).unwrap();
+    assert!(
+        status.starts_with("HTTP/1.1 413"),
+        "expected 413, got {status:?}"
+    );
+
+    let mut stream = TcpStream::connect(admin.addr()).unwrap();
+    let body = br#"{"query":"mushroom soup"}"#;
+    stream
+        .write_all(
+            format!(
+                "POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    stream.write_all(body).unwrap();
+    let mut status = String::new();
+    BufReader::new(&stream).read_line(&mut status).unwrap();
+    assert!(
+        status.starts_with("HTTP/1.1 200"),
+        "expected 200 after the rejection, got {status:?}"
+    );
+}
+
+/// Exponential backoff against a dead port must saturate at the
+/// configured ceiling: six retries at base 50ms would sleep 3.15s
+/// uncapped (50·(1+2+4+8+16+32)), but capped at 100ms the whole call
+/// stays well under that.
+#[test]
+fn retry_backoff_saturates_at_the_ceiling() {
+    let addr = TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap();
+    let client = RemoteEngine::with_config(
+        addr,
+        RemoteEngineConfig {
+            retries: 6,
+            backoff: Duration::from_millis(50),
+            ..strict()
+        },
+    )
+    .unwrap()
+    .max_backoff(Duration::from_millis(100));
+    let start = Instant::now();
+    let err = client.search("anything", 0.0, None).unwrap_err();
+    assert_eq!(err.kind, TransportErrorKind::Refused, "{err}");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "capped backoff should sleep ~550ms total, took {elapsed:?}"
+    );
+}
+
+/// A name resolving to several addresses must fall through dead ones:
+/// connecting to [dead, live] lands on the live engine instead of
+/// failing on the first candidate.
+#[test]
+fn connect_falls_through_dead_addresses_to_a_live_one() {
+    let dead = TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap();
+    let server =
+        EngineServer::bind("backup", engine(&["mushroom soup recipes"]), "127.0.0.1:0").unwrap();
+    let candidates = [dead, server.addr()];
+    let client = RemoteEngine::with_config(&candidates[..], strict()).unwrap();
+    let (hits, _) = client.search("mushroom soup", 0.0, None).unwrap();
+    assert!(!hits.is_empty(), "the live fallback address must answer");
+}
+
+/// Two requests pipelined on ONE connection, answered out of order: the
+/// correlation ids must route each reply to its caller. The fake server
+/// accepts a single connection, reads both requests before answering
+/// either, and replies in reverse — so this deadlocks (and times out)
+/// unless the client both multiplexes and reassembles by id.
+#[test]
+fn interleaved_replies_reassemble_by_correlation_id() {
+    use seu_net::frame::write_frame_corr;
+
+    let addr = fake_server(|mut stream| {
+        let hello = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            Message::decode(hello.kind, &hello.payload),
+            Ok(Message::Hello { .. })
+        ));
+        let (kind, payload) = Message::HelloAck {
+            name: "reverser".into(),
+        }
+        .encode();
+        // Echoing the nonzero hello corr negotiates multiplexing.
+        write_frame_corr(&mut stream, hello.corr, kind, &payload).unwrap();
+        let first = read_frame(&mut stream).unwrap();
+        let second = read_frame(&mut stream).unwrap();
+        for frame in [second, first] {
+            let Ok(Message::Estimate { query, .. }) = Message::decode(frame.kind, &frame.payload)
+            else {
+                panic!("expected Estimate");
+            };
+            let (kind, payload) = Message::Usefulness {
+                no_doc: query.len() as u64,
+                avg_sim: 0.0,
+                max_sim: 0.0,
+            }
+            .encode();
+            write_frame_corr(&mut stream, frame.corr, kind, &payload).unwrap();
+        }
+        // Keep the socket open until the clients are done reading.
+        std::thread::sleep(Duration::from_millis(500));
+    });
+    let client = RemoteEngine::with_config(
+        addr,
+        RemoteEngineConfig {
+            call_timeout: Duration::from_secs(2),
+            ..strict()
+        },
+    )
+    .unwrap()
+    .pool_connections(1);
+    let a = client.clone();
+    let t = std::thread::spawn(move || a.true_usefulness("ab", 0.0).unwrap());
+    let u_b = client.true_usefulness("wxyz", 0.0).unwrap();
+    let u_a = t.join().unwrap();
+    assert_eq!(u_a.no_doc, 2, "caller A must get the reply for \"ab\"");
+    assert_eq!(u_b.no_doc, 4, "caller B must get the reply for \"wxyz\"");
+}
+
 /// A transport that stalls at snapshot-fetch time must fail registration
 /// with a typed error and leave the broker registry untouched.
 #[test]
