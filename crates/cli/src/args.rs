@@ -57,7 +57,7 @@ pub enum Command {
         no_cache: bool,
     },
     /// `seu serve <engine.bin>... [--remote <host:port>]... --listen <addr>
-    /// [--shards N] [--no-cache]`
+    /// [--store <dir>] [--shards N] [--no-cache]`
     Serve {
         /// Persisted engine files to register locally.
         engines: Vec<PathBuf>,
@@ -66,6 +66,33 @@ pub enum Command {
         remotes: Vec<String>,
         /// Address the HTTP admin server binds (port 0 for ephemeral).
         listen: String,
+        /// Persistent representative store to write through — and, when
+        /// no engines or remotes are given, to restore the registry
+        /// from at startup.
+        store: Option<PathBuf>,
+        /// Registry shard count (1 = flat).
+        shards: usize,
+        /// Run the broker without its query cache.
+        no_cache: bool,
+    },
+    /// `seu snapshot <engine.bin>... --store <dir> [--shards N]`
+    Snapshot {
+        /// Persisted engine files to register and persist.
+        engines: Vec<PathBuf>,
+        /// Store directory the registry cut is committed to.
+        store: PathBuf,
+        /// Registry shard count (1 = flat).
+        shards: usize,
+    },
+    /// `seu restore --store <dir> [-q <query>] [-t T] [--shards N]
+    /// [--no-cache]`
+    Restore {
+        /// Store directory holding the committed manifest.
+        store: PathBuf,
+        /// Optional query to estimate over the restored registry.
+        query: Option<String>,
+        /// Similarity threshold for the query.
+        threshold: f64,
         /// Registry shard count (1 = flat).
         shards: usize,
         /// Run the broker without its query cache.
@@ -132,9 +159,11 @@ usage:
   seu estimate <repr.bin> -q <query> [-t <threshold>]
   seu search <engine.bin> -q <query> [-t <threshold>] [-k <top-k>]
   seu broker <engine.bin>... -q <query> [-t <threshold>] [--shards <n>] [--no-cache]
-  seu serve <engine.bin>... [--remote <host:port>]... --listen <addr> [--shards <n>] [--no-cache]
+  seu serve <engine.bin>... [--remote <host:port>]... --listen <addr> [--store <dir>] [--shards <n>] [--no-cache]
   seu serve-engine <engine.bin> --listen <addr> [--name <name>] [--threaded] [--workers <n>]
   seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]
+  seu snapshot <engine.bin>... --store <dir> [--shards <n>]
+  seu restore --store <dir> [-q <query>] [-t <threshold>] [--shards <n>] [--no-cache]
 global flags:
   --stats               print a metrics snapshot after the command
   --metrics-out <path>  write the metrics snapshot as JSON
@@ -181,6 +210,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut stem = false;
     let mut quantize = false;
     let mut repr_dir: Option<PathBuf> = None;
+    let mut store_path: Option<PathBuf> = None;
     let mut stale_only = false;
     let mut listen: Option<String> = None;
     let mut remotes: Vec<String> = Vec::new();
@@ -232,6 +262,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             "--stem" => stem = true,
             "--quantize" => quantize = true,
             "--repr-dir" => repr_dir = Some(PathBuf::from(cur.value_for("--repr-dir")?)),
+            "--store" => store_path = Some(PathBuf::from(cur.value_for("--store")?)),
             "--stale-only" => stale_only = true,
             "--no-cache" => no_cache = true,
             "--listen" => listen = Some(cur.value_for("--listen")?),
@@ -307,13 +338,14 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             }
         }
         "serve" => {
-            if positionals.is_empty() && remotes.is_empty() {
-                return Err("serve needs at least one engine file or --remote".into());
+            if positionals.is_empty() && remotes.is_empty() && store_path.is_none() {
+                return Err("serve needs at least one engine file, --remote, or --store".into());
             }
             Command::Serve {
                 engines: positionals,
                 remotes,
                 listen: listen.ok_or("missing --listen <addr>")?,
+                store: store_path,
                 shards,
                 no_cache,
             }
@@ -335,6 +367,23 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                 stale_only,
             }
         }
+        "snapshot" => {
+            if positionals.is_empty() {
+                return Err("snapshot needs at least one engine file".into());
+            }
+            Command::Snapshot {
+                engines: positionals,
+                store: store_path.ok_or("missing --store <dir>")?,
+                shards,
+            }
+        }
+        "restore" => Command::Restore {
+            store: store_path.ok_or("missing --store <dir>")?,
+            query: query.clone(),
+            threshold,
+            shards,
+            no_cache,
+        },
         other => return Err(format!("unknown command {other}")),
     };
     Ok(Invocation { command, obs })
@@ -343,6 +392,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     fn p(args: &[&str]) -> Result<Invocation, String> {
         parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
@@ -484,6 +534,7 @@ mod tests {
                 engines: vec!["a.bin".into()],
                 remotes: vec!["127.0.0.1:4001".into(), "127.0.0.1:4002".into()],
                 listen: "127.0.0.1:8080".into(),
+                store: None,
                 shards: 1,
                 no_cache: false,
             }
@@ -511,6 +562,76 @@ mod tests {
             .unwrap_err()
             .contains("engine"));
         assert!(p(&["serve", "a.bin"]).unwrap_err().contains("--listen"));
+        // A store-only serve restores its registry from the store.
+        assert!(matches!(
+            p(&["serve", "--store", "reg/", "--listen", "l:0"])
+                .unwrap()
+                .command,
+            Command::Serve { store: Some(s), engines, .. }
+                if s == Path::new("reg/") && engines.is_empty()
+        ));
+        assert!(matches!(
+            p(&["serve", "a.bin", "--listen", "l:0", "--store", "reg/"])
+                .unwrap()
+                .command,
+            Command::Serve { store: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn snapshot_parses() {
+        assert_eq!(
+            p(&["snapshot", "a.bin", "b.bin", "--store", "reg/", "--shards", "4"])
+                .unwrap()
+                .command,
+            Command::Snapshot {
+                engines: vec!["a.bin".into(), "b.bin".into()],
+                store: "reg/".into(),
+                shards: 4,
+            }
+        );
+        assert!(p(&["snapshot", "a.bin"]).unwrap_err().contains("--store"));
+        assert!(p(&["snapshot", "--store", "reg/"])
+            .unwrap_err()
+            .contains("engine"));
+    }
+
+    #[test]
+    fn restore_parses() {
+        assert_eq!(
+            p(&["restore", "--store", "reg/"]).unwrap().command,
+            Command::Restore {
+                store: "reg/".into(),
+                query: None,
+                threshold: 0.2,
+                shards: 1,
+                no_cache: false,
+            }
+        );
+        assert_eq!(
+            p(&[
+                "restore",
+                "--store",
+                "reg/",
+                "-q",
+                "soup",
+                "-t",
+                "0.1",
+                "--shards",
+                "2",
+                "--no-cache",
+            ])
+            .unwrap()
+            .command,
+            Command::Restore {
+                store: "reg/".into(),
+                query: Some("soup".into()),
+                threshold: 0.1,
+                shards: 2,
+                no_cache: true,
+            }
+        );
+        assert!(p(&["restore"]).unwrap_err().contains("--store"));
     }
 
     #[test]

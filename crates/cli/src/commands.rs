@@ -199,19 +199,29 @@ fn file_stem(path: &Path) -> String {
 /// Builds the networked broker for `seu serve` without blocking: local
 /// engine files are registered in process, each `--remote` address is
 /// registered over TCP with a push-invalidation subscription, and the
-/// HTTP admin server starts on `listen`. Returns the admin server and
-/// the live subscriptions (dropping either tears that half down) so
-/// tests can drive a serve session in process.
+/// HTTP admin server starts on `listen`. With a `store`, every
+/// registration writes through the persistent representative store —
+/// and when no engines or remotes are given at all, the registry is
+/// restored from the store's committed manifest instead (entries come
+/// up detached and hydrate lazily on the first plan). Returns the
+/// admin server and the live subscriptions (dropping either tears that
+/// half down) so tests can drive a serve session in process.
 pub fn serve_start(
     engines: &[PathBuf],
     remotes: &[String],
     listen: &str,
+    store: Option<&Path>,
     shards: usize,
     no_cache: bool,
 ) -> Result<(seu_net::AdminServer, Vec<seu_net::Subscription>), String> {
     let mut builder = Broker::builder(SubrangeEstimator::paper_six_subrange()).shards(shards);
     if no_cache {
         builder = builder.cache_bytes(0);
+    }
+    if let Some(dir) = store {
+        builder = builder
+            .store(dir)
+            .map_err(|e| io_err(&format!("opening store {}", dir.display()), e))?;
     }
     let broker = std::sync::Arc::new(builder.build());
     for path in engines {
@@ -225,6 +235,11 @@ pub fn serve_start(
             .map_err(|e| format!("registering remote engine {addr}: {e}"))?;
         subscriptions.push(subscription);
     }
+    if store.is_some() && broker.is_empty() {
+        broker
+            .restore()
+            .map_err(|e| io_err("restoring registry", e))?;
+    }
     let admin = seu_net::AdminServer::bind(broker, listen)
         .map_err(|e| io_err(&format!("binding {listen}"), e))?;
     Ok((admin, subscriptions))
@@ -232,26 +247,131 @@ pub fn serve_start(
 
 /// `seu serve`: run a networked broker until killed — local engines from
 /// files, remote engines over TCP, admin/metrics over HTTP.
+#[allow(clippy::too_many_arguments)]
 pub fn serve(
     engines: &[PathBuf],
     remotes: &[String],
     listen: &str,
+    store: Option<&Path>,
     shards: usize,
     no_cache: bool,
     out: &mut dyn Write,
 ) -> Result<(), String> {
     seu_net::register_metrics();
-    let (admin, _subscriptions) = serve_start(engines, remotes, listen, shards, no_cache)?;
+    let (admin, _subscriptions) = serve_start(engines, remotes, listen, store, shards, no_cache)?;
     writeln!(
         out,
-        "broker: {} local, {} remote; admin listening on http://{}",
+        "broker: {} local, {} remote{}; admin listening on http://{}",
         engines.len(),
         remotes.len(),
+        match store {
+            Some(dir) => format!(", store {}", dir.display()),
+            None => String::new(),
+        },
         admin.addr()
     )
     .and_then(|()| out.flush())
     .map_err(|e| io_err("writing output", e))?;
     park_forever()
+}
+
+/// `seu snapshot`: register engine files against a store-attached
+/// broker (every representative is written through, one-byte
+/// quantized) and commit a consistent registry cut — the manifest a
+/// later `seu restore` or `seu serve --store` rebuilds from.
+pub fn snapshot(
+    engines: &[PathBuf],
+    store: &Path,
+    shards: usize,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let broker = Broker::builder(SubrangeEstimator::paper_six_subrange())
+        .shards(shards)
+        .store(store)
+        .map_err(|e| io_err(&format!("opening store {}", store.display()), e))?
+        .build();
+    for path in engines {
+        broker.register(&file_stem(path), load_engine(path)?);
+    }
+    let manifest = broker
+        .snapshot_registry()
+        .map_err(|e| io_err("committing snapshot", e))?;
+    for e in &manifest.entries {
+        writeln!(
+            out,
+            "{:<20} {:>8} terms  {:>10} stored bytes",
+            e.name, e.repr_terms, e.repr_bytes
+        )
+        .map_err(|e| io_err("writing output", e))?;
+    }
+    writeln!(
+        out,
+        "snapshot: {} engines (epoch {}) -> {}",
+        manifest.entries.len(),
+        manifest.epoch,
+        store.display()
+    )
+    .map_err(|e| io_err("writing output", e))
+}
+
+/// `seu restore`: rebuild a registry from a store's committed manifest
+/// and report it. Entries come up detached — plannable but not
+/// dispatchable — so with `-q` the command prints estimates (which
+/// hydrate the representatives lazily), demonstrating the paper's
+/// claim that selection needs only the broker-side metadata.
+pub fn restore(
+    store: &Path,
+    query: Option<&str>,
+    threshold: f64,
+    shards: usize,
+    no_cache: bool,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let mut builder = Broker::builder(SubrangeEstimator::paper_six_subrange())
+        .shards(shards)
+        .store(store)
+        .map_err(|e| io_err(&format!("opening store {}", store.display()), e))?;
+    if no_cache {
+        builder = builder.cache_bytes(0);
+    }
+    let broker = builder.build();
+    let n = broker
+        .restore()
+        .map_err(|e| io_err("restoring registry", e))?;
+    writeln!(
+        out,
+        "restored {n} engines (epoch {}) from {}",
+        broker.registry_epoch(),
+        store.display()
+    )
+    .map_err(|e| io_err("writing output", e))?;
+    for s in broker.engine_statuses() {
+        writeln!(
+            out,
+            "{:<20} shard {}  epoch {}  {:>8} terms{}{}",
+            s.name,
+            s.shard,
+            s.epoch,
+            s.repr_terms,
+            if s.detached { "  detached" } else { "" },
+            match &s.endpoint {
+                Some(e) => format!("  was {e}"),
+                None => String::new(),
+            }
+        )
+        .map_err(|e| io_err("writing output", e))?;
+    }
+    if let Some(query_text) = query {
+        for e in broker.estimate_all(query_text, threshold) {
+            writeln!(
+                out,
+                "{:<20} est NoDoc {:.2}  AvgSim {:.3}",
+                e.engine, e.usefulness.no_doc, e.usefulness.avg_sim
+            )
+            .map_err(|e| io_err("writing output", e))?;
+        }
+    }
+    Ok(())
 }
 
 /// Builds the engine server for `seu serve-engine` without blocking,

@@ -14,7 +14,13 @@
 //! seu serve e1.bin … --listen addr [--remote h:p]…  networked broker + HTTP admin
 //! seu serve-engine e.bin --listen addr          serve one engine over TCP
 //! seu refresh e1.bin … --repr-dir d [--stale-only]  re-ship representatives
+//! seu snapshot e1.bin … --store reg/            persist a registry cut to a store
+//! seu restore --store reg/ [-q "query"]         rebuild a registry from a store
 //! ```
+//!
+//! `seu serve --store reg/` (with no engines or remotes) restores the
+//! registry from the store at startup and serves it cold: entries come
+//! up detached and hydrate lazily on the first plan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -119,9 +125,18 @@ pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), Str
             engines,
             remotes,
             listen,
+            store,
             shards,
             no_cache,
-        } => commands::serve(engines, remotes, listen, *shards, *no_cache, out),
+        } => commands::serve(
+            engines,
+            remotes,
+            listen,
+            store.as_deref(),
+            *shards,
+            *no_cache,
+            out,
+        ),
         Command::ServeEngine {
             engine,
             listen,
@@ -145,5 +160,17 @@ pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), Str
             repr_dir,
             stale_only,
         } => commands::refresh(engines, repr_dir, *stale_only, out),
+        Command::Snapshot {
+            engines,
+            store,
+            shards,
+        } => commands::snapshot(engines, store, *shards, out),
+        Command::Restore {
+            store,
+            query,
+            threshold,
+            shards,
+            no_cache,
+        } => commands::restore(store, query.as_deref(), *threshold, *shards, *no_cache, out),
     }
 }

@@ -74,6 +74,7 @@ fn serve_session_registers_local_and_remote_engines() {
         &[local],
         &[engine_server.addr().to_string()],
         "127.0.0.1:0",
+        None,
         4,
         false,
     )
@@ -102,6 +103,96 @@ fn serve_session_registers_local_and_remote_engines() {
 
     // Bad remote addresses fail registration with a typed, contextual
     // error instead of a panic or a half-built broker.
-    let err = serve_start(&[], &["127.0.0.1:1".to_string()], "127.0.0.1:0", 1, false).unwrap_err();
+    let err = serve_start(
+        &[],
+        &["127.0.0.1:1".to_string()],
+        "127.0.0.1:0",
+        None,
+        1,
+        false,
+    )
+    .unwrap_err();
     assert!(err.contains("127.0.0.1:1"), "{err}");
+}
+
+#[test]
+fn snapshot_then_store_only_serve_restores_the_registry() {
+    let dir = std::env::temp_dir().join(format!("seu-cli-snaprestore-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let pantry = build_engine_file(
+        &dir,
+        "pantry",
+        &[
+            ("a.txt", "mushroom soup with cream"),
+            ("b.txt", "tomato soup"),
+        ],
+    );
+    let library = build_engine_file(
+        &dir,
+        "library",
+        &[
+            ("c.txt", "databases and query optimization"),
+            ("d.txt", "indexing for retrieval"),
+        ],
+    );
+    let store = dir.join("registry-store");
+
+    // `seu snapshot`: register + write-through + commit a manifest.
+    let args: Vec<String> = [
+        "snapshot",
+        pantry.to_str().unwrap(),
+        library.to_str().unwrap(),
+        "--store",
+        store.to_str().unwrap(),
+        "--shards",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut buf = Vec::new();
+    seu_cli::run(&seu_cli::parse(&args).unwrap(), &mut buf).expect("snapshot succeeds");
+    let msg = String::from_utf8(buf).unwrap();
+    assert!(msg.contains("snapshot: 2 engines"), "{msg}");
+
+    // `seu restore -q`: the registry rebuilds from the manifest alone
+    // and estimates hydrate from the stored representatives.
+    let args: Vec<String> = [
+        "restore",
+        "--store",
+        store.to_str().unwrap(),
+        "-q",
+        "mushroom soup",
+        "-t",
+        "0.1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut buf = Vec::new();
+    seu_cli::run(&seu_cli::parse(&args).unwrap(), &mut buf).expect("restore succeeds");
+    let msg = String::from_utf8(buf).unwrap();
+    assert!(msg.contains("restored 2 engines"), "{msg}");
+    assert!(msg.contains("detached"), "{msg}");
+    assert!(msg.contains("est NoDoc"), "{msg}");
+
+    // A store-only serve session restores the same registry and reports
+    // it over the admin API, detached until an engine re-attaches.
+    let (admin, subscriptions) =
+        serve_start(&[], &[], "127.0.0.1:0", Some(&store), 2, false).expect("store-only serve");
+    assert!(subscriptions.is_empty());
+    let (status, body) = http_get(admin.addr(), "/engines");
+    assert!(status.contains("200"), "{status}");
+    let engines = seu_obs::json::parse(&body).expect("engines JSON");
+    let rows = engines.as_arr().unwrap();
+    assert_eq!(rows.len(), 2, "{body}");
+    for row in rows {
+        assert_eq!(
+            row.get("detached").and_then(seu_obs::json::Json::as_bool),
+            Some(true),
+            "{body}"
+        );
+    }
+
+    fs::remove_dir_all(&dir).unwrap();
 }

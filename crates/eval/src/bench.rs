@@ -31,9 +31,10 @@ use seu_obs::json;
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchPhase {
     /// Phase name (`build_databases`, `register`, `estimate`, `select`,
-    /// `search`, `plan`, `dispatch`, and with `engines > 0` the
+    /// `search`, `plan`, `dispatch`, with `engines > 0` the
     /// large-registry phases `large_build`, `large_register`,
-    /// `large_plan`, `large_execute`).
+    /// `large_plan`, `large_execute`, and with `store` the boot-time
+    /// phases `store_setup`, `store_rebuild`, `store_restore`).
     pub name: &'static str,
     /// Wall-clock spent in the phase.
     pub seconds: f64,
@@ -83,6 +84,16 @@ pub struct BrokerBenchConfig {
     /// connection-per-call client (`threaded_cN` phase) — and report
     /// both throughputs as a [`ConcurrencyPoint`]. Empty skips the axis.
     pub concurrency: Vec<usize>,
+    /// When set, run the persistent-store phases: build a pool of tiny
+    /// engines (`store_setup`), cold-boot a store-backed broker by
+    /// registering them all and committing a snapshot
+    /// (`store_rebuild` → `registry_rebuild_secs`), then warm-boot a
+    /// second broker from the manifest alone via restore + hydrate
+    /// (`store_restore` → `registry_restore_secs`). The pool is
+    /// `engines` tiny engines (1024 when `engines` is 0), and the run
+    /// asserts the restored estimates are bit-identical to the
+    /// rebuilt broker's.
+    pub store: bool,
 }
 
 impl BrokerBenchConfig {
@@ -99,6 +110,7 @@ impl BrokerBenchConfig {
             zipf: None,
             no_cache: false,
             concurrency: Vec::new(),
+            store: false,
         }
     }
 }
@@ -150,6 +162,15 @@ pub struct BrokerBenchReport {
     /// skewed stream runs with the cache on (`None` without the Zipf
     /// phases).
     pub hot_query_speedup: Option<f64>,
+    /// Wall-clock of the cold boot in the store phases — registering
+    /// every pool engine with a store-backed broker (representative
+    /// construction + write-through) and committing the snapshot
+    /// (`None` unless the config asked for the `store` phases).
+    pub registry_rebuild_secs: Option<f64>,
+    /// Wall-clock of the warm boot — restoring the same registry from
+    /// the committed manifest and hydrating every entry from the stored
+    /// representatives (`None` without the store phases).
+    pub registry_restore_secs: Option<f64>,
     /// Remote concurrency-axis results, one per configured client count
     /// (empty when the axis was skipped).
     pub concurrency: Vec<ConcurrencyPoint>,
@@ -186,6 +207,8 @@ impl BrokerBenchReport {
             ("zipf", self.zipf),
             ("zipf_hit_rate", self.zipf_hit_rate),
             ("hot_query_speedup", self.hot_query_speedup),
+            ("registry_rebuild_secs", self.registry_rebuild_secs),
+            ("registry_restore_secs", self.registry_restore_secs),
         ] {
             match value {
                 Some(v) => {
@@ -274,6 +297,15 @@ impl BrokerBenchReport {
                 "  zipf(s={s}) cache phases: hit rate {:.1}%, hot-query speedup {:.2}x",
                 self.zipf_hit_rate.unwrap_or(0.0) * 100.0,
                 self.hot_query_speedup.unwrap_or(1.0),
+            );
+        }
+        if let (Some(rebuild), Some(restore)) =
+            (self.registry_rebuild_secs, self.registry_restore_secs)
+        {
+            let _ = writeln!(
+                out,
+                "  store registry: rebuild {rebuild:.4}s, restore {restore:.4}s ({:.1}x faster)",
+                rebuild / restore.max(1e-12),
             );
         }
         for p in &self.concurrency {
@@ -543,6 +575,75 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         });
     }
 
+    // Persistent-store phases: cold boot versus warm boot of the same
+    // registry. The cold boot registers every pool engine with a
+    // store-backed broker — representative construction plus the
+    // write-through — and commits the snapshot; the warm boot rebuilds
+    // the registry from the committed manifest and hydrates every entry
+    // from the stored quantized records, never touching a collection.
+    // Both brokers are store-backed, so both hold canonical (quantized
+    // round-trip) representatives and their estimates must agree to the
+    // bit — asserted here so the bench doubles as a conformance check
+    // at scale.
+    let mut registry_rebuild_secs = None;
+    let mut registry_restore_secs = None;
+    if cfg.store {
+        let pool = if cfg.engines > 0 { cfg.engines } else { 1024 };
+        let store_dir =
+            std::env::temp_dir().join(format!("seu-bench-store-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let mut pool_engines: Vec<(String, SearchEngine)> = Vec::with_capacity(pool);
+        timed("store_setup", pool as u64, &mut || {
+            pool_engines = (0..pool).map(|i| tiny_engine(seed, i)).collect();
+        });
+        let rebuilt = Broker::builder(SubrangeEstimator::paper_six_subrange())
+            .shards(cfg.shards)
+            .cache_bytes(0)
+            .store(&store_dir)
+            .expect("opening the bench store")
+            .build();
+        registry_rebuild_secs = Some(timed("store_rebuild", pool as u64, &mut || {
+            for (name, engine) in pool_engines.drain(..) {
+                rebuilt.register(&name, engine);
+            }
+            rebuilt
+                .snapshot_registry()
+                .expect("committing the bench snapshot");
+        }));
+        let restored = Broker::builder(SubrangeEstimator::paper_six_subrange())
+            .shards(cfg.shards)
+            .cache_bytes(0)
+            .store(&store_dir)
+            .expect("reopening the bench store")
+            .build();
+        registry_restore_secs = Some(timed("store_restore", pool as u64, &mut || {
+            let n = restored.restore().expect("restoring the bench registry");
+            assert_eq!(n, pool, "restore must rebuild the full registry");
+            restored.hydrate();
+        }));
+        for q in queries.iter().take(4) {
+            let a = rebuilt.estimate_all(q, threshold);
+            let b = restored.estimate_all(q, threshold);
+            assert_eq!(a.len(), b.len(), "estimate counts diverge after restore");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.engine, y.engine, "engine order diverges after restore");
+                assert_eq!(
+                    x.usefulness.no_doc.to_bits(),
+                    y.usefulness.no_doc.to_bits(),
+                    "restored NoDoc for {} is not bit-identical",
+                    x.engine
+                );
+                assert_eq!(
+                    x.usefulness.avg_sim.to_bits(),
+                    y.usefulness.avg_sim.to_bits(),
+                    "restored AvgSim for {} is not bit-identical",
+                    x.engine
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
     // Remote concurrency axis: the same single-engine request hammer
     // through both schedulers at each configured client count. The
     // multiplexed side shares one pooled client across every thread
@@ -713,6 +814,8 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         zipf: cfg.zipf,
         zipf_hit_rate,
         hot_query_speedup,
+        registry_rebuild_secs,
+        registry_restore_secs,
         concurrency: concurrency_points,
         phases,
         counters,
@@ -983,6 +1086,43 @@ mod tests {
         assert_eq!(doc.get("zipf"), Some(&json::Json::Null));
         assert_eq!(doc.get("zipf_hit_rate"), Some(&json::Json::Null));
         assert_eq!(doc.get("hot_query_speedup"), Some(&json::Json::Null));
+    }
+
+    #[test]
+    fn store_phases_time_rebuild_and_restore() {
+        let report = run_broker_bench_config(&BrokerBenchConfig {
+            store: true,
+            engines: 48,
+            shards: 2,
+            ..BrokerBenchConfig::new(7, 6, 3)
+        });
+        let names: Vec<_> = report.phases.iter().map(|p| p.name).collect();
+        assert!(
+            names.ends_with(&["store_setup", "store_rebuild", "store_restore"]),
+            "{names:?}"
+        );
+        let by = |name: &str| report.phases.iter().find(|p| p.name == name).unwrap();
+        assert_eq!(by("store_rebuild").items, 48);
+        assert_eq!(by("store_restore").items, 48);
+        let rebuild = report.registry_rebuild_secs.expect("rebuild timed");
+        let restore = report.registry_restore_secs.expect("restore timed");
+        assert!(rebuild > 0.0 && restore > 0.0, "{rebuild} {restore}");
+
+        let doc = json::parse(&report.to_json()).expect("store bench JSON parses");
+        for field in ["registry_rebuild_secs", "registry_restore_secs"] {
+            assert!(
+                doc.get(field).and_then(json::Json::as_num).is_some(),
+                "{field} lands in the JSON report"
+            );
+        }
+
+        // Without --store the fields are explicit nulls and the phase
+        // list is untouched.
+        let plain = run_broker_bench(7, 6, 3);
+        assert_eq!(plain.registry_rebuild_secs, None);
+        let doc = json::parse(&plain.to_json()).expect("plain bench JSON parses");
+        assert_eq!(doc.get("registry_rebuild_secs"), Some(&json::Json::Null));
+        assert_eq!(doc.get("registry_restore_secs"), Some(&json::Json::Null));
     }
 
     #[test]

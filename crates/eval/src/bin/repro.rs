@@ -36,6 +36,8 @@
 //!   --remote            bench-broker serves every database over loopback TCP
 //!   --shards N          bench-broker registry shard count (default 1 = flat)
 //!   --engines N         bench-broker adds large-registry phases over N tiny engines
+//!   --store             bench-broker times store-backed registry rebuild vs restore
+//!                       (registry_rebuild_secs / registry_restore_secs in the report)
 //!   --trace-sample      bench-broker measures dispatch overhead of default trace sampling
 //!   --zipf S            bench-broker adds Zipf(S) cache phases (hit rate + hot-query speedup)
 //!   --no-cache          bench-broker runs the Zipf phases with the query cache disabled
@@ -60,6 +62,7 @@ fn main() {
     let mut shards = 1usize;
     let mut engines = 0usize;
     let mut trace_sample = false;
+    let mut store = false;
     let mut zipf: Option<f64> = None;
     let mut no_cache = false;
     let mut concurrency: Vec<usize> = Vec::new();
@@ -122,6 +125,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--engines needs an integer"));
             }
             "--trace-sample" => trace_sample = true,
+            "--store" => store = true,
             "--zipf" => {
                 i += 1;
                 zipf = Some(
@@ -197,7 +201,7 @@ fn main() {
     // when it is the only command, instead of) dataset generation.
     if run("bench-broker") {
         eprintln!(
-            "running broker bench (seed {seed}{}{}{})...",
+            "running broker bench (seed {seed}{}{}{}{})...",
             if remote { ", remote" } else { "" },
             if shards > 1 {
                 format!(", {shards} shards")
@@ -208,7 +212,8 @@ fn main() {
                 format!(", {engines} bulk engines")
             } else {
                 String::new()
-            }
+            },
+            if store { ", store phases" } else { "" }
         );
         let report = seu_eval::run_broker_bench_config(&seu_eval::BrokerBenchConfig {
             remote,
@@ -218,6 +223,7 @@ fn main() {
             zipf,
             no_cache,
             concurrency: concurrency.clone(),
+            store,
             ..seu_eval::BrokerBenchConfig::new(seed, docs_base, n_queries)
         });
         print!("{}", report.to_text());
@@ -367,7 +373,7 @@ fn usage(err: &str) -> ! {
          hierarchy|selection|gloss-bounds|dependence|binary|policies|weighting|\
          exact-percentiles|diagnostics|bench-broker|all] [--seed N] \
          [--bench-out PATH] [--docs-base N] [--queries N] [--remote] [--shards N] \
-         [--engines N] [--trace-sample] [--zipf S] [--no-cache] \
+         [--engines N] [--store] [--trace-sample] [--zipf S] [--no-cache] \
          [--concurrency N,N,...] [--stats] [--metrics-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -185,6 +185,9 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                             .collect()
                     })
                     .unwrap_or_default(),
+                // A restored-but-unattached engine cannot be searched;
+                // it contributes nothing, like a failed dispatch.
+                EngineHandle::Detached { .. } => Vec::new(),
             })
             .collect();
         let mut merged = crate::merge::merge_results(per_engine);

@@ -17,11 +17,12 @@ use crate::cache::{
     CacheKey, CachePolicy, CacheStats, CacheTier, CachedResponse, CachedValue, QueryCache,
 };
 use crate::merge::merge_results;
+use crate::persist::{record_for_local, record_for_remote, StoreHandle};
 use crate::plan::{PlannedEngine, QueryPlan, SharedAnalysis};
 use crate::pool::{JobStatus, WorkerPool};
 use crate::registry::{
-    EngineHandle, EngineStatus, RegisteredEngine, RegistrySnapshot, ReprProvenance, Shard,
-    ShardedRegistry, StalePlanError,
+    shard_for, ColdEntry, EngineHandle, EngineStatus, RegisteredEngine, RegistrySnapshot,
+    ReprProvenance, Shard, ShardedRegistry, StalePlanError,
 };
 use crate::remote::{RemoteMeta, RemoteTransport, TransportError, TransportErrorKind};
 use crate::request::{
@@ -34,8 +35,9 @@ use seu_core::{Usefulness, UsefulnessEstimator};
 use seu_engine::{Fingerprint, SearchEngine, TermMap};
 use seu_obs::{SpanRecord, TraceHandle};
 use seu_repr::Representative;
+use seu_store::{EntryKind, Manifest, ManifestEntry, ReprStore, StoreError};
 use seu_text::{Analyzer, AnalyzerConfig, Vocabulary};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -46,6 +48,10 @@ type SweepJob = Box<dyn FnOnce() -> Vec<(u64, String)> + Send>;
 /// One engine's dispatch job: its merged hits and its wall-clock, or the
 /// typed transport failure that produced neither.
 type DispatchJob = Box<dyn FnOnce() -> Result<(Vec<MergedHit>, f64), TransportError> + Send>;
+
+/// A shard-hydration job for the worker pool, returning how many cold
+/// entries it decoded from the store.
+type HydrateJob = Box<dyn FnOnce() -> usize + Send>;
 
 /// Instrument handles cached once per process.
 struct BrokerMetrics {
@@ -68,6 +74,7 @@ struct BrokerMetrics {
     push_invalidations: Arc<seu_obs::Counter>,
     registry_engines: Arc<seu_obs::Gauge>,
     representative_bytes: Arc<seu_obs::Gauge>,
+    store_hydration: Arc<seu_obs::Histogram>,
 }
 
 fn metrics() -> &'static BrokerMetrics {
@@ -95,6 +102,7 @@ fn metrics() -> &'static BrokerMetrics {
         push_invalidations: seu_obs::counter("broker_push_invalidations_total"),
         registry_engines: seu_obs::gauge("broker_registry_engines"),
         representative_bytes: seu_obs::gauge("broker_representative_bytes_resident"),
+        store_hydration: seu_obs::histogram("broker_store_hydration_seconds"),
     })
 }
 
@@ -106,11 +114,16 @@ pub fn register_metrics() {
     let _ = metrics();
     crate::pool::register_metrics();
     crate::cache::register_metrics();
+    seu_store::register_metrics();
 }
 
 /// Default query-cache byte budget (32 MiB); `cache_bytes(0)` disables
 /// the cache entirely.
 pub const DEFAULT_CACHE_BYTES: usize = 32 << 20;
+
+/// Default hot-tier byte budget for [`BrokerBuilder::store`] (64 MiB):
+/// the decoded-record cache in front of the quantized cold tier.
+pub const DEFAULT_HOT_TIER_BYTES: usize = 64 << 20;
 
 /// One engine's estimate for a query, as reported by the broker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -150,6 +163,7 @@ pub struct BrokerBuilder<E> {
     pool_label: Option<String>,
     cache_bytes: usize,
     cache_policy: CachePolicy,
+    store: Option<Arc<StoreHandle>>,
 }
 
 impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
@@ -200,6 +214,30 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
         self
     }
 
+    /// Attaches a persistent representative store rooted at `path`
+    /// (created if absent), opened as the full tiered stack — a
+    /// [`DEFAULT_HOT_TIER_BYTES`] decoded-record cache over the
+    /// quantized on-disk cold tier. Every representative the broker
+    /// installs is written through (and **canonicalized**: the broker
+    /// serves the quantized round-trip, so its estimates are
+    /// bit-identical to a broker restored from the store later);
+    /// [`Broker::snapshot_registry`] persists a consistent registry cut
+    /// and [`Broker::restore`] rebuilds a registry from one.
+    pub fn store(mut self, path: impl AsRef<std::path::Path>) -> Result<Self, StoreError> {
+        let store = seu_store::open_tiered(path, DEFAULT_HOT_TIER_BYTES)?;
+        self.store = Some(Arc::new(StoreHandle::new(Arc::new(store))));
+        Ok(self)
+    }
+
+    /// Attaches an already-constructed representative store (e.g. a
+    /// custom tier stack, or a shared in-memory store in tests). Same
+    /// write-through and canonicalization semantics as
+    /// [`BrokerBuilder::store`].
+    pub fn store_handle(mut self, store: Arc<dyn ReprStore>) -> Self {
+        self.store = Some(Arc::new(StoreHandle::new(store)));
+        self
+    }
+
     /// Builds the (empty) broker.
     pub fn build(self) -> Broker<E> {
         // Per-shard gauges only exist for actually sharded brokers: a
@@ -226,6 +264,8 @@ impl<E: UsefulnessEstimator + Sync> BrokerBuilder<E> {
             pool: OnceLock::new(),
             cache: (self.cache_bytes > 0)
                 .then(|| QueryCache::new(self.cache_bytes, self.cache_policy)),
+            store: self.store,
+            cold_engines: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -293,6 +333,15 @@ pub struct Broker<E> {
     /// embed the registry epoch, so staleness falls out of the existing
     /// epoch machinery — see [`crate::cache`] for the design.
     cache: Option<QueryCache>,
+    /// The attached representative store (`None` without
+    /// [`BrokerBuilder::store`]). Installs write through it; restores
+    /// read back from it.
+    store: Option<Arc<StoreHandle>>,
+    /// Number of restored entries whose representative still lives only
+    /// in the cold tier. Planning hydrates lazily: the first plan after
+    /// a restore decodes every cold entry (per shard, in parallel),
+    /// after which this is 0 and the check is a single atomic load.
+    cold_engines: Arc<AtomicU64>,
 }
 
 /// Per-shard registry gauge handles.
@@ -314,7 +363,15 @@ fn publish_shard_gauges(
 ) {
     let m = metrics();
     let n = entries.len() as u64;
-    let bytes: u64 = entries.iter().map(|e| e.repr.bytes_resident()).sum();
+    // Cold (not-yet-hydrated) entries report the encoded size the
+    // manifest recorded; hydrated ones their decoded resident bytes.
+    let bytes: u64 = entries
+        .iter()
+        .map(|e| match e.cold {
+            Some(c) => c.repr_bytes,
+            None => e.repr.bytes_resident(),
+        })
+        .sum();
     let prev_n = shard.gauge_engines.swap(n, Ordering::SeqCst);
     let prev_bytes = shard.gauge_repr_bytes.swap(bytes, Ordering::SeqCst);
     let dn = n as f64 - prev_n as f64;
@@ -337,12 +394,13 @@ fn sweep_shard(
     idx: usize,
     vocab: &RwLock<Vocabulary>,
     gauges: &[ShardGauges],
+    store: Option<&StoreHandle>,
 ) -> Vec<(u64, String)> {
     let shard = &registry.shards()[idx];
     let mut entries = shard.entries.write();
     let mut refreshed = Vec::new();
     for e in entries.iter_mut() {
-        if e.is_stale() && e.try_refresh(&mut vocab.write()).is_ok() {
+        if e.is_stale() && e.try_refresh(&mut vocab.write(), store).is_ok() {
             metrics().representative_refreshes.inc();
             shard.epoch.fetch_add(1, Ordering::SeqCst);
             refreshed.push((e.seq, e.name.clone()));
@@ -352,6 +410,80 @@ fn sweep_shard(
         publish_shard_gauges(shard, idx, &entries, gauges);
     }
     refreshed
+}
+
+/// Hydrates every cold entry in one shard from the store: decodes the
+/// stored record, rebuilds the entry's planning metadata and term map
+/// from it, and installs the canonical representative. Runs under the
+/// shard's write lock; bumps **no** epochs — hydration is invisible to
+/// planning because every plan hydrates first, so no plan (or cache
+/// entry) can ever have observed the pre-hydration placeholder state.
+/// A record that is missing or unreadable marks its entry
+/// `pending_invalidation` (surfaced as stale, reconciled by attach)
+/// and stashes the error for the next `snapshot_registry`, instead of
+/// re-reading the store on every plan.
+fn hydrate_shard(
+    registry: &ShardedRegistry,
+    idx: usize,
+    vocab: &RwLock<Vocabulary>,
+    gauges: &[ShardGauges],
+    store: &StoreHandle,
+    cold_engines: &AtomicU64,
+) -> usize {
+    let shard = &registry.shards()[idx];
+    if shard.entries.read().iter().all(|e| e.cold.is_none()) {
+        return 0;
+    }
+    let m = metrics();
+    let mut entries = shard.entries.write();
+    let mut hydrated = 0usize;
+    for e in entries.iter_mut() {
+        if e.cold.is_none() {
+            continue;
+        }
+        let timer = m.store_hydration.start_timer();
+        let key = e
+            .stored_fingerprint
+            .expect("cold entries always carry their store key");
+        match store.get(key) {
+            Some(record) => {
+                let endpoint = e.handle.endpoint();
+                let meta = RemoteMeta {
+                    analyzer: record.analyzer,
+                    scheme: record.scheme,
+                    n_docs: record.n_docs(),
+                    doc_freq: record.doc_freq.clone(),
+                    vocab: record.vocab.clone(),
+                    fingerprint: record.fingerprint,
+                };
+                // The record's vocabulary is written in the source
+                // collection's term-id order, so this map is valid for
+                // any collection with the same fingerprint — which is
+                // what lets `replace_engine`/`attach_engine` with
+                // identical content plan immediately, exactly like a
+                // never-restarted broker.
+                e.map = TermMap::from_vocab(&mut vocab.write(), &meta.vocab);
+                e.map_fingerprint = Some(record.fingerprint);
+                e.repr = record.repr.clone();
+                e.handle = EngineHandle::Detached { meta, endpoint };
+            }
+            None => {
+                store.stash(StoreError::missing(format!(
+                    "stored representative for engine {:?} ({key:?}) is missing or unreadable",
+                    e.name
+                )));
+                e.pending_invalidation = true;
+            }
+        }
+        e.cold = None;
+        cold_engines.fetch_sub(1, Ordering::SeqCst);
+        hydrated += 1;
+        timer.stop();
+    }
+    if hydrated > 0 {
+        publish_shard_gauges(shard, idx, &entries, gauges);
+    }
+    hydrated
 }
 
 impl<E> Drop for Broker<E> {
@@ -385,6 +517,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             pool_label: None,
             cache_bytes: DEFAULT_CACHE_BYTES,
             cache_policy: CachePolicy::default(),
+            store: None,
         }
     }
 
@@ -457,16 +590,30 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let mut entries = shard.entries.write();
         let map = TermMap::build(&mut self.vocab.write(), engine.collection());
         let map_fingerprint = Some(engine.fingerprint());
+        // Write-through: an attached store receives the representative
+        // and hands back the canonical (quantized round-trip) form,
+        // which is what the broker must serve to stay bit-identical
+        // with a broker restored from the store later.
+        let (repr, stored_fingerprint) = match self.store.as_deref() {
+            Some(store) => {
+                let record = record_for_local(name, &engine, &repr);
+                let canonical = store.canonicalize(&record);
+                (canonical.repr.clone(), Some(canonical.fingerprint))
+            }
+            None => (Arc::new(repr), None),
+        };
         entries.push(RegisteredEngine {
             name: name.to_string(),
             seq: self.registry.next_seq(),
             handle: EngineHandle::Local(Arc::new(engine)),
-            repr: Arc::new(repr),
+            repr,
             map,
             map_fingerprint,
             epoch: 0,
             provenance,
             pending_invalidation: false,
+            cold: None,
+            stored_fingerprint,
         });
         shard.epoch.fetch_add(1, Ordering::SeqCst);
         publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
@@ -505,16 +652,26 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let (idx, shard) = self.registry.shard_of(&name);
         let mut entries = shard.entries.write();
         let map = TermMap::from_vocab(&mut self.vocab.write(), &meta.vocab);
+        let (repr, stored_fingerprint) = match self.store.as_deref() {
+            Some(store) => {
+                let record = record_for_remote(&name, &meta, &snapshot.summary.repr);
+                let canonical = store.canonicalize(&record);
+                (canonical.repr.clone(), Some(canonical.fingerprint))
+            }
+            None => (Arc::new(snapshot.summary.repr), None),
+        };
         entries.push(RegisteredEngine {
             name: name.clone(),
             seq: self.registry.next_seq(),
             handle: EngineHandle::Remote { transport, meta },
-            repr: Arc::new(snapshot.summary.repr),
+            repr,
             map,
             map_fingerprint: None,
             epoch: 0,
             provenance: ReprProvenance::Remote(snapshot.fingerprint),
             pending_invalidation: false,
+            cold: None,
+            stored_fingerprint,
         });
         shard.epoch.fetch_add(1, Ordering::SeqCst);
         publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
@@ -554,10 +711,13 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         m.push_invalidations.inc();
         if entries[i].provenance.matches(fingerprint) && !entries[i].pending_invalidation {
             // The notice describes the snapshot the registry already
-            // holds (e.g. a redelivery); nothing to refetch.
+            // holds (e.g. a redelivery); nothing to refetch. Restored
+            // entries compare against the manifest's fingerprint, so a
+            // redelivered pre-snapshot notice is a no-op even before
+            // hydration.
             return Ok(true);
         }
-        entries[i].try_refresh(&mut self.vocab.write())?;
+        entries[i].try_refresh(&mut self.vocab.write(), self.store.as_deref())?;
         m.representative_refreshes.inc();
         shard.epoch.fetch_add(1, Ordering::SeqCst);
         publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
@@ -653,7 +813,9 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let mut entries = shard.entries.write();
         match entries.iter_mut().find(|e| e.name == name) {
             Some(e) => {
-                if e.try_refresh(&mut self.vocab.write()).is_err() {
+                if e.try_refresh(&mut self.vocab.write(), self.store.as_deref())
+                    .is_err()
+                {
                     return false;
                 }
                 metrics().representative_refreshes.inc();
@@ -678,10 +840,10 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         let mut entries = shard.entries.write();
         match entries
             .iter_mut()
-            .find(|e| e.name == name && !e.handle.is_remote())
+            .find(|e| e.name == name && e.handle.local().is_some())
         {
             Some(e) => {
-                e.install_shipped(&mut self.vocab.write(), repr);
+                e.install_shipped(&mut self.vocab.write(), repr, self.store.as_deref());
                 metrics().representative_refreshes.inc();
                 shard.epoch.fetch_add(1, Ordering::SeqCst);
                 publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
@@ -705,6 +867,12 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// snapshot lives in its own process; it announces changes with push
     /// invalidation instead).
     pub fn replace_engine(&self, name: &str, engine: SearchEngine) -> bool {
+        // Hydrate first so a restored entry's term map and canonical
+        // representative are in place: swapping in a collection with
+        // the stored fingerprint then plans immediately (the hydrated
+        // map is id-aligned with it), and any other collection follows
+        // the usual sidelined-until-sweep path.
+        self.ensure_hydrated();
         let (_, shard) = self.registry.shard_of(name);
         let mut entries = shard.entries.write();
         match entries
@@ -743,16 +911,25 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// full of remote refetches) only holds its own lock while the
     /// others are already serving plans again.
     pub fn refresh_if_stale(&self) -> Vec<String> {
+        self.ensure_hydrated();
         let mut refreshed: Vec<(u64, String)> = Vec::new();
         if self.registry.n_shards() == 1 {
-            refreshed = sweep_shard(&self.registry, 0, &self.vocab, &self.shard_gauges);
+            refreshed = sweep_shard(
+                &self.registry,
+                0,
+                &self.vocab,
+                &self.shard_gauges,
+                self.store.as_deref(),
+            );
         } else {
             let jobs: Vec<SweepJob> = (0..self.registry.n_shards())
                 .map(|i| {
                     let registry = Arc::clone(&self.registry);
                     let vocab = Arc::clone(&self.vocab);
                     let gauges = Arc::clone(&self.shard_gauges);
-                    Box::new(move || sweep_shard(&registry, i, &vocab, &gauges)) as SweepJob
+                    let store = self.store.clone();
+                    Box::new(move || sweep_shard(&registry, i, &vocab, &gauges, store.as_deref()))
+                        as SweepJob
                 })
                 .collect();
             for status in self.pool().run_collect(jobs, None) {
@@ -810,9 +987,18 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                         shard: idx,
                         epoch: e.epoch,
                         stale: e.is_stale(),
-                        repr_terms: e.repr.distinct_terms(),
-                        repr_bytes: e.repr.bytes_resident(),
+                        // Cold entries report the manifest's bookkeeping
+                        // (statuses never force hydration).
+                        repr_terms: match e.cold {
+                            Some(c) => c.repr_terms as usize,
+                            None => e.repr.distinct_terms(),
+                        },
+                        repr_bytes: match e.cold {
+                            Some(c) => c.repr_bytes,
+                            None => e.repr.bytes_resident(),
+                        },
                         remote: e.handle.is_remote(),
+                        detached: e.handle.is_detached(),
                         endpoint: e.handle.endpoint(),
                     },
                 )
@@ -832,6 +1018,356 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// describe the registered representatives.
     pub fn registry_epoch(&self) -> u64 {
         self.registry.epoch()
+    }
+
+    /// Whether a persistent representative store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Persists a consistent cut of the registry to the attached store
+    /// and returns the committed [`Manifest`]. Each shard contributes
+    /// its entries and epoch from under a single read-lock acquisition
+    /// (the same cut discipline as [`Broker::registry_snapshot`]); the
+    /// representatives themselves were already written through at
+    /// install time, so this only flushes segments and swaps the
+    /// manifest atomically.
+    ///
+    /// Fails with [`StoreErrorKind::Invalid`] if the broker was built
+    /// without a store, and re-raises the first store error deferred
+    /// from a write-through or hydration since the last snapshot —
+    /// a snapshot must not silently describe state the store failed
+    /// to absorb.
+    ///
+    /// [`StoreErrorKind::Invalid`]: seu_store::StoreErrorKind
+    pub fn snapshot_registry(&self) -> Result<Manifest, StoreError> {
+        let store = self.store.as_deref().ok_or_else(|| {
+            StoreError::invalid(
+                "broker was built without a store; use BrokerBuilder::store to attach one",
+            )
+        })?;
+        if let Some(err) = store.take_error() {
+            return Err(err);
+        }
+        let mut tagged: Vec<(u64, ManifestEntry)> = Vec::new();
+        let mut shard_epochs = Vec::with_capacity(self.registry.n_shards());
+        for shard in self.registry.shards() {
+            let entries = shard.entries.read();
+            shard_epochs.push(shard.epoch.load(Ordering::SeqCst));
+            for e in entries.iter() {
+                let fingerprint = e.stored_fingerprint.ok_or_else(|| {
+                    StoreError::missing(format!(
+                        "engine {:?} has no stored representative (was it registered \
+                         before the store was attached?)",
+                        e.name
+                    ))
+                })?;
+                let kind = if matches!(e.provenance, ReprProvenance::Shipped { .. }) {
+                    EntryKind::Shipped
+                } else {
+                    match &e.handle {
+                        EngineHandle::Local(_) => EntryKind::Local,
+                        EngineHandle::Remote { transport, .. } => EntryKind::Remote {
+                            endpoint: transport.endpoint(),
+                        },
+                        // A still-detached entry keeps whatever kind it
+                        // was snapshotted with.
+                        EngineHandle::Detached { endpoint, .. } => match endpoint {
+                            Some(ep) => EntryKind::Remote {
+                                endpoint: ep.clone(),
+                            },
+                            None => EntryKind::Local,
+                        },
+                    }
+                };
+                tagged.push((
+                    e.seq,
+                    ManifestEntry {
+                        name: e.name.clone(),
+                        seq: e.seq,
+                        epoch: e.epoch,
+                        fingerprint,
+                        kind,
+                        analyzer: e.handle.analyzer_config(),
+                        scheme: e.handle.scheme(),
+                        repr_terms: match e.cold {
+                            Some(c) => c.repr_terms,
+                            None => e.repr.distinct_terms() as u64,
+                        },
+                        repr_bytes: match e.cold {
+                            Some(c) => c.repr_bytes,
+                            None => e.repr.bytes_resident(),
+                        },
+                    },
+                ));
+            }
+        }
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
+        let manifest = Manifest {
+            epoch: shard_epochs.iter().sum(),
+            shard_epochs,
+            next_seq: self.registry.seq_watermark(),
+            entries: tagged.into_iter().map(|(_, e)| e).collect(),
+        };
+        store.store().commit(&manifest)?;
+        Ok(manifest)
+    }
+
+    /// Rebuilds the registry from the attached store's last committed
+    /// manifest and returns how many engines were restored. The broker
+    /// serves immediately: every entry comes up **detached** (statuses,
+    /// staleness, and invalidation notices work right away) with its
+    /// representative left in the cold tier; the first plan hydrates
+    /// each shard lazily — see [`Broker::hydrate`]. Re-attach live
+    /// engines with [`Broker::attach_engine`] /
+    /// [`Broker::attach_remote`] to dispatch to them.
+    ///
+    /// The restored broker may use a different shard count than the one
+    /// that snapshotted: entries re-route by [`crate::shard_for`] and
+    /// each shard's epoch is recomputed to keep the registry invariant
+    /// (`shard epoch == entries + Σ entry epochs`), so a restored
+    /// broker at the same shard count reports exactly the epochs the
+    /// snapshotting broker had.
+    ///
+    /// Fails with [`StoreErrorKind::Invalid`] if no store is attached
+    /// or the broker already has engines registered (restore is a
+    /// cold-start operation, not a merge).
+    ///
+    /// [`StoreErrorKind::Invalid`]: seu_store::StoreErrorKind
+    pub fn restore(&self) -> Result<usize, StoreError> {
+        let store = self.store.as_deref().ok_or_else(|| {
+            StoreError::invalid(
+                "broker was built without a store; use BrokerBuilder::store to attach one",
+            )
+        })?;
+        if !self.is_empty() {
+            return Err(StoreError::invalid(
+                "restore requires an empty broker (it rebuilds the registry from scratch)",
+            ));
+        }
+        let manifest = store.store().manifest();
+        let n = manifest.entries.len();
+        let n_shards = self.registry.n_shards();
+        let mut by_shard: Vec<Vec<&ManifestEntry>> = vec![Vec::new(); n_shards];
+        for entry in &manifest.entries {
+            by_shard[shard_for(&entry.name, n_shards)].push(entry);
+        }
+        for (idx, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &self.registry.shards()[idx];
+            let mut entries = shard.entries.write();
+            for e in group {
+                let fp = e.fingerprint;
+                let endpoint = match &e.kind {
+                    EntryKind::Remote { endpoint } => Some(endpoint.clone()),
+                    EntryKind::Local | EntryKind::Shipped => None,
+                };
+                let provenance = match &e.kind {
+                    EntryKind::Local => ReprProvenance::Local(fp),
+                    EntryKind::Remote { .. } => ReprProvenance::Remote(fp),
+                    EntryKind::Shipped => ReprProvenance::Shipped {
+                        n_docs: fp.n_docs,
+                        raw_bytes: fp.raw_bytes,
+                    },
+                };
+                // Placeholders until hydration: an empty representative
+                // and vocabulary are enough for statuses and staleness;
+                // no plan can observe them (plans hydrate first).
+                let meta = RemoteMeta {
+                    analyzer: e.analyzer,
+                    scheme: e.scheme,
+                    n_docs: fp.n_docs.min(u64::from(u32::MAX)) as u32,
+                    doc_freq: Arc::new(Vec::new()),
+                    vocab: Arc::new(Vocabulary::new()),
+                    fingerprint: fp,
+                };
+                entries.push(RegisteredEngine {
+                    name: e.name.clone(),
+                    seq: e.seq,
+                    handle: EngineHandle::Detached { meta, endpoint },
+                    repr: Arc::new(Representative::from_parts(
+                        fp.n_docs,
+                        Vec::new(),
+                        fp.raw_bytes,
+                    )),
+                    map: TermMap::from_vocab(&mut self.vocab.write(), &Vocabulary::new()),
+                    map_fingerprint: None,
+                    epoch: e.epoch,
+                    provenance,
+                    pending_invalidation: false,
+                    cold: Some(ColdEntry {
+                        repr_terms: e.repr_terms,
+                        repr_bytes: e.repr_bytes,
+                    }),
+                    stored_fingerprint: Some(fp),
+                });
+            }
+            entries.sort_unstable_by_key(|e| e.seq);
+            let entry_epochs: u64 = entries.iter().map(|e| e.epoch).sum();
+            // Restore the registry invariant for *this* shard count:
+            // one registration bump per entry plus its own epoch.
+            shard
+                .epoch
+                .store(entries.len() as u64 + entry_epochs, Ordering::SeqCst);
+            publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+        }
+        self.registry.set_seq(manifest.next_seq);
+        self.cold_engines.store(n as u64, Ordering::SeqCst);
+        Ok(n)
+    }
+
+    /// Hydrates every still-cold restored entry from the store now,
+    /// instead of waiting for the first plan to do it lazily; returns
+    /// how many entries were decoded. Sharded brokers hydrate each
+    /// shard as an independent worker-pool job. Idempotent and cheap
+    /// (one atomic load) once everything is hydrated.
+    pub fn hydrate(&self) -> usize {
+        let Some(store) = &self.store else {
+            return 0;
+        };
+        if self.cold_engines.load(Ordering::SeqCst) == 0 {
+            return 0;
+        }
+        if self.registry.n_shards() == 1 {
+            return hydrate_shard(
+                &self.registry,
+                0,
+                &self.vocab,
+                &self.shard_gauges,
+                store,
+                &self.cold_engines,
+            );
+        }
+        let jobs: Vec<HydrateJob> = (0..self.registry.n_shards())
+            .map(|i| {
+                let registry = Arc::clone(&self.registry);
+                let vocab = Arc::clone(&self.vocab);
+                let gauges = Arc::clone(&self.shard_gauges);
+                let store = Arc::clone(store);
+                let cold = Arc::clone(&self.cold_engines);
+                Box::new(move || hydrate_shard(&registry, i, &vocab, &gauges, &store, &cold))
+                    as HydrateJob
+            })
+            .collect();
+        self.pool()
+            .run_collect(jobs, None)
+            .into_iter()
+            .filter_map(|s| s.into_done())
+            .sum()
+    }
+
+    /// The fast path in front of [`Broker::hydrate`]: a single atomic
+    /// load once the registry is fully hydrated.
+    fn ensure_hydrated(&self) {
+        if self.cold_engines.load(Ordering::SeqCst) != 0 {
+            self.hydrate();
+        }
+    }
+
+    /// Re-attaches a live local engine to a restored (detached) entry.
+    /// If the engine's collection fingerprint matches the stored record
+    /// the hydrated canonical representative and term map are kept —
+    /// estimates stay bit-identical to the broker that wrote the
+    /// snapshot; otherwise the representative and map are rebuilt from
+    /// the new collection (and written through the store). Bumps the
+    /// entry's epoch and the registry epoch either way. Returns false
+    /// if no detached entry has that name.
+    pub fn attach_engine(&self, name: &str, engine: SearchEngine) -> bool {
+        self.ensure_hydrated();
+        let (idx, shard) = self.registry.shard_of(name);
+        let mut entries = shard.entries.write();
+        let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.name == name && e.handle.is_detached())
+        else {
+            return false;
+        };
+        let engine = Arc::new(engine);
+        if e.map_fingerprint == Some(engine.fingerprint()) && !e.pending_invalidation {
+            // Same collection content as the stored record: the
+            // hydrated map is id-aligned with it and the canonical
+            // representative describes it.
+            e.handle = EngineHandle::Local(engine);
+            e.provenance = match e.provenance {
+                ReprProvenance::Shipped { .. } => e.provenance,
+                _ => ReprProvenance::Local(e.stored_fingerprint.expect("hydrated from store")),
+            };
+            e.epoch += 1;
+        } else {
+            e.handle = EngineHandle::Local(engine);
+            // Content differs (or hydration failed): rebuild from the
+            // live collection — always succeeds for local engines, and
+            // bumps the entry epoch itself.
+            let _ = e.try_refresh(&mut self.vocab.write(), self.store.as_deref());
+        }
+        metrics().representative_refreshes.inc();
+        shard.epoch.fetch_add(1, Ordering::SeqCst);
+        publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+        drop(entries);
+        self.purge_cache();
+        true
+    }
+
+    /// Re-attaches a transport to a restored (detached) entry, keyed by
+    /// the engine name its snapshot advertises. If the snapshot's
+    /// fingerprint matches the stored record the hydrated metadata and
+    /// canonical representative are kept (bit-identical estimates);
+    /// otherwise the fresh snapshot is installed (and written through
+    /// the store). Returns `Ok(false)` if no detached entry matches the
+    /// advertised name, and the [`TransportError`] if the snapshot
+    /// fetch failed or was inconsistent — the entry then stays detached
+    /// and stale.
+    pub fn attach_remote(
+        &self,
+        transport: Arc<dyn RemoteTransport>,
+    ) -> Result<bool, TransportError> {
+        self.ensure_hydrated();
+        let snapshot = transport.fetch_snapshot()?;
+        let name = snapshot.name.clone();
+        let (idx, shard) = self.registry.shard_of(&name);
+        let mut entries = shard.entries.write();
+        let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.name == name && e.handle.is_detached())
+        else {
+            return Ok(false);
+        };
+        let hydrated_meta = match &e.handle {
+            EngineHandle::Detached { meta, .. } => meta.clone(),
+            _ => unreachable!("filtered to detached entries above"),
+        };
+        let result = if hydrated_meta.fingerprint == snapshot.fingerprint && !e.pending_invalidation
+        {
+            e.handle = EngineHandle::Remote {
+                transport,
+                meta: hydrated_meta,
+            };
+            e.map_fingerprint = None;
+            e.epoch += 1;
+            Ok(())
+        } else {
+            e.handle = EngineHandle::Remote {
+                transport,
+                meta: RemoteMeta::from_snapshot(&snapshot),
+            };
+            match e.install_remote(&mut self.vocab.write(), &snapshot, self.store.as_deref()) {
+                Ok(()) => Ok(()),
+                Err(err) => {
+                    // The handle moved even though the install failed;
+                    // count the change so outstanding plans go stale.
+                    e.epoch += 1;
+                    Err(err)
+                }
+            }
+        };
+        metrics().representative_refreshes.inc();
+        shard.epoch.fetch_add(1, Ordering::SeqCst);
+        publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+        drop(entries);
+        self.purge_cache();
+        result.map(|()| true)
     }
 
     /// Analyzes a query text once per distinct analyzer configuration
@@ -904,6 +1440,11 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         req: &SearchRequest,
         trace: Option<&TraceHandle>,
     ) -> (QueryPlan, Option<CacheTier>) {
+        // Hydration before the epoch read: restored-but-cold entries
+        // are decoded from the store now, so no plan (or cache key) is
+        // ever computed against the pre-hydration placeholder state.
+        // O(1) — one atomic load — once everything is hydrated.
+        self.ensure_hydrated();
         let disabled = TraceHandle::disabled();
         let trace = trace.unwrap_or(&disabled);
         let m = metrics();
@@ -991,6 +1532,15 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                         }
                     }
                     EngineHandle::Remote { meta, .. } => match analysis.tf_for(meta.analyzer) {
+                        Some(tf) => meta.query_from_shared(tf, &e.map),
+                        None => meta.query_from_text(&req.query),
+                    },
+                    // A restored entry plans exactly like a remote one:
+                    // its hydrated metadata carries the stored
+                    // vocabulary and weighting statistics, so estimates
+                    // are bit-identical to the broker that wrote the
+                    // snapshot. Only dispatch needs a live handle.
+                    EngineHandle::Detached { meta, .. } => match analysis.tf_for(meta.analyzer) {
                         Some(tf) => meta.query_from_shared(tf, &e.map),
                         None => meta.query_from_text(&req.query),
                     },
@@ -1403,6 +1953,19 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                             Ok((hits, start.elapsed().as_secs_f64()))
                         }) as DispatchJob
                     }
+                    EngineHandle::Detached { .. } => Box::new(move || {
+                        let mut span =
+                            trace.child_span(&format!("dispatch:{name}"), dispatch_span_id);
+                        span.attr("engine", &name);
+                        span.attr("kind", "detached");
+                        Err(TransportError::new(
+                            TransportErrorKind::Refused,
+                            format!(
+                                "engine {name:?} is detached (restored from store); \
+                                 attach a live engine or transport to dispatch to it"
+                            ),
+                        ))
+                    }) as DispatchJob,
                 }
             })
             .collect();
@@ -1561,6 +2124,9 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
                             .true_usefulness(query_text, threshold)
                             .map(|u| u.no_doc >= 1)
                             .unwrap_or(false),
+                        // No live engine to ask — like a failed
+                        // transport, a detached entry is not useful.
+                        EngineHandle::Detached { .. } => false,
                     })
                     .map(|e| (e.seq, e.name.clone())),
             );

@@ -29,6 +29,16 @@
 //! the registry epoch they were made against; executing or re-estimating
 //! a stale plan replans transparently by default, or surfaces a typed
 //! [`StalePlanError`] under [`StaleMode::Error`].
+//!
+//! Representatives can also be **persisted**: a broker built with
+//! [`BrokerBuilder::store`] writes every installed representative
+//! through a tiered on-disk store (quantized cold tier under a decoded
+//! hot tier) and installs the canonical quantized round-trip, so
+//! [`Broker::snapshot_registry`] can persist a consistent registry cut
+//! and [`Broker::restore`] can rebuild it after a restart — serving
+//! statuses immediately and hydrating representatives lazily on the
+//! first plan, with estimates bit-identical to the broker that wrote
+//! the snapshot.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +48,7 @@ pub mod broker;
 pub mod cache;
 pub mod hierarchy;
 pub mod merge;
+mod persist;
 pub mod plan;
 pub mod pool;
 pub mod registry;
@@ -63,3 +74,6 @@ pub use selection::SelectionPolicy;
 pub use seu_core::{Usefulness, UsefulnessEstimator};
 pub use seu_engine::SearchEngine;
 pub use seu_repr::Representative;
+pub use seu_store::{
+    open_tiered, EntryKind, Manifest, ManifestEntry, ReprStore, StoreError, StoreErrorKind,
+};

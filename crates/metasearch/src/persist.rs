@@ -1,0 +1,128 @@
+//! Broker ↔ persistent store glue.
+//!
+//! [`StoreHandle`] wraps an `Arc<dyn ReprStore>` with deferred error
+//! reporting: write-through happens on lifecycle paths that have no
+//! natural place to surface an I/O error (refresh sweeps, push
+//! invalidations, lazy hydration), so failures are stashed here and
+//! re-raised by the next [`Broker::snapshot_registry`] call instead of
+//! being silently dropped.
+//!
+//! The canonicalization contract lives here too: every representative
+//! the broker installs while a store is attached is first pushed
+//! through the store's quantized codec ([`ReprStore::put`] returns the
+//! decoded round-trip), so the estimates a live broker computes are
+//! bit-identical to those a restored broker computes after decoding
+//! the very same bytes from disk. Even when a write fails, the broker
+//! still installs the in-memory round-trip so its behaviour does not
+//! depend on disk health.
+//!
+//! [`Broker::snapshot_registry`]: crate::Broker::snapshot_registry
+//! [`ReprStore::put`]: seu_store::ReprStore::put
+
+use crate::remote::RemoteMeta;
+use parking_lot::Mutex;
+use seu_engine::{Fingerprint, SearchEngine};
+use seu_repr::Representative;
+use seu_store::{codec, EngineRecord, ReprStore, StoreError};
+use std::sync::Arc;
+
+/// The broker's view of its attached representative store: the store
+/// itself plus a one-slot mailbox for deferred errors.
+pub(crate) struct StoreHandle {
+    store: Arc<dyn ReprStore>,
+    /// First store error since the last `snapshot_registry`; later
+    /// errors are dropped (the first is the root cause).
+    error: Mutex<Option<StoreError>>,
+}
+
+impl StoreHandle {
+    pub(crate) fn new(store: Arc<dyn ReprStore>) -> StoreHandle {
+        StoreHandle {
+            store,
+            error: Mutex::new(None),
+        }
+    }
+
+    /// The wrapped store.
+    pub(crate) fn store(&self) -> &Arc<dyn ReprStore> {
+        &self.store
+    }
+
+    /// Writes `record` through to the store and returns the canonical
+    /// (quantized round-trip) form the broker must install. If the
+    /// write fails, the error is stashed for the next snapshot call
+    /// and the round-trip is computed in memory instead — the live
+    /// broker's estimates stay canonical either way.
+    pub(crate) fn canonicalize(&self, record: &EngineRecord) -> Arc<EngineRecord> {
+        match self.store.put(record) {
+            Ok(canonical) => canonical,
+            Err(e) => {
+                self.stash(e);
+                Arc::new(codec::roundtrip(record))
+            }
+        }
+    }
+
+    /// Fetches a record, stashing (and swallowing) any store error.
+    pub(crate) fn get(&self, key: Fingerprint) -> Option<Arc<EngineRecord>> {
+        match self.store.get(key) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stash(e);
+                None
+            }
+        }
+    }
+
+    /// Records a deferred store error (first one wins).
+    pub(crate) fn stash(&self, err: StoreError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    /// Takes the stashed error, clearing the slot.
+    pub(crate) fn take_error(&self) -> Option<StoreError> {
+        self.error.lock().take()
+    }
+}
+
+/// Builds the storable record for a local engine's representative.
+/// The vocabulary and document frequencies are written in collection
+/// term-id order, so the decoded representative is id-aligned with the
+/// collection that produced it.
+pub(crate) fn record_for_local(
+    name: &str,
+    engine: &SearchEngine,
+    repr: &Representative,
+) -> EngineRecord {
+    let c = engine.collection();
+    EngineRecord {
+        name: name.to_string(),
+        analyzer: c.analyzer_config(),
+        scheme: c.scheme(),
+        fingerprint: engine.fingerprint(),
+        doc_freq: Arc::new(c.vocab().iter().map(|(id, _)| c.doc_freq(id)).collect()),
+        vocab: Arc::new(c.vocab().clone()),
+        repr: Arc::new(repr.clone()),
+    }
+}
+
+/// Builds the storable record for a remote engine from its
+/// snapshot-derived planning metadata.
+pub(crate) fn record_for_remote(
+    name: &str,
+    meta: &RemoteMeta,
+    repr: &Representative,
+) -> EngineRecord {
+    EngineRecord {
+        name: name.to_string(),
+        analyzer: meta.analyzer,
+        scheme: meta.scheme,
+        fingerprint: meta.fingerprint,
+        doc_freq: meta.doc_freq.clone(),
+        vocab: meta.vocab.clone(),
+        repr: Arc::new(repr.clone()),
+    }
+}

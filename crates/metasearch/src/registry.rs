@@ -42,11 +42,12 @@
 //! merging depend on, which is what makes a sharded broker bit-identical
 //! to a flat one.
 
+use crate::persist::{record_for_local, record_for_remote, StoreHandle};
 use crate::remote::{
     EngineSnapshot, RemoteMeta, RemoteTransport, TransportError, TransportErrorKind,
 };
 use parking_lot::RwLock;
-use seu_engine::{Fingerprint, SearchEngine, TermMap};
+use seu_engine::{Fingerprint, SearchEngine, TermMap, WeightingScheme};
 use seu_repr::Representative;
 use seu_text::{AnalyzerConfig, Vocabulary};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -162,6 +163,19 @@ impl ShardedRegistry {
         self.seq.fetch_add(1, Ordering::SeqCst)
     }
 
+    /// The next sequence number that *would* be claimed — the snapshot
+    /// watermark a manifest records so a restore resumes the sequence
+    /// space without colliding with pre-snapshot registrations.
+    pub(crate) fn seq_watermark(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Fast-forwards the sequence counter (restore only; never goes
+    /// backwards).
+    pub(crate) fn set_seq(&self, watermark: u64) {
+        self.seq.fetch_max(watermark, Ordering::SeqCst);
+    }
+
     /// Total registered engines (takes each shard's read lock briefly).
     pub(crate) fn len(&self) -> usize {
         self.shards.iter().map(|s| s.entries.read().len()).sum()
@@ -220,6 +234,21 @@ pub(crate) enum EngineHandle {
         /// Planning metadata from the engine's last snapshot.
         meta: RemoteMeta,
     },
+    /// The entry was restored from a persistent store and has not been
+    /// re-attached to a live engine yet. The broker can still *plan*
+    /// over it (its representative and vocabulary come from the store),
+    /// but dispatching to it fails until
+    /// [`Broker::attach_engine`](crate::Broker::attach_engine) or
+    /// [`Broker::attach_remote`](crate::Broker::attach_remote) supplies
+    /// the live handle.
+    Detached {
+        /// Planning metadata decoded from the stored record (a
+        /// placeholder until lazy hydration fills it in).
+        meta: RemoteMeta,
+        /// The endpoint recorded at snapshot time, when the engine was
+        /// remote — advisory, for operators re-attaching transports.
+        endpoint: Option<String>,
+    },
 }
 
 impl EngineHandle {
@@ -229,6 +258,16 @@ impl EngineHandle {
         match self {
             EngineHandle::Local(e) => e.collection().analyzer_config(),
             EngineHandle::Remote { meta, .. } => meta.analyzer,
+            EngineHandle::Detached { meta, .. } => meta.analyzer,
+        }
+    }
+
+    /// The engine's weighting scheme (recorded in store manifests).
+    pub(crate) fn scheme(&self) -> WeightingScheme {
+        match self {
+            EngineHandle::Local(e) => e.collection().scheme(),
+            EngineHandle::Remote { meta, .. } => meta.scheme,
+            EngineHandle::Detached { meta, .. } => meta.scheme,
         }
     }
 
@@ -236,7 +275,7 @@ impl EngineHandle {
     pub(crate) fn local(&self) -> Option<&Arc<SearchEngine>> {
         match self {
             EngineHandle::Local(e) => Some(e),
-            EngineHandle::Remote { .. } => None,
+            EngineHandle::Remote { .. } | EngineHandle::Detached { .. } => None,
         }
     }
 
@@ -245,11 +284,18 @@ impl EngineHandle {
         matches!(self, EngineHandle::Remote { .. })
     }
 
-    /// The remote endpoint, when there is one.
+    /// Whether this entry is restored-but-unattached.
+    pub(crate) fn is_detached(&self) -> bool {
+        matches!(self, EngineHandle::Detached { .. })
+    }
+
+    /// The remote endpoint, when there is one (for detached entries,
+    /// the endpoint recorded at snapshot time).
     pub(crate) fn endpoint(&self) -> Option<String> {
         match self {
             EngineHandle::Local(_) => None,
             EngineHandle::Remote { transport, .. } => Some(transport.endpoint()),
+            EngineHandle::Detached { endpoint, .. } => endpoint.clone(),
         }
     }
 }
@@ -286,6 +332,25 @@ pub(crate) struct RegisteredEngine {
     /// yet, so [`RegisteredEngine::is_stale`] reports true until a
     /// refetch succeeds.
     pub(crate) pending_invalidation: bool,
+    /// Set while a restored entry's representative still lives only in
+    /// the cold tier; cleared by lazy hydration. Carries the manifest's
+    /// size bookkeeping so statuses and gauges stay meaningful before
+    /// the first plan touches the shard.
+    pub(crate) cold: Option<ColdEntry>,
+    /// The fingerprint this entry's representative is stored under in
+    /// the attached store, when there is one — the key `snapshot`
+    /// writes into the manifest and `restore` hydrates from.
+    pub(crate) stored_fingerprint: Option<Fingerprint>,
+}
+
+/// Size bookkeeping for a restored entry that has not been hydrated
+/// from the cold tier yet.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ColdEntry {
+    /// Distinct terms in the stored representative.
+    pub(crate) repr_terms: u64,
+    /// Encoded bytes of the stored record.
+    pub(crate) repr_bytes: u64,
 }
 
 impl RegisteredEngine {
@@ -297,7 +362,9 @@ impl RegisteredEngine {
     pub(crate) fn is_stale(&self) -> bool {
         match &self.handle {
             EngineHandle::Local(e) => !self.provenance.matches(e.fingerprint()),
-            EngineHandle::Remote { .. } => self.pending_invalidation,
+            EngineHandle::Remote { .. } | EngineHandle::Detached { .. } => {
+                self.pending_invalidation
+            }
         }
     }
 
@@ -311,6 +378,7 @@ impl RegisteredEngine {
     pub(crate) fn try_refresh(
         &mut self,
         global_vocab: &mut Vocabulary,
+        store: Option<&StoreHandle>,
     ) -> Result<(), TransportError> {
         match &self.handle {
             EngineHandle::Local(engine) => {
@@ -320,6 +388,7 @@ impl RegisteredEngine {
                     global_vocab,
                     repr,
                     ReprProvenance::Local(engine.fingerprint()),
+                    store,
                 );
                 Ok(())
             }
@@ -331,7 +400,20 @@ impl RegisteredEngine {
                         return Err(e);
                     }
                 };
-                self.install_remote(global_vocab, &snapshot)
+                self.install_remote(global_vocab, &snapshot, store)
+            }
+            EngineHandle::Detached { .. } => {
+                // Nothing to refresh from: the entry has no live
+                // engine. Stay marked stale until something attaches.
+                self.pending_invalidation = true;
+                Err(TransportError::new(
+                    TransportErrorKind::Refused,
+                    format!(
+                        "engine {:?} is detached (restored from store); \
+                         attach a live engine or transport to refresh it",
+                        self.name
+                    ),
+                ))
             }
         }
     }
@@ -342,6 +424,7 @@ impl RegisteredEngine {
         &mut self,
         global_vocab: &mut Vocabulary,
         snapshot: &EngineSnapshot,
+        store: Option<&StoreHandle>,
     ) -> Result<(), TransportError> {
         if !snapshot.is_consistent() {
             self.pending_invalidation = true;
@@ -356,12 +439,21 @@ impl RegisteredEngine {
         let meta = RemoteMeta::from_snapshot(snapshot);
         self.map = TermMap::from_vocab(global_vocab, &meta.vocab);
         self.map_fingerprint = None;
-        self.repr = Arc::new(snapshot.summary.repr.clone());
+        self.repr = match store {
+            Some(store) => {
+                let record = record_for_remote(&self.name, &meta, &snapshot.summary.repr);
+                let canonical = store.canonicalize(&record);
+                self.stored_fingerprint = Some(canonical.fingerprint);
+                canonical.repr.clone()
+            }
+            None => Arc::new(snapshot.summary.repr.clone()),
+        };
         self.provenance = ReprProvenance::Remote(snapshot.fingerprint);
         if let EngineHandle::Remote { meta: m, .. } = &mut self.handle {
             *m = meta;
         }
         self.pending_invalidation = false;
+        self.cold = None;
         self.epoch += 1;
         Ok(())
     }
@@ -370,12 +462,17 @@ impl RegisteredEngine {
     /// map from the engine's current collection (shipped representatives
     /// are id-aligned with it). Local engines only — remote entries
     /// receive whole snapshots via [`RegisteredEngine::install_remote`].
-    pub(crate) fn install_shipped(&mut self, global_vocab: &mut Vocabulary, repr: Representative) {
+    pub(crate) fn install_shipped(
+        &mut self,
+        global_vocab: &mut Vocabulary,
+        repr: Representative,
+        store: Option<&StoreHandle>,
+    ) {
         let provenance = ReprProvenance::Shipped {
             n_docs: repr.n_docs(),
             raw_bytes: repr.collection_bytes(),
         };
-        self.install(global_vocab, repr, provenance);
+        self.install(global_vocab, repr, provenance, store);
     }
 
     fn install(
@@ -383,6 +480,7 @@ impl RegisteredEngine {
         global_vocab: &mut Vocabulary,
         repr: Representative,
         provenance: ReprProvenance,
+        store: Option<&StoreHandle>,
     ) {
         let engine = self
             .handle
@@ -391,8 +489,17 @@ impl RegisteredEngine {
             .clone();
         self.map = TermMap::build(global_vocab, engine.collection());
         self.map_fingerprint = Some(engine.fingerprint());
-        self.repr = Arc::new(repr);
+        self.repr = match store {
+            Some(store) => {
+                let record = record_for_local(&self.name, &engine, &repr);
+                let canonical = store.canonicalize(&record);
+                self.stored_fingerprint = Some(canonical.fingerprint);
+                canonical.repr.clone()
+            }
+            None => Arc::new(repr),
+        };
         self.provenance = provenance;
+        self.cold = None;
         self.epoch += 1;
     }
 }
@@ -417,7 +524,12 @@ pub struct EngineStatus {
     pub repr_bytes: u64,
     /// Whether the engine is reached over a transport.
     pub remote: bool,
-    /// The remote endpoint, when the engine is remote.
+    /// Whether the entry was restored from a persistent store and has
+    /// not been re-attached to a live engine or transport yet (it can
+    /// be planned over but not dispatched to).
+    pub detached: bool,
+    /// The remote endpoint, when the engine is remote (for detached
+    /// entries, the endpoint recorded at snapshot time).
     pub endpoint: Option<String>,
 }
 

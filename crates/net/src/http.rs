@@ -399,8 +399,8 @@ fn engines_json(statuses: &[EngineStatus]) -> String {
         out.push_str("{\"name\":");
         json::write_escaped(&mut out, &s.name);
         out.push_str(&format!(
-            ",\"epoch\":{},\"stale\":{},\"repr_terms\":{},\"repr_bytes\":{},\"remote\":{},\"shard\":{}",
-            s.epoch, s.stale, s.repr_terms, s.repr_bytes, s.remote, s.shard
+            ",\"epoch\":{},\"stale\":{},\"repr_terms\":{},\"repr_bytes\":{},\"remote\":{},\"detached\":{},\"shard\":{}",
+            s.epoch, s.stale, s.repr_terms, s.repr_bytes, s.remote, s.detached, s.shard
         ));
         out.push_str(",\"endpoint\":");
         match &s.endpoint {

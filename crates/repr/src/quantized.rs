@@ -67,6 +67,51 @@ impl QuantizedRepresentative {
         self.codes.len()
     }
 
+    /// Bytes of the summarized collection (the paper's |db| accounting).
+    pub fn collection_bytes(&self) -> u64 {
+        self.collection_bytes
+    }
+
+    /// Rows of the decoded stats table (the source collection's
+    /// vocabulary size).
+    pub fn table_len(&self) -> usize {
+        self.rows
+    }
+
+    /// The per-term one-byte codes, in ascending term-id order.
+    pub fn codes(&self) -> &[(TermId, [u8; 4])] {
+        &self.codes
+    }
+
+    /// The four trained quantizers, in `[p, mean, std_dev, max]` order.
+    pub fn quantizers(&self) -> &[ByteQuantizer; 4] {
+        &self.quantizers
+    }
+
+    /// Reassembles a quantized representative from persisted parts (the
+    /// inverse of the accessors above). Returns `None` if any code's
+    /// term id falls outside the `rows`-entry table, so corrupted input
+    /// cannot build a value whose [`QuantizedRepresentative::decode`]
+    /// would panic.
+    pub fn from_parts(
+        n_docs: u64,
+        collection_bytes: u64,
+        rows: usize,
+        codes: Vec<(TermId, [u8; 4])>,
+        quantizers: [ByteQuantizer; 4],
+    ) -> Option<Self> {
+        codes
+            .iter()
+            .all(|(t, _)| t.index() < rows)
+            .then_some(QuantizedRepresentative {
+                n_docs,
+                collection_bytes,
+                rows,
+                codes,
+                quantizers,
+            })
+    }
+
     /// Stored size: 4 bytes of term id + 4 one-byte numbers per term
     /// (the reconstruction tables are constant-size overhead: 4 * 256
     /// f32 values).

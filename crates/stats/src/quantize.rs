@@ -106,6 +106,33 @@ impl ByteQuantizer {
     pub fn max_error_bound(&self) -> f64 {
         (self.hi - self.lo) / 256.0
     }
+
+    /// Reconstruction levels for all 256 codes, in code order.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// The level an *untrained* quantizer over `[lo, hi]` reconstructs
+    /// for `code`: the interval midpoint, or `lo` for a degenerate
+    /// range. Persistence formats store only the levels that differ
+    /// from this default (typically the few intervals that received
+    /// training mass), rebuilding the rest at load time.
+    pub fn default_level(lo: f64, hi: f64, code: u8) -> f64 {
+        let width = hi - lo;
+        if width > 0.0 {
+            lo + width * (f64::from(code) + 0.5) / 256.0
+        } else {
+            lo
+        }
+    }
+
+    /// Reassembles a quantizer from persisted parts. Returns `None`
+    /// unless `levels` has exactly 256 entries and `lo <= hi` (which
+    /// also rejects NaN bounds), so corrupted inputs cannot build a
+    /// quantizer whose `decode` would panic.
+    pub fn from_parts(lo: f64, hi: f64, levels: Vec<f64>) -> Option<Self> {
+        (levels.len() == 256 && lo <= hi).then_some(ByteQuantizer { lo, hi, levels })
+    }
 }
 
 #[cfg(test)]

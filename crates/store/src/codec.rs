@@ -1,0 +1,623 @@
+//! The cold-tier record codec: one engine's planning metadata plus its
+//! representative in the paper's §3.2 one-byte quantized form.
+//!
+//! A payload carries everything the broker needs to plan and estimate
+//! for an engine it has never seen: name, analyzer configuration,
+//! weighting scheme, collection fingerprint, the term vocabulary with
+//! per-term document frequencies (in the collection's own term-id
+//! order, which is what keeps restored query vectors bit-identical to
+//! live ones), and the four trained [`ByteQuantizer`]s with one byte
+//! per representative number.
+//!
+//! Quantizer reconstruction tables are stored *sparsely*: only the
+//! levels that differ from the untrained interval midpoint
+//! ([`ByteQuantizer::default_level`]) are written, so a tiny engine
+//! costs a handful of exception entries instead of 4 × 256 fixed
+//! doubles. For a fully trained quantizer the worst case is 256
+//! exceptions — still bounded.
+//!
+//! Decoding validates everything: magic, version, enum tags, strictly
+//! increasing in-range term ids, duplicate-free vocabulary, and a
+//! trailing-byte check. Every length read from the payload is capped
+//! against the bytes actually remaining before any allocation, so a
+//! length-lying payload cannot drive an overallocation (the
+//! `FrozenSummary::from_bytes` discipline).
+
+use crate::{StoreError, StoreErrorKind};
+use bytes::BufMut;
+use seu_engine::{Fingerprint, WeightingScheme};
+use seu_repr::{QuantizedRepresentative, Representative};
+use seu_stats::ByteQuantizer;
+use seu_text::{AnalyzerConfig, TermId, Vocabulary};
+use std::sync::Arc;
+
+/// Magic prefix of a cold-tier record: `"SEUR"`.
+pub const RECORD_MAGIC: u32 = 0x5345_5552;
+/// Record format version.
+pub const RECORD_VERSION: u16 = 1;
+
+/// Minimum bytes a per-term vocabulary row can occupy (empty name: u16
+/// length + u32 doc frequency) — the divisor for the row-count
+/// allocation cap.
+const MIN_TERM_RECORD_BYTES: usize = 2 + 4;
+/// Minimum bytes a code row occupies (u32 term id + 4 code bytes).
+const MIN_CODE_RECORD_BYTES: usize = 4 + 4;
+
+/// One engine's decoded store record: the hot-tier value, and what
+/// [`crate::ReprStore::put`] canonicalizes to.
+///
+/// `vocab`, `doc_freq`, and `repr` are id-aligned with the source
+/// collection's term ids (row `i` of each describes the collection's
+/// term `i`), exactly like a remote engine's snapshot — so a broker can
+/// plan against a record with the same term-translation path it uses
+/// for remote engines, producing bit-identical query vectors.
+#[derive(Debug, Clone)]
+pub struct EngineRecord {
+    /// Engine name (registration key).
+    pub name: String,
+    /// Analysis pipeline configuration of the engine.
+    pub analyzer: AnalyzerConfig,
+    /// Weighting scheme of the engine.
+    pub scheme: WeightingScheme,
+    /// Content fingerprint of the summarized collection — the record's
+    /// key in the store.
+    pub fingerprint: Fingerprint,
+    /// Per-term document frequency, indexed by the collection's term
+    /// ids.
+    pub doc_freq: Arc<Vec<u32>>,
+    /// The collection's term vocabulary, in term-id order.
+    pub vocab: Arc<Vocabulary>,
+    /// The representative, id-aligned with `vocab`.
+    pub repr: Arc<Representative>,
+}
+
+impl EngineRecord {
+    /// Documents in the collection, as the u32 remote-planning APIs
+    /// expect it.
+    pub fn n_docs(&self) -> u32 {
+        self.fingerprint.n_docs.min(u64::from(u32::MAX)) as u32
+    }
+
+    /// Internal alignment invariant: one vocabulary row per doc-freq
+    /// row per representative row.
+    pub fn is_consistent(&self) -> bool {
+        self.doc_freq.len() == self.vocab.len() && self.repr.table_len() == self.vocab.len()
+    }
+
+    /// Approximate resident bytes of the decoded record — the hot
+    /// tier's budget accounting.
+    pub fn cost(&self) -> usize {
+        let terms: usize = self.vocab.iter().map(|(_, t)| t.len() + 24).sum();
+        std::mem::size_of::<Self>()
+            + self.name.len()
+            + self.doc_freq.len() * 4
+            + terms
+            + self.repr.bytes_resident() as usize
+    }
+}
+
+/// Maps a scheme to its wire tag and parameter (same tags as the engine
+/// persistence codec, so on-disk artifacts agree about scheme ids).
+pub(crate) fn scheme_tag(scheme: WeightingScheme) -> (u8, f64) {
+    match scheme {
+        WeightingScheme::CosineTf => (0, 0.0),
+        WeightingScheme::CosineLogTf => (1, 0.0),
+        WeightingScheme::CosineTfIdf => (2, 0.0),
+        WeightingScheme::PivotedLogTf { slope } => (3, slope),
+    }
+}
+
+pub(crate) fn scheme_from_tag(tag: u8, param: f64) -> Option<WeightingScheme> {
+    match tag {
+        0 => Some(WeightingScheme::CosineTf),
+        1 => Some(WeightingScheme::CosineLogTf),
+        2 => Some(WeightingScheme::CosineTfIdf),
+        3 if param.is_finite() => Some(WeightingScheme::PivotedLogTf { slope: param }),
+        _ => None,
+    }
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= usize::from(u16::MAX), "string too long for u16");
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_quantizer(buf: &mut Vec<u8>, q: &ByteQuantizer) {
+    let (lo, hi) = q.range();
+    buf.put_f64(lo);
+    buf.put_f64(hi);
+    let exceptions: Vec<(u8, f64)> = q
+        .levels()
+        .iter()
+        .enumerate()
+        .filter(|&(i, l)| l.to_bits() != ByteQuantizer::default_level(lo, hi, i as u8).to_bits())
+        .map(|(i, &l)| (i as u8, l))
+        .collect();
+    buf.put_u16(exceptions.len() as u16);
+    for (code, level) in exceptions {
+        buf.put_u8(code);
+        buf.put_f64(level);
+    }
+}
+
+/// A checked read cursor: every primitive verifies the remaining length
+/// first and fails with a [`StoreErrorKind::Corrupt`] error instead of
+/// panicking on truncated input.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        if self.buf.len() < n {
+            return Err(StoreError::corrupt(format!(
+                "truncated record: {what} needs {n} bytes, {} remain",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &str) -> Result<u16, StoreError> {
+        Ok(u16::from_be_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        Ok(u32::from_be_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        Ok(u64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    pub(crate) fn str(&mut self, what: &str) -> Result<String, StoreError> {
+        let len = usize::from(self.u16(what)?);
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::corrupt(format!("{what}: invalid UTF-8")))
+    }
+}
+
+pub(crate) fn get_bool(r: &mut Reader<'_>, what: &str) -> Result<bool, StoreError> {
+    match r.u8(what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(StoreError::corrupt(format!("{what}: invalid bool {other}"))),
+    }
+}
+
+fn get_quantizer(r: &mut Reader<'_>) -> Result<ByteQuantizer, StoreError> {
+    let lo = r.f64("quantizer lo")?;
+    let hi = r.f64("quantizer hi")?;
+    // NaN bounds are corrupt too, so a plain `lo > hi` is not enough.
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        return Err(StoreError::corrupt(format!(
+            "quantizer range [{lo}, {hi}] is invalid"
+        )));
+    }
+    let n = usize::from(r.u16("quantizer exception count")?);
+    if n > 256 {
+        return Err(StoreError::corrupt(format!(
+            "quantizer claims {n} exception levels (max 256)"
+        )));
+    }
+    let mut levels: Vec<f64> = (0..=255u8)
+        .map(|code| ByteQuantizer::default_level(lo, hi, code))
+        .collect();
+    for _ in 0..n {
+        let code = r.u8("quantizer exception code")?;
+        levels[usize::from(code)] = r.f64("quantizer exception level")?;
+    }
+    ByteQuantizer::from_parts(lo, hi, levels)
+        .ok_or_else(|| StoreError::corrupt("quantizer parts rejected"))
+}
+
+/// Encodes a record into its cold-tier payload: metadata, sparse
+/// quantizer tables, one-byte codes, and the vocabulary rows.
+///
+/// The representative is quantized here (trained on the record's own
+/// values); decoding therefore yields the quantized *round-trip* of
+/// the input, which is exactly what [`crate::ReprStore::put`] hands
+/// back as the canonical record.
+pub fn encode_record(record: &EngineRecord) -> Vec<u8> {
+    assert!(
+        record.is_consistent(),
+        "record rows must align: {} vocab / {} doc_freq / {} repr rows",
+        record.vocab.len(),
+        record.doc_freq.len(),
+        record.repr.table_len()
+    );
+    let q = QuantizedRepresentative::from_representative(&record.repr);
+    let mut buf = Vec::with_capacity(64 + record.vocab.len() * 16);
+    buf.put_u32(RECORD_MAGIC);
+    buf.put_u16(RECORD_VERSION);
+    put_str(&mut buf, &record.name);
+    buf.put_u8(u8::from(record.analyzer.remove_stopwords));
+    buf.put_u8(u8::from(record.analyzer.stem));
+    let (tag, param) = scheme_tag(record.scheme);
+    buf.put_u8(tag);
+    buf.put_f64(param);
+    buf.put_u64(record.fingerprint.n_docs);
+    buf.put_u64(record.fingerprint.raw_bytes);
+    buf.put_u64(record.fingerprint.hash);
+    buf.put_u64(q.n_docs());
+    buf.put_u64(q.collection_bytes());
+    buf.put_u32(q.table_len() as u32);
+    for quantizer in q.quantizers() {
+        put_quantizer(&mut buf, quantizer);
+    }
+    buf.put_u32(q.codes().len() as u32);
+    for &(term, codes) in q.codes() {
+        buf.put_u32(term.0);
+        buf.put_slice(&codes);
+    }
+    for (id, term) in record.vocab.iter() {
+        put_str(&mut buf, term);
+        buf.put_u32(record.doc_freq[id.index()]);
+    }
+    buf
+}
+
+/// Decodes a cold-tier payload back into an [`EngineRecord`],
+/// validating every field and capping every claimed length against the
+/// bytes actually present before allocating.
+pub fn decode_record(bytes: &[u8]) -> Result<EngineRecord, StoreError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u32("magic")?;
+    if magic != RECORD_MAGIC {
+        return Err(StoreError::corrupt(format!("bad record magic {magic:#x}")));
+    }
+    let version = r.u16("version")?;
+    if version != RECORD_VERSION {
+        return Err(StoreError::new(
+            StoreErrorKind::Corrupt,
+            format!("unsupported record version {version}"),
+        ));
+    }
+    let name = r.str("engine name")?;
+    let analyzer = AnalyzerConfig {
+        remove_stopwords: get_bool(&mut r, "analyzer stopword flag")?,
+        stem: get_bool(&mut r, "analyzer stem flag")?,
+    };
+    let tag = r.u8("scheme tag")?;
+    let param = r.f64("scheme param")?;
+    let scheme = scheme_from_tag(tag, param)
+        .ok_or_else(|| StoreError::corrupt(format!("unknown weighting scheme tag {tag}")))?;
+    let fingerprint = Fingerprint {
+        n_docs: r.u64("fingerprint n_docs")?,
+        raw_bytes: r.u64("fingerprint raw_bytes")?,
+        hash: r.u64("fingerprint hash")?,
+    };
+    let n_docs = r.u64("repr n_docs")?;
+    let collection_bytes = r.u64("collection bytes")?;
+    let rows = r.u32("row count")? as usize;
+    let quantizers = [
+        get_quantizer(&mut r)?,
+        get_quantizer(&mut r)?,
+        get_quantizer(&mut r)?,
+        get_quantizer(&mut r)?,
+    ];
+    let n_codes = r.u32("code count")? as usize;
+    if n_codes > rows {
+        return Err(StoreError::corrupt(format!(
+            "{n_codes} codes for {rows} rows"
+        )));
+    }
+    // Cap-before-allocate: a lying count cannot reserve more entries
+    // than the remaining bytes could possibly encode.
+    let mut codes: Vec<(TermId, [u8; 4])> =
+        Vec::with_capacity(n_codes.min(r.remaining() / MIN_CODE_RECORD_BYTES));
+    let mut prev: Option<u32> = None;
+    for _ in 0..n_codes {
+        let term = r.u32("code term id")?;
+        if term as usize >= rows || prev.is_some_and(|p| term <= p) {
+            return Err(StoreError::corrupt(format!(
+                "code term id {term} out of order or out of range (rows {rows})"
+            )));
+        }
+        prev = Some(term);
+        let mut c = [0u8; 4];
+        c.copy_from_slice(r.take(4, "code bytes")?);
+        codes.push((TermId(term), c));
+    }
+    let mut vocab = Vocabulary::new();
+    let mut doc_freq: Vec<u32> =
+        Vec::with_capacity(rows.min(r.remaining() / MIN_TERM_RECORD_BYTES));
+    for i in 0..rows {
+        let term = r.str("vocabulary term")?;
+        let df = r.u32("doc frequency")?;
+        if vocab.intern(&term).index() != i {
+            return Err(StoreError::corrupt(format!(
+                "duplicate vocabulary term {term:?} at row {i}"
+            )));
+        }
+        doc_freq.push(df);
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::corrupt(format!(
+            "{} trailing bytes after record",
+            r.remaining()
+        )));
+    }
+    let quantized =
+        QuantizedRepresentative::from_parts(n_docs, collection_bytes, rows, codes, quantizers)
+            .ok_or_else(|| StoreError::corrupt("quantized representative parts rejected"))?;
+    Ok(EngineRecord {
+        name,
+        analyzer,
+        scheme,
+        fingerprint,
+        doc_freq: Arc::new(doc_freq),
+        vocab: Arc::new(vocab),
+        repr: Arc::new(quantized.decode()),
+    })
+}
+
+/// The canonical (quantized round-trip) form of a record, computed
+/// purely in memory — what a store-attached broker installs even when
+/// the disk write itself fails, so estimates stay bit-identical with a
+/// later restore from a healthy store.
+pub fn roundtrip(record: &EngineRecord) -> EngineRecord {
+    decode_record(&encode_record(record)).expect("decoding our own encoding cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use seu_engine::{CollectionBuilder, SearchEngine};
+    use seu_text::Analyzer;
+
+    fn engine(texts: &[&str]) -> SearchEngine {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        for (i, t) in texts.iter().enumerate() {
+            b.add_document(&format!("d{i}"), t);
+        }
+        SearchEngine::new(b.build())
+    }
+
+    fn record(texts: &[&str]) -> EngineRecord {
+        let e = engine(texts);
+        let c = e.collection();
+        EngineRecord {
+            name: "probe".into(),
+            analyzer: c.analyzer_config(),
+            scheme: c.scheme(),
+            fingerprint: e.fingerprint(),
+            doc_freq: Arc::new(c.vocab().iter().map(|(id, _)| c.doc_freq(id)).collect()),
+            vocab: Arc::new(c.vocab().clone()),
+            repr: Arc::new(Representative::build(c)),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_metadata_and_is_a_fixpoint() {
+        let rec = record(&[
+            "surface roughness metal cutting",
+            "grinding wheel wear metal",
+            "tool geometry cutting force",
+        ]);
+        let decoded = roundtrip(&rec);
+        assert_eq!(decoded.name, rec.name);
+        assert_eq!(decoded.analyzer, rec.analyzer);
+        assert_eq!(decoded.scheme, rec.scheme);
+        assert_eq!(decoded.fingerprint, rec.fingerprint);
+        assert_eq!(*decoded.doc_freq, *rec.doc_freq);
+        assert_eq!(decoded.vocab.len(), rec.vocab.len());
+        for (id, term) in rec.vocab.iter() {
+            assert_eq!(decoded.vocab.term(id), term);
+        }
+        assert!(decoded.is_consistent());
+        // Quantization error stays within the paper's interval bound.
+        for (id, s) in rec.repr.iter() {
+            let d = decoded.repr.get(id).expect("term survives quantization");
+            assert!((s.p - d.p).abs() <= 1.0 / 256.0 + 1e-9);
+        }
+        // Decoding is a fixpoint: the canonical bytes decode to
+        // themselves, which is what makes snapshot/restore bit-stable.
+        let bytes = encode_record(&rec);
+        let again = decode_record(&bytes).unwrap();
+        for (id, s) in decoded.repr.iter() {
+            let a = again.repr.get(id).unwrap();
+            assert_eq!(s.p.to_bits(), a.p.to_bits());
+            assert_eq!(s.mean.to_bits(), a.mean.to_bits());
+            assert_eq!(s.std_dev.to_bits(), a.std_dev.to_bits());
+            assert_eq!(s.max.to_bits(), a.max.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_collection_round_trips() {
+        let rec = record(&[]);
+        let decoded = roundtrip(&rec);
+        assert_eq!(decoded.vocab.len(), 0);
+        assert_eq!(decoded.repr.distinct_terms(), 0);
+    }
+
+    #[test]
+    fn sparse_quantizer_tables_keep_tiny_records_tiny() {
+        let rec = record(&["alpha beta", "beta gamma"]);
+        let bytes = encode_record(&rec);
+        // Dense tables alone would cost 4 * 256 * 8 = 8192 bytes; the
+        // sparse encoding must stay well under that for a tiny engine.
+        assert!(
+            bytes.len() < 2048,
+            "tiny record encoded to {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_magic_version_and_truncation() {
+        let rec = record(&["alpha beta gamma"]);
+        let bytes = encode_record(&rec);
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert_eq!(
+            decode_record(&wrong_magic).unwrap_err().kind,
+            StoreErrorKind::Corrupt
+        );
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[5] = 0xEE;
+        assert_eq!(
+            decode_record(&wrong_version).unwrap_err().kind,
+            StoreErrorKind::Corrupt
+        );
+
+        for cut in [0, 1, 6, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_record(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+
+        assert!(decode_record(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let rec = record(&["alpha beta gamma"]);
+        let mut bytes = encode_record(&rec);
+        bytes.push(0);
+        let err = decode_record(&bytes).unwrap_err();
+        assert!(err.detail.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn length_lying_row_count_fails_without_overallocation() {
+        // A payload claiming u32::MAX rows with only a few bytes behind
+        // it must fail fast; the allocation cap keeps the reserve
+        // proportional to the actual remaining bytes.
+        let rec = record(&["alpha beta gamma delta"]);
+        let bytes = encode_record(&rec);
+        // Find the row-count offset: magic(4) + version(2) +
+        // name(2+5) + analyzer(2) + scheme(9) + fingerprint(24) +
+        // n_docs(8) + bytes(8) = 64, rows at 64..68.
+        let rows_at = 4 + 2 + 2 + rec.name.len() + 2 + 9 + 24 + 8 + 8;
+        let mut lying = bytes.clone();
+        lying[rows_at..rows_at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_record(&lying).is_err());
+
+        // Same for the code count (directly after the 4 quantizers).
+        let err = decode_record(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert_eq!(err.kind, StoreErrorKind::Corrupt);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Encode → decode is the identity on already-canonical records
+        /// (modulo quantization, which decode applies identically on
+        /// both sides) for arbitrary small corpora.
+        #[test]
+        fn round_trip_identity_over_random_corpora(
+            seed in 0u64..5000,
+            n_docs in 1usize..12,
+        ) {
+            const POOL: &[&str] = &[
+                "database", "index", "query", "vector", "ranking", "term",
+                "network", "storage", "cache", "shard", "merge", "filter",
+            ];
+            let mut b = CollectionBuilder::new(
+                Analyzer::paper_default(),
+                WeightingScheme::CosineTf,
+            );
+            let mut s = seed;
+            for i in 0..n_docs {
+                let mut text = String::new();
+                for _ in 0..3 + (s % 5) {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    text.push_str(POOL[(s >> 33) as usize % POOL.len()]);
+                    text.push(' ');
+                }
+                b.add_document(&format!("d{i}"), &text);
+            }
+            let e = SearchEngine::new(b.build());
+            let c = e.collection();
+            let rec = EngineRecord {
+                name: format!("prop-{seed}"),
+                analyzer: c.analyzer_config(),
+                scheme: c.scheme(),
+                fingerprint: e.fingerprint(),
+                doc_freq: Arc::new(c.vocab().iter().map(|(id, _)| c.doc_freq(id)).collect()),
+                vocab: Arc::new(c.vocab().clone()),
+                repr: Arc::new(Representative::build(c)),
+            };
+            let first = roundtrip(&rec);
+            prop_assert!(first.is_consistent());
+            prop_assert_eq!(first.vocab.len(), rec.vocab.len());
+            // Re-encoding the canonical record and decoding again must
+            // reproduce it bit-for-bit.
+            let second = decode_record(&encode_record(&rec)).unwrap();
+            for (id, s) in first.repr.iter() {
+                let t = second.repr.get(id).unwrap();
+                prop_assert_eq!(s.p.to_bits(), t.p.to_bits());
+                prop_assert_eq!(s.mean.to_bits(), t.mean.to_bits());
+                prop_assert_eq!(s.std_dev.to_bits(), t.std_dev.to_bits());
+                prop_assert_eq!(s.max.to_bits(), t.max.to_bits());
+            }
+        }
+
+        /// Arbitrary corruption never panics, never overallocates, and
+        /// either decodes cleanly or reports a typed error.
+        #[test]
+        fn corruption_is_rejected_or_harmless(
+            seed in 0u64..2000,
+            flip_at in 0usize..4096,
+            flip_bits in 1u64..256,
+        ) {
+            let rec = {
+                let e = engine(&["alpha beta gamma", "beta delta", "gamma epsilon zeta"]);
+                let c = e.collection();
+                EngineRecord {
+                    name: format!("c{seed}"),
+                    analyzer: c.analyzer_config(),
+                    scheme: c.scheme(),
+                    fingerprint: e.fingerprint(),
+                    doc_freq: Arc::new(c.vocab().iter().map(|(id, _)| c.doc_freq(id)).collect()),
+                    vocab: Arc::new(c.vocab().clone()),
+                    repr: Arc::new(Representative::build(c)),
+                }
+            };
+            let mut bytes = encode_record(&rec);
+            let at = flip_at % bytes.len();
+            bytes[at] ^= flip_bits as u8;
+            // Must not panic; a surviving decode must still be
+            // internally consistent.
+            if let Ok(decoded) = decode_record(&bytes) {
+                prop_assert!(decoded.is_consistent());
+            }
+        }
+
+        /// Truncation at every prefix length is rejected without
+        /// panicking or allocating past the input.
+        #[test]
+        fn every_truncation_is_rejected(cut_ratio in 0.0f64..1.0) {
+            let rec = record(&["alpha beta gamma delta", "beta epsilon"]);
+            let bytes = encode_record(&rec);
+            let cut = ((bytes.len() - 1) as f64 * cut_ratio) as usize;
+            prop_assert!(decode_record(&bytes[..cut]).is_err());
+        }
+    }
+}

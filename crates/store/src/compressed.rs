@@ -1,0 +1,185 @@
+//! The cold-tier codec adapter: turns a byte-oriented [`BlobStore`]
+//! into a record-oriented [`ReprStore`] by running the §3.2 quantized
+//! codec on the way in and out.
+//!
+//! `put` is where canonicalization happens: the record is encoded,
+//! then the *encoded bytes* are decoded again and that round-trip is
+//! returned as the canonical record. Whatever a broker installs while
+//! live is therefore bit-identical to what a later restore decodes
+//! from disk.
+
+use crate::codec::{self, EngineRecord};
+use crate::{store_metrics, BlobStore, Manifest, ReprStore, StoreError};
+use seu_engine::Fingerprint;
+use std::sync::Arc;
+
+/// Record layer over any blob store: encodes representatives to the
+/// quantized cold format on `put` and decodes on `get`.
+pub struct CompressedStore<S> {
+    inner: S,
+}
+
+impl<S: BlobStore> CompressedStore<S> {
+    /// Wraps a blob store with the quantized record codec.
+    pub fn new(inner: S) -> Self {
+        CompressedStore { inner }
+    }
+
+    /// The wrapped blob store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: BlobStore> ReprStore for CompressedStore<S> {
+    fn get(&self, key: Fingerprint) -> Result<Option<Arc<EngineRecord>>, StoreError> {
+        let m = store_metrics();
+        match self.inner.get_bytes(key)? {
+            Some(bytes) => {
+                let record = codec::decode_record(&bytes)?;
+                if record.fingerprint != key {
+                    return Err(StoreError::corrupt(format!(
+                        "record for engine {:?} carries fingerprint {:?}, expected {key:?}",
+                        record.name, record.fingerprint
+                    )));
+                }
+                m.cold_hits.inc();
+                Ok(Some(Arc::new(record)))
+            }
+            None => {
+                m.cold_misses.inc();
+                Ok(None)
+            }
+        }
+    }
+
+    fn put(&self, record: &EngineRecord) -> Result<Arc<EngineRecord>, StoreError> {
+        let bytes = codec::encode_record(record);
+        // Byte-identical re-puts are a no-op; anything else (e.g. an
+        // engine shipped a replacement representative under the same
+        // collection fingerprint) is a last-write-wins overwrite.
+        if let Some(existing) = self.inner.get_bytes(record.fingerprint)? {
+            if existing == bytes {
+                let canonical = codec::decode_record(&existing)?;
+                return Ok(Arc::new(canonical));
+            }
+        }
+        let canonical =
+            codec::decode_record(&bytes).expect("decoding our own encoding cannot fail");
+        self.inner.put_bytes(record.fingerprint, &bytes)?;
+        store_metrics().writes.inc();
+        Ok(Arc::new(canonical))
+    }
+
+    fn contains(&self, key: Fingerprint) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn manifest(&self) -> Manifest {
+        self.inner.manifest()
+    }
+
+    fn commit(&self, manifest: &Manifest) -> Result<(), StoreError> {
+        self.inner.commit(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreErrorKind;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    /// In-memory blob store for adapter tests.
+    #[derive(Default)]
+    struct MemBlobs {
+        blobs: Mutex<HashMap<Fingerprint, Vec<u8>>>,
+        manifest: Mutex<Manifest>,
+    }
+
+    impl BlobStore for MemBlobs {
+        fn get_bytes(&self, key: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+            Ok(self.blobs.lock().get(&key).cloned())
+        }
+        fn put_bytes(&self, key: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+            self.blobs.lock().insert(key, bytes.to_vec());
+            Ok(())
+        }
+        fn contains(&self, key: Fingerprint) -> bool {
+            self.blobs.lock().contains_key(&key)
+        }
+        fn manifest(&self) -> Manifest {
+            self.manifest.lock().clone()
+        }
+        fn commit(&self, manifest: &Manifest) -> Result<(), StoreError> {
+            *self.manifest.lock() = manifest.clone();
+            Ok(())
+        }
+    }
+
+    fn record() -> EngineRecord {
+        use seu_engine::{CollectionBuilder, SearchEngine, WeightingScheme};
+        use seu_repr::Representative;
+        use seu_text::Analyzer;
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        b.add_document("d0", "surface roughness metal cutting");
+        b.add_document("d1", "grinding wheel wear metal");
+        let e = SearchEngine::new(b.build());
+        let c = e.collection();
+        EngineRecord {
+            name: "adapter-probe".into(),
+            analyzer: c.analyzer_config(),
+            scheme: c.scheme(),
+            fingerprint: e.fingerprint(),
+            doc_freq: Arc::new(c.vocab().iter().map(|(id, _)| c.doc_freq(id)).collect()),
+            vocab: Arc::new(c.vocab().clone()),
+            repr: Arc::new(Representative::build(c)),
+        }
+    }
+
+    #[test]
+    fn put_returns_canonical_and_get_serves_the_same_bits() {
+        let store = CompressedStore::new(MemBlobs::default());
+        let rec = record();
+        let canonical = store.put(&rec).unwrap();
+        let served = store.get(rec.fingerprint).unwrap().unwrap();
+        for (id, s) in canonical.repr.iter() {
+            let t = served.repr.get(id).unwrap();
+            assert_eq!(s.p.to_bits(), t.p.to_bits());
+            assert_eq!(s.mean.to_bits(), t.mean.to_bits());
+            assert_eq!(s.std_dev.to_bits(), t.std_dev.to_bits());
+            assert_eq!(s.max.to_bits(), t.max.to_bits());
+        }
+        // Re-putting the same source record encodes to the same bytes
+        // and is served back without drift.
+        let again = store.put(&rec).unwrap();
+        for (id, s) in canonical.repr.iter() {
+            let t = again.repr.get(id).unwrap();
+            assert_eq!(s.p.to_bits(), t.p.to_bits());
+        }
+    }
+
+    #[test]
+    fn mismatched_fingerprint_in_stored_bytes_is_corrupt() {
+        let blobs = MemBlobs::default();
+        let rec = record();
+        let bytes = codec::encode_record(&rec);
+        let wrong_key = Fingerprint {
+            hash: rec.fingerprint.hash ^ 1,
+            ..rec.fingerprint
+        };
+        blobs.put_bytes(wrong_key, &bytes).unwrap();
+        let store = CompressedStore::new(blobs);
+        let err = store.get(wrong_key).unwrap_err();
+        assert_eq!(err.kind, StoreErrorKind::Corrupt);
+    }
+
+    #[test]
+    fn missing_key_is_a_clean_none() {
+        let store = CompressedStore::new(MemBlobs::default());
+        let rec = record();
+        assert!(store.get(rec.fingerprint).unwrap().is_none());
+        assert!(!store.contains(rec.fingerprint));
+    }
+}

@@ -1,0 +1,681 @@
+//! The on-disk blob layer: append-only segment files addressed by
+//! collection fingerprint, plus an atomically swapped manifest.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! root/
+//!   MANIFEST          versioned registry cut + blob locations + CRC
+//!   seg-000000.dat    append-only segments: header, then records
+//!   seg-000001.dat    (rolled when a segment passes SEGMENT_CAP)
+//! ```
+//!
+//! A segment record is `key (24 bytes) | payload len (u32) |
+//! crc32(payload) (u32) | payload`. Writes are cheap appends with no
+//! fsync; durability happens at [`LocalStore::commit`], which syncs the
+//! active segment, writes `MANIFEST.tmp` (with a CRC trailer), syncs
+//! it, renames it over `MANIFEST`, and syncs the directory — so a crash
+//! either keeps the old manifest or installs the new one, never a torn
+//! mix. Blobs appended after the last committed manifest are orphan
+//! tails: invisible after reopen, harmlessly skipped because every
+//! committed location is explicit.
+
+use crate::codec::{self, Reader};
+use crate::{store_metrics, BlobStore, EntryKind, Manifest, ManifestEntry, StoreError};
+use bytes::BufMut;
+use parking_lot::Mutex;
+use seu_engine::Fingerprint;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a segment file: `"SEUG"`.
+pub const SEGMENT_MAGIC: u32 = 0x5345_5547;
+/// Magic prefix of the manifest file: `"SEUM"`.
+pub const MANIFEST_MAGIC: u32 = 0x5345_554D;
+/// On-disk format version shared by segments and the manifest.
+pub const STORE_VERSION: u16 = 1;
+/// Soft cap on a segment file; the next put after passing it rolls to a
+/// fresh segment.
+pub const SEGMENT_CAP: u64 = 64 << 20;
+
+/// Bytes of a segment file header: magic + version.
+const SEGMENT_HEADER_BYTES: u64 = 6;
+/// Bytes of a segment record header: 24-byte key + len + crc.
+const RECORD_HEADER_BYTES: u64 = 24 + 4 + 4;
+/// Smallest possible serialized manifest entry, the divisor for the
+/// entry-count allocation cap (empty name + fixed fields + location).
+const MIN_ENTRY_BYTES: usize = 2 + 8 + 8 + 24 + 1 + 2 + 9 + 8 + 8 + 16;
+
+/// Where a committed blob lives.
+#[derive(Debug, Clone, Copy)]
+struct Location {
+    segment: u32,
+    offset: u64,
+    len: u32,
+}
+
+struct LocalInner {
+    index: HashMap<Fingerprint, Location>,
+    manifest: Manifest,
+    active_id: u32,
+    active_len: u64,
+    active: Option<File>,
+    cold_bytes: u64,
+}
+
+/// The bottom store tier: fingerprint-addressed segment files under a
+/// root directory, with an fsync'd atomically swapped manifest.
+pub struct LocalStore {
+    root: PathBuf,
+    inner: Mutex<LocalInner>,
+}
+
+impl std::fmt::Debug for LocalStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalStore")
+            .field("root", &self.root)
+            .finish_non_exhaustive()
+    }
+}
+
+fn segment_path(root: &Path, id: u32) -> PathBuf {
+    root.join(format!("seg-{id:06}.dat"))
+}
+
+fn manifest_path(root: &Path) -> PathBuf {
+    root.join("MANIFEST")
+}
+
+fn put_fingerprint(buf: &mut Vec<u8>, fp: Fingerprint) {
+    buf.put_u64(fp.n_docs);
+    buf.put_u64(fp.raw_bytes);
+    buf.put_u64(fp.hash);
+}
+
+fn get_fingerprint(r: &mut Reader<'_>, what: &str) -> Result<Fingerprint, StoreError> {
+    Ok(Fingerprint {
+        n_docs: r.u64(what)?,
+        raw_bytes: r.u64(what)?,
+        hash: r.u64(what)?,
+    })
+}
+
+fn encode_manifest(manifest: &Manifest, locations: &[Location]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + manifest.entries.len() * 96);
+    buf.put_u32(MANIFEST_MAGIC);
+    buf.put_u16(STORE_VERSION);
+    buf.put_u64(manifest.epoch);
+    buf.put_u32(manifest.shard_epochs.len() as u32);
+    for &e in &manifest.shard_epochs {
+        buf.put_u64(e);
+    }
+    buf.put_u64(manifest.next_seq);
+    buf.put_u32(manifest.entries.len() as u32);
+    for (entry, loc) in manifest.entries.iter().zip(locations) {
+        codec::put_str(&mut buf, &entry.name);
+        buf.put_u64(entry.seq);
+        buf.put_u64(entry.epoch);
+        put_fingerprint(&mut buf, entry.fingerprint);
+        match &entry.kind {
+            EntryKind::Local => buf.put_u8(0),
+            EntryKind::Remote { endpoint } => {
+                buf.put_u8(1);
+                codec::put_str(&mut buf, endpoint);
+            }
+            EntryKind::Shipped => buf.put_u8(2),
+        }
+        buf.put_u8(u8::from(entry.analyzer.remove_stopwords));
+        buf.put_u8(u8::from(entry.analyzer.stem));
+        let (tag, param) = codec::scheme_tag(entry.scheme);
+        buf.put_u8(tag);
+        buf.put_f64(param);
+        buf.put_u64(entry.repr_terms);
+        buf.put_u64(entry.repr_bytes);
+        buf.put_u32(loc.segment);
+        buf.put_u64(loc.offset);
+        buf.put_u32(loc.len);
+    }
+    let crc = crate::crc32(&buf);
+    buf.put_u32(crc);
+    buf
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<(Manifest, Vec<Location>), StoreError> {
+    if bytes.len() < 4 {
+        return Err(StoreError::corrupt("manifest shorter than its CRC trailer"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_be_bytes(trailer.try_into().unwrap());
+    let actual = crate::crc32(body);
+    if stored_crc != actual {
+        return Err(StoreError::corrupt(format!(
+            "manifest CRC mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let mut r = Reader::new(body);
+    let magic = r.u32("manifest magic")?;
+    if magic != MANIFEST_MAGIC {
+        return Err(StoreError::corrupt(format!(
+            "bad manifest magic {magic:#x}"
+        )));
+    }
+    let version = r.u16("manifest version")?;
+    if version != STORE_VERSION {
+        return Err(StoreError::corrupt(format!(
+            "unsupported manifest version {version}"
+        )));
+    }
+    let epoch = r.u64("manifest epoch")?;
+    let n_shards = r.u32("shard epoch count")? as usize;
+    let mut shard_epochs = Vec::with_capacity(n_shards.min(r.remaining() / 8));
+    for _ in 0..n_shards {
+        shard_epochs.push(r.u64("shard epoch")?);
+    }
+    let next_seq = r.u64("next sequence number")?;
+    let n_entries = r.u32("entry count")? as usize;
+    let cap = n_entries.min(r.remaining() / MIN_ENTRY_BYTES);
+    let mut entries = Vec::with_capacity(cap);
+    let mut locations = Vec::with_capacity(cap);
+    for _ in 0..n_entries {
+        let name = r.str("entry name")?;
+        let seq = r.u64("entry seq")?;
+        let entry_epoch = r.u64("entry epoch")?;
+        let fingerprint = get_fingerprint(&mut r, "entry fingerprint")?;
+        let kind = match r.u8("entry kind")? {
+            0 => EntryKind::Local,
+            1 => EntryKind::Remote {
+                endpoint: r.str("entry endpoint")?,
+            },
+            2 => EntryKind::Shipped,
+            other => {
+                return Err(StoreError::corrupt(format!(
+                    "unknown entry kind tag {other}"
+                )))
+            }
+        };
+        let analyzer = seu_text::AnalyzerConfig {
+            remove_stopwords: codec::get_bool(&mut r, "entry stopword flag")?,
+            stem: codec::get_bool(&mut r, "entry stem flag")?,
+        };
+        let tag = r.u8("entry scheme tag")?;
+        let param = r.f64("entry scheme param")?;
+        let scheme = codec::scheme_from_tag(tag, param)
+            .ok_or_else(|| StoreError::corrupt(format!("unknown scheme tag {tag}")))?;
+        let repr_terms = r.u64("entry repr terms")?;
+        let repr_bytes = r.u64("entry repr bytes")?;
+        let location = Location {
+            segment: r.u32("blob segment")?,
+            offset: r.u64("blob offset")?,
+            len: r.u32("blob length")?,
+        };
+        entries.push(ManifestEntry {
+            name,
+            seq,
+            epoch: entry_epoch,
+            fingerprint,
+            kind,
+            analyzer,
+            scheme,
+            repr_terms,
+            repr_bytes,
+        });
+        locations.push(location);
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::corrupt(format!(
+            "{} trailing bytes after manifest entries",
+            r.remaining()
+        )));
+    }
+    Ok((
+        Manifest {
+            epoch,
+            shard_epochs,
+            next_seq,
+            entries,
+        },
+        locations,
+    ))
+}
+
+impl LocalStore {
+    /// Opens (or initializes) a store rooted at `root`, loading the
+    /// committed manifest and blob index if one exists.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root).map_err(|e| StoreError::io(&root, e))?;
+        let mut inner = LocalInner {
+            index: HashMap::new(),
+            manifest: Manifest::default(),
+            active_id: 0,
+            active_len: 0,
+            active: None,
+            cold_bytes: 0,
+        };
+        let mpath = manifest_path(&root);
+        if mpath.exists() {
+            let bytes = fs::read(&mpath).map_err(|e| StoreError::io(&mpath, e))?;
+            let (manifest, locations) = decode_manifest(&bytes)?;
+            for (entry, loc) in manifest.entries.iter().zip(&locations) {
+                inner.active_id = inner.active_id.max(loc.segment);
+                inner.cold_bytes += u64::from(loc.len) + RECORD_HEADER_BYTES;
+                inner.index.insert(entry.fingerprint, *loc);
+            }
+            inner.manifest = manifest;
+            let active_path = segment_path(&root, inner.active_id);
+            inner.active_len = match fs::metadata(&active_path) {
+                Ok(m) => m.len(),
+                Err(_) => 0,
+            };
+        }
+        store_metrics().cold_bytes.set(inner.cold_bytes as f64);
+        Ok(LocalStore {
+            root,
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn open_active(&self, inner: &mut LocalInner) -> Result<(), StoreError> {
+        if inner.active.is_some() {
+            return Ok(());
+        }
+        let path = segment_path(&self.root, inner.active_id);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(&path, e))?;
+        let len = file.metadata().map_err(|e| StoreError::io(&path, e))?.len();
+        if len == 0 {
+            let mut header = Vec::with_capacity(SEGMENT_HEADER_BYTES as usize);
+            header.put_u32(SEGMENT_MAGIC);
+            header.put_u16(STORE_VERSION);
+            file.write_all(&header)
+                .map_err(|e| StoreError::io(&path, e))?;
+            inner.active_len = SEGMENT_HEADER_BYTES;
+        } else {
+            inner.active_len = len;
+        }
+        inner.active = Some(file);
+        Ok(())
+    }
+}
+
+impl BlobStore for LocalStore {
+    fn get_bytes(&self, key: Fingerprint) -> Result<Option<Vec<u8>>, StoreError> {
+        let loc = {
+            let inner = self.inner.lock();
+            match inner.index.get(&key) {
+                Some(loc) => *loc,
+                None => return Ok(None),
+            }
+        };
+        let path = segment_path(&self.root, loc.segment);
+        let mut file = File::open(&path).map_err(|e| StoreError::io(&path, e))?;
+        file.seek(SeekFrom::Start(loc.offset))
+            .map_err(|e| StoreError::io(&path, e))?;
+        let mut header = [0u8; RECORD_HEADER_BYTES as usize];
+        file.read_exact(&mut header)
+            .map_err(|e| StoreError::io(&path, e))?;
+        let mut r = Reader::new(&header);
+        let stored_key = get_fingerprint(&mut r, "record key")?;
+        let len = r.u32("record length")?;
+        let crc = r.u32("record checksum")?;
+        if stored_key != key || len != loc.len {
+            return Err(StoreError::corrupt(format!(
+                "segment record at {}:{} does not match the indexed key",
+                loc.segment, loc.offset
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        file.read_exact(&mut payload)
+            .map_err(|e| StoreError::io(&path, e))?;
+        let actual = crate::crc32(&payload);
+        if actual != crc {
+            return Err(StoreError::corrupt(format!(
+                "segment record checksum mismatch at {}:{}: stored {crc:#010x}, computed {actual:#010x}",
+                loc.segment, loc.offset
+            )));
+        }
+        Ok(Some(payload))
+    }
+
+    fn put_bytes(&self, key: Fingerprint, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        self.open_active(&mut inner)?;
+        if inner.active_len >= SEGMENT_CAP {
+            inner.active = None;
+            inner.active_id += 1;
+            self.open_active(&mut inner)?;
+        }
+        let offset = inner.active_len;
+        let mut record = Vec::with_capacity(RECORD_HEADER_BYTES as usize + bytes.len());
+        put_fingerprint(&mut record, key);
+        record.put_u32(bytes.len() as u32);
+        record.put_u32(crate::crc32(bytes));
+        record.put_slice(bytes);
+        let segment = inner.active_id;
+        let path = segment_path(&self.root, segment);
+        inner
+            .active
+            .as_mut()
+            .expect("active segment was just opened")
+            .write_all(&record)
+            .map_err(|e| StoreError::io(&path, e))?;
+        inner.active_len += record.len() as u64;
+        inner.cold_bytes += record.len() as u64;
+        // Last write wins: the index moves to the fresh record and any
+        // previous record for the key becomes an unreferenced tail.
+        inner.index.insert(
+            key,
+            Location {
+                segment,
+                offset,
+                len: bytes.len() as u32,
+            },
+        );
+        store_metrics().cold_bytes.set(inner.cold_bytes as f64);
+        Ok(())
+    }
+
+    fn contains(&self, key: Fingerprint) -> bool {
+        self.inner.lock().index.contains_key(&key)
+    }
+
+    fn manifest(&self) -> Manifest {
+        self.inner.lock().manifest.clone()
+    }
+
+    fn commit(&self, manifest: &Manifest) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let mut locations = Vec::with_capacity(manifest.entries.len());
+        for entry in &manifest.entries {
+            let loc = inner.index.get(&entry.fingerprint).ok_or_else(|| {
+                StoreError::missing(format!(
+                    "manifest entry {:?} references a blob not in the store; \
+                     put its representative before committing",
+                    entry.name
+                ))
+            })?;
+            locations.push(*loc);
+        }
+        let active_id = inner.active_id;
+        if let Some(file) = inner.active.as_mut() {
+            let path = segment_path(&self.root, active_id);
+            file.sync_all().map_err(|e| StoreError::io(&path, e))?;
+        }
+        let bytes = encode_manifest(manifest, &locations);
+        let tmp = self.root.join("MANIFEST.tmp");
+        let final_path = manifest_path(&self.root);
+        {
+            let mut file = File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+            file.write_all(&bytes)
+                .map_err(|e| StoreError::io(&tmp, e))?;
+            file.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+        }
+        fs::rename(&tmp, &final_path).map_err(|e| StoreError::io(&final_path, e))?;
+        if let Ok(dir) = File::open(&self.root) {
+            // Directory fsync makes the rename itself durable; best
+            // effort on filesystems that refuse to sync directories.
+            let _ = dir.sync_all();
+        }
+        inner.manifest = manifest.clone();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreErrorKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "seu-store-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fp(hash: u64) -> Fingerprint {
+        Fingerprint {
+            n_docs: 2,
+            raw_bytes: 100,
+            hash,
+        }
+    }
+
+    fn entry(name: &str, key: Fingerprint) -> ManifestEntry {
+        ManifestEntry {
+            name: name.into(),
+            seq: 1,
+            epoch: 1,
+            fingerprint: key,
+            kind: EntryKind::Local,
+            analyzer: seu_text::AnalyzerConfig::default(),
+            scheme: seu_engine::WeightingScheme::CosineTf,
+            repr_terms: 3,
+            repr_bytes: 48,
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip_and_last_write_wins() {
+        let root = tmp_root("roundtrip");
+        let store = LocalStore::open(&root).unwrap();
+        let key = fp(7);
+        assert!(!store.contains(key));
+        assert_eq!(store.get_bytes(key).unwrap(), None);
+        store.put_bytes(key, b"hello segment").unwrap();
+        assert!(store.contains(key));
+        assert_eq!(
+            store.get_bytes(key).unwrap().as_deref(),
+            Some(&b"hello segment"[..])
+        );
+        // Last write wins: a replacement payload supersedes the first.
+        store.put_bytes(key, b"replacement payload").unwrap();
+        assert_eq!(
+            store.get_bytes(key).unwrap().as_deref(),
+            Some(&b"replacement payload"[..])
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn commit_then_reopen_restores_manifest_and_blobs() {
+        let root = tmp_root("reopen");
+        let key_a = fp(1);
+        let key_b = fp(2);
+        {
+            let store = LocalStore::open(&root).unwrap();
+            store.put_bytes(key_a, b"alpha payload").unwrap();
+            store.put_bytes(key_b, b"beta payload").unwrap();
+            let manifest = Manifest {
+                epoch: 9,
+                shard_epochs: vec![4, 5],
+                next_seq: 3,
+                entries: vec![entry("a", key_a), entry("b", key_b)],
+            };
+            store.commit(&manifest).unwrap();
+        }
+        let store = LocalStore::open(&root).unwrap();
+        let manifest = store.manifest();
+        assert_eq!(manifest.epoch, 9);
+        assert_eq!(manifest.shard_epochs, vec![4, 5]);
+        assert_eq!(manifest.next_seq, 3);
+        assert_eq!(manifest.entries.len(), 2);
+        assert_eq!(manifest.entries[0].name, "a");
+        assert_eq!(
+            store.get_bytes(key_a).unwrap().as_deref(),
+            Some(&b"alpha payload"[..])
+        );
+        assert_eq!(
+            store.get_bytes(key_b).unwrap().as_deref(),
+            Some(&b"beta payload"[..])
+        );
+        assert!(!root.join("MANIFEST.tmp").exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn uncommitted_blobs_are_orphaned_on_reopen_but_appends_still_work() {
+        let root = tmp_root("orphan");
+        let committed = fp(1);
+        let orphan = fp(2);
+        {
+            let store = LocalStore::open(&root).unwrap();
+            store.put_bytes(committed, b"kept").unwrap();
+            let manifest = Manifest {
+                epoch: 1,
+                shard_epochs: vec![1],
+                next_seq: 2,
+                entries: vec![entry("kept", committed)],
+            };
+            store.commit(&manifest).unwrap();
+            store.put_bytes(orphan, b"tail").unwrap();
+        }
+        let store = LocalStore::open(&root).unwrap();
+        assert!(store.contains(committed));
+        assert!(!store.contains(orphan), "orphan tail must be invisible");
+        // New appends land after the orphan tail without clobbering it.
+        let fresh = fp(3);
+        store.put_bytes(fresh, b"fresh payload").unwrap();
+        assert_eq!(
+            store.get_bytes(fresh).unwrap().as_deref(),
+            Some(&b"fresh payload"[..])
+        );
+        assert_eq!(
+            store.get_bytes(committed).unwrap().as_deref(),
+            Some(&b"kept"[..])
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_payload_byte_is_detected() {
+        let root = tmp_root("corrupt");
+        let key = fp(11);
+        {
+            let store = LocalStore::open(&root).unwrap();
+            store
+                .put_bytes(key, b"precious representative bytes")
+                .unwrap();
+            let manifest = Manifest {
+                epoch: 1,
+                shard_epochs: vec![1],
+                next_seq: 2,
+                entries: vec![entry("x", key)],
+            };
+            store.commit(&manifest).unwrap();
+        }
+        // Flip one payload byte on disk (past header + record header).
+        let seg = segment_path(&root, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        let at = (SEGMENT_HEADER_BYTES + RECORD_HEADER_BYTES) as usize + 3;
+        bytes[at] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+        let store = LocalStore::open(&root).unwrap();
+        let err = store.get_bytes(key).unwrap_err();
+        assert_eq!(err.kind, StoreErrorKind::Corrupt);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn commit_refuses_manifest_entries_without_blobs() {
+        let root = tmp_root("missing");
+        let store = LocalStore::open(&root).unwrap();
+        let manifest = Manifest {
+            epoch: 1,
+            shard_epochs: vec![1],
+            next_seq: 2,
+            entries: vec![entry("ghost", fp(99))],
+        };
+        let err = store.commit(&manifest).unwrap_err();
+        assert_eq!(err.kind, StoreErrorKind::Missing);
+        // Failed commit must not clobber the (empty) manifest.
+        assert_eq!(store.manifest(), Manifest::default());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected_on_open() {
+        let root = tmp_root("badmanifest");
+        let key = fp(5);
+        {
+            let store = LocalStore::open(&root).unwrap();
+            store.put_bytes(key, b"payload").unwrap();
+            let manifest = Manifest {
+                epoch: 1,
+                shard_epochs: vec![1],
+                next_seq: 2,
+                entries: vec![entry("e", key)],
+            };
+            store.commit(&manifest).unwrap();
+        }
+        let mpath = manifest_path(&root);
+        let mut bytes = fs::read(&mpath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&mpath, &bytes).unwrap();
+        let err = LocalStore::open(&root).expect_err("corrupt manifest must fail open");
+        assert_eq!(err.kind, StoreErrorKind::Corrupt);
+        // Truncation is also rejected rather than partially applied.
+        let full = fs::read(&mpath).unwrap();
+        fs::write(&mpath, &full[..full.len() / 2]).unwrap();
+        assert!(LocalStore::open(&root).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn manifest_codec_round_trips_all_entry_kinds() {
+        let manifest = Manifest {
+            epoch: 42,
+            shard_epochs: vec![10, 12, 20],
+            next_seq: 7,
+            entries: vec![
+                entry("local", fp(1)),
+                ManifestEntry {
+                    kind: EntryKind::Remote {
+                        endpoint: "127.0.0.1:7070".into(),
+                    },
+                    scheme: seu_engine::WeightingScheme::PivotedLogTf { slope: 0.25 },
+                    ..entry("remote", fp(2))
+                },
+                ManifestEntry {
+                    kind: EntryKind::Shipped,
+                    ..entry("shipped", fp(3))
+                },
+            ],
+        };
+        let locations = vec![
+            Location {
+                segment: 0,
+                offset: 6,
+                len: 10,
+            };
+            3
+        ];
+        let bytes = encode_manifest(&manifest, &locations);
+        let (decoded, locs) = decode_manifest(&bytes).unwrap();
+        assert_eq!(decoded, manifest);
+        assert_eq!(locs.len(), 3);
+        // A lying entry count cannot overallocate past the real bytes.
+        let mut lying = bytes.clone();
+        // entry count sits after magic+version+epoch+count+3*u64+next_seq.
+        let count_at = 4 + 2 + 8 + 4 + 24 + 8;
+        lying[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_manifest(&lying).is_err());
+        let _ = decoded;
+    }
+}
