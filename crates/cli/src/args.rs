@@ -57,7 +57,7 @@ pub enum Command {
         no_cache: bool,
     },
     /// `seu serve <engine.bin>... [--remote <host:port>]... --listen <addr>
-    /// [--store <dir>] [--shards N] [--no-cache]`
+    /// [--store <dir>] [--shards N] [--no-cache] [--join <hosts-file>]`
     Serve {
         /// Persisted engine files to register locally.
         engines: Vec<PathBuf>,
@@ -74,6 +74,31 @@ pub enum Command {
         shards: usize,
         /// Run the broker without its query cache.
         no_cache: bool,
+        /// Hosts file to join as a federation replica: the broker also
+        /// binds a replica-protocol listener and announces
+        /// `id endpoint` into this file for front-doors watching it.
+        join: Option<PathBuf>,
+    },
+    /// `seu front-door [--replica <[id=]host:port>]... [--hosts-file <path>]
+    /// [--engine <[name=]host:port>]... --listen <addr> [--vnodes N]
+    /// [--replication N]`
+    FrontDoor {
+        /// Static replica list: `id=host:port` (or bare `host:port`,
+        /// which uses the endpoint as the ring id).
+        replicas: Vec<String>,
+        /// Hosts file to watch for replicas joining and leaving
+        /// (`seu serve --join` announces into it).
+        hosts_file: Option<PathBuf>,
+        /// Engine servers to register through the front door:
+        /// `name=host:port` (or bare `host:port`, which dials the
+        /// engine for its advertised name).
+        engines: Vec<String>,
+        /// Address the HTTP admin server binds (port 0 for ephemeral).
+        listen: String,
+        /// Virtual nodes per replica on the placement ring (0 = default).
+        vnodes: usize,
+        /// How many ring candidates hold each engine (primary + standbys).
+        replication: usize,
     },
     /// `seu snapshot <engine.bin>... --store <dir> [--shards N]`
     Snapshot {
@@ -159,7 +184,8 @@ usage:
   seu estimate <repr.bin> -q <query> [-t <threshold>]
   seu search <engine.bin> -q <query> [-t <threshold>] [-k <top-k>]
   seu broker <engine.bin>... -q <query> [-t <threshold>] [--shards <n>] [--no-cache]
-  seu serve <engine.bin>... [--remote <host:port>]... --listen <addr> [--store <dir>] [--shards <n>] [--no-cache]
+  seu serve <engine.bin>... [--remote <host:port>]... --listen <addr> [--store <dir>] [--shards <n>] [--no-cache] [--join <hosts-file>]
+  seu front-door [--replica <[id=]host:port>]... [--hosts-file <path>] [--engine <[name=]host:port>]... --listen <addr> [--vnodes <n>] [--replication <n>]
   seu serve-engine <engine.bin> --listen <addr> [--name <name>] [--threaded] [--workers <n>]
   seu refresh <engine.bin>... --repr-dir <dir> [--stale-only]
   seu snapshot <engine.bin>... --store <dir> [--shards <n>]
@@ -219,6 +245,12 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut no_cache = false;
     let mut threaded = false;
     let mut workers = 0usize;
+    let mut join: Option<PathBuf> = None;
+    let mut hosts_file: Option<PathBuf> = None;
+    let mut replicas: Vec<String> = Vec::new();
+    let mut engine_endpoints: Vec<String> = Vec::new();
+    let mut vnodes = 0usize;
+    let mut replication = 2usize;
     let mut obs = ObsOptions::default();
 
     while let Some(arg) = cur.next().map(str::to_string) {
@@ -277,6 +309,24 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                     .ok_or_else(|| "--shards needs a positive integer".to_string())?;
             }
             "--threaded" => threaded = true,
+            "--join" => join = Some(PathBuf::from(cur.value_for("--join")?)),
+            "--hosts-file" => hosts_file = Some(PathBuf::from(cur.value_for("--hosts-file")?)),
+            "--replica" => replicas.push(cur.value_for("--replica")?),
+            "--engine" => engine_endpoints.push(cur.value_for("--engine")?),
+            "--vnodes" => {
+                vnodes = cur
+                    .value_for("--vnodes")?
+                    .parse()
+                    .map_err(|_| "--vnodes needs an integer".to_string())?;
+            }
+            "--replication" => {
+                replication = cur
+                    .value_for("--replication")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--replication needs a positive integer".to_string())?;
+            }
             "--workers" => {
                 workers = cur
                     .value_for("--workers")?
@@ -338,8 +388,17 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             }
         }
         "serve" => {
-            if positionals.is_empty() && remotes.is_empty() && store_path.is_none() {
-                return Err("serve needs at least one engine file, --remote, or --store".into());
+            // With --join an empty broker is the normal case: a
+            // federation replica starts bare and the front-door
+            // installs engines onto it.
+            if positionals.is_empty()
+                && remotes.is_empty()
+                && store_path.is_none()
+                && join.is_none()
+            {
+                return Err(
+                    "serve needs at least one engine file, --remote, --store, or --join".into(),
+                );
             }
             Command::Serve {
                 engines: positionals,
@@ -348,6 +407,26 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                 store: store_path,
                 shards,
                 no_cache,
+                join,
+            }
+        }
+        "front-door" => {
+            if replicas.is_empty() && hosts_file.is_none() {
+                return Err("front-door needs at least one --replica or a --hosts-file".into());
+            }
+            for spec in &replicas {
+                let id = spec.split_once('=').map_or(spec.as_str(), |(id, _)| id);
+                if id.contains('#') {
+                    return Err(format!("replica id {id:?} must not contain '#'"));
+                }
+            }
+            Command::FrontDoor {
+                replicas,
+                hosts_file,
+                engines: engine_endpoints,
+                listen: listen.ok_or("missing --listen <addr>")?,
+                vnodes,
+                replication,
             }
         }
         "serve-engine" => Command::ServeEngine {
@@ -537,6 +616,7 @@ mod tests {
                 store: None,
                 shards: 1,
                 no_cache: false,
+                join: None,
             }
         );
         assert!(matches!(
@@ -576,6 +656,91 @@ mod tests {
                 .command,
             Command::Serve { store: Some(_), .. }
         ));
+    }
+
+    #[test]
+    fn serve_join_parses() {
+        assert!(matches!(
+            p(&["serve", "a.bin", "--listen", "l:0", "--join", "cluster.hosts"])
+                .unwrap()
+                .command,
+            Command::Serve { join: Some(j), .. } if j == Path::new("cluster.hosts")
+        ));
+        assert!(matches!(
+            p(&["serve", "a.bin", "--listen", "l:0"]).unwrap().command,
+            Command::Serve { join: None, .. }
+        ));
+        // A bare replica: no engines at all is legal with --join (the
+        // front-door installs engines onto it) but an error without.
+        assert!(matches!(
+            p(&["serve", "--listen", "l:0", "--join", "cluster.hosts"])
+                .unwrap()
+                .command,
+            Command::Serve { ref engines, join: Some(_), .. } if engines.is_empty()
+        ));
+        assert!(p(&["serve", "--listen", "l:0"]).is_err());
+    }
+
+    #[test]
+    fn front_door_parses() {
+        assert_eq!(
+            p(&[
+                "front-door",
+                "--replica",
+                "r0=127.0.0.1:9000",
+                "--replica",
+                "127.0.0.1:9001",
+                "--engine",
+                "news=127.0.0.1:7000",
+                "--listen",
+                "127.0.0.1:8080",
+                "--vnodes",
+                "64",
+                "--replication",
+                "3",
+            ])
+            .unwrap()
+            .command,
+            Command::FrontDoor {
+                replicas: vec!["r0=127.0.0.1:9000".into(), "127.0.0.1:9001".into()],
+                hosts_file: None,
+                engines: vec!["news=127.0.0.1:7000".into()],
+                listen: "127.0.0.1:8080".into(),
+                vnodes: 64,
+                replication: 3,
+            }
+        );
+        // Hosts-file-only discovery is legal; no replica source is not.
+        assert!(matches!(
+            p(&["front-door", "--hosts-file", "cluster.hosts", "--listen", "l:0"])
+                .unwrap()
+                .command,
+            Command::FrontDoor { hosts_file: Some(h), replicas, replication: 2, .. }
+                if h == Path::new("cluster.hosts") && replicas.is_empty()
+        ));
+        assert!(p(&["front-door", "--listen", "l:0"])
+            .unwrap_err()
+            .contains("--replica"));
+        assert!(p(&["front-door", "--replica", "r0=h:1"])
+            .unwrap_err()
+            .contains("--listen"));
+        // '#' structures ring point hashes, so ids must not contain it.
+        assert!(
+            p(&["front-door", "--replica", "r#0=h:1", "--listen", "l:0"])
+                .unwrap_err()
+                .contains("'#'")
+        );
+        assert!(p(&[
+            "front-door",
+            "--replica",
+            "h:1",
+            "--listen",
+            "l:0",
+            "--replication",
+            "0"
+        ])
+        .unwrap_err()
+        .contains("--replication"));
     }
 
     #[test]

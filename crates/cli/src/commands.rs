@@ -206,14 +206,19 @@ fn file_stem(path: &Path) -> String {
 /// up detached and hydrate lazily on the first plan). Returns the
 /// admin server and the live subscriptions (dropping either tears that
 /// half down) so tests can drive a serve session in process.
-pub fn serve_start(
+fn build_serve_broker(
     engines: &[PathBuf],
     remotes: &[String],
-    listen: &str,
     store: Option<&Path>,
     shards: usize,
     no_cache: bool,
-) -> Result<(seu_net::AdminServer, Vec<seu_net::Subscription>), String> {
+) -> Result<
+    (
+        std::sync::Arc<Broker<SubrangeEstimator>>,
+        Vec<seu_net::Subscription>,
+    ),
+    String,
+> {
     let mut builder = Broker::builder(SubrangeEstimator::paper_six_subrange()).shards(shards);
     if no_cache {
         builder = builder.cache_bytes(0);
@@ -240,9 +245,58 @@ pub fn serve_start(
             .restore()
             .map_err(|e| io_err("restoring registry", e))?;
     }
+    Ok((broker, subscriptions))
+}
+
+/// `seu serve` without the blocking park: builds the broker (local
+/// engine files, remote registrations with push subscriptions,
+/// optional store restore) and binds the HTTP admin server.
+pub fn serve_start(
+    engines: &[PathBuf],
+    remotes: &[String],
+    listen: &str,
+    store: Option<&Path>,
+    shards: usize,
+    no_cache: bool,
+) -> Result<(seu_net::AdminServer, Vec<seu_net::Subscription>), String> {
+    let (broker, subscriptions) = build_serve_broker(engines, remotes, store, shards, no_cache)?;
     let admin = seu_net::AdminServer::bind(broker, listen)
         .map_err(|e| io_err(&format!("binding {listen}"), e))?;
     Ok((admin, subscriptions))
+}
+
+/// [`serve_start`] for a federation replica: also binds a
+/// replica-protocol listener (ephemeral port on the admin host) and
+/// announces `id endpoint` into the `join` hosts file, so a front-door
+/// watching the file adopts this broker and rebalances engines onto it.
+/// The replica's ring id is its endpoint.
+#[allow(clippy::type_complexity)]
+pub fn serve_join_start(
+    engines: &[PathBuf],
+    remotes: &[String],
+    listen: &str,
+    store: Option<&Path>,
+    shards: usize,
+    no_cache: bool,
+    join: &Path,
+) -> Result<
+    (
+        seu_net::AdminServer,
+        seu_net::ReplicaServer,
+        Vec<seu_net::Subscription>,
+    ),
+    String,
+> {
+    let (broker, subscriptions) = build_serve_broker(engines, remotes, store, shards, no_cache)?;
+    let admin = seu_net::AdminServer::bind(broker.clone(), listen)
+        .map_err(|e| io_err(&format!("binding {listen}"), e))?;
+    let host = listen.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
+    let replica = seu_net::ReplicaServer::bind("replica", broker, format!("{host}:0"))
+        .map_err(|e| format!("binding replica listener on {host}:0: {e}"))?;
+    let spec = seu_metasearch::federation::ReplicaSpec::from_endpoint(&replica.addr().to_string());
+    seu_metasearch::federation::announce(join, &spec)
+        .map_err(|e| io_err(&format!("announcing into {}", join.display()), e))?;
+    Ok((admin, replica, subscriptions))
 }
 
 /// `seu serve`: run a networked broker until killed — local engines from
@@ -255,17 +309,224 @@ pub fn serve(
     store: Option<&Path>,
     shards: usize,
     no_cache: bool,
+    join: Option<&Path>,
     out: &mut dyn Write,
 ) -> Result<(), String> {
     seu_net::register_metrics();
-    let (admin, _subscriptions) = serve_start(engines, remotes, listen, store, shards, no_cache)?;
+    let store_note = match store {
+        Some(dir) => format!(", store {}", dir.display()),
+        None => String::new(),
+    };
+    // Kept alive for the life of the process; the replica listener (if
+    // joined) stops serving when this binding drops.
+    let _running;
+    let admin_addr;
+    let join_note;
+    match join {
+        Some(hosts) => {
+            seu_metasearch::federation::register_metrics();
+            let (admin, replica, subs) =
+                serve_join_start(engines, remotes, listen, store, shards, no_cache, hosts)?;
+            admin_addr = admin.addr();
+            join_note = format!(", replica {} joined {}", replica.addr(), hosts.display());
+            _running = (admin, Some(replica), subs);
+        }
+        None => {
+            let (admin, subs) = serve_start(engines, remotes, listen, store, shards, no_cache)?;
+            admin_addr = admin.addr();
+            join_note = String::new();
+            _running = (admin, None, subs);
+        }
+    }
     writeln!(
         out,
-        "broker: {} local, {} remote{}; admin listening on http://{}",
+        "broker: {} local, {} remote{store_note}{join_note}; admin listening on http://{admin_addr}",
         engines.len(),
         remotes.len(),
-        match store {
-            Some(dir) => format!(", store {}", dir.display()),
+    )
+    .and_then(|()| out.flush())
+    .map_err(|e| io_err("writing output", e))?;
+    park_forever()
+}
+
+/// Splits an `id=value` CLI spec; a bare value has no explicit id.
+fn split_spec(spec: &str) -> (Option<&str>, &str) {
+    match spec.split_once('=') {
+        Some((id, value)) => (Some(id), value),
+        None => (None, spec),
+    }
+}
+
+/// Background upkeep for a running front-door: hosts-file watching and
+/// replica health probes. Stops (and joins its thread) on drop.
+pub struct FrontDoorRuntime {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for FrontDoorRuntime {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// `seu front-door` without the blocking park: builds the front-door,
+/// adds static replicas, reads the hosts file (and keeps watching it),
+/// registers engines through the placement ring, starts the probe
+/// loop, and binds the HTTP admin server over the cluster.
+pub fn front_door_start(
+    replicas: &[String],
+    hosts_file: Option<&Path>,
+    engines: &[String],
+    listen: &str,
+    vnodes: usize,
+    replication: usize,
+) -> Result<
+    (
+        seu_net::AdminServer,
+        std::sync::Arc<seu_metasearch::FrontDoor>,
+        FrontDoorRuntime,
+    ),
+    String,
+> {
+    use seu_metasearch::federation::{EngineSource, FrontDoorConfig, HostsFileWatcher};
+    use seu_metasearch::{FrontDoor, RemoteTransport};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let config = FrontDoorConfig {
+        vnodes: if vnodes == 0 {
+            seu_metasearch::federation::DEFAULT_VNODES
+        } else {
+            vnodes
+        },
+        replication,
+        ..FrontDoorConfig::default()
+    };
+    let fd = Arc::new(FrontDoor::new(config));
+    for spec in replicas {
+        let (id, endpoint) = split_spec(spec);
+        let id = id.unwrap_or(endpoint);
+        let client = seu_net::RemoteReplica::new(endpoint)
+            .map_err(|e| format!("replica {endpoint}: {e}"))?;
+        fd.add_replica(id, Arc::new(client));
+    }
+
+    // The hosts file set is tracked separately from static replicas, so
+    // a leave in the file never evicts a --replica flag.
+    let mut watcher = hosts_file.map(HostsFileWatcher::new);
+    let mut hosts_ids: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let adopt = |fd: &FrontDoor,
+                 watcher: &mut HostsFileWatcher,
+                 ids: &mut std::collections::HashSet<String>| {
+        let Some(specs) = watcher.poll() else { return };
+        let desired: std::collections::HashMap<String, String> =
+            specs.into_iter().map(|s| (s.id, s.endpoint)).collect();
+        for gone in ids
+            .iter()
+            .filter(|id| !desired.contains_key(*id))
+            .cloned()
+            .collect::<Vec<_>>()
+        {
+            fd.remove_replica(&gone);
+            ids.remove(&gone);
+        }
+        let present: std::collections::HashSet<String> =
+            fd.replica_states().into_iter().map(|(id, _)| id).collect();
+        for (id, endpoint) in desired {
+            if present.contains(&id) {
+                ids.insert(id);
+                continue;
+            }
+            if let Ok(client) = seu_net::RemoteReplica::new(endpoint.as_str()) {
+                fd.add_replica(&id, Arc::new(client));
+                ids.insert(id);
+            }
+        }
+    };
+    if let Some(w) = watcher.as_mut() {
+        adopt(&fd, w, &mut hosts_ids);
+    }
+    if fd.replica_count() == 0 {
+        return Err("no replicas: none given and none announced in the hosts file".into());
+    }
+
+    for spec in engines {
+        let (name, endpoint) = split_spec(spec);
+        let name = match name {
+            Some(name) => name.to_string(),
+            // A bare endpoint: dial the engine for its advertised name.
+            None => {
+                let probe = seu_net::RemoteEngine::new(endpoint)
+                    .map_err(|e| format!("engine {endpoint}: {e}"))?;
+                probe
+                    .fetch_snapshot()
+                    .map_err(|e| format!("engine {endpoint}: {e}"))?
+                    .name
+            }
+        };
+        fd.register_engine(
+            &name,
+            EngineSource::Remote {
+                endpoint: endpoint.to_string(),
+            },
+        )
+        .map_err(|e| format!("registering {name}: {e}"))?;
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let fd_bg = Arc::clone(&fd);
+    let thread = std::thread::Builder::new()
+        .name("seu-front-door-upkeep".to_string())
+        .spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(500));
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Some(w) = watcher.as_mut() {
+                    adopt(&fd_bg, w, &mut hosts_ids);
+                }
+                fd_bg.probe_once();
+            }
+        })
+        .map_err(|e| io_err("spawning front-door upkeep thread", e))?;
+    let runtime = FrontDoorRuntime {
+        stop,
+        thread: Some(thread),
+    };
+    let admin = seu_net::AdminServer::bind(fd.clone(), listen)
+        .map_err(|e| io_err(&format!("binding {listen}"), e))?;
+    Ok((admin, fd, runtime))
+}
+
+/// `seu front-door`: run a two-tier federation front-door until killed —
+/// consistent-hash placement over broker replicas, breaker failover,
+/// admin/metrics over HTTP.
+pub fn front_door(
+    replicas: &[String],
+    hosts_file: Option<&Path>,
+    engines: &[String],
+    listen: &str,
+    vnodes: usize,
+    replication: usize,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    seu_net::register_metrics();
+    seu_metasearch::federation::register_metrics();
+    let (admin, fd, _runtime) =
+        front_door_start(replicas, hosts_file, engines, listen, vnodes, replication)?;
+    writeln!(
+        out,
+        "front-door: {} replicas, {} engines{}; admin listening on http://{}",
+        fd.replica_count(),
+        fd.len(),
+        match hosts_file {
+            Some(path) => format!(", watching {}", path.display()),
             None => String::new(),
         },
         admin.addr()

@@ -12,6 +12,8 @@
 //! seu search engine.bin -q "query" [-t T|-k K]  search one engine
 //! seu broker e1.bin e2.bin … -q "query" [-t T]  select + search + merge
 //! seu serve e1.bin … --listen addr [--remote h:p]…  networked broker + HTTP admin
+//! seu serve … --join cluster.hosts              also join a federation as a replica
+//! seu front-door --replica id=h:p … --listen addr   two-tier federation front-door
 //! seu serve-engine e.bin --listen addr          serve one engine over TCP
 //! seu refresh e1.bin … --repr-dir d [--stale-only]  re-ship representatives
 //! seu snapshot e1.bin … --store reg/            persist a registry cut to a store
@@ -78,6 +80,7 @@ fn emit_metrics(obs: &ObsOptions, out: &mut dyn io::Write) -> Result<(), String>
     seu_metasearch::broker::register_metrics();
     seu_core::subrange::register_metrics();
     seu_net::register_metrics();
+    seu_metasearch::federation::register_metrics();
     let snapshot = seu_obs::global().snapshot();
     if obs.stats {
         write!(out, "--- metrics ---\n{}", snapshot.to_text())
@@ -128,6 +131,7 @@ pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), Str
             store,
             shards,
             no_cache,
+            join,
         } => commands::serve(
             engines,
             remotes,
@@ -135,6 +139,23 @@ pub fn run_command(command: &Command, out: &mut dyn io::Write) -> Result<(), Str
             store.as_deref(),
             *shards,
             *no_cache,
+            join.as_deref(),
+            out,
+        ),
+        Command::FrontDoor {
+            replicas,
+            hosts_file,
+            engines,
+            listen,
+            vnodes,
+            replication,
+        } => commands::front_door(
+            replicas,
+            hosts_file.as_deref(),
+            engines,
+            listen,
+            *vnodes,
+            *replication,
             out,
         ),
         Command::ServeEngine {

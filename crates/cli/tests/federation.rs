@@ -1,0 +1,134 @@
+//! Integration: a whole federation assembled from CLI building blocks —
+//! engine servers, replica brokers announcing into a hosts file via
+//! `serve --join`, and a `front-door` that discovers them, places
+//! engines, fails over, and serves the same HTTP admin surface a flat
+//! broker does.
+
+use seu_cli::commands::{front_door_start, serve_engine_start, serve_join_start};
+use std::fs;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+fn build_engine_file(dir: &Path, name: &str, docs: &[(&str, &str)]) -> PathBuf {
+    let docs_dir = dir.join(format!("{name}-docs"));
+    fs::create_dir_all(&docs_dir).unwrap();
+    for (file, text) in docs {
+        fs::write(docs_dir.join(file), text).unwrap();
+    }
+    let engine = dir.join(format!("{name}.bin"));
+    let args: Vec<String> = [
+        "index",
+        docs_dir.to_str().unwrap(),
+        "-o",
+        engine.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let invocation = seu_cli::parse(&args).unwrap();
+    seu_cli::run(&invocation, &mut Vec::new()).expect("index succeeds");
+    engine
+}
+
+fn http_post_search(addr: std::net::SocketAddr, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /search HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    (
+        head.lines().next().unwrap_or_default().to_string(),
+        body.to_string(),
+    )
+}
+
+#[test]
+fn front_door_discovers_replicas_from_the_join_file_and_survives_a_kill() {
+    let dir = std::env::temp_dir().join(format!("seu-cli-federation-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let hosts = dir.join("cluster.hosts");
+
+    // Two engines, each on its own TCP server.
+    let pantry = build_engine_file(
+        &dir,
+        "pantry",
+        &[
+            ("a.txt", "mushroom soup with cream"),
+            ("b.txt", "tomato soup"),
+        ],
+    );
+    let library = build_engine_file(
+        &dir,
+        "library",
+        &[
+            ("c.txt", "databases and query optimization"),
+            ("d.txt", "indexing for retrieval"),
+        ],
+    );
+    let pantry_server = serve_engine_start(&pantry, None, "127.0.0.1:0").expect("pantry serves");
+    let library_server = serve_engine_start(&library, None, "127.0.0.1:0").expect("library serves");
+
+    // Two empty replica brokers join the cluster by announcing into the
+    // hosts file.
+    let (admin_a, replica_a, _subs_a) =
+        serve_join_start(&[], &[], "127.0.0.1:0", None, 1, false, &hosts)
+            .expect("replica a serves");
+    let (admin_b, replica_b, _subs_b) =
+        serve_join_start(&[], &[], "127.0.0.1:0", None, 1, false, &hosts)
+            .expect("replica b serves");
+    let announced = fs::read_to_string(&hosts).unwrap();
+    assert!(
+        announced.contains(&replica_a.addr().to_string())
+            && announced.contains(&replica_b.addr().to_string()),
+        "join file missing announcements: {announced:?}"
+    );
+
+    // The front-door discovers both from the file alone and registers
+    // the engines through the placement ring (replication 2 puts each
+    // engine on both replicas).
+    let (admin, fd, _runtime) = front_door_start(
+        &[],
+        Some(&hosts),
+        &[
+            format!("pantry={}", pantry_server.addr()),
+            // The bare form dials the engine for its advertised name.
+            library_server.addr().to_string(),
+        ],
+        "127.0.0.1:0",
+        0,
+        2,
+    )
+    .expect("front door starts");
+    assert_eq!(fd.replica_count(), 2);
+    assert_eq!(
+        fd.engine_names(),
+        vec!["pantry".to_string(), "library".to_string()]
+    );
+
+    let (status, body) = http_post_search(admin.addr(), r#"{"query":"soup","threshold":0.1}"#);
+    assert!(status.contains("200"), "{status}: {body}");
+    assert!(body.contains("pantry"), "pantry hits missing: {body}");
+
+    // Kill one replica; the front-door fails over to the survivor and
+    // the admin surface keeps answering.
+    drop(replica_b);
+    drop(admin_b);
+    let (status, body) = http_post_search(admin.addr(), r#"{"query":"soup","threshold":0.1}"#);
+    assert!(status.contains("200"), "{status}: {body}");
+    assert!(body.contains("pantry"), "post-kill hits missing: {body}");
+
+    drop(replica_a);
+    drop(admin_a);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -84,6 +84,22 @@ pub struct BrokerBenchConfig {
     /// connection-per-call client (`threaded_cN` phase) — and report
     /// both throughputs as a [`ConcurrencyPoint`]. Empty skips the axis.
     pub concurrency: Vec<usize>,
+    /// When set, run the federation phases: every database goes behind
+    /// its own loopback engine server, and the same workload is driven
+    /// through two front-door clusters — one over a single broker
+    /// replica, one over `replicas` — each replica a
+    /// [`seu_net::ReplicaServer`] pinned to **one** worker, so cluster
+    /// throughput models per-replica capacity rather than host cores.
+    /// 256 concurrent clients hammer each cluster
+    /// (`federated_single` / `federated_cluster` phases), reporting
+    /// `federated_single_rps`, `federated_rps`, and their ratio
+    /// `federated_speedup`. Before the hammer, the run asserts the
+    /// federated responses are bit-identical to a flat single-broker
+    /// control over the same engine servers.
+    pub federated: bool,
+    /// Replica count for the `federated_cluster` phase (minimum 1;
+    /// default 4).
+    pub replicas: usize,
     /// When set, run the persistent-store phases: build a pool of tiny
     /// engines (`store_setup`), cold-boot a store-backed broker by
     /// registering them all and committing a snapshot
@@ -110,6 +126,8 @@ impl BrokerBenchConfig {
             zipf: None,
             no_cache: false,
             concurrency: Vec::new(),
+            federated: false,
+            replicas: 4,
             store: false,
         }
     }
@@ -171,6 +189,18 @@ pub struct BrokerBenchReport {
     /// the committed manifest and hydrating every entry from the stored
     /// representatives (`None` without the store phases).
     pub registry_restore_secs: Option<f64>,
+    /// Replica count of the federated phases (0 when they were
+    /// skipped).
+    pub federated_replicas: usize,
+    /// Throughput of 256 clients through the single-replica front-door
+    /// (`None` without the federated phases).
+    pub federated_single_rps: Option<f64>,
+    /// Throughput of 256 clients through the `federated_replicas`-way
+    /// front-door (`None` without the federated phases).
+    pub federated_rps: Option<f64>,
+    /// `federated_rps / federated_single_rps` — the cluster scaling the
+    /// CI gate checks (`None` without the federated phases).
+    pub federated_speedup: Option<f64>,
     /// Remote concurrency-axis results, one per configured client count
     /// (empty when the axis was skipped).
     pub concurrency: Vec<ConcurrencyPoint>,
@@ -195,6 +225,11 @@ impl BrokerBenchReport {
         let _ = writeln!(out, "  \"remote\": {},", self.remote);
         let _ = writeln!(out, "  \"shards\": {},", self.shards);
         let _ = writeln!(out, "  \"large_engines\": {},", self.large_engines);
+        let _ = writeln!(
+            out,
+            "  \"federated_replicas\": {},",
+            self.federated_replicas
+        );
         match self.trace_overhead_pct {
             Some(pct) => {
                 out.push_str("  \"trace_overhead_pct\": ");
@@ -209,6 +244,9 @@ impl BrokerBenchReport {
             ("hot_query_speedup", self.hot_query_speedup),
             ("registry_rebuild_secs", self.registry_rebuild_secs),
             ("registry_restore_secs", self.registry_restore_secs),
+            ("federated_single_rps", self.federated_single_rps),
+            ("federated_rps", self.federated_rps),
+            ("federated_speedup", self.federated_speedup),
         ] {
             match value {
                 Some(v) => {
@@ -306,6 +344,16 @@ impl BrokerBenchReport {
                 out,
                 "  store registry: rebuild {rebuild:.4}s, restore {restore:.4}s ({:.1}x faster)",
                 rebuild / restore.max(1e-12),
+            );
+        }
+        if self.federated_replicas > 0 {
+            let _ = writeln!(
+                out,
+                "  federated ({} replicas, 256 clients): single {:.1} req/s, cluster {:.1} req/s ({:.2}x)",
+                self.federated_replicas,
+                self.federated_single_rps.unwrap_or(0.0),
+                self.federated_rps.unwrap_or(0.0),
+                self.federated_speedup.unwrap_or(0.0),
             );
         }
         for p in &self.concurrency {
@@ -793,6 +841,120 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         });
     }
 
+    // The federated phases stand up a miniature two-tier cluster on
+    // loopback: every database behind its own engine server, replica
+    // brokers behind `ReplicaServer`s pinned to ONE compute worker each
+    // (so the host's core count doesn't flatter the scaling number),
+    // and a front-door placing engines across them. Before any timing,
+    // the federated answers are asserted bit-identical to a flat
+    // control broker over the same servers — a throughput number for a
+    // cluster that answers differently would be meaningless.
+    let mut federated_single_rps = None;
+    let mut federated_rps = None;
+    let mut federated_speedup = None;
+    if cfg.federated {
+        use seu_metasearch::federation::{EngineSource, FrontDoor, FrontDoorConfig};
+        use seu_net::{RemoteReplica, ReplicaServer, ReplicaServerConfig};
+
+        let mut fed_servers: Vec<(String, seu_net::EngineServer)> = Vec::new();
+        timed("federated_serve", n_databases as u64, &mut || {
+            // Deterministic generator: these are the exact databases
+            // the main broker consumed, now each on its own socket.
+            for (name, coll) in seu_corpus::many_databases(seed, docs_base) {
+                let server =
+                    seu_net::EngineServer::bind(&name, SearchEngine::new(coll), "127.0.0.1:0")
+                        .expect("binding a federated engine server");
+                fed_servers.push((name, server));
+            }
+        });
+
+        // The flat control broker over the same servers, registered in
+        // the same global order the front-door will use.
+        let control = Broker::builder(SubrangeEstimator::paper_six_subrange())
+            .cache_bytes(0)
+            .build();
+        for (_, server) in &fed_servers {
+            let client = seu_net::RemoteEngine::new(server.addr()).expect("resolving loopback");
+            control
+                .register_remote(std::sync::Arc::new(client))
+                .expect("registering a control engine");
+        }
+
+        let build_cluster = |n: usize| -> (Vec<ReplicaServer>, FrontDoor) {
+            let fd = FrontDoor::new(FrontDoorConfig::default());
+            let mut replica_servers = Vec::new();
+            for i in 0..n {
+                let broker = std::sync::Arc::new(
+                    Broker::builder(SubrangeEstimator::paper_six_subrange())
+                        .cache_bytes(0)
+                        .build(),
+                );
+                let server = ReplicaServer::bind_with(
+                    &format!("replica-{i}"),
+                    broker,
+                    "127.0.0.1:0",
+                    ReplicaServerConfig { workers: 1 },
+                )
+                .expect("binding a replica server");
+                let client = RemoteReplica::new(server.addr()).expect("dialing a replica");
+                fd.add_replica(&format!("replica-{i}"), std::sync::Arc::new(client));
+                replica_servers.push(server);
+            }
+            for (name, server) in &fed_servers {
+                fd.register_engine(
+                    name,
+                    EngineSource::Remote {
+                        endpoint: server.addr().to_string(),
+                    },
+                )
+                .expect("placing an engine on the cluster");
+            }
+            (replica_servers, fd)
+        };
+        let assert_conformant = |fd: &FrontDoor, label: &str| {
+            for q in queries.iter().take(4) {
+                let req = SearchRequest::new(q)
+                    .threshold(threshold)
+                    .policy(SelectionPolicy::EstimatedUseful)
+                    .with_estimates(true);
+                let (fed, report) = fd.execute_with_report(&req);
+                assert!(
+                    report.failures.is_empty() && report.unresolved.is_empty(),
+                    "{label}: degradation on a healthy cluster: {report:?}"
+                );
+                assert_bit_identical(&control.execute(&req), &fed, label, q);
+            }
+        };
+
+        let replicas = cfg.replicas.max(1);
+        let total = queries.len().max(1) * 64;
+        let fed_clients = 256.min(total.max(1));
+
+        // Single-replica baseline: the same protocol and placement
+        // machinery, one compute worker.
+        let (single_servers, single_fd) = build_cluster(1);
+        assert_conformant(&single_fd, "federated_single");
+        let single_seconds = timed("federated_single", total as u64, &mut || {
+            hammer_front_door(&single_fd, fed_clients, total, &queries, threshold);
+        });
+        drop(single_fd);
+        drop(single_servers);
+
+        let (cluster_servers, cluster_fd) = build_cluster(replicas);
+        assert_conformant(&cluster_fd, "federated_cluster");
+        let cluster_seconds = timed("federated_cluster", total as u64, &mut || {
+            hammer_front_door(&cluster_fd, fed_clients, total, &queries, threshold);
+        });
+        drop(cluster_fd);
+        drop(cluster_servers);
+
+        let single = total as f64 / single_seconds.max(f64::EPSILON);
+        let clustered = total as f64 / cluster_seconds.max(f64::EPSILON);
+        federated_single_rps = Some(single);
+        federated_rps = Some(clustered);
+        federated_speedup = Some(clustered / single.max(f64::EPSILON));
+    }
+
     let after = seu_obs::global().snapshot().counters;
     let counters = after
         .into_iter()
@@ -816,10 +978,103 @@ pub fn run_broker_bench_config(cfg: &BrokerBenchConfig) -> BrokerBenchReport {
         hot_query_speedup,
         registry_rebuild_secs,
         registry_restore_secs,
+        federated_replicas: if cfg.federated {
+            cfg.replicas.max(1)
+        } else {
+            0
+        },
+        federated_single_rps,
+        federated_rps,
+        federated_speedup,
         concurrency: concurrency_points,
         phases,
         counters,
     }
+}
+
+/// Panics unless the two responses agree to the bit — estimate vector
+/// order and values, hit order and similarities. The federated
+/// throughput phases only count once this holds: a cluster that
+/// answered differently from the flat broker would make its req/s
+/// numbers meaningless.
+fn assert_bit_identical(
+    control: &seu_metasearch::SearchResponse,
+    fed: &seu_metasearch::SearchResponse,
+    label: &str,
+    query: &str,
+) {
+    assert_eq!(
+        control.estimates.len(),
+        fed.estimates.len(),
+        "{label}, query={query:?}: estimate count"
+    );
+    for (c, f) in control.estimates.iter().zip(&fed.estimates) {
+        assert_eq!(
+            c.engine, f.engine,
+            "{label}, query={query:?}: estimate order"
+        );
+        assert_eq!(
+            c.usefulness.no_doc.to_bits(),
+            f.usefulness.no_doc.to_bits(),
+            "{label}, query={query:?}: est_NoDoc for {}",
+            c.engine
+        );
+        assert_eq!(
+            c.usefulness.avg_sim.to_bits(),
+            f.usefulness.avg_sim.to_bits(),
+            "{label}, query={query:?}: est_AvgSim for {}",
+            c.engine
+        );
+    }
+    assert_eq!(
+        control.hits.len(),
+        fed.hits.len(),
+        "{label}, query={query:?}: hit count"
+    );
+    for (c, f) in control.hits.iter().zip(&fed.hits) {
+        assert_eq!(
+            (&c.engine, &c.doc),
+            (&f.engine, &f.doc),
+            "{label}, query={query:?}: hit order"
+        );
+        assert_eq!(
+            c.sim.to_bits(),
+            f.sim.to_bits(),
+            "{label}, query={query:?}: sim for {}/{}",
+            c.engine,
+            c.doc
+        );
+    }
+}
+
+/// Drives `total` federated searches through the front-door from
+/// `clients` threads, panicking on any degradation (a silently dropped
+/// reply would make the throughput phases incomparable).
+fn hammer_front_door(
+    fd: &seu_metasearch::federation::FrontDoor,
+    clients: usize,
+    total: usize,
+    queries: &[String],
+    threshold: f64,
+) {
+    std::thread::scope(|scope| {
+        for t in 0..clients {
+            scope.spawn(move || {
+                let share = total / clients + usize::from(t < total % clients);
+                for i in 0..share {
+                    let q = &queries[(t + i * clients) % queries.len()];
+                    let req = SearchRequest::new(q)
+                        .threshold(threshold)
+                        .policy(SelectionPolicy::EstimatedUseful);
+                    let (_, report) = fd.execute_with_report(&req);
+                    assert!(
+                        report.failures.is_empty() && report.unresolved.is_empty(),
+                        "federated degradation under load: {report:?}"
+                    );
+                }
+            });
+        }
+    });
 }
 
 /// Drives `total` searches through `client` from `clients` threads and
@@ -1086,6 +1341,52 @@ mod tests {
         assert_eq!(doc.get("zipf"), Some(&json::Json::Null));
         assert_eq!(doc.get("zipf_hit_rate"), Some(&json::Json::Null));
         assert_eq!(doc.get("hot_query_speedup"), Some(&json::Json::Null));
+    }
+
+    #[test]
+    fn federated_phases_measure_cluster_scaling() {
+        let report = run_broker_bench_config(&BrokerBenchConfig {
+            federated: true,
+            replicas: 2,
+            ..BrokerBenchConfig::new(7, 3, 2)
+        });
+        let names: Vec<_> = report.phases.iter().map(|p| p.name).collect();
+        assert!(
+            names.ends_with(&["federated_serve", "federated_single", "federated_cluster"]),
+            "{names:?}"
+        );
+        assert_eq!(report.federated_replicas, 2);
+        let single = report.federated_single_rps.expect("single rps measured");
+        let cluster = report.federated_rps.expect("cluster rps measured");
+        let speedup = report.federated_speedup.expect("speedup measured");
+        assert!(single.is_finite() && single > 0.0, "{single}");
+        assert!(cluster.is_finite() && cluster > 0.0, "{cluster}");
+        assert!(speedup.is_finite() && speedup > 0.0, "{speedup}");
+
+        let doc = json::parse(&report.to_json()).expect("federated bench JSON parses");
+        assert_eq!(
+            doc.get("federated_replicas").and_then(json::Json::as_num),
+            Some(2.0)
+        );
+        for field in ["federated_single_rps", "federated_rps", "federated_speedup"] {
+            assert!(
+                doc.get(field).and_then(json::Json::as_num).is_some(),
+                "{field} lands in the JSON report"
+            );
+        }
+
+        // Without --federated the fields are explicit nulls (replicas
+        // 0) and the phase list is untouched.
+        let plain = run_broker_bench(7, 3, 2);
+        assert_eq!(plain.federated_replicas, 0);
+        assert_eq!(plain.federated_rps, None);
+        let doc = json::parse(&plain.to_json()).expect("plain bench JSON parses");
+        assert_eq!(
+            doc.get("federated_replicas").and_then(json::Json::as_num),
+            Some(0.0)
+        );
+        assert_eq!(doc.get("federated_rps"), Some(&json::Json::Null));
+        assert_eq!(doc.get("federated_speedup"), Some(&json::Json::Null));
     }
 
     #[test]

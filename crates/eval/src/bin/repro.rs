@@ -41,6 +41,10 @@
 //!   --trace-sample      bench-broker measures dispatch overhead of default trace sampling
 //!   --zipf S            bench-broker adds Zipf(S) cache phases (hit rate + hot-query speedup)
 //!   --no-cache          bench-broker runs the Zipf phases with the query cache disabled
+//!   --federated         bench-broker adds two-tier federation phases: 256 clients through
+//!                       a front-door over 1 replica vs --replicas replicas (one compute
+//!                       worker each), reporting federated_rps and federated_speedup
+//!   --replicas N        bench-broker federated cluster size (default 4)
 //!   --concurrency LIST  bench-broker (remote) client-count axis, e.g. 1,16,256: multiplexed
 //!                       pool vs thread-per-connection throughput at each count
 //!   --stats             print a metrics snapshot after the run
@@ -65,6 +69,8 @@ fn main() {
     let mut store = false;
     let mut zipf: Option<f64> = None;
     let mut no_cache = false;
+    let mut federated = false;
+    let mut replicas = 4usize;
     let mut concurrency: Vec<usize> = Vec::new();
     let mut stats = false;
     let mut metrics_out: Option<std::path::PathBuf> = None;
@@ -136,6 +142,15 @@ fn main() {
                 );
             }
             "--no-cache" => no_cache = true,
+            "--federated" => federated = true,
+            "--replicas" => {
+                i += 1;
+                replicas = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage("--replicas needs a positive integer"));
+            }
             "--concurrency" => {
                 i += 1;
                 concurrency = args
@@ -215,6 +230,9 @@ fn main() {
             },
             if store { ", store phases" } else { "" }
         );
+        if federated {
+            eprintln!("  federated phases: 1 vs {replicas} replicas");
+        }
         let report = seu_eval::run_broker_bench_config(&seu_eval::BrokerBenchConfig {
             remote,
             shards,
@@ -224,6 +242,8 @@ fn main() {
             no_cache,
             concurrency: concurrency.clone(),
             store,
+            federated,
+            replicas,
             ..seu_eval::BrokerBenchConfig::new(seed, docs_base, n_queries)
         });
         print!("{}", report.to_text());
@@ -374,7 +394,8 @@ fn usage(err: &str) -> ! {
          exact-percentiles|diagnostics|bench-broker|all] [--seed N] \
          [--bench-out PATH] [--docs-base N] [--queries N] [--remote] [--shards N] \
          [--engines N] [--store] [--trace-sample] [--zipf S] [--no-cache] \
-         [--concurrency N,N,...] [--stats] [--metrics-out PATH]"
+         [--federated] [--replicas N] [--concurrency N,N,...] [--stats] \
+         [--metrics-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -24,7 +24,9 @@ use crate::registry::{
     shard_for, ColdEntry, EngineHandle, EngineStatus, RegisteredEngine, RegistrySnapshot,
     ReprProvenance, Shard, ShardedRegistry, StalePlanError,
 };
-use crate::remote::{RemoteMeta, RemoteTransport, TransportError, TransportErrorKind};
+use crate::remote::{
+    EngineSnapshot, RemoteMeta, RemoteTransport, TransportError, TransportErrorKind,
+};
 use crate::request::{
     DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse, StaleMode,
 };
@@ -552,6 +554,15 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     /// serialized representative instead — see
     /// [`Broker::register_with_representative`]).
     pub fn register(&self, name: &str, engine: SearchEngine) {
+        self.register_shared(name, Arc::new(engine));
+    }
+
+    /// [`Broker::register`] for an engine shared by handle — the
+    /// federation replication path, where several broker replicas hold
+    /// standby copies of the same in-process engine. Registration is
+    /// byte-identical to [`Broker::register`]: the representative is
+    /// built from the same collection either way.
+    pub fn register_shared(&self, name: &str, engine: Arc<SearchEngine>) {
         let repr = Representative::build(engine.collection());
         let provenance = ReprProvenance::Local(engine.fingerprint());
         self.register_inner(name, engine, repr, provenance);
@@ -572,7 +583,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
             n_docs: repr.n_docs(),
             raw_bytes: repr.collection_bytes(),
         };
-        self.register_inner(name, engine, repr, provenance);
+        self.register_inner(name, Arc::new(engine), repr, provenance);
     }
 
     /// Shared registration path. Lock order: the owning shard's
@@ -582,7 +593,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
     fn register_inner(
         &self,
         name: &str,
-        engine: SearchEngine,
+        engine: Arc<SearchEngine>,
         repr: Representative,
         provenance: ReprProvenance,
     ) {
@@ -605,7 +616,7 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         entries.push(RegisteredEngine {
             name: name.to_string(),
             seq: self.registry.next_seq(),
-            handle: EngineHandle::Local(Arc::new(engine)),
+            handle: EngineHandle::Local(engine),
             repr,
             map,
             map_fingerprint,
@@ -678,6 +689,124 @@ impl<E: UsefulnessEstimator + Sync> Broker<E> {
         drop(entries);
         self.purge_cache();
         Ok(name)
+    }
+
+    /// Installs an engine from a shipped [`EngineSnapshot`] — the
+    /// federation rebalance path, where a moved engine hydrates on this
+    /// broker from the snapshot alone instead of re-registering against
+    /// the original collection. With a live `engine` handle (an
+    /// in-process source shared across replicas) the entry dispatches
+    /// immediately; with only an `endpoint` it is registered detached —
+    /// planning and estimates work bit-identically from the shipped
+    /// representative, and [`Broker::attach_remote`] upgrades it to a
+    /// live remote once a transport dials the endpoint.
+    pub fn install_snapshot(
+        &self,
+        snapshot: EngineSnapshot,
+        engine: Option<Arc<SearchEngine>>,
+        endpoint: Option<String>,
+    ) -> Result<String, TransportError> {
+        if !snapshot.is_consistent() {
+            return Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!(
+                    "engine {:?} shipped an inconsistent snapshot",
+                    snapshot.name
+                ),
+            ));
+        }
+        let meta = RemoteMeta::from_snapshot(&snapshot);
+        let name = snapshot.name.clone();
+        let (idx, shard) = self.registry.shard_of(&name);
+        let mut entries = shard.entries.write();
+        let map = TermMap::from_vocab(&mut self.vocab.write(), &meta.vocab);
+        let (repr, stored_fingerprint) = match self.store.as_deref() {
+            Some(store) => {
+                let record = record_for_remote(&name, &meta, &snapshot.summary.repr);
+                let canonical = store.canonicalize(&record);
+                (canonical.repr.clone(), Some(canonical.fingerprint))
+            }
+            None => (Arc::new(snapshot.summary.repr.clone()), None),
+        };
+        // The snapshot's vocabulary is id-aligned with the source
+        // collection, so when the live engine *is* that collection the
+        // map is valid for it and planning may trust it.
+        let map_fingerprint = engine
+            .as_ref()
+            .map(|e| e.fingerprint())
+            .filter(|fp| *fp == snapshot.fingerprint);
+        let handle = match engine {
+            Some(engine) => EngineHandle::Local(engine),
+            None => EngineHandle::Detached { meta, endpoint },
+        };
+        entries.push(RegisteredEngine {
+            name: name.clone(),
+            seq: self.registry.next_seq(),
+            handle,
+            repr,
+            map,
+            map_fingerprint,
+            epoch: 0,
+            provenance: ReprProvenance::Remote(snapshot.fingerprint),
+            pending_invalidation: false,
+            cold: None,
+            stored_fingerprint,
+        });
+        shard.epoch.fetch_add(1, Ordering::SeqCst);
+        publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+        drop(entries);
+        self.purge_cache();
+        Ok(name)
+    }
+
+    /// Removes an engine from the registry, bumping the shard epoch so
+    /// outstanding plans that include it are detectably stale. Returns
+    /// `false` for an unknown name. This is the federation rebalance
+    /// counterpart of [`Broker::install_snapshot`]: a replica drops an
+    /// engine once the ring no longer places it here.
+    pub fn deregister(&self, name: &str) -> bool {
+        let (idx, shard) = self.registry.shard_of(name);
+        let mut entries = shard.entries.write();
+        let Some(pos) = entries.iter().position(|e| e.name == name) else {
+            return false;
+        };
+        if entries[pos].cold.is_some() {
+            self.cold_engines.fetch_sub(1, Ordering::SeqCst);
+        }
+        entries.remove(pos);
+        shard.epoch.fetch_add(1, Ordering::SeqCst);
+        publish_shard_gauges(shard, idx, &entries, &self.shard_gauges);
+        drop(entries);
+        self.purge_cache();
+        true
+    }
+
+    /// Exports an engine's [`EngineSnapshot`] for shipping to another
+    /// broker (the federation rebalance path). Local engines snapshot
+    /// their collection, remote engines refetch over their transport,
+    /// and detached entries refuse — there is nothing live to export
+    /// from.
+    pub fn export_snapshot(&self, name: &str) -> Result<EngineSnapshot, TransportError> {
+        let (_, shard) = self.registry.shard_of(name);
+        let handle = {
+            let entries = shard.entries.read();
+            entries
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.handle.clone())
+        };
+        match handle {
+            None => Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!("unknown engine {name:?}"),
+            )),
+            Some(EngineHandle::Local(engine)) => Ok(EngineSnapshot::of_engine(name, &engine)),
+            Some(EngineHandle::Remote { transport, .. }) => transport.fetch_snapshot(),
+            Some(EngineHandle::Detached { .. }) => Err(TransportError::new(
+                TransportErrorKind::Refused,
+                format!("engine {name:?} is detached; nothing live to export"),
+            )),
+        }
     }
 
     /// Applies a push invalidation notice from a remote engine: the

@@ -1,0 +1,216 @@
+//! Replica discovery: a static list, or a hosts-file watcher.
+//!
+//! A cluster is described by its membership; the front-door learns it
+//! either from a fixed list given at startup (`--replica` flags) or
+//! from a hosts-style text file it polls for changes (`--hosts-file`),
+//! which is also how `seu serve --join` announces a replica: it appends
+//! its own line to the shared file and the watcher picks it up on the
+//! next poll.
+//!
+//! The file format is one replica per line — `id endpoint` or just
+//! `endpoint` (the endpoint doubles as the id) — with `#` comments and
+//! blank lines ignored:
+//!
+//! ```text
+//! # cluster members
+//! r1 127.0.0.1:7501
+//! r2 127.0.0.1:7502
+//! 127.0.0.1:7503        # id defaults to the endpoint
+//! ```
+
+use std::path::{Path, PathBuf};
+
+/// One discovered replica: a stable id (its ring identity) and the
+/// endpoint the front-door dials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSpec {
+    /// Ring identity — must be unique and stable across restarts.
+    pub id: String,
+    /// `host:port` of the replica's broker-protocol listener.
+    pub endpoint: String,
+}
+
+impl ReplicaSpec {
+    /// A spec whose id is its endpoint.
+    pub fn from_endpoint(endpoint: &str) -> ReplicaSpec {
+        ReplicaSpec {
+            id: endpoint.to_string(),
+            endpoint: endpoint.to_string(),
+        }
+    }
+}
+
+/// Parses hosts-file content into replica specs, in file order.
+/// Malformed lines (more than two fields) are skipped rather than
+/// failing the whole file — a half-written join line must not take the
+/// cluster view down.
+pub fn parse_hosts(content: &str) -> Vec<ReplicaSpec> {
+    let mut specs: Vec<ReplicaSpec> = Vec::new();
+    for line in content.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let spec = match (fields.next(), fields.next(), fields.next()) {
+            (Some(endpoint), None, _) => ReplicaSpec::from_endpoint(endpoint),
+            (Some(id), Some(endpoint), None) => ReplicaSpec {
+                id: id.to_string(),
+                endpoint: endpoint.to_string(),
+            },
+            _ => continue,
+        };
+        if !specs.iter().any(|s| s.id == spec.id) {
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+/// Appends a replica's line to a hosts file (the `seu serve --join`
+/// announcement). Creates the file if missing; a duplicate id is not
+/// re-appended.
+pub fn announce(path: &Path, spec: &ReplicaSpec) -> std::io::Result<()> {
+    let current = std::fs::read_to_string(path).unwrap_or_default();
+    if parse_hosts(&current).iter().any(|s| s.id == spec.id) {
+        return Ok(());
+    }
+    let mut line = String::new();
+    if !current.is_empty() && !current.ends_with('\n') {
+        line.push('\n');
+    }
+    line.push_str(&format!("{} {}\n", spec.id, spec.endpoint));
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?
+        .write_all(line.as_bytes())
+}
+
+/// Polls a hosts file and reports membership changes.
+#[derive(Debug)]
+pub struct HostsFileWatcher {
+    path: PathBuf,
+    last: Option<Vec<ReplicaSpec>>,
+}
+
+impl HostsFileWatcher {
+    /// A watcher that has seen nothing yet — its first
+    /// [`poll`](HostsFileWatcher::poll) reports the file's current
+    /// membership (even an empty one) as a change.
+    pub fn new(path: impl Into<PathBuf>) -> HostsFileWatcher {
+        HostsFileWatcher {
+            path: path.into(),
+            last: None,
+        }
+    }
+
+    /// The watched path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Re-reads the file; returns the new membership if it differs from
+    /// the last observed one (a missing file reads as an empty
+    /// membership).
+    pub fn poll(&mut self) -> Option<Vec<ReplicaSpec>> {
+        let content = std::fs::read_to_string(&self.path).unwrap_or_default();
+        let specs = parse_hosts(&content);
+        if self.last.as_ref() == Some(&specs) {
+            return None;
+        }
+        self.last = Some(specs.clone());
+        Some(specs)
+    }
+}
+
+/// Where the front-door learns its membership from.
+#[derive(Debug)]
+pub enum Discovery {
+    /// A fixed list given at startup; never changes.
+    Static(Vec<ReplicaSpec>),
+    /// A hosts file polled for changes.
+    HostsFile(HostsFileWatcher),
+}
+
+impl Discovery {
+    /// The current membership, if it changed since the last poll. A
+    /// static list reports once (its first poll) and never again.
+    pub fn poll(&mut self) -> Option<Vec<ReplicaSpec>> {
+        match self {
+            Discovery::Static(specs) => {
+                let out = std::mem::take(specs);
+                if out.is_empty() {
+                    None
+                } else {
+                    Some(out)
+                }
+            }
+            Discovery::HostsFile(w) => w.poll(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_line_shapes_and_skips_noise() {
+        let specs = parse_hosts(
+            "# cluster\nr1 127.0.0.1:7501\n\n127.0.0.1:7503 # bare\nbad line with extra fields\nr1 127.0.0.1:9999\n",
+        );
+        assert_eq!(
+            specs,
+            vec![
+                ReplicaSpec {
+                    id: "r1".into(),
+                    endpoint: "127.0.0.1:7501".into()
+                },
+                ReplicaSpec::from_endpoint("127.0.0.1:7503"),
+            ]
+        );
+    }
+
+    #[test]
+    fn watcher_reports_only_changes() {
+        let dir = std::env::temp_dir().join(format!("seu-hosts-{}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        let mut w = HostsFileWatcher::new(&dir);
+        // Missing file: first poll reports the empty membership.
+        assert_eq!(w.poll(), Some(vec![]));
+        assert_eq!(w.poll(), None);
+        std::fs::write(&dir, "r1 127.0.0.1:7501\n").unwrap();
+        assert_eq!(w.poll().map(|s| s.len()), Some(1));
+        assert_eq!(w.poll(), None);
+        announce(
+            &dir,
+            &ReplicaSpec {
+                id: "r2".into(),
+                endpoint: "127.0.0.1:7502".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(w.poll().map(|s| s.len()), Some(2));
+        // Announcing an id already present is a no-op, and a duplicate
+        // id appended anyway is ignored by the parser.
+        announce(
+            &dir,
+            &ReplicaSpec {
+                id: "r2".into(),
+                endpoint: "127.0.0.1:9999".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(w.poll(), None);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn static_discovery_reports_once() {
+        let mut d = Discovery::Static(vec![ReplicaSpec::from_endpoint("a:1")]);
+        assert_eq!(d.poll().map(|s| s.len()), Some(1));
+        assert_eq!(d.poll(), None);
+    }
+}

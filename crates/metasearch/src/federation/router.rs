@@ -1,0 +1,1015 @@
+//! The front-door broker: global planning over back-end broker
+//! replicas.
+//!
+//! A [`FrontDoor`] owns no engines. It places every registered engine
+//! name onto back-end replicas via the consistent-hash
+//! [`Ring`](super::Ring) (the first `replication` candidates hold the
+//! engine: a primary plus standbys), and serves a request in the same
+//! two-step shape as [`Broker`]:
+//!
+//! 1. **Estimate** — ask each replica for the estimates of the engines
+//!    it holds (primary assignment), failing over along each engine's
+//!    ring candidate chain when a replica refuses or errors. Per-engine
+//!    estimates depend only on the engine's representative and the
+//!    query, not on which broker computes them, so the reassembled
+//!    global estimate vector is bit-identical to a single broker's.
+//! 2. **Select & search** — apply the request's [`SelectionPolicy`]
+//!    *globally* over the reassembled vector (in global registration
+//!    order, so index tie-breaks match a single broker exactly), then
+//!    dispatch the selected engines to their owning replicas and merge
+//!    the returned hits. [`merge_results`] is order-independent, so the
+//!    merged ranking is bit-identical too.
+//!
+//! Every replica sits behind a [`CircuitBreaker`]; a replica that fails
+//! is skipped locally once its breaker opens, and the engines it held
+//! are served by their standbys. What could not be served anywhere is
+//! reported — not silently dropped — as `Failed` rows in
+//! [`SearchResponse::per_engine_stats`] and as typed per-replica
+//! failures in the [`FederationReport`].
+
+use crate::broker::{Broker, EngineEstimate, MergedHit};
+use crate::cache::CacheMode;
+use crate::federation::health::{BreakerConfig, BreakerState, CircuitBreaker, Clock, SystemClock};
+use crate::federation::metrics;
+use crate::federation::placement::{Ring, DEFAULT_VNODES};
+use crate::federation::rebalance::{diff_placement, Move, RebalanceReport};
+use crate::merge::merge_results;
+use crate::registry::{EngineStatus, RegistrySnapshot};
+use crate::remote::{EngineSnapshot, TransportError, TransportErrorKind};
+use crate::request::{
+    DispatchOutcome, EngineDispatchStats, SearchRequest, SearchResponse, StaleMode,
+};
+use crate::selection::SelectionPolicy;
+use parking_lot::RwLock;
+use seu_core::{Usefulness, UsefulnessEstimator};
+use seu_engine::SearchEngine;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Where a federated engine's live search capability comes from.
+#[derive(Clone)]
+pub enum EngineSource {
+    /// An in-process engine, shared by handle (the conformance path —
+    /// the same `Arc` can be installed on several replicas).
+    Local(Arc<SearchEngine>),
+    /// An engine served elsewhere over the frame protocol; replicas
+    /// attach to it through their own transport.
+    Remote {
+        /// `host:port` of the engine's `serve-engine` listener.
+        endpoint: String,
+    },
+}
+
+impl std::fmt::Debug for EngineSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineSource::Local(_) => f.write_str("EngineSource::Local(..)"),
+            EngineSource::Remote { endpoint } => {
+                write!(f, "EngineSource::Remote({endpoint})")
+            }
+        }
+    }
+}
+
+impl EngineSource {
+    /// The remote endpoint, when there is one.
+    pub fn endpoint(&self) -> Option<&str> {
+        match self {
+            EngineSource::Local(_) => None,
+            EngineSource::Remote { endpoint } => Some(endpoint),
+        }
+    }
+}
+
+/// One engine install order for a replica: at least one of `source`
+/// (live dispatch capability) or `snapshot` (planning metadata — the
+/// rebalance path ships this so the receiving replica hydrates without
+/// re-registration).
+#[derive(Debug, Clone)]
+pub struct InstallSpec {
+    /// Engine name (global registration key).
+    pub name: String,
+    /// Live search capability, when the front-door has one on record.
+    pub source: Option<EngineSource>,
+    /// The engine's planning snapshot, when shipped (rebalance).
+    pub snapshot: Option<EngineSnapshot>,
+}
+
+/// What a replica returns for a subset search: its merged hits above
+/// the threshold plus per-engine dispatch accounting, in request order.
+#[derive(Debug, Clone)]
+pub struct SubsetResults {
+    /// The replica's merged hits (the front-door re-merges across
+    /// replicas; [`merge_results`] is order-independent, so merging
+    /// merged lists loses nothing).
+    pub hits: Vec<MergedHit>,
+    /// Per requested engine: hit count, latency, outcome.
+    pub stats: Vec<EngineDispatchStats>,
+}
+
+/// The calls a front-door makes of one back-end broker replica.
+///
+/// Implemented in-process by [`LocalReplica`] (the conformance path)
+/// and over the frame protocol by `seu-net`'s `RemoteReplica`.
+pub trait ReplicaClient: Send + Sync {
+    /// Liveness probe.
+    fn ping(&self) -> Result<(), TransportError>;
+    /// Usefulness estimates for the named engines, in request order.
+    fn estimate_subset(
+        &self,
+        query: &str,
+        threshold: f64,
+        engines: &[String],
+    ) -> Result<Vec<EngineEstimate>, TransportError>;
+    /// Search exactly the named engines and merge their hits above the
+    /// threshold.
+    fn search_subset(
+        &self,
+        query: &str,
+        threshold: f64,
+        engines: &[String],
+    ) -> Result<SubsetResults, TransportError>;
+    /// Installs (or re-installs) an engine on this replica.
+    fn install(&self, spec: &InstallSpec) -> Result<(), TransportError>;
+    /// Removes an engine; `Ok(false)` when the name was unknown.
+    fn remove_engine(&self, name: &str) -> Result<bool, TransportError>;
+    /// Exports an engine's planning snapshot (for shipping to another
+    /// replica).
+    fn export_engine(&self, name: &str) -> Result<EngineSnapshot, TransportError>;
+}
+
+/// A [`ReplicaClient`] over an in-process [`Broker`] — the loopback of
+/// federation, and what the bit-identity conformance suite runs
+/// against.
+pub struct LocalReplica<E> {
+    broker: Arc<Broker<E>>,
+}
+
+impl<E> LocalReplica<E> {
+    /// Wraps a broker.
+    pub fn new(broker: Arc<Broker<E>>) -> LocalReplica<E> {
+        LocalReplica { broker }
+    }
+
+    /// The wrapped broker.
+    pub fn broker(&self) -> &Arc<Broker<E>> {
+        &self.broker
+    }
+}
+
+fn protocol_error(detail: impl Into<String>) -> TransportError {
+    TransportError::new(TransportErrorKind::Protocol, detail)
+}
+
+impl<E: UsefulnessEstimator + Send + Sync + 'static> LocalReplica<E> {
+    /// Plans once with [`SelectionPolicy::All`] and pins the invocation
+    /// set to `engines`, retrying when a concurrent lifecycle event
+    /// makes the plan stale between planning and dispatch.
+    fn execute_subset(
+        &self,
+        query: &str,
+        threshold: f64,
+        engines: &[String],
+    ) -> Result<SearchResponse, TransportError> {
+        let req = SearchRequest::new(query)
+            .threshold(threshold)
+            .policy(SelectionPolicy::All)
+            .cache(CacheMode::Bypass)
+            .stale_mode(StaleMode::Error);
+        for _ in 0..4 {
+            let mut plan = self.broker.plan(&req, None);
+            let mut selected = Vec::with_capacity(engines.len());
+            for name in engines {
+                match plan.engines().iter().position(|e| e.name == *name) {
+                    Some(i) => selected.push(i),
+                    None => {
+                        return Err(protocol_error(format!(
+                            "replica does not hold engine {name:?}"
+                        )))
+                    }
+                }
+            }
+            plan.selected = selected;
+            match self.broker.execute_plan(&req, &plan) {
+                Ok(resp) => return Ok(resp),
+                Err(_) => continue, // registry changed mid-flight; replan
+            }
+        }
+        Err(protocol_error(
+            "registry kept changing during subset execution",
+        ))
+    }
+}
+
+impl<E: UsefulnessEstimator + Send + Sync + 'static> ReplicaClient for LocalReplica<E> {
+    fn ping(&self) -> Result<(), TransportError> {
+        Ok(())
+    }
+
+    fn estimate_subset(
+        &self,
+        query: &str,
+        threshold: f64,
+        engines: &[String],
+    ) -> Result<Vec<EngineEstimate>, TransportError> {
+        let all = self.broker.estimate_all(query, threshold);
+        let by_name: BTreeMap<&str, &EngineEstimate> =
+            all.iter().map(|e| (e.engine.as_str(), e)).collect();
+        engines
+            .iter()
+            .map(|name| {
+                by_name
+                    .get(name.as_str())
+                    .map(|&e| e.clone())
+                    .ok_or_else(|| protocol_error(format!("replica does not hold engine {name:?}")))
+            })
+            .collect()
+    }
+
+    fn search_subset(
+        &self,
+        query: &str,
+        threshold: f64,
+        engines: &[String],
+    ) -> Result<SubsetResults, TransportError> {
+        let resp = self.execute_subset(query, threshold, engines)?;
+        Ok(SubsetResults {
+            hits: resp.hits,
+            stats: resp.per_engine_stats,
+        })
+    }
+
+    fn install(&self, spec: &InstallSpec) -> Result<(), TransportError> {
+        if self.broker.engine_names().iter().any(|n| n == &spec.name) {
+            return Ok(()); // idempotent: already holding it
+        }
+        match (&spec.snapshot, &spec.source) {
+            (Some(snapshot), source) => {
+                let engine = match source {
+                    Some(EngineSource::Local(arc)) => Some(arc.clone()),
+                    _ => None,
+                };
+                let endpoint = source.as_ref().and_then(|s| s.endpoint()).map(String::from);
+                self.broker
+                    .install_snapshot(snapshot.clone(), engine, endpoint)
+                    .map(|_| ())
+            }
+            (None, Some(EngineSource::Local(arc))) => {
+                self.broker.register_shared(&spec.name, arc.clone());
+                Ok(())
+            }
+            (None, Some(EngineSource::Remote { endpoint })) => Err(protocol_error(format!(
+                "in-process replica cannot dial {endpoint}; ship a snapshot"
+            ))),
+            (None, None) => Err(protocol_error("install needs a source or a snapshot")),
+        }
+    }
+
+    fn remove_engine(&self, name: &str) -> Result<bool, TransportError> {
+        Ok(self.broker.deregister(name))
+    }
+
+    fn export_engine(&self, name: &str) -> Result<EngineSnapshot, TransportError> {
+        self.broker.export_snapshot(name)
+    }
+}
+
+/// Front-door tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontDoorConfig {
+    /// Virtual nodes per replica on the placement ring.
+    pub vnodes: usize,
+    /// How many ring candidates hold each engine (primary + standbys).
+    /// Failover can only serve from a replica that holds the engine, so
+    /// 1 disables failover; the default 2 survives one replica loss.
+    pub replication: usize,
+    /// Per-replica circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for FrontDoorConfig {
+    fn default() -> Self {
+        FrontDoorConfig {
+            vnodes: DEFAULT_VNODES,
+            replication: 2,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+struct ReplicaEntry {
+    id: String,
+    client: Arc<dyn ReplicaClient>,
+    breaker: Arc<CircuitBreaker>,
+}
+
+struct EngineRecord {
+    name: String,
+    source: Option<EngineSource>,
+    /// Replica ids currently holding the engine, candidate order
+    /// (primary first).
+    holders: Vec<String>,
+}
+
+struct ClusterState {
+    ring: Ring,
+    replicas: Vec<ReplicaEntry>,
+    /// Global registration order — the order selection tie-breaks and
+    /// estimate vectors are presented in, exactly like a single
+    /// broker's registry sequence.
+    engines: Vec<EngineRecord>,
+    /// Bumped on every membership or placement change (the federated
+    /// analogue of the registry epoch, surfaced in `/healthz`).
+    version: u64,
+}
+
+/// Which federated phase a replica failure happened in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FederationPhase {
+    /// The estimate fan-out.
+    Estimate,
+    /// The search dispatch.
+    Search,
+}
+
+/// One failed replica call, with the engines it was serving.
+#[derive(Debug, Clone)]
+pub struct ReplicaFailure {
+    /// The replica that failed (or whose breaker refused the call).
+    pub replica: String,
+    /// The engines the call covered.
+    pub engines: Vec<String>,
+    /// The typed transport failure.
+    pub error: TransportError,
+    /// Which phase failed.
+    pub phase: FederationPhase,
+}
+
+/// Per-request federation accounting, alongside the
+/// [`SearchResponse`].
+#[derive(Debug, Clone, Default)]
+pub struct FederationReport {
+    /// Every failed replica call (failures that were recovered by
+    /// failover still appear — the capture is per replica, not per
+    /// outcome).
+    pub failures: Vec<ReplicaFailure>,
+    /// Engines served by a standby after their primary failed.
+    pub failovers: u64,
+    /// Engines no candidate could serve (excluded from selection,
+    /// reported as `Failed` rows in the response).
+    pub unresolved: Vec<String>,
+}
+
+/// A two-tier metasearch broker: consistent-hash placement, breaker
+/// failover, and bit-identical global planning over replica brokers.
+pub struct FrontDoor {
+    config: FrontDoorConfig,
+    clock: Arc<dyn Clock>,
+    state: RwLock<ClusterState>,
+}
+
+impl FrontDoor {
+    /// A front-door with no replicas, on the system clock.
+    pub fn new(config: FrontDoorConfig) -> FrontDoor {
+        FrontDoor::with_clock(config, Arc::new(SystemClock::new()))
+    }
+
+    /// A front-door on an injected clock (deterministic breaker tests).
+    pub fn with_clock(config: FrontDoorConfig, clock: Arc<dyn Clock>) -> FrontDoor {
+        FrontDoor {
+            state: RwLock::new(ClusterState {
+                ring: Ring::new(config.vnodes.max(1)),
+                replicas: Vec::new(),
+                engines: Vec::new(),
+                version: 0,
+            }),
+            config,
+            clock,
+        }
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.config.replication.max(1)
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.state.read().engines.len()
+    }
+
+    /// Whether no engine is registered.
+    pub fn is_empty(&self) -> bool {
+        self.state.read().engines.is_empty()
+    }
+
+    /// Number of replicas on the ring.
+    pub fn replica_count(&self) -> usize {
+        self.state.read().replicas.len()
+    }
+
+    /// The cluster version: bumped on every membership or placement
+    /// change (the federated registry epoch).
+    pub fn cluster_version(&self) -> u64 {
+        self.state.read().version
+    }
+
+    /// Engine names in global registration order.
+    pub fn engine_names(&self) -> Vec<String> {
+        self.state
+            .read()
+            .engines
+            .iter()
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// `(engine, holders)` in global registration order; holders in
+    /// candidate order, primary first.
+    pub fn placements(&self) -> Vec<(String, Vec<String>)> {
+        self.state
+            .read()
+            .engines
+            .iter()
+            .map(|e| (e.name.clone(), e.holders.clone()))
+            .collect()
+    }
+
+    /// Replica ids and their breaker states, in join order.
+    pub fn replica_states(&self) -> Vec<(String, BreakerState)> {
+        let now = self.clock.now_ms();
+        self.state
+            .read()
+            .replicas
+            .iter()
+            .map(|r| (r.id.clone(), r.breaker.state(now)))
+            .collect()
+    }
+
+    /// Adds a replica and rebalances engine placements onto it.
+    /// Returns `None` (no rebalance ran) if the id was already present.
+    pub fn add_replica(&self, id: &str, client: Arc<dyn ReplicaClient>) -> Option<RebalanceReport> {
+        {
+            let mut state = self.state.write();
+            if !state.ring.add_replica(id) {
+                return None;
+            }
+            state.replicas.push(ReplicaEntry {
+                id: id.to_string(),
+                client,
+                breaker: Arc::new(CircuitBreaker::new(self.config.breaker)),
+            });
+            state.version += 1;
+            metrics().replicas.set(state.replicas.len() as f64);
+        }
+        Some(self.rebalance())
+    }
+
+    /// Removes a replica (graceful leave: its engines are moved to the
+    /// surviving candidates first, exporting snapshots from the leaver
+    /// while it is still reachable). Returns `None` for an unknown id.
+    pub fn remove_replica(&self, id: &str) -> Option<RebalanceReport> {
+        {
+            let mut state = self.state.write();
+            if !state.ring.remove_replica(id) {
+                return None;
+            }
+            state.version += 1;
+        }
+        // Rebalance against the shrunk ring while the leaving replica's
+        // client is still in the table — exports from it still work.
+        let report = self.rebalance();
+        let mut state = self.state.write();
+        if let Some(i) = state.replicas.iter().position(|r| r.id == id) {
+            state.replicas.remove(i);
+        }
+        metrics().replicas.set(state.replicas.len() as f64);
+        Some(report)
+    }
+
+    /// Registers an engine: places it on the ring and installs it on
+    /// its first `replication` candidates.
+    pub fn register_engine(&self, name: &str, source: EngineSource) -> Result<(), TransportError> {
+        let mut state = self.state.write();
+        if state.ring.is_empty() {
+            return Err(protocol_error("no replicas to place engines on"));
+        }
+        if state.engines.iter().any(|e| e.name == name) {
+            return Err(protocol_error(format!(
+                "engine {name:?} already registered"
+            )));
+        }
+        let desired: Vec<String> = state
+            .ring
+            .candidates(name)
+            .into_iter()
+            .take(self.replication())
+            .map(String::from)
+            .collect();
+        let spec = InstallSpec {
+            name: name.to_string(),
+            source: Some(source.clone()),
+            snapshot: None,
+        };
+        let mut holders = Vec::with_capacity(desired.len());
+        let mut first_error = None;
+        for id in &desired {
+            let client = state
+                .replicas
+                .iter()
+                .find(|r| &r.id == id)
+                .expect("ring replica has an entry")
+                .client
+                .clone();
+            match client.install(&spec) {
+                Ok(()) => holders.push(id.clone()),
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        if holders.is_empty() {
+            return Err(
+                first_error.unwrap_or_else(|| protocol_error("no candidate accepted the engine"))
+            );
+        }
+        state.engines.push(EngineRecord {
+            name: name.to_string(),
+            source: Some(source),
+            holders,
+        });
+        state.version += 1;
+        metrics().engines.set(state.engines.len() as f64);
+        Ok(())
+    }
+
+    /// Reconciles every engine's holders with the current ring:
+    /// installs on new candidates (shipping a snapshot exported from a
+    /// current holder when possible, regenerating one from the recorded
+    /// source otherwise), then removes from former holders. Installs
+    /// happen before removals, so an engine always has at least one
+    /// holder throughout.
+    pub fn rebalance(&self) -> RebalanceReport {
+        let mut report = RebalanceReport::default();
+        let mut state = self.state.write();
+        let state = &mut *state;
+        metrics().rebalances.inc();
+        let clients: BTreeMap<&str, &ReplicaEntry> =
+            state.replicas.iter().map(|r| (r.id.as_str(), r)).collect();
+        let replication = self.config.replication.max(1);
+        let mut changed = false;
+        for record in &mut state.engines {
+            let desired: Vec<String> = state
+                .ring
+                .candidates(&record.name)
+                .into_iter()
+                .take(replication)
+                .map(String::from)
+                .collect();
+            let Some(diff) = diff_placement(&record.name, &record.holders, &desired) else {
+                continue;
+            };
+            // One snapshot export covers every new holder: prefer a
+            // live holder (snapshot shipping — the moved engine
+            // hydrates without re-registration), fall back to
+            // regenerating from the recorded in-process source.
+            let mut shipped_from: Option<String> = None;
+            let snapshot = if diff.install.is_empty() {
+                None
+            } else {
+                record
+                    .holders
+                    .iter()
+                    .find_map(|h| {
+                        let entry = clients.get(h.as_str())?;
+                        let snap = entry.client.export_engine(&record.name).ok()?;
+                        shipped_from = Some(h.clone());
+                        Some(snap)
+                    })
+                    .or_else(|| match &record.source {
+                        Some(EngineSource::Local(engine)) => {
+                            Some(EngineSnapshot::of_engine(&record.name, engine))
+                        }
+                        _ => None,
+                    })
+            };
+            let mut installed = Vec::new();
+            for to in &diff.install {
+                let Some(entry) = clients.get(to.as_str()) else {
+                    continue;
+                };
+                let spec = InstallSpec {
+                    name: record.name.clone(),
+                    source: record.source.clone(),
+                    snapshot: snapshot.clone(),
+                };
+                match entry.client.install(&spec) {
+                    Ok(()) => {
+                        metrics().rebalance_moves.inc();
+                        report.moves.push(Move {
+                            engine: record.name.clone(),
+                            from: shipped_from.clone(),
+                            to: (*to).clone(),
+                            shipped_snapshot: snapshot.is_some(),
+                        });
+                        installed.push((*to).clone());
+                    }
+                    Err(e) => report.errors.push((record.name.clone(), e)),
+                }
+            }
+            // New holders are live; now drop the former ones.
+            for from in &diff.remove {
+                let Some(entry) = clients.get(from.as_str()) else {
+                    continue;
+                };
+                match entry.client.remove_engine(&record.name) {
+                    Ok(_) => report.removals.push((record.name.clone(), from.clone())),
+                    Err(e) => report.errors.push((record.name.clone(), e)),
+                }
+            }
+            record.holders = desired
+                .into_iter()
+                .filter(|d| record.holders.contains(d) || installed.contains(d))
+                .collect();
+            changed = true;
+        }
+        if changed {
+            state.version += 1;
+        }
+        report
+    }
+
+    /// Pings every replica through its breaker; returns `(id, up)` in
+    /// join order. Driving this on an interval is what recovers an open
+    /// breaker: the probe is the half-open trial.
+    pub fn probe_once(&self) -> Vec<(String, bool)> {
+        let replicas: Vec<(String, Arc<dyn ReplicaClient>, Arc<CircuitBreaker>)> = {
+            let state = self.state.read();
+            state
+                .replicas
+                .iter()
+                .map(|r| (r.id.clone(), r.client.clone(), r.breaker.clone()))
+                .collect()
+        };
+        let now = self.clock.now_ms();
+        replicas
+            .into_iter()
+            .map(|(id, client, breaker)| {
+                if !breaker.allow(now) {
+                    return (id, false);
+                }
+                match client.ping() {
+                    Ok(()) => {
+                        breaker.record_success();
+                        (id, true)
+                    }
+                    Err(_) => {
+                        if breaker.record_failure(self.clock.now_ms()) {
+                            metrics().breaker_opens.inc();
+                        }
+                        (id, false)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Serves a request; see [`FrontDoor::execute_with_report`].
+    pub fn execute(&self, req: &SearchRequest) -> SearchResponse {
+        self.execute_with_report(req).0
+    }
+
+    /// Plans globally, dispatches to the owning replicas (failing over
+    /// along each engine's candidate chain), and merges — plus the
+    /// typed per-replica failure capture for this request.
+    pub fn execute_with_report(&self, req: &SearchRequest) -> (SearchResponse, FederationReport) {
+        let m = metrics();
+        m.searches.inc();
+        let timer = m.search_latency.start_timer();
+        let mut active = seu_obs::tracer().start_trace("federated_search", req.explain);
+        active.root_attr("query", &req.query);
+        active.root_attr("threshold", req.threshold);
+        let trace = active.handle();
+
+        // Snapshot the cluster under the read lock; all replica I/O
+        // happens lock-free on the copy.
+        let (replicas, engines) = {
+            let state = self.state.read();
+            let replicas: Vec<(String, Arc<dyn ReplicaClient>, Arc<CircuitBreaker>)> = state
+                .replicas
+                .iter()
+                .map(|r| (r.id.clone(), r.client.clone(), r.breaker.clone()))
+                .collect();
+            let engines: Vec<(String, Vec<usize>)> = state
+                .engines
+                .iter()
+                .map(|e| {
+                    let holder_idx = e
+                        .holders
+                        .iter()
+                        .filter_map(|h| state.replicas.iter().position(|r| &r.id == h))
+                        .collect();
+                    (e.name.clone(), holder_idx)
+                })
+                .collect();
+            (replicas, engines)
+        };
+        let mut report = FederationReport::default();
+
+        // Phase 1: reassemble the global estimate vector, failing over
+        // along each engine's candidate chain.
+        let estimate_span = trace.span("federate_estimate");
+        let mut usefulness: Vec<Option<Usefulness>> = vec![None; engines.len()];
+        self.fan_out(
+            &replicas,
+            &engines,
+            (0..engines.len()).collect(),
+            FederationPhase::Estimate,
+            &trace,
+            estimate_span.id(),
+            &mut report,
+            |client, query, threshold, names| {
+                client
+                    .estimate_subset(query, threshold, names)
+                    .map(|ests| ests.into_iter().map(|e| e.usefulness).collect())
+            },
+            req,
+            |slot: &mut Option<Usefulness>, u| *slot = Some(u),
+            &mut usefulness,
+        );
+        drop(estimate_span);
+
+        // Phase 2: global selection over the engines every candidate
+        // could estimate, in global registration order — the same
+        // index-based tie-breaks as a single broker.
+        let available: Vec<(usize, Usefulness)> = usefulness
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| u.map(|u| (i, u)))
+            .collect();
+        let values: Vec<Usefulness> = available.iter().map(|&(_, u)| u).collect();
+        let invocation: Vec<usize> = req
+            .policy
+            .select(&values)
+            .into_iter()
+            .map(|i| available[i].0)
+            .collect();
+        report.unresolved = usefulness
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.is_none())
+            .map(|(i, _)| engines[i].0.clone())
+            .collect();
+
+        // Phase 3: dispatch the selected engines to their holders.
+        let search_span = trace.span("federate_search");
+        let mut groups: Vec<Option<(Vec<MergedHit>, EngineDispatchStats)>> =
+            vec![None; engines.len()];
+        self.fan_out(
+            &replicas,
+            &engines,
+            invocation.clone(),
+            FederationPhase::Search,
+            &trace,
+            search_span.id(),
+            &mut report,
+            |client, query, threshold, names| {
+                client.search_subset(query, threshold, names).map(|r| {
+                    let mut by_name: BTreeMap<String, EngineDispatchStats> =
+                        r.stats.into_iter().map(|s| (s.engine.clone(), s)).collect();
+                    let mut hits_by_engine: BTreeMap<String, Vec<MergedHit>> = BTreeMap::new();
+                    for h in r.hits {
+                        hits_by_engine.entry(h.engine.clone()).or_default().push(h);
+                    }
+                    names
+                        .iter()
+                        .map(|n| {
+                            let stats = by_name.remove(n).unwrap_or(EngineDispatchStats {
+                                engine: n.clone(),
+                                hits: 0,
+                                seconds: 0.0,
+                                outcome: DispatchOutcome::Failed,
+                                error: None,
+                            });
+                            (hits_by_engine.remove(n).unwrap_or_default(), stats)
+                        })
+                        .collect()
+                })
+            },
+            req,
+            |slot: &mut Option<(Vec<MergedHit>, EngineDispatchStats)>, v| *slot = Some(v),
+            &mut groups,
+        );
+        drop(search_span);
+
+        // Phase 4: merge. merge_results is input-order-independent, so
+        // merging the replicas' already-merged lists reproduces a
+        // single broker's ranking bit for bit.
+        let merge_span = trace.span("merge");
+        let hit_groups: Vec<Vec<MergedHit>> = invocation
+            .iter()
+            .filter_map(|&i| groups[i].as_ref().map(|(h, _)| h.clone()))
+            .collect();
+        let mut hits = merge_results(hit_groups);
+        if let Some(k) = req.top_k {
+            hits.truncate(k);
+        }
+        drop(merge_span);
+
+        // Invocation-order stats, then one Failed row per engine no
+        // candidate could serve — the partial-result degradation is in
+        // the response, not swallowed.
+        let mut per_engine_stats: Vec<EngineDispatchStats> = Vec::new();
+        for &i in &invocation {
+            match &groups[i] {
+                Some((_, stats)) => per_engine_stats.push(stats.clone()),
+                None => per_engine_stats.push(EngineDispatchStats {
+                    engine: engines[i].0.clone(),
+                    hits: 0,
+                    seconds: 0.0,
+                    outcome: DispatchOutcome::Failed,
+                    error: Some(protocol_error("no replica could serve the engine")),
+                }),
+            }
+        }
+        for name in &report.unresolved {
+            per_engine_stats.push(EngineDispatchStats {
+                engine: name.clone(),
+                hits: 0,
+                seconds: 0.0,
+                outcome: DispatchOutcome::Failed,
+                error: Some(protocol_error("no replica answered the estimate")),
+            });
+        }
+
+        let estimates = if req.with_estimates {
+            engines
+                .iter()
+                .zip(&usefulness)
+                .filter_map(|((name, _), u)| {
+                    u.map(|usefulness| EngineEstimate {
+                        engine: name.clone(),
+                        usefulness,
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        m.failovers.add(report.failovers);
+        timer.stop();
+        active.root_attr("hits", hits.len());
+        active.root_attr("failovers", report.failovers);
+        let finished = active.finish();
+        let resp = SearchResponse {
+            hits,
+            estimates,
+            per_engine_stats,
+            trace: if req.explain { finished } else { None },
+            served_from: None,
+        };
+        (resp, report)
+    }
+
+    /// The shared failover fan-out: for each attempt `a`, group the
+    /// still-unresolved engines by their `a`-th holder and make one
+    /// replica call per group, recording breaker outcomes and typed
+    /// failures. Generic over the per-call result type so estimate and
+    /// search share the exact same candidate-chain semantics.
+    #[allow(clippy::too_many_arguments)]
+    fn fan_out<T, C, F>(
+        &self,
+        replicas: &[(String, Arc<dyn ReplicaClient>, Arc<CircuitBreaker>)],
+        engines: &[(String, Vec<usize>)],
+        targets: Vec<usize>,
+        phase: FederationPhase,
+        trace: &seu_obs::TraceHandle,
+        parent: seu_obs::SpanId,
+        report: &mut FederationReport,
+        call: C,
+        req: &SearchRequest,
+        fill: F,
+        out: &mut [Option<T>],
+    ) where
+        C: Fn(&dyn ReplicaClient, &str, f64, &[String]) -> Result<Vec<T>, TransportError>,
+        F: Fn(&mut Option<T>, T),
+    {
+        let m = metrics();
+        let max_attempts = engines.iter().map(|(_, h)| h.len()).max().unwrap_or(0);
+        let mut unresolved = targets;
+        for attempt in 0..max_attempts {
+            if unresolved.is_empty() {
+                break;
+            }
+            // Group by this attempt's holder, preserving global order
+            // within each group.
+            let mut by_replica: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            let mut still = Vec::new();
+            for &e in &unresolved {
+                match engines[e].1.get(attempt) {
+                    Some(&r) => by_replica.entry(r).or_default().push(e),
+                    None => still.push(e), // candidate chain exhausted
+                }
+            }
+            let mut next_round = still;
+            for (r, group) in by_replica {
+                let (id, client, breaker) = &replicas[r];
+                let names: Vec<String> = group.iter().map(|&e| engines[e].0.clone()).collect();
+                let now = self.clock.now_ms();
+                if !breaker.allow(now) {
+                    report.failures.push(ReplicaFailure {
+                        replica: id.clone(),
+                        engines: names,
+                        error: TransportError::new(
+                            TransportErrorKind::Refused,
+                            format!("breaker open for replica {id}"),
+                        ),
+                        phase,
+                    });
+                    next_round.extend(&group);
+                    continue;
+                }
+                let mut span = trace.child_span(&format!("replica:{id}"), parent);
+                span.attr("engines", group.len());
+                span.attr("attempt", attempt);
+                m.replica_calls.inc();
+                match call(client.as_ref(), &req.query, req.threshold, &names) {
+                    Ok(values) if values.len() == names.len() => {
+                        breaker.record_success();
+                        if attempt > 0 {
+                            report.failovers += group.len() as u64;
+                        }
+                        for (&e, v) in group.iter().zip(values) {
+                            fill(&mut out[e], v);
+                        }
+                    }
+                    Ok(_) => {
+                        // A count-lying replica is a protocol failure.
+                        if breaker.record_failure(self.clock.now_ms()) {
+                            m.breaker_opens.inc();
+                        }
+                        m.replica_failures.inc();
+                        report.failures.push(ReplicaFailure {
+                            replica: id.clone(),
+                            engines: names,
+                            error: protocol_error("replica answered with a short vector"),
+                            phase,
+                        });
+                        next_round.extend(&group);
+                    }
+                    Err(e) => {
+                        span.attr("error", e.kind.label());
+                        if breaker.record_failure(self.clock.now_ms()) {
+                            m.breaker_opens.inc();
+                        }
+                        m.replica_failures.inc();
+                        report.failures.push(ReplicaFailure {
+                            replica: id.clone(),
+                            engines: names,
+                            error: e,
+                            phase,
+                        });
+                        next_round.extend(&group);
+                    }
+                }
+            }
+            unresolved = next_round;
+        }
+    }
+
+    /// Synthesized per-engine statuses for the admin API: the engine
+    /// inventory with its primary holder as the "endpoint".
+    pub fn engine_statuses(&self) -> Vec<EngineStatus> {
+        let state = self.state.read();
+        state
+            .engines
+            .iter()
+            .map(|e| EngineStatus {
+                name: e.name.clone(),
+                shard: e
+                    .holders
+                    .first()
+                    .and_then(|h| state.replicas.iter().position(|r| &r.id == h))
+                    .unwrap_or(0),
+                epoch: 0,
+                stale: false,
+                repr_terms: 0,
+                repr_bytes: 0,
+                remote: true,
+                detached: e.holders.is_empty(),
+                endpoint: e.holders.first().cloned(),
+            })
+            .collect()
+    }
+
+    /// A registry-snapshot-shaped view for `/healthz`: the cluster
+    /// version stands in for the registry epoch.
+    pub fn registry_snapshot(&self) -> RegistrySnapshot {
+        let statuses = self.engine_statuses();
+        let state = self.state.read();
+        RegistrySnapshot {
+            statuses,
+            epoch: state.version,
+            shard_epochs: vec![0; state.replicas.len()],
+        }
+    }
+}

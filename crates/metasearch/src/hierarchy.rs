@@ -23,6 +23,12 @@ struct Child<E> {
     name: String,
     broker: Arc<Broker<E>>,
     summary: FrozenSummary,
+    /// The child's registry epoch when `summary` was captured. Every
+    /// lifecycle event on the child (register, refresh, replace) bumps
+    /// its epoch, so `epoch != broker.registry_epoch()` means the
+    /// summary no longer describes the child — the same stale-plan
+    /// detection the flat broker applies to its own plans.
+    epoch: u64,
 }
 
 /// A two-level (or deeper, by composition) metasearch broker.
@@ -55,15 +61,72 @@ impl<E: UsefulnessEstimator + Sync> SuperBroker<E> {
         }
     }
 
-    /// Registers a child broker; its group summary is requested once at
-    /// registration (a deployment would refresh it periodically).
+    /// Registers a child broker; its group summary is captured together
+    /// with the child's registry epoch, so later lifecycle events on
+    /// the child are detectable and repairable with
+    /// [`SuperBroker::refresh_child_summaries`].
     pub fn register_broker(&self, name: &str, broker: Arc<Broker<E>>) {
+        let epoch = broker.registry_epoch();
         let summary = broker.portable_summary().freeze();
         self.children.write().push(Child {
             name: name.to_string(),
             broker,
             summary,
+            epoch,
         });
+    }
+
+    /// Re-freezes the summary of every child whose registry epoch
+    /// advanced since its summary was captured — engines registered,
+    /// refreshed, or replaced on a child after `register_broker` become
+    /// routable again. Returns how many summaries were rebuilt.
+    ///
+    /// The epoch is (re)read *before* the summary is built: if the
+    /// child changes mid-build the recorded epoch is already behind, so
+    /// the next sweep rebuilds again rather than routing on a torn
+    /// summary forever.
+    pub fn refresh_child_summaries(&self) -> usize {
+        let stale: Vec<(usize, Arc<Broker<E>>)> = {
+            let children = self.children.read();
+            children
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.broker.registry_epoch() != c.epoch)
+                .map(|(i, c)| (i, c.broker.clone()))
+                .collect()
+        };
+        if stale.is_empty() {
+            return 0;
+        }
+        // Summaries are built outside the children lock (they walk
+        // whole collections); only the final swap takes the write lock.
+        let rebuilt: Vec<(usize, u64, FrozenSummary)> = stale
+            .into_iter()
+            .map(|(i, broker)| {
+                let epoch = broker.registry_epoch();
+                (i, epoch, broker.portable_summary().freeze())
+            })
+            .collect();
+        let mut children = self.children.write();
+        let mut refreshed = 0;
+        for (i, epoch, summary) in rebuilt {
+            if let Some(c) = children.get_mut(i) {
+                c.summary = summary;
+                c.epoch = epoch;
+                refreshed += 1;
+            }
+        }
+        refreshed
+    }
+
+    /// Names of children whose summary lags their registry epoch.
+    pub fn stale_children(&self) -> Vec<String> {
+        self.children
+            .read()
+            .iter()
+            .filter(|c| c.broker.registry_epoch() != c.epoch)
+            .map(|c| c.name.clone())
+            .collect()
     }
 
     /// Number of child brokers.
@@ -236,6 +299,37 @@ mod tests {
         assert!(sb
             .search("zebra quantum", 0.1, SelectionPolicy::EstimatedUseful)
             .is_empty());
+    }
+
+    #[test]
+    fn post_registration_engine_becomes_routable_after_refresh() {
+        let sb = super_broker();
+        // "gardening" joins the food child *after* the super-broker
+        // captured its summary.
+        let food = sb.child("food").unwrap();
+        food.register(
+            "gardening",
+            engine(&["tomato seedlings compost", "pruning fruit trees"]),
+        );
+        assert_eq!(sb.stale_children(), vec!["food".to_string()]);
+        // Stale summary: the new engine's terms are invisible, so the
+        // query routes nowhere (the bug this guards against).
+        assert!(sb
+            .select("compost seedlings", 0.2, SelectionPolicy::EstimatedUseful)
+            .is_empty());
+        assert_eq!(sb.refresh_child_summaries(), 1);
+        assert!(sb.stale_children().is_empty());
+        assert_eq!(
+            sb.select("compost seedlings", 0.2, SelectionPolicy::EstimatedUseful),
+            vec!["food".to_string()]
+        );
+        let hits = sb.search("compost seedlings", 0.2, SelectionPolicy::EstimatedUseful);
+        assert!(
+            hits.iter().any(|h| h.engine == "food/gardening"),
+            "{hits:?}"
+        );
+        // A second sweep with no churn is a no-op.
+        assert_eq!(sb.refresh_child_summaries(), 0);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 pub mod allocate;
 pub mod broker;
 pub mod cache;
+pub mod federation;
 pub mod hierarchy;
 pub mod merge;
 mod persist;
@@ -59,6 +60,9 @@ pub mod selection;
 pub use allocate::Allocation;
 pub use broker::{Broker, BrokerBuilder, EngineEstimate, MergedHit};
 pub use cache::{CacheKey, CacheMode, CachePolicy, CacheStats, CacheTier};
+pub use federation::{
+    EngineSource, FederationReport, FrontDoor, FrontDoorConfig, LocalReplica, ReplicaClient,
+};
 pub use hierarchy::SuperBroker;
 pub use merge::merge_results;
 pub use plan::{PlannedEngine, QueryPlan, SharedAnalysis};

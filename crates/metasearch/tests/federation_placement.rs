@@ -1,0 +1,136 @@
+//! Placement ring properties: the guarantees federation's correctness
+//! and stability rest on, checked over an 8k-name keyspace.
+//!
+//! - **Pinned golden hashes** — `hash_key` is FNV-1a and must never
+//!   drift: every front-door instance (and every release) must place
+//!   the same name on the same replica.
+//! - **Purity** — ownership is a function of (name, membership) alone:
+//!   rebuilding the ring in any join order gives identical placements.
+//! - **Minimal disruption** — when one replica of eight leaves, only
+//!   its own keys move: strictly bounded by 25% of the keyspace (the
+//!   expected share is 12.5%).
+//! - **Uniformity** — with default virtual nodes, every replica's share
+//!   of 8k names is within ±20% of fair.
+
+use seu_metasearch::federation::{hash_key, Ring, DEFAULT_VNODES};
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("engine-{i:04}")).collect()
+}
+
+fn replica_ids(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("replica-{i}")).collect()
+}
+
+#[test]
+fn golden_fnv1a_values_are_pinned() {
+    // Computed independently from the FNV-1a reference definition.
+    // These pins guard placement purity across versions: a hash change
+    // would silently re-place every engine in every cluster.
+    assert_eq!(hash_key(""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(hash_key("a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(hash_key("soup"), 0x5fe3_df18_f075_cfc2);
+    assert_eq!(hash_key("engine-0000"), 0x93bc_f93d_4f26_bc62);
+    assert_eq!(hash_key("replica-a#0"), 0xb2f7_54b4_a48c_5cce);
+    assert_eq!(hash_key("replica-a#1"), 0xb2f7_55b4_a48c_5e81);
+    assert_eq!(hash_key("replica-b#0"), 0x99da_cfb4_9692_4e3f);
+    assert_eq!(hash_key("r1#0"), 0x0da6_8720_bd90_c717);
+    assert_eq!(hash_key("r1#15"), 0xc2bb_3aa2_1cff_48a3);
+}
+
+#[test]
+fn placement_is_pure_in_name_and_membership() {
+    let ids = replica_ids(8);
+    let forward = Ring::with_replicas(DEFAULT_VNODES, &ids);
+    let mut reversed_ids = ids.clone();
+    reversed_ids.reverse();
+    let reversed = Ring::with_replicas(DEFAULT_VNODES, &reversed_ids);
+    // A third ring arrives at the same membership through churn:
+    // interlopers join and leave again.
+    let mut churned = Ring::new(DEFAULT_VNODES);
+    churned.add_replica("interloper-a");
+    for id in &ids {
+        churned.add_replica(id);
+    }
+    churned.add_replica("interloper-b");
+    churned.remove_replica("interloper-a");
+    churned.remove_replica("interloper-b");
+
+    for name in names(8_000) {
+        let owner = forward.owner(&name).unwrap();
+        assert_eq!(owner, reversed.owner(&name).unwrap(), "{name}: join order");
+        assert_eq!(
+            owner,
+            churned.owner(&name).unwrap(),
+            "{name}: churn history"
+        );
+        // The whole candidate chain is pure, not just the owner —
+        // failover on independent front-doors must agree too.
+        assert_eq!(
+            forward.candidates(&name),
+            reversed.candidates(&name),
+            "{name}: candidate chain"
+        );
+    }
+}
+
+#[test]
+fn one_of_eight_leaving_moves_at_most_a_quarter_of_the_keyspace() {
+    let names = names(8_000);
+    let full = Ring::with_replicas(DEFAULT_VNODES, replica_ids(8));
+    let before: Vec<String> = names
+        .iter()
+        .map(|n| full.owner(n).unwrap().to_string())
+        .collect();
+    for leaver in full.replicas().to_vec() {
+        let mut shrunk = full.clone();
+        assert!(shrunk.remove_replica(&leaver));
+        let mut moved = 0usize;
+        for (name, old_owner) in names.iter().zip(&before) {
+            let new_owner = shrunk.owner(name).unwrap();
+            if new_owner != old_owner {
+                moved += 1;
+                // Consistent hashing moves ONLY the leaver's keys; a
+                // survivor-to-survivor move would mean the ring
+                // reshuffles more than membership demands.
+                assert_eq!(
+                    old_owner, &leaver,
+                    "{name} moved from surviving {old_owner} to {new_owner}"
+                );
+            }
+        }
+        let bound = names.len() / 4;
+        assert!(
+            moved <= bound,
+            "removing {leaver} moved {moved} of {} names (> 25%)",
+            names.len()
+        );
+        assert!(
+            moved > 0,
+            "removing {leaver} moved nothing — ring ignored it"
+        );
+    }
+}
+
+#[test]
+fn keyspace_share_is_within_twenty_percent_of_fair() {
+    let names = names(8_000);
+    let ring = Ring::with_replicas(DEFAULT_VNODES, replica_ids(8));
+    let mut counts = std::collections::BTreeMap::new();
+    for name in &names {
+        *counts
+            .entry(ring.owner(name).unwrap().to_string())
+            .or_insert(0usize) += 1;
+    }
+    assert_eq!(counts.len(), 8, "every replica must own something");
+    let fair = names.len() / 8;
+    let (lo, hi) = (fair * 4 / 5, fair * 6 / 5);
+    for (replica, count) in &counts {
+        assert!(
+            (lo..=hi).contains(count),
+            "{replica} owns {count} of {} names (fair {fair}, allowed {lo}..={hi}); \
+             full spread: {counts:?}",
+            names.len()
+        );
+    }
+}

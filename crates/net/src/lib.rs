@@ -27,6 +27,13 @@
 //!   failing the query. Clones share a connection pool, and because
 //!   every frame carries a correlation id, one connection pipelines
 //!   many concurrent requests.
+//! * **[`ReplicaServer`]** / **[`RemoteReplica`]** are the federation
+//!   endpoints ([`federation`]): a back-end broker on a socket serving
+//!   subset estimates, subset searches, and engine-lifecycle orders for
+//!   a [`FrontDoor`](seu_metasearch::FrontDoor), and the matching
+//!   [`ReplicaClient`](seu_metasearch::ReplicaClient) the front-door
+//!   dials — same placement, failover, and bit-identity guarantees as
+//!   the in-process cluster.
 //! * **[`AdminServer`]** is a minimal HTTP/1.1 server over a broker:
 //!   `GET /metrics` (Prometheus exposition of the process-global
 //!   [`seu_obs`] registry), `GET /healthz`, `GET /engines`,
@@ -63,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod federation;
 pub mod frame;
 pub mod http;
 mod metrics;
@@ -71,6 +79,7 @@ mod timer;
 pub mod wire;
 
 pub use client::{RemoteEngine, RemoteEngineConfig, Subscription};
+pub use federation::{RemoteReplica, RemoteReplicaConfig, ReplicaServer, ReplicaServerConfig};
 pub use http::{AdminServer, BrokerAdmin};
 pub use metrics::register_metrics;
 pub use server::{EngineServer, ServerConfig, ServerMode};

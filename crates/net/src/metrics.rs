@@ -60,6 +60,9 @@ pub(crate) struct NetMetrics {
     pub(crate) server_deadline_drops: Arc<seu_obs::Counter>,
     /// Live connections owned by event-loop servers (all kinds).
     pub(crate) server_active_connections: Arc<seu_obs::Gauge>,
+    /// Federation frames served by replica servers (subset estimates,
+    /// subset searches, engine lifecycle).
+    pub(crate) replica_requests: Arc<seu_obs::Counter>,
 }
 
 pub(crate) fn metrics() -> &'static NetMetrics {
@@ -87,6 +90,7 @@ pub(crate) fn metrics() -> &'static NetMetrics {
         server_batch_requests: seu_obs::counter("net_server_batch_requests_total"),
         server_deadline_drops: seu_obs::counter("net_server_request_deadline_drops_total"),
         server_active_connections: seu_obs::gauge("net_server_active_connections"),
+        replica_requests: seu_obs::counter("net_replica_requests_total"),
     })
 }
 

@@ -23,6 +23,27 @@
 //! | 14 | [`Message::TracedSearchResults`] | server → client |
 //! | 15 | [`Message::EstimateBatch`] | client → server |
 //! | 16 | [`Message::UsefulnessBatch`] | server → client |
+//! | 17 | [`Message::ReplicaEstimate`] | front-door → replica broker |
+//! | 18 | [`Message::ReplicaEstimates`] | replica broker → front-door |
+//! | 19 | [`Message::ReplicaSearch`] | front-door → replica broker |
+//! | 20 | [`Message::ReplicaSearchResults`] | replica broker → front-door |
+//! | 21 | [`Message::InstallEngine`] | front-door → replica broker |
+//! | 22 | [`Message::InstallAck`] | replica broker → front-door |
+//! | 23 | [`Message::RemoveEngine`] | front-door → replica broker |
+//! | 24 | [`Message::RemoveAck`] | replica broker → front-door |
+//! | 25 | [`Message::ExportEngine`] | front-door → replica broker |
+//!
+//! Kinds 17–25 are the **federation vocabulary**: what a front-door
+//! broker (`seu_metasearch::FrontDoor`) asks of a back-end broker
+//! replica. Subset estimates and searches (17–20) carry explicit engine
+//! name lists so the front-door controls placement; 21–24 move engines
+//! between replicas (the rebalance path ships an
+//! [`EngineSnapshot`] so the receiving replica hydrates without
+//! re-registration); 25 is answered with the existing kind 8
+//! [`Message::Representative`]. Peers that predate federation answer
+//! all of them with [`Message::Error`] (unknown kind), which the
+//! caller surfaces as a typed
+//! [`Remote`](TransportErrorKind::Remote) failure.
 //!
 //! Kinds 13/14 carry distributed-trace context
 //! (`trace_id`/`parent_span_id`/`sampled`) alongside a search and bring
@@ -41,8 +62,12 @@
 //! `FrozenSummary::from_bytes` hardening.
 
 use bytes::{Buf, BufMut, BytesMut};
+use seu_core::Usefulness;
 use seu_engine::{Fingerprint, TrueUsefulness, WeightingScheme};
-use seu_metasearch::{EngineSnapshot, RemoteHit, TransportError, TransportErrorKind};
+use seu_metasearch::{
+    DispatchOutcome, EngineDispatchStats, EngineEstimate, EngineSnapshot, MergedHit, RemoteHit,
+    TransportError, TransportErrorKind,
+};
 use seu_repr::FrozenSummary;
 use seu_text::AnalyzerConfig;
 
@@ -161,6 +186,79 @@ pub enum Message {
         /// `(NoDoc, AvgSim, max similarity)` per query.
         results: Vec<TrueUsefulness>,
     },
+    /// Front-door request: usefulness estimates for exactly the named
+    /// engines this replica holds, in list order.
+    ReplicaEstimate {
+        /// Raw query text.
+        query: String,
+        /// Similarity threshold `T`.
+        threshold: f64,
+        /// Engine names, in the order answers are expected.
+        engines: Vec<String>,
+    },
+    /// Answer to [`Message::ReplicaEstimate`]: one estimate per
+    /// requested engine, in request order.
+    ReplicaEstimates {
+        /// Per-engine estimates (full-precision f64, so the front-door's
+        /// reassembled global vector is bit-identical to a single
+        /// broker's).
+        estimates: Vec<EngineEstimate>,
+    },
+    /// Front-door request: search exactly the named engines and merge
+    /// their hits above the threshold.
+    ReplicaSearch {
+        /// Raw query text.
+        query: String,
+        /// Similarity threshold `T`.
+        threshold: f64,
+        /// Engine names to dispatch.
+        engines: Vec<String>,
+    },
+    /// Answer to [`Message::ReplicaSearch`]: the replica's merged hits
+    /// plus per-engine dispatch accounting (including typed transport
+    /// errors for engines that failed on the replica's side).
+    ReplicaSearchResults {
+        /// Replica-merged hits, best first.
+        hits: Vec<MergedHit>,
+        /// Per requested engine: hit count, latency, outcome, error.
+        stats: Vec<EngineDispatchStats>,
+    },
+    /// Front-door order: install (or re-install — idempotent) an engine
+    /// on this replica. At least one of `snapshot` (rebalance shipping:
+    /// the replica hydrates planning state without re-registration) or
+    /// `endpoint` (the replica dials the engine itself) is present.
+    InstallEngine {
+        /// Engine name (the global registration key).
+        name: String,
+        /// The engine's planning snapshot, when shipped.
+        snapshot: Option<EngineSnapshot>,
+        /// `host:port` of the engine's frame listener, when it serves
+        /// live searches remotely.
+        endpoint: Option<String>,
+    },
+    /// Answer to [`Message::InstallEngine`].
+    InstallAck {
+        /// The installed engine's name.
+        name: String,
+    },
+    /// Front-door order: drop an engine from this replica.
+    RemoveEngine {
+        /// Engine name.
+        name: String,
+    },
+    /// Answer to [`Message::RemoveEngine`].
+    RemoveAck {
+        /// Whether the engine was present (false: unknown name; removal
+        /// is idempotent, not an error).
+        removed: bool,
+    },
+    /// Front-door request: export the named engine's planning snapshot
+    /// (for shipping to another replica). Answered with
+    /// [`Message::Representative`].
+    ExportEngine {
+        /// Engine name.
+        name: String,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -179,6 +277,15 @@ const KIND_TRACED_SEARCH_DOCS: u8 = 13;
 const KIND_TRACED_SEARCH_RESULTS: u8 = 14;
 const KIND_ESTIMATE_BATCH: u8 = 15;
 const KIND_USEFULNESS_BATCH: u8 = 16;
+const KIND_REPLICA_ESTIMATE: u8 = 17;
+const KIND_REPLICA_ESTIMATES: u8 = 18;
+const KIND_REPLICA_SEARCH: u8 = 19;
+const KIND_REPLICA_SEARCH_RESULTS: u8 = 20;
+const KIND_INSTALL_ENGINE: u8 = 21;
+const KIND_INSTALL_ACK: u8 = 22;
+const KIND_REMOVE_ENGINE: u8 = 23;
+const KIND_REMOVE_ACK: u8 = 24;
+const KIND_EXPORT_ENGINE: u8 = 25;
 
 fn protocol(detail: impl Into<String>) -> TransportError {
     TransportError::new(TransportErrorKind::Protocol, detail)
@@ -365,6 +472,187 @@ fn get_hits(buf: &mut &[u8]) -> Result<Vec<RemoteHit>, TransportError> {
     Ok(hits)
 }
 
+fn put_opt_string(buf: &mut BytesMut, s: &Option<String>) {
+    match s {
+        Some(s) => {
+            buf.put_u8(1);
+            put_string(buf, s);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_string(buf: &mut &[u8]) -> Result<Option<String>, TransportError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_string(buf)?)),
+        other => Err(protocol(format!("bad option tag {other}"))),
+    }
+}
+
+fn put_string_list(buf: &mut BytesMut, names: &[String]) {
+    buf.put_u32(names.len() as u32);
+    for n in names {
+        put_string(buf, n);
+    }
+}
+
+fn get_string_list(buf: &mut &[u8]) -> Result<Vec<String>, TransportError> {
+    let n = get_u32(buf)? as usize;
+    // Each string costs at least its 4-byte length prefix.
+    if buf.remaining() / 4 < n {
+        return Err(protocol(format!(
+            "string list claims {n} entries but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut names = Vec::with_capacity(n);
+    for _ in 0..n {
+        names.push(get_string(buf)?);
+    }
+    Ok(names)
+}
+
+fn put_merged_hits(buf: &mut BytesMut, hits: &[MergedHit]) {
+    buf.put_u32(hits.len() as u32);
+    for h in hits {
+        put_string(buf, &h.engine);
+        put_string(buf, &h.doc);
+        buf.put_f64(h.sim);
+    }
+}
+
+fn get_merged_hits(buf: &mut &[u8]) -> Result<Vec<MergedHit>, TransportError> {
+    let n = get_u32(buf)? as usize;
+    // Smallest row: two 4-byte name lengths plus the 8-byte similarity.
+    if buf.remaining() / 16 < n {
+        return Err(protocol(format!(
+            "merged hit list claims {n} hits but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut hits = Vec::with_capacity(n);
+    for _ in 0..n {
+        hits.push(MergedHit {
+            engine: get_string(buf)?,
+            doc: get_string(buf)?,
+            sim: get_f64(buf)?,
+        });
+    }
+    Ok(hits)
+}
+
+fn put_error_kind(buf: &mut BytesMut, kind: TransportErrorKind) {
+    buf.put_u8(match kind {
+        TransportErrorKind::Refused => 0,
+        TransportErrorKind::Timeout => 1,
+        TransportErrorKind::ConnectionLost => 2,
+        TransportErrorKind::Protocol => 3,
+        TransportErrorKind::Remote => 4,
+    });
+}
+
+fn get_error_kind(buf: &mut &[u8]) -> Result<TransportErrorKind, TransportError> {
+    match get_u8(buf)? {
+        0 => Ok(TransportErrorKind::Refused),
+        1 => Ok(TransportErrorKind::Timeout),
+        2 => Ok(TransportErrorKind::ConnectionLost),
+        3 => Ok(TransportErrorKind::Protocol),
+        4 => Ok(TransportErrorKind::Remote),
+        other => Err(protocol(format!("unknown error kind tag {other}"))),
+    }
+}
+
+fn put_dispatch_stats(buf: &mut BytesMut, stats: &[EngineDispatchStats]) {
+    buf.put_u32(stats.len() as u32);
+    for s in stats {
+        put_string(buf, &s.engine);
+        buf.put_u64(s.hits as u64);
+        buf.put_f64(s.seconds);
+        buf.put_u8(match s.outcome {
+            DispatchOutcome::Completed => 0,
+            DispatchOutcome::Failed => 1,
+            DispatchOutcome::TimedOut => 2,
+        });
+        match &s.error {
+            Some(e) => {
+                buf.put_u8(1);
+                put_error_kind(buf, e.kind);
+                put_string(buf, &e.detail);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+}
+
+fn get_dispatch_stats(buf: &mut &[u8]) -> Result<Vec<EngineDispatchStats>, TransportError> {
+    let n = get_u32(buf)? as usize;
+    // Smallest row: 4-byte name length, u64 hits, f64 seconds, outcome
+    // byte, error flag byte.
+    if buf.remaining() / 22 < n {
+        return Err(protocol(format!(
+            "dispatch stat list claims {n} rows but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut stats = Vec::with_capacity(n);
+    for _ in 0..n {
+        let engine = get_string(buf)?;
+        let hits = get_u64(buf)? as usize;
+        let seconds = get_f64(buf)?;
+        let outcome = match get_u8(buf)? {
+            0 => DispatchOutcome::Completed,
+            1 => DispatchOutcome::Failed,
+            2 => DispatchOutcome::TimedOut,
+            other => return Err(protocol(format!("unknown outcome tag {other}"))),
+        };
+        let error = match get_u8(buf)? {
+            0 => None,
+            1 => Some(TransportError::new(get_error_kind(buf)?, get_string(buf)?)),
+            other => return Err(protocol(format!("bad option tag {other}"))),
+        };
+        stats.push(EngineDispatchStats {
+            engine,
+            hits,
+            seconds,
+            outcome,
+            error,
+        });
+    }
+    Ok(stats)
+}
+
+fn put_estimates(buf: &mut BytesMut, estimates: &[EngineEstimate]) {
+    buf.put_u32(estimates.len() as u32);
+    for e in estimates {
+        put_string(buf, &e.engine);
+        buf.put_f64(e.usefulness.no_doc);
+        buf.put_f64(e.usefulness.avg_sim);
+    }
+}
+
+fn get_estimates(buf: &mut &[u8]) -> Result<Vec<EngineEstimate>, TransportError> {
+    let n = get_u32(buf)? as usize;
+    // Smallest row: 4-byte name length plus two f64s.
+    if buf.remaining() / 20 < n {
+        return Err(protocol(format!(
+            "estimate list claims {n} rows but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut estimates = Vec::with_capacity(n);
+    for _ in 0..n {
+        estimates.push(EngineEstimate {
+            engine: get_string(buf)?,
+            usefulness: Usefulness {
+                no_doc: get_f64(buf)?,
+                avg_sim: get_f64(buf)?,
+            },
+        });
+    }
+    Ok(estimates)
+}
+
 fn put_spans(buf: &mut BytesMut, spans: &[seu_obs::SpanRecord]) {
     buf.put_u32(spans.len() as u32);
     for s in spans {
@@ -518,6 +806,67 @@ impl Message {
                 }
                 KIND_USEFULNESS_BATCH
             }
+            Message::ReplicaEstimate {
+                query,
+                threshold,
+                engines,
+            } => {
+                put_string(&mut buf, query);
+                buf.put_f64(*threshold);
+                put_string_list(&mut buf, engines);
+                KIND_REPLICA_ESTIMATE
+            }
+            Message::ReplicaEstimates { estimates } => {
+                put_estimates(&mut buf, estimates);
+                KIND_REPLICA_ESTIMATES
+            }
+            Message::ReplicaSearch {
+                query,
+                threshold,
+                engines,
+            } => {
+                put_string(&mut buf, query);
+                buf.put_f64(*threshold);
+                put_string_list(&mut buf, engines);
+                KIND_REPLICA_SEARCH
+            }
+            Message::ReplicaSearchResults { hits, stats } => {
+                put_merged_hits(&mut buf, hits);
+                put_dispatch_stats(&mut buf, stats);
+                KIND_REPLICA_SEARCH_RESULTS
+            }
+            Message::InstallEngine {
+                name,
+                snapshot,
+                endpoint,
+            } => {
+                put_string(&mut buf, name);
+                match snapshot {
+                    Some(s) => {
+                        buf.put_u8(1);
+                        put_snapshot(&mut buf, s);
+                    }
+                    None => buf.put_u8(0),
+                }
+                put_opt_string(&mut buf, endpoint);
+                KIND_INSTALL_ENGINE
+            }
+            Message::InstallAck { name } => {
+                put_string(&mut buf, name);
+                KIND_INSTALL_ACK
+            }
+            Message::RemoveEngine { name } => {
+                put_string(&mut buf, name);
+                KIND_REMOVE_ENGINE
+            }
+            Message::RemoveAck { removed } => {
+                buf.put_u8(*removed as u8);
+                KIND_REMOVE_ACK
+            }
+            Message::ExportEngine { name } => {
+                put_string(&mut buf, name);
+                KIND_EXPORT_ENGINE
+            }
         };
         (kind, buf.freeze().chunk().to_vec())
     }
@@ -618,6 +967,44 @@ impl Message {
                 }
                 Message::UsefulnessBatch { results }
             }
+            KIND_REPLICA_ESTIMATE => Message::ReplicaEstimate {
+                query: get_string(&mut buf)?,
+                threshold: get_f64(&mut buf)?,
+                engines: get_string_list(&mut buf)?,
+            },
+            KIND_REPLICA_ESTIMATES => Message::ReplicaEstimates {
+                estimates: get_estimates(&mut buf)?,
+            },
+            KIND_REPLICA_SEARCH => Message::ReplicaSearch {
+                query: get_string(&mut buf)?,
+                threshold: get_f64(&mut buf)?,
+                engines: get_string_list(&mut buf)?,
+            },
+            KIND_REPLICA_SEARCH_RESULTS => Message::ReplicaSearchResults {
+                hits: get_merged_hits(&mut buf)?,
+                stats: get_dispatch_stats(&mut buf)?,
+            },
+            KIND_INSTALL_ENGINE => Message::InstallEngine {
+                name: get_string(&mut buf)?,
+                snapshot: match get_u8(&mut buf)? {
+                    0 => None,
+                    1 => Some(get_snapshot(&mut buf)?),
+                    other => return Err(protocol(format!("bad option tag {other}"))),
+                },
+                endpoint: get_opt_string(&mut buf)?,
+            },
+            KIND_INSTALL_ACK => Message::InstallAck {
+                name: get_string(&mut buf)?,
+            },
+            KIND_REMOVE_ENGINE => Message::RemoveEngine {
+                name: get_string(&mut buf)?,
+            },
+            KIND_REMOVE_ACK => Message::RemoveAck {
+                removed: get_u8(&mut buf)? != 0,
+            },
+            KIND_EXPORT_ENGINE => Message::ExportEngine {
+                name: get_string(&mut buf)?,
+            },
             other => return Err(protocol(format!("unknown message kind {other}"))),
         };
         if buf.remaining() > 0 {
@@ -873,6 +1260,183 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32(u32::MAX);
         let err = Message::decode(KIND_USEFULNESS_BATCH, buf.freeze().chunk()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+    }
+
+    #[test]
+    fn replica_subset_messages_round_trip_bit_for_bit() {
+        let engines: Vec<String> = (0..3).map(|i| format!("engine-{i}")).collect();
+        match round_trip(&Message::ReplicaEstimate {
+            query: "mushroom soup".into(),
+            threshold: 0.25,
+            engines: engines.clone(),
+        }) {
+            Message::ReplicaEstimate {
+                query,
+                threshold,
+                engines: e,
+            } => {
+                assert_eq!(query, "mushroom soup");
+                assert_eq!(threshold, 0.25);
+                assert_eq!(e, engines);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let estimates = vec![
+            EngineEstimate {
+                engine: "a".into(),
+                usefulness: Usefulness {
+                    no_doc: 1.75,
+                    avg_sim: 0.31,
+                },
+            },
+            EngineEstimate {
+                engine: "b".into(),
+                usefulness: Usefulness {
+                    no_doc: 0.0,
+                    avg_sim: 0.0,
+                },
+            },
+        ];
+        match round_trip(&Message::ReplicaEstimates {
+            estimates: estimates.clone(),
+        }) {
+            Message::ReplicaEstimates { estimates: d } => {
+                assert_eq!(d.len(), estimates.len());
+                for (a, b) in d.iter().zip(&estimates) {
+                    assert_eq!(a.engine, b.engine);
+                    // Bit-identity across the wire is the whole point.
+                    assert_eq!(a.usefulness.no_doc.to_bits(), b.usefulness.no_doc.to_bits());
+                    assert_eq!(
+                        a.usefulness.avg_sim.to_bits(),
+                        b.usefulness.avg_sim.to_bits()
+                    );
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let hits = vec![MergedHit {
+            engine: "a".into(),
+            doc: "d0".into(),
+            sim: 0.875,
+        }];
+        let stats = vec![
+            EngineDispatchStats {
+                engine: "a".into(),
+                hits: 1,
+                seconds: 0.002,
+                outcome: DispatchOutcome::Completed,
+                error: None,
+            },
+            EngineDispatchStats {
+                engine: "b".into(),
+                hits: 0,
+                seconds: 0.0,
+                outcome: DispatchOutcome::Failed,
+                error: Some(TransportError::new(
+                    TransportErrorKind::ConnectionLost,
+                    "engine died mid-frame",
+                )),
+            },
+        ];
+        match round_trip(&Message::ReplicaSearchResults {
+            hits: hits.clone(),
+            stats: stats.clone(),
+        }) {
+            Message::ReplicaSearchResults { hits: h, stats: s } => {
+                assert_eq!(h, hits);
+                assert_eq!(s, stats);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_lifecycle_messages_round_trip() {
+        let mut b = CollectionBuilder::new(Analyzer::paper_default(), WeightingScheme::CosineTf);
+        b.add_document("d0", "estimating search engine usefulness");
+        let engine = SearchEngine::new(b.build());
+        let snapshot = EngineSnapshot::of_engine("dbs", &engine);
+        match round_trip(&Message::InstallEngine {
+            name: "dbs".into(),
+            snapshot: Some(snapshot.clone()),
+            endpoint: Some("127.0.0.1:7070".into()),
+        }) {
+            Message::InstallEngine {
+                name,
+                snapshot: s,
+                endpoint,
+            } => {
+                assert_eq!(name, "dbs");
+                assert_eq!(s.unwrap().fingerprint, snapshot.fingerprint);
+                assert_eq!(endpoint.as_deref(), Some("127.0.0.1:7070"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Snapshot-less install (the replica dials the endpoint itself).
+        match round_trip(&Message::InstallEngine {
+            name: "dbs".into(),
+            snapshot: None,
+            endpoint: None,
+        }) {
+            Message::InstallEngine {
+                snapshot, endpoint, ..
+            } => {
+                assert!(snapshot.is_none());
+                assert!(endpoint.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Message::InstallAck { name: "dbs".into() }) {
+            Message::InstallAck { name } => assert_eq!(name, "dbs"),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Message::RemoveEngine { name: "dbs".into() }) {
+            Message::RemoveEngine { name } => assert_eq!(name, "dbs"),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Message::RemoveAck { removed: true }) {
+            Message::RemoveAck { removed } => assert!(removed),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(&Message::ExportEngine { name: "dbs".into() }) {
+            Message::ExportEngine { name } => assert_eq!(name, "dbs"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn federation_count_liars_are_protocol_errors() {
+        // Engine-name list liar on the subset request.
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "q");
+        buf.put_f64(0.2);
+        buf.put_u32(u32::MAX);
+        let err = Message::decode(KIND_REPLICA_ESTIMATE, buf.freeze().chunk()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+        // Estimate-count liar on the answer.
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        let err = Message::decode(KIND_REPLICA_ESTIMATES, buf.freeze().chunk()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+        // Dispatch-stat liar behind a legal empty hit list.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0);
+        buf.put_u32(u32::MAX);
+        let err = Message::decode(KIND_REPLICA_SEARCH_RESULTS, buf.freeze().chunk()).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Protocol);
+        // An unknown outcome tag is typed, not misparsed.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0); // no hits
+        buf.put_u32(1); // one stat row
+        put_string(&mut buf, "a");
+        buf.put_u64(0);
+        buf.put_f64(0.0);
+        buf.put_u8(9); // bogus outcome
+        buf.put_u8(0);
+        let err = Message::decode(KIND_REPLICA_SEARCH_RESULTS, buf.freeze().chunk()).unwrap_err();
         assert_eq!(err.kind, TransportErrorKind::Protocol);
     }
 
